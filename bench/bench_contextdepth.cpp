@@ -1,0 +1,55 @@
+//===- bench_contextdepth.cpp - Context-sensitivity depth ablation ----------==//
+///
+/// Section 5.1: "up to four levels of calling context are required, but only
+/// for call sites where a determinacy fact is available". This bench sweeps
+/// the specializer's maximum clone depth on miniquery 1.0 and reports
+/// whether the residual program becomes analyzable within the Table 1
+/// budget, plus residual size and specialization counts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "determinacy/Determinacy.h"
+#include "parser/Parser.h"
+#include "pointsto/PointsTo.h"
+#include "specialize/Specializer.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace dda;
+
+int main() {
+  std::printf("Context-sensitivity (clone depth) ablation on miniquery 1.0\n");
+  std::printf("(paper: at most 4 levels of context were needed)\n\n");
+
+  constexpr uint64_t TimeoutBudget = 40'000;
+
+  TextTable T({"max depth", "completes", "steps", "clones", "unrolls",
+               "staticized", "residual stmts"});
+
+  for (unsigned Depth : {0u, 1u, 2u, 3u, 4u, 6u}) {
+    DiagnosticEngine Diags;
+    Program P = parseProgram(workloads::miniquery(0), Diags);
+    AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+    SpecializerOptions SOpts;
+    SOpts.MaxCloneDepth = Depth;
+    SpecializeResult S = specializeProgram(P, A, SOpts);
+    PointsToOptions PTOpts;
+    PTOpts.MaxPropagationSteps = TimeoutBudget;
+    PointsToResult R = runPointsToAnalysis(S.Residual, PTOpts);
+    T.addRow({std::to_string(Depth), R.Completed ? "yes" : "NO",
+              std::to_string(R.PropagationSteps),
+              std::to_string(S.Report.FunctionClones),
+              std::to_string(S.Report.LoopsUnrolled),
+              std::to_string(S.Report.PropertiesStaticized),
+              std::to_string(S.Residual.Body.size())});
+  }
+  std::printf("%s\n", T.str().c_str());
+  std::printf("Expected shape: shallow depths leave the nested\n"
+              "instantiate()/extend() chain unspecialized (extend sits two\n"
+              "levels deep), so the residual stays megamorphic; the paper's\n"
+              "depth 4 is enough, and deeper limits change nothing.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+//===- bench_counterfactual.cpp - Counterfactual-execution ablation --------==//
+///
+/// Ablation of the paper's key mechanism (Section 2.1/3.2): sweep the
+/// counterfactual nesting cutoff k (the ĈNTR/ĈNTRABORT bound), and compare
+/// against (a) counterfactual execution disabled entirely (always
+/// ĈNTRABORT) and (b) the strict information-flow marking the paper
+/// explicitly improves upon (values tainted immediately inside
+/// indeterminate branches instead of after them). Reports determinate
+/// facts found, heap flushes, and analysis cost on a nested-conditional
+/// workload.
+///
+//===----------------------------------------------------------------------===//
+
+#include "determinacy/Determinacy.h"
+#include "parser/Parser.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace dda;
+
+namespace {
+
+/// Workload with deep chains of indeterminate-false conditionals guarding
+/// determinate computation (what counterfactual execution explores), plus
+/// indeterminate-true branches with determinate writes inside (where the
+/// paper's *delayed* marking records facts that eager information-flow
+/// tainting loses — the ⟦r.g⟧ 18→5→10 = 42 effect of Section 2.1).
+std::string nestedConditionalWorkload(int Depth, int Width) {
+  std::string Out = "var sink = {};\n"
+                    "var taken = {};\n"
+                    "var r = Math.random() + 2;\n"; // r in (2,3): every
+                                                    // "r > 100" is false.
+  for (int W = 0; W < Width; ++W) {
+    std::string Pad;
+    for (int D = 0; D < Depth; ++D) {
+      Out += Pad + "if (r > " + std::to_string(100 * (D + 1)) + ") {\n";
+      Out += Pad + "  sink.w" + std::to_string(W) + "d" + std::to_string(D) +
+             " = " + std::to_string(W * 100 + D) + ";\n";
+      Pad += "  ";
+    }
+    for (int D = Depth - 1; D >= 0; --D) {
+      Pad.resize(2 * static_cast<size_t>(D));
+      Out += Pad + "}\n";
+    }
+    // An indeterminate-true branch: the write happens in this execution and
+    // its Assign fact is determinate under delayed marking only.
+    Out += "if (r < 100) { taken.w" + std::to_string(W) + " = " +
+           std::to_string(W) + "; }\n";
+    // Determinate anchor after each chain.
+    Out += "var keep" + std::to_string(W) + " = " + std::to_string(W) + ";\n";
+  }
+  return Out;
+}
+
+struct Row {
+  std::string Config;
+  size_t DetFacts;
+  uint64_t Flushes;
+  uint64_t Counterfactuals;
+  uint64_t Aborts;
+  uint64_t Steps;
+};
+
+Row runConfig(const std::string &Source, const std::string &Name,
+              AnalysisOptions Opts) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  Opts.RecordAllExpressions = true;
+  AnalysisResult R = runDeterminacyAnalysis(P, Opts);
+  return {Name,
+          R.Facts.countDeterminate(),
+          R.Stats.HeapFlushes,
+          R.Stats.Counterfactuals,
+          R.Stats.CounterfactualAborts,
+          R.Stats.StepsUsed};
+}
+
+} // namespace
+
+int main() {
+  std::printf("Counterfactual-execution ablation "
+              "(nested indeterminate-false conditionals, depth 6 x 8)\n\n");
+  std::string Source = nestedConditionalWorkload(/*Depth=*/6, /*Width=*/8);
+
+  TextTable T({"config", "det facts", "flushes", "counterfactuals",
+               "aborts", "steps"});
+  for (unsigned K : {0u, 1u, 2u, 4u, 8u}) {
+    AnalysisOptions Opts;
+    Opts.CounterfactualDepth = K;
+    Row R = runConfig(Source, "k=" + std::to_string(K), Opts);
+    T.addRow({R.Config, std::to_string(R.DetFacts),
+              std::to_string(R.Flushes), std::to_string(R.Counterfactuals),
+              std::to_string(R.Aborts), std::to_string(R.Steps)});
+  }
+  {
+    AnalysisOptions Opts;
+    Opts.CounterfactualEnabled = false;
+    Row R = runConfig(Source, "disabled (always abort)", Opts);
+    T.addRow({R.Config, std::to_string(R.DetFacts),
+              std::to_string(R.Flushes), std::to_string(R.Counterfactuals),
+              std::to_string(R.Aborts), std::to_string(R.Steps)});
+  }
+  {
+    AnalysisOptions Opts;
+    Opts.StrictTaint = true;
+    Row R = runConfig(Source, "strict info-flow taint", Opts);
+    T.addRow({R.Config, std::to_string(R.DetFacts),
+              std::to_string(R.Flushes), std::to_string(R.Counterfactuals),
+              std::to_string(R.Aborts), std::to_string(R.Steps)});
+  }
+  std::printf("%s\n", T.str().c_str());
+  std::printf("Expected shape: determinate facts grow with k (deeper chains\n"
+              "explored without aborting); disabling counterfactual execution\n"
+              "floods the analysis with flushes and loses facts; strict\n"
+              "tainting loses the facts the paper's delayed marking keeps.\n");
+  return 0;
+}

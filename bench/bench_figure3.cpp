@@ -1,0 +1,100 @@
+//===- bench_figure3.cpp - Figure 3 pointer-analysis precision -------------==//
+///
+/// The paper's Section 2.2 example: dynamic property accesses with computed
+/// names defeat the baseline pointer analysis; determinacy facts let the
+/// specializer unroll the accessor loop, clone defAccessors per iteration,
+/// and staticize the writes. This bench prints the call-graph precision
+/// (targets per call site) before and after, and measures each pipeline
+/// stage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTWalk.h"
+#include "determinacy/Determinacy.h"
+#include "parser/Parser.h"
+#include "pointsto/PointsTo.h"
+#include "specialize/Specializer.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+#include <cstdio>
+
+using namespace dda;
+
+namespace {
+
+size_t targetsOfCall(const Program &P, const PointsToResult &R,
+                     const char *Needle) {
+  const Node *Found = nullptr;
+  walkProgram(P, [&](const Node *N) {
+    if (!Found && isa<CallExpr>(N) &&
+        printExpr(cast<CallExpr>(N)).find(Needle) != std::string::npos)
+      Found = N;
+    return true;
+  });
+  if (!Found)
+    return 0;
+  auto It = R.CallTargets.find(Found->getID());
+  return It == R.CallTargets.end() ? 0 : It->second.size();
+}
+
+void report() {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(workloads::figure3(), Diags);
+  AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+  SpecializeResult S = specializeProgram(P, A);
+
+  PointsToResult Base = runPointsToAnalysis(P);
+  PointsToResult Spec = runPointsToAnalysis(S.Residual);
+
+  std::printf("Figure 3: accessor generation via computed property names\n\n");
+  std::printf("Specializations applied: %u loop unrolls, %u clones, "
+              "%u property staticizations\n\n",
+              S.Report.LoopsUnrolled, S.Report.FunctionClones,
+              S.Report.PropertiesStaticized);
+  std::printf("%-28s %-10s %-10s\n", "metric", "baseline", "specialized");
+  std::printf("%-28s %-10zu %-10zu\n", "targets of r.setWidth(..)",
+              targetsOfCall(P, Base, "setWidth("),
+              targetsOfCall(S.Residual, Spec, "setWidth("));
+  std::printf("%-28s %-10zu %-10zu\n", "targets of r.getWidth()",
+              targetsOfCall(P, Base, "getWidth()"),
+              targetsOfCall(S.Residual, Spec, "getWidth()"));
+  std::printf("%-28s %-10.2f %-10.2f\n", "avg targets per call site",
+              Base.AvgCallTargets, Spec.AvgCallTargets);
+  std::printf("%-28s %-10zu %-10zu\n", "polymorphic call sites",
+              Base.PolymorphicCallSites, Spec.PolymorphicCallSites);
+  std::printf("%-28s %-10llu %-10llu\n", "propagation steps",
+              static_cast<unsigned long long>(Base.PropagationSteps),
+              static_cast<unsigned long long>(Spec.PropagationSteps));
+  std::printf("\n(paper: the baseline conflates getter/setter/toString; the\n"
+              " specialized program resolves the call at line 27 precisely)\n\n");
+}
+
+void BM_Figure3Baseline(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(workloads::figure3(), Diags);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runPointsToAnalysis(P).PropagationSteps);
+}
+BENCHMARK(BM_Figure3Baseline);
+
+void BM_Figure3FullPipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    Program P = parseProgram(workloads::figure3(), Diags);
+    AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+    SpecializeResult S = specializeProgram(P, A);
+    benchmark::DoNotOptimize(runPointsToAnalysis(S.Residual).PropagationSteps);
+  }
+}
+BENCHMARK(BM_Figure3FullPipeline);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,94 @@
+//===- bench_overhead.cpp - Instrumentation overhead ------------------------==//
+///
+/// Section 4 notes that instrumented code "is expected to run slower" but
+/// that the analysis targets short initialization phases. This bench
+/// quantifies the overhead of the instrumented semantics (determinacy
+/// shadowing, journaling, counterfactual execution) against the plain
+/// concrete interpreter on representative programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "determinacy/Determinacy.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dda;
+
+namespace {
+
+const char *ComputeLoop = R"JS(
+var acc = 0;
+for (var i = 0; i < 3000; i++) {
+  acc = acc + i % 7;
+}
+)JS";
+
+const char *HeapChurn = R"JS(
+var objs = [];
+for (var i = 0; i < 400; i++) {
+  var o = {idx: i, name: "o" + i};
+  o.double = i * 2;
+  objs[i] = o;
+}
+var total = 0;
+for (var j = 0; j < 400; j++) {
+  total += objs[j].double;
+}
+)JS";
+
+const char *BranchHeavy = R"JS(
+var hits = 0;
+for (var i = 0; i < 800; i++) {
+  if (Math.random() < 2) { hits++; }     // indeterminate, always true
+  if (Math.random() > 2) { hits = -1; }  // indeterminate, always false
+}
+)JS";
+
+void runConcrete(benchmark::State &State, const char *Source) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    Program P = parseProgram(Source, Diags);
+    Interpreter I(P);
+    benchmark::DoNotOptimize(I.run());
+  }
+}
+
+void runInstrumented(benchmark::State &State, const char *Source) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    Program P = parseProgram(Source, Diags);
+    AnalysisResult R = runDeterminacyAnalysis(P, AnalysisOptions());
+    benchmark::DoNotOptimize(R.Stats.StepsUsed);
+  }
+}
+
+void BM_Concrete_ComputeLoop(benchmark::State &S) { runConcrete(S, ComputeLoop); }
+void BM_Instrumented_ComputeLoop(benchmark::State &S) { runInstrumented(S, ComputeLoop); }
+void BM_Concrete_HeapChurn(benchmark::State &S) { runConcrete(S, HeapChurn); }
+void BM_Instrumented_HeapChurn(benchmark::State &S) { runInstrumented(S, HeapChurn); }
+void BM_Concrete_BranchHeavy(benchmark::State &S) { runConcrete(S, BranchHeavy); }
+void BM_Instrumented_BranchHeavy(benchmark::State &S) { runInstrumented(S, BranchHeavy); }
+void BM_Concrete_Miniquery10(benchmark::State &S) {
+  std::string Src = workloads::miniquery(0);
+  runConcrete(S, Src.c_str());
+}
+void BM_Instrumented_Miniquery10(benchmark::State &S) {
+  std::string Src = workloads::miniquery(0);
+  runInstrumented(S, Src.c_str());
+}
+
+BENCHMARK(BM_Concrete_ComputeLoop);
+BENCHMARK(BM_Instrumented_ComputeLoop);
+BENCHMARK(BM_Concrete_HeapChurn);
+BENCHMARK(BM_Instrumented_HeapChurn);
+BENCHMARK(BM_Concrete_BranchHeavy);
+BENCHMARK(BM_Instrumented_BranchHeavy);
+BENCHMARK(BM_Concrete_Miniquery10);
+BENCHMARK(BM_Instrumented_Miniquery10);
+
+} // namespace
+
+BENCHMARK_MAIN();

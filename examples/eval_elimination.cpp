@@ -1,0 +1,65 @@
+//===- eval_elimination.cpp - Removing eval with determinacy facts ----------==//
+///
+/// The paper's second case study (Sections 2.3 and 5.2), on Figure 4: the
+/// eval argument is assembled by string concatenation in an earlier
+/// statement, which defeats purely syntactic rewriters, but the dynamic
+/// determinacy analysis proves the string determinate under each call
+/// context and the specializer replaces the eval with the parsed code.
+///
+/// Build & run:  ninja -C build && ./build/examples/eval_elimination
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "evalelim/EvalElim.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "specialize/Specializer.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace dda;
+
+int main() {
+  std::printf("---- input (the paper's Figure 4) ----\n%s\n",
+              workloads::figure4());
+
+  // Syntactic baseline: fails, because "ivymap['" + locationId + "']" is not
+  // a compile-time constant at the eval site.
+  UnevalizerResult Baseline = runUnevalizer(workloads::figure4());
+  std::printf("unevalizer-style baseline: %s\n",
+              Baseline.Handled ? "eliminated" : "CANNOT eliminate");
+
+  // Determinacy-based pipeline.
+  EvalElimResult Ours = runEvalElimination(workloads::figure4());
+  if (!Ours.Ran) {
+    std::fprintf(stderr, "dynamic run failed: %s\n", Ours.RunError.c_str());
+    return 1;
+  }
+  std::printf("determinacy-based pipeline: %s "
+              "(%u eval calls spliced across %u clones)\n\n",
+              Ours.Handled ? "eliminated" : "CANNOT eliminate",
+              Ours.Spec.EvalsSpliced, Ours.Spec.FunctionClones);
+
+  // Show the residual program and prove it behaves identically.
+  DiagnosticEngine Diags;
+  Program P = parseProgram(workloads::figure4(), Diags);
+  AnalysisResult Facts = runDeterminacyAnalysis(P, AnalysisOptions());
+  SpecializeResult Spec = specializeProgram(P, Facts);
+  std::printf("---- residual program (eval-free) ----\n%s\n",
+              printProgram(Spec.Residual).c_str());
+
+  Program Orig = parseProgram(workloads::figure4(), Diags);
+  Interpreter RunOrig(Orig);
+  Interpreter RunSpec(Spec.Residual);
+  bool OkO = RunOrig.run();
+  bool OkS = RunSpec.run();
+  std::printf("original output : %s", RunOrig.outputText().c_str());
+  std::printf("residual output : %s", RunSpec.outputText().c_str());
+  std::printf("behavior preserved: %s\n",
+              (OkO && OkS && RunOrig.outputText() == RunSpec.outputText())
+                  ? "yes"
+                  : "NO");
+  return 0;
+}

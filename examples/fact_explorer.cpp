@@ -1,0 +1,87 @@
+//===- fact_explorer.cpp - Dump every fact of a program ---------------------==//
+///
+/// A small tool built on the public API: runs the determinacy analysis on a
+/// program (a file path argument, or the built-in Figure 1 dispatcher demo)
+/// and dumps the complete fact database with calling contexts rendered in
+/// the paper's arrow notation, plus per-kind counts and multi-seed merging.
+///
+/// Usage:
+///   ./build/examples/fact_explorer              # analyze the Fig. 1 demo
+///   ./build/examples/fact_explorer prog.js      # analyze a file
+///   ./build/examples/fact_explorer prog.js 5    # merge 5 random seeds
+///
+//===----------------------------------------------------------------------===//
+
+#include "determinacy/Determinacy.h"
+#include "parser/Parser.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace dda;
+
+int main(int argc, char **argv) {
+  std::string Source;
+  if (argc >= 2) {
+    std::ifstream In(argv[1]);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  } else {
+    Source = workloads::figure1();
+    std::printf("(no file given; analyzing the built-in Figure 1 demo)\n\n");
+  }
+  unsigned Seeds = argc >= 3 ? std::atoi(argv[2]) : 1;
+  if (Seeds == 0)
+    Seeds = 1;
+
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  AnalysisOptions Opts;
+  Opts.RecordAllExpressions = false;
+  std::vector<uint64_t> SeedList;
+  for (unsigned I = 1; I <= Seeds; ++I)
+    SeedList.push_back(I);
+  AnalysisResult R = Seeds == 1
+                         ? runDeterminacyAnalysis(P, Opts)
+                         : runDeterminacyAnalysisMultiSeed(P, Opts, SeedList);
+  if (!R.Ok) {
+    std::fprintf(stderr, "run failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+
+  std::printf("program output:\n%s\n", R.Output.c_str());
+  std::printf("=== fact database (%zu facts, %zu determinate, %u seed%s) "
+              "===\n%s\n",
+              R.Facts.size(), R.Facts.countDeterminate(), Seeds,
+              Seeds == 1 ? "" : "s", R.Facts.dump(R.Contexts).c_str());
+
+  std::printf("per-kind counts:\n");
+  const FactKind Kinds[] = {FactKind::Condition, FactKind::Callee,
+                            FactKind::PropName,  FactKind::EvalArg,
+                            FactKind::CallArg,   FactKind::Assign,
+                            FactKind::TripCount, FactKind::ForInKey};
+  for (FactKind K : Kinds)
+    std::printf("  %-10s %zu\n", factKindName(K), R.Facts.countOfKind(K));
+
+  std::printf("\nstats: %llu flushes, %llu counterfactuals, %llu aborts, "
+              "%llu journal entries, %llu steps\n",
+              static_cast<unsigned long long>(R.Stats.HeapFlushes),
+              static_cast<unsigned long long>(R.Stats.Counterfactuals),
+              static_cast<unsigned long long>(R.Stats.CounterfactualAborts),
+              static_cast<unsigned long long>(R.Stats.JournalEntries),
+              static_cast<unsigned long long>(R.Stats.StepsUsed));
+  return 0;
+}

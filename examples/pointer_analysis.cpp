@@ -1,0 +1,71 @@
+//===- pointer_analysis.cpp - Improving static analysis with facts ----------==//
+///
+/// The paper's first case study (Sections 2.2 and 5.1), on Figure 3: the
+/// baseline pointer analysis cannot tell which function lands in
+/// Rectangle.prototype.getWidth, because the property names are computed at
+/// run time. Determinacy facts let the specializer unroll the generation
+/// loop, clone defAccessors per iteration, and turn every dynamic property
+/// access static — after which the plain pointer analysis is precise.
+///
+/// Build & run:  ninja -C build && ./build/examples/pointer_analysis
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "determinacy/Determinacy.h"
+#include "parser/Parser.h"
+#include "pointsto/PointsTo.h"
+#include "specialize/Specializer.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace dda;
+
+int main() {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(workloads::figure3(), Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+
+  // Baseline: flow-insensitive 0-CFA-style pointer analysis, straight on
+  // the original program.
+  PointsToResult Baseline = runPointsToAnalysis(P);
+  std::printf("baseline: %zu call-graph edges, %zu polymorphic call sites, "
+              "avg %.2f targets/site\n",
+              Baseline.CallGraphEdges, Baseline.PolymorphicCallSites,
+              Baseline.AvgCallTargets);
+
+  // Dynamic determinacy analysis: one instrumented run.
+  AnalysisResult Facts = runDeterminacyAnalysis(P, AnalysisOptions());
+  if (!Facts.Ok) {
+    std::fprintf(stderr, "dynamic run failed: %s\n", Facts.Error.c_str());
+    return 1;
+  }
+  std::printf("dynamic analysis: %zu facts (%zu determinate)\n",
+              Facts.Facts.size(), Facts.Facts.countDeterminate());
+
+  // Specialize: unroll, clone, staticize.
+  SpecializeResult Spec = specializeProgram(P, Facts);
+  std::printf("specializer: %u loops unrolled, %u clones, "
+              "%u property accesses staticized, %u branches pruned\n\n",
+              Spec.Report.LoopsUnrolled, Spec.Report.FunctionClones,
+              Spec.Report.PropertiesStaticized, Spec.Report.BranchesPruned);
+
+  // The residual program (what the static analysis actually sees).
+  std::printf("---- residual program ----\n%s----\n\n",
+              printProgram(Spec.Residual).c_str());
+
+  PointsToResult Specialized = runPointsToAnalysis(Spec.Residual);
+  std::printf("specialized: %zu call-graph edges, %zu polymorphic call "
+              "sites, avg %.2f targets/site\n",
+              Specialized.CallGraphEdges, Specialized.PolymorphicCallSites,
+              Specialized.AvgCallTargets);
+  std::printf("\n(the specialized clones contain e.g. "
+              "`Rectangle.prototype.getWidth = function() "
+              "{ return this.width; }` —\n exactly the rewrite shown in "
+              "Section 2.2 of the paper)\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+//===- AST.cpp ------------------------------------------------------------==//
+
+#include "ast/AST.h"
+
+using namespace dda;
+
+const char *dda::nodeKindName(NodeKind Kind) {
+  switch (Kind) {
+  case NodeKind::NumberLiteral:
+    return "NumberLiteral";
+  case NodeKind::StringLiteral:
+    return "StringLiteral";
+  case NodeKind::BooleanLiteral:
+    return "BooleanLiteral";
+  case NodeKind::NullLiteral:
+    return "NullLiteral";
+  case NodeKind::UndefinedLiteral:
+    return "UndefinedLiteral";
+  case NodeKind::Identifier:
+    return "Identifier";
+  case NodeKind::This:
+    return "This";
+  case NodeKind::ArrayLiteral:
+    return "ArrayLiteral";
+  case NodeKind::ObjectLiteral:
+    return "ObjectLiteral";
+  case NodeKind::Function:
+    return "Function";
+  case NodeKind::Member:
+    return "Member";
+  case NodeKind::Call:
+    return "Call";
+  case NodeKind::New:
+    return "New";
+  case NodeKind::Unary:
+    return "Unary";
+  case NodeKind::Update:
+    return "Update";
+  case NodeKind::Binary:
+    return "Binary";
+  case NodeKind::Logical:
+    return "Logical";
+  case NodeKind::Assign:
+    return "Assign";
+  case NodeKind::Conditional:
+    return "Conditional";
+  case NodeKind::ExpressionStmt:
+    return "ExpressionStmt";
+  case NodeKind::VarDeclStmt:
+    return "VarDeclStmt";
+  case NodeKind::FunctionDeclStmt:
+    return "FunctionDeclStmt";
+  case NodeKind::BlockStmt:
+    return "BlockStmt";
+  case NodeKind::IfStmt:
+    return "IfStmt";
+  case NodeKind::WhileStmt:
+    return "WhileStmt";
+  case NodeKind::DoWhileStmt:
+    return "DoWhileStmt";
+  case NodeKind::ForStmt:
+    return "ForStmt";
+  case NodeKind::ForInStmt:
+    return "ForInStmt";
+  case NodeKind::ReturnStmt:
+    return "ReturnStmt";
+  case NodeKind::BreakStmt:
+    return "BreakStmt";
+  case NodeKind::ContinueStmt:
+    return "ContinueStmt";
+  case NodeKind::ThrowStmt:
+    return "ThrowStmt";
+  case NodeKind::TryStmt:
+    return "TryStmt";
+  case NodeKind::EmptyStmt:
+    return "EmptyStmt";
+  case NodeKind::SwitchStmt:
+    return "SwitchStmt";
+  }
+  return "Unknown";
+}
+
+const char *dda::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::NotEq:
+    return "!=";
+  case BinaryOp::StrictEq:
+    return "===";
+  case BinaryOp::StrictNotEq:
+    return "!==";
+  case BinaryOp::Less:
+    return "<";
+  case BinaryOp::LessEq:
+    return "<=";
+  case BinaryOp::Greater:
+    return ">";
+  case BinaryOp::GreaterEq:
+    return ">=";
+  case BinaryOp::Instanceof:
+    return "instanceof";
+  case BinaryOp::In:
+    return "in";
+  }
+  return "?";
+}

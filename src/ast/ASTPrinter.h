@@ -1,0 +1,30 @@
+//===- ASTPrinter.h - Render an AST back to MiniJS source --------*- C++ -*-==//
+///
+/// \file
+/// Pretty-prints an AST as MiniJS source. Used to emit the residual programs
+/// produced by the specializer, to render expressions inside printed
+/// determinacy facts (the `⟦e⟧` part), and by round-trip parser tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_AST_ASTPRINTER_H
+#define DDA_AST_ASTPRINTER_H
+
+#include "ast/ASTContext.h"
+
+#include <string>
+
+namespace dda {
+
+/// Renders \p E as a single-line expression.
+std::string printExpr(const Expr *E);
+
+/// Renders \p S with indentation, terminated by a newline.
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+
+/// Renders a whole program.
+std::string printProgram(const Program &P);
+
+} // namespace dda
+
+#endif // DDA_AST_ASTPRINTER_H

@@ -1,0 +1,180 @@
+//===- ASTWalk.cpp --------------------------------------------------------==//
+
+#include "ast/ASTWalk.h"
+
+using namespace dda;
+
+void dda::forEachChild(const Node *N,
+                       const std::function<void(const Node *)> &F) {
+  auto Visit = [&](const Node *Child) {
+    if (Child)
+      F(Child);
+  };
+  switch (N->getKind()) {
+  case NodeKind::NumberLiteral:
+  case NodeKind::StringLiteral:
+  case NodeKind::BooleanLiteral:
+  case NodeKind::NullLiteral:
+  case NodeKind::UndefinedLiteral:
+  case NodeKind::Identifier:
+  case NodeKind::This:
+  case NodeKind::BreakStmt:
+  case NodeKind::ContinueStmt:
+  case NodeKind::EmptyStmt:
+    return;
+  case NodeKind::ArrayLiteral:
+    for (const Expr *E : cast<ArrayLiteral>(N)->getElements())
+      Visit(E);
+    return;
+  case NodeKind::ObjectLiteral:
+    for (const auto &P : cast<ObjectLiteral>(N)->getProperties())
+      Visit(P.Value);
+    return;
+  case NodeKind::Function:
+    Visit(cast<FunctionExpr>(N)->getBody());
+    return;
+  case NodeKind::Member: {
+    const auto *M = cast<MemberExpr>(N);
+    Visit(M->getObject());
+    if (M->isComputed())
+      Visit(M->getIndex());
+    return;
+  }
+  case NodeKind::Call: {
+    const auto *C = cast<CallExpr>(N);
+    Visit(C->getCallee());
+    for (const Expr *A : C->getArgs())
+      Visit(A);
+    return;
+  }
+  case NodeKind::New: {
+    const auto *C = cast<NewExpr>(N);
+    Visit(C->getCallee());
+    for (const Expr *A : C->getArgs())
+      Visit(A);
+    return;
+  }
+  case NodeKind::Unary:
+    Visit(cast<UnaryExpr>(N)->getOperand());
+    return;
+  case NodeKind::Update:
+    Visit(cast<UpdateExpr>(N)->getOperand());
+    return;
+  case NodeKind::Binary:
+    Visit(cast<BinaryExpr>(N)->getLHS());
+    Visit(cast<BinaryExpr>(N)->getRHS());
+    return;
+  case NodeKind::Logical:
+    Visit(cast<LogicalExpr>(N)->getLHS());
+    Visit(cast<LogicalExpr>(N)->getRHS());
+    return;
+  case NodeKind::Assign:
+    Visit(cast<AssignExpr>(N)->getTarget());
+    Visit(cast<AssignExpr>(N)->getValue());
+    return;
+  case NodeKind::Conditional:
+    Visit(cast<ConditionalExpr>(N)->getCond());
+    Visit(cast<ConditionalExpr>(N)->getThen());
+    Visit(cast<ConditionalExpr>(N)->getElse());
+    return;
+  case NodeKind::ExpressionStmt:
+    Visit(cast<ExpressionStmt>(N)->getExpr());
+    return;
+  case NodeKind::VarDeclStmt:
+    for (const auto &D : cast<VarDeclStmt>(N)->getDeclarators())
+      Visit(D.Init);
+    return;
+  case NodeKind::FunctionDeclStmt:
+    Visit(cast<FunctionDeclStmt>(N)->getFunction());
+    return;
+  case NodeKind::BlockStmt:
+    for (const Stmt *S : cast<BlockStmt>(N)->getBody())
+      Visit(S);
+    return;
+  case NodeKind::IfStmt: {
+    const auto *If = cast<IfStmt>(N);
+    Visit(If->getCond());
+    Visit(If->getThen());
+    Visit(If->getElse());
+    return;
+  }
+  case NodeKind::WhileStmt:
+    Visit(cast<WhileStmt>(N)->getCond());
+    Visit(cast<WhileStmt>(N)->getBody());
+    return;
+  case NodeKind::DoWhileStmt:
+    Visit(cast<DoWhileStmt>(N)->getBody());
+    Visit(cast<DoWhileStmt>(N)->getCond());
+    return;
+  case NodeKind::ForStmt: {
+    const auto *F = cast<ForStmt>(N);
+    Visit(F->getInit());
+    Visit(F->getCond());
+    Visit(F->getUpdate());
+    Visit(F->getBody());
+    return;
+  }
+  case NodeKind::ForInStmt:
+    Visit(cast<ForInStmt>(N)->getObject());
+    Visit(cast<ForInStmt>(N)->getBody());
+    return;
+  case NodeKind::ReturnStmt:
+    Visit(cast<ReturnStmt>(N)->getArg());
+    return;
+  case NodeKind::ThrowStmt:
+    Visit(cast<ThrowStmt>(N)->getArg());
+    return;
+  case NodeKind::TryStmt: {
+    const auto *T = cast<TryStmt>(N);
+    Visit(T->getBlock());
+    Visit(T->getCatchBlock());
+    Visit(T->getFinallyBlock());
+    return;
+  }
+  case NodeKind::SwitchStmt: {
+    const auto *S = cast<SwitchStmt>(N);
+    Visit(S->getDisc());
+    for (const auto &Clause : S->getClauses()) {
+      Visit(Clause.Test);
+      for (const Stmt *Child : Clause.Body)
+        Visit(Child);
+    }
+    return;
+  }
+  }
+}
+
+void dda::walkPreOrder(const Node *N,
+                       const std::function<bool(const Node *)> &F) {
+  if (!N || !F(N))
+    return;
+  forEachChild(N, [&](const Node *Child) { walkPreOrder(Child, F); });
+}
+
+void dda::walkProgram(const Program &P,
+                      const std::function<bool(const Node *)> &F) {
+  for (const Stmt *S : P.Body)
+    walkPreOrder(S, F);
+}
+
+const Node *dda::findNode(const Program &P,
+                          const std::function<bool(const Node *)> &Pred) {
+  const Node *Found = nullptr;
+  walkProgram(P, [&](const Node *N) {
+    if (Found)
+      return false;
+    if (Pred(N)) {
+      Found = N;
+      return false;
+    }
+    return true;
+  });
+  return Found;
+}
+
+const Node *dda::findNodeOnLine(const Program &P, NodeKind Kind,
+                                uint32_t Line) {
+  return findNode(P, [&](const Node *N) {
+    return N->getKind() == Kind && N->getLine() == Line;
+  });
+}

@@ -1,0 +1,38 @@
+//===- ASTWalk.h - Generic AST traversal -------------------------*- C++ -*-==//
+///
+/// \file
+/// Child enumeration and pre-order traversal over the AST, used by the
+/// static analyses, the specializer, and tests that need to locate nodes by
+/// kind or source line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_AST_ASTWALK_H
+#define DDA_AST_ASTWALK_H
+
+#include "ast/ASTContext.h"
+
+#include <functional>
+
+namespace dda {
+
+/// Invokes \p F on every direct child of \p N (expressions and statements).
+void forEachChild(const Node *N, const std::function<void(const Node *)> &F);
+
+/// Pre-order walk of the subtree rooted at \p N. If \p F returns false the
+/// walk does not descend into that node's children.
+void walkPreOrder(const Node *N, const std::function<bool(const Node *)> &F);
+
+/// Pre-order walk of a whole program.
+void walkProgram(const Program &P, const std::function<bool(const Node *)> &F);
+
+/// Finds the first node (in pre-order) satisfying \p Pred, or null.
+const Node *findNode(const Program &P,
+                     const std::function<bool(const Node *)> &Pred);
+
+/// Finds the first node of the given kind on the given source line.
+const Node *findNodeOnLine(const Program &P, NodeKind Kind, uint32_t Line);
+
+} // namespace dda
+
+#endif // DDA_AST_ASTWALK_H

@@ -1,0 +1,55 @@
+//===- DeadCode.h - Dead-code detection from determinacy facts ---*- C++ -*-==//
+///
+/// \file
+/// One of the client applications the paper proposes for determinacy facts
+/// ("an optimizer could use it to detect dead code", Section 2; "we also
+/// plan to apply determinacy analysis to other problems such as partial
+/// evaluation and dead code detection", Section 7).
+///
+/// A statement is *provably dead* when every path to it passes through a
+/// branch whose condition the analysis proved determinately takes the other
+/// side — so no execution, on any input, ever reaches it. Because a
+/// condition fact may hold only under specific calling contexts, a branch is
+/// reported dead only if the merged fact over *all* observed contexts is a
+/// determinate boolean excluding it (the same uniform rule the specializer
+/// uses for code it cannot clone).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_DEADCODE_DEADCODE_H
+#define DDA_DEADCODE_DEADCODE_H
+
+#include "ast/ASTContext.h"
+#include "determinacy/Determinacy.h"
+
+#include <vector>
+
+namespace dda {
+
+/// One dead region: the untaken branch of a determinate conditional.
+struct DeadRegion {
+  NodeID Branch = 0;     ///< Root statement of the dead branch.
+  NodeID Conditional = 0;///< The if statement owning it.
+  uint32_t Line = 0;     ///< Source line of the dead branch.
+  bool CondValue = false;///< The (determinate) condition value.
+  size_t StatementCount = 0; ///< Statements inside the dead region.
+};
+
+struct DeadCodeResult {
+  std::vector<DeadRegion> Regions;
+  size_t DeadStatements = 0;
+  size_t TotalStatements = 0;
+
+  double deadFraction() const {
+    return TotalStatements ? double(DeadStatements) / double(TotalStatements)
+                           : 0;
+  }
+};
+
+/// Reports branches of \p P that no execution can take, per \p Analysis.
+/// \p Analysis is non-const because context lookups intern.
+DeadCodeResult findDeadCode(const Program &P, const AnalysisResult &Analysis);
+
+} // namespace dda
+
+#endif // DDA_DEADCODE_DEADCODE_H

@@ -1,0 +1,89 @@
+//===- Context.h - Interned calling contexts ---------------------*- C++ -*-==//
+///
+/// \file
+/// Calling contexts for determinacy facts. The paper qualifies every fact
+/// with "a complete call stack reaching all the way back to the program's
+/// entrypoint" (Section 2.1), and distinguishes repeated executions of the
+/// same call site with an occurrence index ("24₀ denotes the first time
+/// execution reaches line 24", Section 2.2).
+///
+/// A context is an interned chain of (call-site NodeID, occurrence) pairs.
+/// Occurrences count dynamic executions of a site *within one activation of
+/// its enclosing function*, so two loop iterations around a call get distinct
+/// contexts while plain recursion composes through the chain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_DETERMINACY_CONTEXT_H
+#define DDA_DETERMINACY_CONTEXT_H
+
+#include "ast/AST.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dda {
+
+/// An interned calling context; 0 is the root (program entry).
+using ContextID = uint32_t;
+
+/// One frame of a context chain.
+struct ContextEntry {
+  ContextID Parent = 0;
+  NodeID Site = 0;         ///< Call expression node.
+  uint32_t Occurrence = 0; ///< Nth execution of Site in the parent activation.
+  uint32_t Line = 0;       ///< Source line of the site, for rendering.
+};
+
+/// Hash-consed table of contexts.
+class ContextTable {
+public:
+  static constexpr ContextID Root = 0;
+
+  /// Interns (Parent, Site, Occurrence); Line is informational.
+  ContextID intern(ContextID Parent, NodeID Site, uint32_t Occurrence,
+                   uint32_t Line);
+
+  const ContextEntry &entry(ContextID ID) const;
+
+  /// Chain length (root = 0).
+  unsigned depth(ContextID ID) const;
+
+  /// Renders like the paper: "16→4" , with occurrence subscripts when
+  /// non-zero: "24_1→15". The root renders as "·".
+  std::string str(ContextID ID) const;
+
+  /// All interned contexts whose parent is \p Parent and site is \p Site,
+  /// ordered by occurrence. Used by the specializer to discover how often a
+  /// call site executed under a given context.
+  std::vector<ContextID> childrenAt(ContextID Parent, NodeID Site) const;
+
+  /// All interned contexts with parent \p Parent.
+  std::vector<ContextID> children(ContextID Parent) const;
+
+  size_t size() const { return Entries.size(); }
+
+private:
+  struct KeyHash {
+    size_t operator()(const std::tuple<ContextID, NodeID, uint32_t> &K) const {
+      auto [P, S, O] = K;
+      size_t H = std::hash<uint64_t>()(
+          (static_cast<uint64_t>(P) << 32) | S);
+      return H * 31 + O;
+    }
+  };
+
+  std::vector<ContextEntry> Entries; ///< Index 0 unused (root).
+  std::unordered_map<std::tuple<ContextID, NodeID, uint32_t>, ContextID,
+                     KeyHash>
+      Interned;
+
+public:
+  ContextTable() { Entries.emplace_back(); }
+};
+
+} // namespace dda
+
+#endif // DDA_DETERMINACY_CONTEXT_H

@@ -1,0 +1,108 @@
+//===- Determinacy.h - Dynamic determinacy analysis (public API) -*- C++ -*-==//
+///
+/// \file
+/// Entry point for the dynamic determinacy analysis of Schäfer, Sridharan,
+/// Dolby & Tip, "Dynamic Determinacy Analysis" (PLDI 2013). One call to
+/// runDeterminacyAnalysis executes the program once under the instrumented
+/// semantics (paper Figure 9) and returns a database of determinacy facts
+/// that hold for *every* execution (Theorem 1), along with the calling
+/// context table and analysis statistics.
+///
+/// \code
+///   Program P = parseProgram(Source, Diags);
+///   AnalysisResult R = runDeterminacyAnalysis(P, AnalysisOptions());
+///   const FactValue *F = R.Facts.condition(IfNodeID, Ctx);
+///   if (F && F->isBooleanFalse())
+///     ...branch is dead under Ctx in all executions...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_DETERMINACY_DETERMINACY_H
+#define DDA_DETERMINACY_DETERMINACY_H
+
+#include "ast/ASTContext.h"
+#include "determinacy/Context.h"
+#include "determinacy/Facts.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace dda {
+
+/// Configuration of an instrumented run.
+struct AnalysisOptions {
+  uint64_t RandomSeed = 1; ///< Concrete seed for Math.random.
+  uint64_t DomSeed = 1;    ///< Concrete seed for synthetic DOM content.
+  uint64_t MaxSteps = 50'000'000;
+  unsigned MaxCallDepth = 600;
+
+  /// Paper's `k`: maximum nesting depth of counterfactual executions; deeper
+  /// nests short-circuit via the ĈNTRABORT rule.
+  unsigned CounterfactualDepth = 4;
+
+  /// The paper stops the dynamic analysis after 1000 heap flushes "since at
+  /// this point it is unlikely to detect new determinacy facts".
+  unsigned FlushLimit = 1000;
+
+  /// Section 5.1's (unsound) determinate-DOM assumption: DOM properties and
+  /// DOM native results are treated as determinate.
+  bool DeterminateDom = false;
+
+  bool RunEventHandlers = true;
+
+  /// Ablation: disable counterfactual execution entirely; indeterminate-false
+  /// branches fall back to ĈNTRABORT (flush + static taint).
+  bool CounterfactualEnabled = true;
+
+  /// Ablation: classic dynamic-information-flow marking — values written
+  /// under an indeterminate conditional are tainted *immediately* rather
+  /// than after the branch completes (Section 6, Information Flow Analysis).
+  bool StrictTaint = false;
+
+  /// Record an Expression fact for every expression evaluation (heavier;
+  /// used by tests and the quickstart example).
+  bool RecordAllExpressions = false;
+};
+
+/// Counters describing what the instrumented run did.
+struct AnalysisStats {
+  uint64_t HeapFlushes = 0;
+  uint64_t Counterfactuals = 0;       ///< ĈNTR activations.
+  uint64_t CounterfactualAborts = 0;  ///< ĈNTRABORT activations.
+  uint64_t JournalEntries = 0;
+  uint64_t StepsUsed = 0;
+  bool FlushLimitHit = false;
+};
+
+/// Everything an instrumented run produces.
+struct AnalysisResult {
+  bool Ok = false;
+  std::string Error;
+  std::string Output; ///< Console output of the (real) execution.
+
+  FactDB Facts;
+  ContextTable Contexts;
+  AnalysisStats Stats;
+
+  /// Call expressions that actually executed (non-counterfactually) — used
+  /// by the eval-elimination client to classify "not covered" sites.
+  std::unordered_set<NodeID> ExecutedCalls;
+  /// Statements that actually executed (non-counterfactually).
+  std::unordered_set<NodeID> ExecutedStmts;
+};
+
+/// Runs the program once under the instrumented semantics.
+AnalysisResult runDeterminacyAnalysis(Program &P,
+                                      const AnalysisOptions &Opts = {});
+
+/// Runs the analysis under several Math.random seeds and merges the fact
+/// databases ("running the determinacy analysis on different inputs yields
+/// more facts, which are all sound and hence can be used together").
+AnalysisResult runDeterminacyAnalysisMultiSeed(
+    Program &P, const AnalysisOptions &Opts,
+    const std::vector<uint64_t> &Seeds);
+
+} // namespace dda
+
+#endif // DDA_DETERMINACY_DETERMINACY_H

@@ -1,0 +1,312 @@
+//===- InstrumentedInterpreter.h - The determinacy semantics -----*- C++ -*-==//
+///
+/// \file
+/// The instrumented big-step evaluator (paper Figure 9). It executes the
+/// program concretely — same values, same output as the concrete
+/// Interpreter under the same seeds — while shadowing every value with a
+/// determinacy flag and implementing:
+///
+///  * the tagging rules for loads, stores, operators and calls (L̂D, ŜTO,
+///    P̂RIMOP, ÎNV),
+///  * post-branch marking for indeterminate-but-true conditions (ÎF1),
+///  * counterfactual execution with undo for indeterminate-but-false
+///    conditions (ĈNTR) and its nesting cutoff (ĈNTRABORT),
+///  * epoch-based heap flushes with per-property recency (Section 4),
+///  * native-function models, DOM handling, and recursive instrumentation
+///    of eval'd code (Section 4).
+///
+/// Counterfactual execution snapshots the RNG tapes, suppresses output, and
+/// undoes all journaled writes, so the *concrete projection* of an
+/// instrumented run is exactly the concrete interpreter's run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_DETERMINACY_INSTRUMENTEDINTERPRETER_H
+#define DDA_DETERMINACY_INSTRUMENTEDINTERPRETER_H
+
+#include "ast/ASTContext.h"
+#include "determinacy/Determinacy.h"
+#include "determinacy/Journal.h"
+#include "interp/Builtins.h"
+#include "interp/Environment.h"
+#include "interp/Heap.h"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dda {
+
+/// Abrupt-completion record over tagged values.
+///
+/// IndetControl marks a completion whose *occurrence* is control-dependent on
+/// indeterminate data (e.g. a `return` inside a branch with an indeterminate
+/// condition): other executions may not perform this transfer, so as the
+/// completion unwinds, every block counterfactually executes the statements
+/// it skips — the full-JavaScript generalization of the paper's "adjust
+/// determinacy information at every control flow merge point" (Section 4).
+struct IComp {
+  enum Kind : uint8_t { Normal, Return, Break, Continue, Throw, Fatal } K =
+      Normal;
+  TaggedValue V;
+  bool IndetControl = false;
+
+  bool isAbrupt() const { return K != Normal; }
+  static IComp normal() { return IComp(); }
+  static IComp ret(TaggedValue V) { return {Return, std::move(V), false}; }
+  static IComp thrown(TaggedValue V) { return {Throw, std::move(V), false}; }
+  static IComp fatal(std::string Message) {
+    return {Fatal, TaggedValue(Value::string(std::move(Message))), false};
+  }
+};
+
+/// Expression result over tagged values.
+struct IRes {
+  IComp C;
+  TaggedValue V;
+
+  bool abrupt() const { return C.isAbrupt(); }
+  static IRes value(TaggedValue V) { return {IComp::normal(), std::move(V)}; }
+  static IRes abruptly(IComp C) { return {std::move(C), TaggedValue()}; }
+};
+
+/// The instrumented interpreter. One instance = one analyzed execution.
+class InstrumentedInterpreter : public NativeHost {
+public:
+  InstrumentedInterpreter(Program &P, const AnalysisOptions &Opts);
+  ~InstrumentedInterpreter() override;
+
+  bool run();
+
+  // Result access (after run()).
+  FactDB &facts() { return Facts; }
+  ContextTable &contexts() { return Contexts; }
+  const AnalysisStats &stats() const { return Stats; }
+  const std::string &outputText() const { return Output; }
+  const std::string &errorMessage() const { return Error; }
+  const std::unordered_set<NodeID> &executedCalls() const {
+    return ExecutedCalls;
+  }
+  const std::unordered_set<NodeID> &executedStmts() const {
+    return ExecutedStmts;
+  }
+
+  /// Reads a global variable with its determinacy flag (test hook).
+  TaggedValue globalVariable(const std::string &Name);
+  /// Names of all user-created global variables (test hook).
+  std::vector<std::string> userGlobalNames();
+  /// Reads a property with the L̂D determinacy rules (test hook).
+  TaggedValue taggedProperty(const TaggedValue &Base, const std::string &Name);
+  /// Current global epoch (test hook).
+  uint32_t currentEpoch() const { return Epoch; }
+
+  // NativeHost implementation.
+  Heap &heap() override { return TheHeap; }
+  RNG &randomRng() override { return RandomRng; }
+  RNG &domRng() override { return DomRng; }
+  void nativeWriteProperty(ObjectRef O, const std::string &Name,
+                           TaggedValue TV) override;
+  TaggedValue nativeReadProperty(ObjectRef O, const std::string &Name) override;
+  void output(const std::string &Text) override;
+  void registerEventHandler(const std::string &Event, Value Handler) override;
+  ObjectRef domElement(const std::string &Key) override;
+  uint64_t domSeed() const override { return Opts.DomSeed; }
+  ObjectRef newArray() override;
+  Det recordSetDeterminacy(ObjectRef O) override;
+
+private:
+  // --- Setup -------------------------------------------------------------
+  void installGlobals();
+  ObjectRef makeNative(NativeFn Fn);
+  ObjectRef makeFunction(const FunctionExpr *Fn, EnvRef Closure);
+
+  // --- Journaled state mutation -------------------------------------------
+  /// Resolves and writes a variable (creating a global when undeclared).
+  void setVar(const std::string &Name, TaggedValue TV);
+  /// Declares/overwrites a binding in a specific environment.
+  void declareVar(EnvRef Env, const std::string &Name, TaggedValue TV);
+  /// Marks an existing binding indeterminate (journaled).
+  void weakenVar(EnvRef Env, const std::string &Name);
+  /// The ŜTO rule: journaled property write honoring base/name determinacy.
+  void writeProp(ObjectRef Obj, const std::string &Name, TaggedValue TV,
+                 Det BaseDet, Det NameDet);
+  /// Journaled property deletion; returns whether it existed.
+  bool eraseProp(ObjectRef Obj, const std::string &Name);
+  /// Opens a record (journaled) and marks all its properties indeterminate.
+  void openRecord(ObjectRef Obj);
+  /// Marks \p Name as possibly-present-in-other-executions on \p Obj
+  /// (journaled).
+  void addMaybeAbsent(ObjectRef Obj, const std::string &Name);
+  /// Marks \p Name as present-here-but-possibly-absent-elsewhere (created
+  /// under an indeterminate condition); journaled.
+  void addMaybePresent(ObjectRef Obj, const std::string &Name);
+
+  bool recordClosed(const JSObject &O) const {
+    return !O.ExplicitlyOpen && O.ClosedEpoch == Epoch;
+  }
+  Det slotDet(const Slot &S) const {
+    return (S.D == Det::Determinate && (S.Epoch == Epoch || S.Immune))
+               ? Det::Determinate
+               : Det::Indeterminate;
+  }
+
+  /// Bumps the global epoch: every property everywhere becomes stale and
+  /// every record opens.
+  void flushHeap();
+
+  // --- Branch machinery ----------------------------------------------------
+  /// Marks every location journaled since \p M indeterminate (ÎF1's
+  /// post-branch weakening). Values are kept.
+  void markIndetSince(Journal::Mark M);
+  /// Reverts every journaled change since \p M and truncates the journal.
+  void undoSince(Journal::Mark M);
+  /// ĈNTR: runs \p Exec counterfactually (bounded by CounterfactualDepth),
+  /// undoes its writes, and weakens the touched locations. \p AbortVd is the
+  /// syntactic variable domain used by the ĈNTRABORT fallback. Returns only
+  /// Normal or Fatal.
+  IComp counterfactualBranch(const std::vector<std::string> &AbortVd,
+                             const std::function<IComp()> &Exec);
+  /// ĈNTRABORT: flush the heap and taint every name in \p AbortVd.
+  void cntrAbort(const std::vector<std::string> &AbortVd);
+  /// Conservative env taint: code we could not explore (an unexplored
+  /// counterfactual suffix, or alternative-world catch handlers) may write
+  /// any reachable binding. Journaled; builtin bindings are immune.
+  void taintAllEnvironments();
+  /// Registers the consequences of non-local control escaping a
+  /// counterfactual branch (alt-world return/throw/break).
+  void noteCounterfactualEscape(IComp::Kind K, bool UnexploredSuffix);
+
+  bool inCounterfactual() const { return CfDepth > 0; }
+
+  // --- Statements ----------------------------------------------------------
+  IComp execStmt(const Stmt *S);
+  IComp execBlockBody(const std::vector<Stmt *> &Body);
+  /// Executes Body[From..]; on an IndetControl abrupt completion,
+  /// counterfactually executes the statements it skips.
+  IComp execStmtsFrom(const std::vector<Stmt *> &Body, size_t From);
+  IComp execIf(const IfStmt *If);
+  IComp execLoop(const Stmt *LoopNode, const Expr *Cond, const Stmt *Body,
+                 const Expr *Update, bool CondFirst);
+  IComp execForIn(const ForInStmt *F);
+  IComp execSwitch(const SwitchStmt *Sw);
+  void hoist(const std::vector<Stmt *> &Body, EnvRef Env);
+  void hoistStmt(const Stmt *S, EnvRef Env);
+
+  // --- Expressions -----------------------------------------------------------
+  IRes evalExpr(const Expr *E);
+  IRes evalCall(const CallExpr *E);
+  IRes evalNew(const NewExpr *E);
+  IRes evalMember(const MemberExpr *E);
+  IRes evalAssign(const AssignExpr *E);
+  IRes evalUpdate(const UpdateExpr *E);
+  IRes evalEval(const CallExpr *E, const std::vector<TaggedValue> &Args,
+                ContextID ChildCtx);
+  /// Expression-level conditional branches (?:, &&, ||) follow the same
+  /// indeterminate-condition discipline as if statements: with an
+  /// indeterminate condition, the untaken side is counterfactually evaluated
+  /// first, then the taken side is evaluated and its writes marked. When
+  /// \p Taken is null the result is \p CondV itself (short-circuit).
+  IRes evalBranchExpr(const TaggedValue &CondV, const Expr *Taken,
+                      const Expr *Untaken);
+
+  // --- Helpers ----------------------------------------------------------------
+  IRes readProperty(const TaggedValue &Base, const std::string &Name,
+                    Det NameDet);
+  IComp setPropertyTagged(const TaggedValue &Base, const std::string &Name,
+                          Det NameDet, TaggedValue V);
+  IRes callValueTagged(const TaggedValue &Callee, const TaggedValue &ThisV,
+                       const std::vector<TaggedValue> &Args,
+                       ContextID ChildCtx);
+  IRes callClosure(ObjectRef FnObj, Det CalleeDet, const TaggedValue &ThisV,
+                   const std::vector<TaggedValue> &Args, ContextID ChildCtx);
+  /// Interns the child context for an execution of call site \p Site in the
+  /// current activation (bumping its occurrence counter).
+  ContextID enterSite(NodeID Site, uint32_t Line);
+  IRes resolveKey(const MemberExpr *M, std::string &Key, Det &KeyDet);
+
+  ContextID currentCtx() const { return Frames.back().Ctx; }
+  void recordFact(FactKind Kind, NodeID Node, const TaggedValue &TV,
+                  uint16_t Index = 0);
+  void recordFactAt(FactKind Kind, NodeID Node, ContextID Ctx,
+                    const TaggedValue &TV, uint16_t Index = 0);
+  void recordFactValue(FactKind Kind, NodeID Node, FactValue FV,
+                       uint16_t Index = 0);
+  bool tick(IComp &C);
+  IComp throwString(const std::string &Message);
+  Det domDet() const {
+    return Opts.DeterminateDom ? Det::Determinate : Det::Indeterminate;
+  }
+  /// Applies StrictTaint (information-flow ablation) to a to-be-written
+  /// value.
+  Det taintAdjust(Det D) const {
+    return (Opts.StrictTaint && IndetBranchDepth > 0) ? Det::Indeterminate : D;
+  }
+
+  struct Frame {
+    ContextID Ctx = ContextTable::Root;
+    std::unordered_map<NodeID, uint32_t> SiteCounts;
+    TaggedValue ThisV;
+    /// Set when a counterfactually explored `return` escaped a branch in
+    /// this activation: other executions may leave the function early, so
+    /// everything written from the mark to the function's exit is weakened
+    /// and the return value is indeterminate.
+    std::optional<Journal::Mark> ReturnEscape;
+  };
+
+  Program &Prog;
+  AnalysisOptions Opts;
+  Heap TheHeap;
+  EnvArena Envs;
+  RNG RandomRng;
+  RNG DomRng;
+  Journal J;
+
+  FactDB Facts;
+  ContextTable Contexts;
+  AnalysisStats Stats;
+  std::unordered_set<NodeID> ExecutedCalls;
+  std::unordered_set<NodeID> ExecutedStmts;
+
+  EnvRef GlobalEnv = 0;
+  EnvRef CurrentEnv = 0;
+  std::vector<Frame> Frames;
+  unsigned CallDepth = 0;
+  uint64_t Steps = 0;
+  uint32_t Epoch = 0;
+
+  unsigned CfDepth = 0;
+  bool CfAbortRequested = false;
+  unsigned IndetBranchDepth = 0;
+  /// Pending "another execution throws from here": consumed by the
+  /// dynamically enclosing try statement (its catch may run in the other
+  /// world, and everything until then may be skipped there).
+  std::optional<Journal::Mark> CfThrowMark;
+  /// Pending "another execution breaks/continues here": consumed by the
+  /// dynamically enclosing loop (its remaining iterations may be skipped in
+  /// the other world).
+  std::optional<Journal::Mark> CfBreakMark;
+
+  ObjectRef ObjectProto = 0;
+  ObjectRef StringProto = 0;
+  ObjectRef ArrayProto = 0;
+  ObjectRef EvalFn = 0;
+  ObjectRef WindowObj = 0;
+  ObjectRef DocumentObj = 0;
+
+  std::unordered_map<std::string, ObjectRef> DomElements;
+  std::vector<std::pair<std::string, Value>> EventHandlers;
+
+  std::string Output;
+  std::string Error;
+  TaggedValue LastStmtValue;
+};
+
+/// Syntactic vd(s): names assigned anywhere in \p S, not descending into
+/// nested function bodies (paper Section 3.1). Exposed for tests.
+std::vector<std::string> collectAssignedVars(const Stmt *S);
+
+} // namespace dda
+
+#endif // DDA_DETERMINACY_INSTRUMENTEDINTERPRETER_H

@@ -1,0 +1,78 @@
+//===- Journal.h - Write journal for branch marking and undo -----*- C++ -*-==//
+///
+/// \file
+/// The instrumented interpreter logs every variable write, property write,
+/// and record-opening so it can compute the paper's vd(t̂)/pd(t̂) domains and
+/// implement the two post-branch treatments:
+///
+///  * ÎF1 (indeterminate, true):  mark every location written in the branch
+///    as indeterminate (`ρ̂′[vd(t̂) := ρ̂′?]`, `ĥ′[pd(t̂) := ĥ′?]`);
+///  * ĈNTR (indeterminate, false): counterfactually execute, then *undo*
+///    every write and mark the locations indeterminate
+///    (`ρ̂′[vd(t̂) := ρ̂?]`, `ĥ′[pd(t̂) := ĥ?]`).
+///
+/// The journal stores the pre-write state of each location, so undo is a
+/// reverse replay. Nested branches compose: inner undos truncate their own
+/// suffix and re-journal the weakening they apply, so an outer undo still
+/// restores the exact outer pre-state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_DETERMINACY_JOURNAL_H
+#define DDA_DETERMINACY_JOURNAL_H
+
+#include "interp/Environment.h"
+#include "interp/Heap.h"
+
+#include <string>
+#include <vector>
+
+namespace dda {
+
+/// One logged mutation.
+struct JournalEntry {
+  enum Kind : uint8_t {
+    VarWrite,       ///< Environment binding created or overwritten.
+    PropWrite,      ///< Object property created, overwritten, or deleted.
+    RecordOpen,     ///< Record's ExplicitlyOpen flag raised.
+    MaybeAbsentAdd,  ///< Name added to a record's MaybeAbsent set.
+    MaybePresentAdd, ///< Name added to a record's MaybePresent set.
+  } K;
+
+  // VarWrite.
+  EnvRef Env = 0;
+  Binding OldBinding;
+
+  // PropWrite / RecordOpen.
+  ObjectRef Obj = 0;
+  Slot OldSlot;
+  bool OldOpen = false;
+
+  std::string Name; ///< Variable or property name.
+  bool Existed = false;
+};
+
+/// Append-only journal with position marks.
+class Journal {
+public:
+  using Mark = size_t;
+
+  Mark mark() const { return Entries.size(); }
+  size_t size() const { return Entries.size(); }
+  bool empty() const { return Entries.empty(); }
+
+  void push(JournalEntry E) { Entries.push_back(std::move(E)); }
+
+  const JournalEntry &operator[](size_t I) const { return Entries[I]; }
+
+  /// Drops entries at and after \p M (caller must have already applied them
+  /// in reverse).
+  void truncate(Mark M) { Entries.resize(M); }
+
+private:
+  std::vector<JournalEntry> Entries;
+};
+
+} // namespace dda
+
+#endif // DDA_DETERMINACY_JOURNAL_H

@@ -1,0 +1,249 @@
+//===- EvalElim.cpp -------------------------------------------------------==//
+
+#include "evalelim/EvalElim.h"
+
+#include "ast/ASTWalk.h"
+#include "parser/Parser.h"
+#include "pointsto/PointsTo.h"
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace dda;
+
+const char *dda::evalOutcomeName(EvalOutcome Outcome) {
+  switch (Outcome) {
+  case EvalOutcome::Eliminated:
+    return "eliminated";
+  case EvalOutcome::Unreachable:
+    return "unreachable";
+  case EvalOutcome::NotCovered:
+    return "not-covered";
+  case EvalOutcome::IndeterminateArgument:
+    return "indeterminate-arg";
+  case EvalOutcome::IndeterminateCallee:
+    return "indeterminate-callee";
+  case EvalOutcome::LoopBound:
+    return "loop-bound";
+  }
+  return "?";
+}
+
+EvalElimResult dda::runEvalElimination(const std::string &Source,
+                                       const EvalElimOptions &Opts) {
+  EvalElimResult Result;
+
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  if (Diags.hasErrors()) {
+    Result.RunError = "parse error: " + Diags.str();
+    return Result;
+  }
+
+  // Original-program eval sites (through aliases, via the pointer analysis).
+  PointsToResult BasePT = runPointsToAnalysis(P);
+  std::set<NodeID> OriginalSites = BasePT.EvalMaybeCallSites;
+
+  // 1. Dynamic determinacy analysis.
+  AnalysisOptions AOpts;
+  AOpts.DeterminateDom = Opts.DeterminateDom;
+  AOpts.RandomSeed = Opts.RandomSeed;
+  AOpts.DomSeed = Opts.DomSeed;
+  AnalysisResult A = runDeterminacyAnalysis(P, AOpts);
+  Result.DynamicStats = A.Stats;
+  if (!A.Ok) {
+    Result.RunError = A.Error;
+    return Result; // Missing required code, etc.
+  }
+  Result.Ran = true;
+
+  // 2. Specialization (includes eval splicing).
+  SpecializeResult Spec = specializeProgram(P, A);
+  Result.Spec = Spec.Report;
+
+  // 3. Static check on the residual program.
+  PointsToResult ResidualPT = runPointsToAnalysis(Spec.Residual);
+  std::unordered_set<NodeID> StillReachable; // Original ids.
+  for (NodeID Site : ResidualPT.EvalMaybeCallSites) {
+    auto It = Spec.OriginOf.find(Site);
+    StillReachable.insert(It == Spec.OriginOf.end() ? Site : It->second);
+  }
+  Result.ResidualReachableEvalSites = StillReachable.size();
+  Result.Handled = StillReachable.empty();
+
+  // 4. Per-site outcome classification.
+  std::unordered_map<NodeID, uint32_t> SiteLines;
+  walkProgram(P, [&](const Node *N) {
+    SiteLines[N->getID()] = N->getLine();
+    return true;
+  });
+
+  for (NodeID Site : OriginalSites) {
+    EvalSiteInfo Info;
+    Info.Site = Site;
+    Info.Line = SiteLines.count(Site) ? SiteLines[Site] : 0;
+
+    if (Result.Spec.SplicedEvalSites.count(Site)) {
+      Info.Outcome = EvalOutcome::Eliminated;
+    } else if (!StillReachable.count(Site)) {
+      Info.Outcome = EvalOutcome::Unreachable;
+    } else if (!A.ExecutedCalls.count(Site)) {
+      Info.Outcome = EvalOutcome::NotCovered;
+    } else {
+      // Executed but not spliced: diagnose from the recorded facts.
+      size_t Contexts = 0;
+      bool CalleeIndet = false;
+      bool ArgIndet = false;
+      for (const auto &[Key, Val] : A.Facts.all()) {
+        if (Key.Node != Site)
+          continue;
+        if (Key.Kind == FactKind::Callee) {
+          ++Contexts;
+          if (!Val.isNative(NativeFn::Eval))
+            CalleeIndet = true;
+        }
+        if (Key.Kind == FactKind::EvalArg && !Val.isDeterminate())
+          ArgIndet = true;
+      }
+      if (CalleeIndet)
+        Info.Outcome = EvalOutcome::IndeterminateCallee;
+      else if (Contexts > 1)
+        Info.Outcome = EvalOutcome::LoopBound;
+      else if (ArgIndet)
+        Info.Outcome = EvalOutcome::IndeterminateArgument;
+      else
+        Info.Outcome = EvalOutcome::NotCovered;
+    }
+    Result.Sites.push_back(Info);
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Unevalizer-style baseline
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Counts assignments to \p Name anywhere in the program (var-decl
+/// initializers, assignments, updates). Name-based and program-wide — a
+/// deliberate simplification of the baseline's constant propagation.
+struct AssignCounter {
+  std::unordered_map<std::string, unsigned> Counts;
+  std::unordered_map<std::string, const Expr *> DeclInit;
+
+  void scan(const Program &P) {
+    walkProgram(P, [&](const Node *N) {
+      if (const auto *VD = dyn_cast<VarDeclStmt>(N)) {
+        for (const auto &D : VD->getDeclarators())
+          if (D.Init) {
+            ++Counts[D.Name];
+            if (!DeclInit.count(D.Name))
+              DeclInit[D.Name] = D.Init;
+            else
+              DeclInit[D.Name] = nullptr; // Multiple decls: ambiguous.
+          }
+      } else if (const auto *AE = dyn_cast<AssignExpr>(N)) {
+        if (const auto *Id = dyn_cast<Identifier>(AE->getTarget()))
+          ++Counts[Id->getName()];
+      } else if (const auto *UE = dyn_cast<UpdateExpr>(N)) {
+        if (const auto *Id = dyn_cast<Identifier>(UE->getOperand()))
+          ++Counts[Id->getName()];
+      } else if (const auto *F = dyn_cast<FunctionExpr>(N)) {
+        // Parameters shadow; a same-named outer variable cannot be proven
+        // constant inside. Conservatively poison parameter names.
+        for (const std::string &Param : F->getParams())
+          Counts[Param] += 2;
+      }
+      return true;
+    });
+  }
+};
+
+/// Tries to fold \p E to a compile-time constant string.
+bool constantString(const Expr *E, const AssignCounter &Assigns,
+                    std::string &Out, unsigned Depth = 0) {
+  if (Depth > 16)
+    return false;
+  switch (E->getKind()) {
+  case NodeKind::StringLiteral:
+    Out = cast<StringLiteral>(E)->getValue();
+    return true;
+  case NodeKind::NumberLiteral:
+    Out = numberToString(cast<NumberLiteral>(E)->getValue());
+    return true;
+  case NodeKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->getOp() != BinaryOp::Add)
+      return false;
+    std::string L, R;
+    if (!constantString(B->getLHS(), Assigns, L, Depth + 1) ||
+        !constantString(B->getRHS(), Assigns, R, Depth + 1))
+      return false;
+    Out = L + R;
+    return true;
+  }
+  case NodeKind::Identifier: {
+    const std::string &Name = cast<Identifier>(E)->getName();
+    auto CountIt = Assigns.Counts.find(Name);
+    if (CountIt == Assigns.Counts.end() || CountIt->second != 1)
+      return false;
+    auto InitIt = Assigns.DeclInit.find(Name);
+    if (InitIt == Assigns.DeclInit.end() || !InitIt->second)
+      return false;
+    return constantString(InitIt->second, Assigns, Out, Depth + 1);
+  }
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+UnevalizerResult dda::runUnevalizer(const std::string &Source) {
+  UnevalizerResult Result;
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  if (Diags.hasErrors())
+    return Result;
+  Result.ParseOk = true;
+
+  PointsToResult PT = runPointsToAnalysis(P);
+  Result.EvalSites = PT.EvalMaybeCallSites.size();
+
+  AssignCounter Assigns;
+  Assigns.scan(P);
+
+  std::unordered_map<NodeID, const CallExpr *> CallByID;
+  walkProgram(P, [&](const Node *N) {
+    if (const auto *C = dyn_cast<CallExpr>(N))
+      CallByID[C->getID()] = C;
+    return true;
+  });
+
+  bool AllRewritable = true;
+  for (NodeID Site : PT.EvalMaybeCallSites) {
+    bool Ok = false;
+    // Must be provably eval-only...
+    if (PT.EvalOnlyCallSites.count(Site)) {
+      auto It = CallByID.find(Site);
+      if (It != CallByID.end() && It->second->getArgs().size() == 1) {
+        // ...with a compile-time constant argument that parses.
+        std::string Code;
+        if (constantString(It->second->getArgs()[0], Assigns, Code)) {
+          DiagnosticEngine ParseDiags;
+          ASTContext Scratch;
+          parseIntoContext(Code, Scratch, ParseDiags);
+          Ok = !ParseDiags.hasErrors();
+        }
+      }
+    }
+    if (Ok)
+      ++Result.Rewritten;
+    else
+      AllRewritable = false;
+  }
+  Result.Handled = AllRewritable;
+  return Result;
+}

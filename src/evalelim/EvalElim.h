@@ -1,0 +1,86 @@
+//===- EvalElim.h - Eval elimination client (paper Section 5.2) --*- C++ -*-==//
+///
+/// \file
+/// The eval-elimination pipeline: run the dynamic determinacy analysis,
+/// specialize (which splices eval calls whose argument string is determinate
+/// under a full calling context), then check statically — with the pointer
+/// analysis on the residual program — that no reachable eval call site
+/// remains. A program is *handled* when that check passes.
+///
+/// Also provides a syntactic "unevalizer"-style baseline modeled on Jensen
+/// et al. [17]: an eval site is rewritable when the pointer analysis proves
+/// eval is its only callee and the argument is a compile-time constant
+/// string (literals, concatenations of literals, or single-assignment
+/// variables bound to such). Notably it does not assume a determinate
+/// for-in iteration order and cannot see through parameters — the two
+/// failure modes the paper highlights.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_EVALELIM_EVALELIM_H
+#define DDA_EVALELIM_EVALELIM_H
+
+#include "determinacy/Determinacy.h"
+#include "specialize/Specializer.h"
+
+#include <string>
+#include <vector>
+
+namespace dda {
+
+/// Why an eval site was or was not eliminated.
+enum class EvalOutcome : uint8_t {
+  Eliminated,             ///< Replaced by the parsed argument code.
+  Unreachable,            ///< Dead in the residual program (pruned branch).
+  NotCovered,             ///< Never executed by the dynamic analysis.
+  IndeterminateArgument,  ///< Argument string varies across executions.
+  IndeterminateCallee,    ///< A heap flush demoted the callee.
+  LoopBound,              ///< Multiple occurrences; loop not unrollable.
+};
+
+const char *evalOutcomeName(EvalOutcome Outcome);
+
+/// Per-site report (sites are original-program call nodes).
+struct EvalSiteInfo {
+  NodeID Site = 0;
+  uint32_t Line = 0;
+  EvalOutcome Outcome = EvalOutcome::NotCovered;
+};
+
+struct EvalElimOptions {
+  bool DeterminateDom = false;
+  uint64_t RandomSeed = 1;
+  uint64_t DomSeed = 1;
+};
+
+struct EvalElimResult {
+  /// Whether the dynamic run succeeded (false for missing-code programs).
+  bool Ran = false;
+  std::string RunError;
+  /// True when the residual program has no statically reachable eval sites.
+  bool Handled = false;
+  size_t ResidualReachableEvalSites = 0;
+  std::vector<EvalSiteInfo> Sites;
+  SpecializationReport Spec;
+  AnalysisStats DynamicStats;
+};
+
+/// Runs the full pipeline on \p Source.
+EvalElimResult runEvalElimination(const std::string &Source,
+                                  const EvalElimOptions &Opts = {});
+
+/// Result of the syntactic baseline.
+struct UnevalizerResult {
+  bool ParseOk = false;
+  size_t EvalSites = 0;
+  size_t Rewritten = 0;
+  /// True when every reachable eval site is rewritable.
+  bool Handled = false;
+};
+
+/// Runs the unevalizer-style baseline (static only; never executes code).
+UnevalizerResult runUnevalizer(const std::string &Source);
+
+} // namespace dda
+
+#endif // DDA_EVALELIM_EVALELIM_H

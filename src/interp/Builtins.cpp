@@ -1,0 +1,549 @@
+//===- Builtins.cpp -------------------------------------------------------==//
+
+#include "interp/Builtins.h"
+
+#include "interp/Ops.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dda;
+
+NativeHost::~NativeHost() = default;
+
+const NativeInfo &dda::nativeInfo(NativeFn Fn) {
+  // Defaults: pure, deterministic, counterfactual-safe.
+  static const NativeInfo Infos[] = {
+      {"<none>", false, false, false, true},
+      {"Math.random", /*Random=*/true, false, false, true},
+      {"Math.floor", false, false, false, true},
+      {"Math.ceil", false, false, false, true},
+      {"Math.round", false, false, false, true},
+      {"Math.abs", false, false, false, true},
+      {"Math.max", false, false, false, true},
+      {"Math.min", false, false, false, true},
+      {"Math.pow", false, false, false, true},
+      {"Math.sqrt", false, false, false, true},
+      {"parseInt", false, false, false, true},
+      {"parseFloat", false, false, false, true},
+      {"isNaN", false, false, false, true},
+      {"String", false, false, false, true},
+      {"Number", false, false, false, true},
+      {"Boolean", false, false, false, true},
+      {"print", false, false, false, true},
+      {"eval", false, false, false, true},
+      {"String.charAt", false, false, false, true},
+      {"String.charCodeAt", false, false, false, true},
+      {"String.toUpperCase", false, false, false, true},
+      {"String.toLowerCase", false, false, false, true},
+      {"String.substr", false, false, false, true},
+      {"String.substring", false, false, false, true},
+      {"String.indexOf", false, false, false, true},
+      {"String.slice", false, false, false, true},
+      {"String.split", false, false, false, true},
+      {"String.concat", false, false, false, true},
+      {"String.replace", false, false, false, true},
+      {"Array.push", false, false, false, true},
+      {"Array.pop", false, false, false, true},
+      {"Array.shift", false, false, false, true},
+      {"Array.join", false, false, false, true},
+      {"Array.indexOf", false, false, false, true},
+      {"Array.slice", false, false, false, true},
+      {"Array.concat", false, false, false, true},
+      {"Object.hasOwnProperty", false, false, false, true},
+      {"Object.keys", false, false, false, true},
+      {"document.getElementById", false, /*DomRead=*/true, /*DomEffect=*/true,
+       true},
+      {"document.createElement", false, false, /*DomEffect=*/true, true},
+      {"document.write", false, false, /*DomEffect=*/true,
+       /*CounterfactualSafe=*/false},
+      {"addEventListener", false, false, /*DomEffect=*/true,
+       /*CounterfactualSafe=*/false},
+      {"getAttribute", false, /*DomRead=*/true, /*DomEffect=*/true, true},
+      {"setAttribute", false, false, /*DomEffect=*/true, true},
+      {"appendChild", false, false, /*DomEffect=*/true, true},
+  };
+  size_t Index = static_cast<size_t>(Fn);
+  assert(Index < sizeof(Infos) / sizeof(Infos[0]) && "native out of range");
+  return Infos[Index];
+}
+
+Value dda::domSyntheticValue(uint64_t Seed, ObjectRef O,
+                             const std::string &Name) {
+  // FNV-1a over (seed, object, name), then render as a short token. The
+  // token is what "the page" happened to contain in this environment.
+  uint64_t H = 1469598103934665603ULL ^ Seed;
+  auto Mix = [&H](uint64_t X) {
+    H ^= X;
+    H *= 1099511628211ULL;
+  };
+  Mix(O);
+  for (char C : Name)
+    Mix(static_cast<unsigned char>(C));
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "dom%llx",
+                static_cast<unsigned long long>(H & 0xffffff));
+  return Value::string(Buf);
+}
+
+namespace {
+
+double argNumber(const std::vector<TaggedValue> &Args, size_t I,
+                 double Default = std::nan("")) {
+  if (I >= Args.size())
+    return Default;
+  return toNumber(Args[I].V);
+}
+
+std::string argString(NativeHost &Host, const std::vector<TaggedValue> &Args,
+                      size_t I) {
+  if (I >= Args.size())
+    return "undefined";
+  return toStringValue(Args[I].V, Host.heap());
+}
+
+Det inputsDet(const TaggedValue &This, const std::vector<TaggedValue> &Args) {
+  Det D = This.D;
+  for (const TaggedValue &A : Args)
+    D = meet(D, A.D);
+  return D;
+}
+
+/// Reads the numeric `length` of an array through the host (so determinacy
+/// of the length participates in the result).
+TaggedValue arrayLength(NativeHost &Host, ObjectRef Arr) {
+  TaggedValue Len = Host.nativeReadProperty(Arr, "length");
+  if (!Len.V.isNumber())
+    Len.V = Value::number(0);
+  return Len;
+}
+
+ObjectRef allocArray(NativeHost &Host, Det D,
+                     const std::vector<TaggedValue> &Elements) {
+  ObjectRef Arr = Host.newArray();
+  for (size_t I = 0; I < Elements.size(); ++I)
+    Host.nativeWriteProperty(Arr, std::to_string(I), Elements[I]);
+  Host.nativeWriteProperty(
+      Arr, "length",
+      TaggedValue(Value::number(static_cast<double>(Elements.size())), D));
+  return Arr;
+}
+
+NativeResult ok(Value V, Det D) {
+  NativeResult R;
+  R.Result = TaggedValue(std::move(V), D);
+  return R;
+}
+
+NativeResult thrown(std::string Message) {
+  NativeResult R;
+  R.Threw = true;
+  R.Thrown = Value::string(std::move(Message));
+  return R;
+}
+
+} // namespace
+
+NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
+                             const TaggedValue &This,
+                             const std::vector<TaggedValue> &Args) {
+  const NativeInfo &Info = nativeInfo(Fn);
+  Heap &H = Host.heap();
+  Det DIn = inputsDet(This, Args);
+  // Model: Math.random is always indeterminate; DOM reads are indeterminate
+  // unless the host runs under the determinate-DOM assumption (the host
+  // expresses that by downgrading in its own wrapper; here we report the
+  // conservative flag and let hosts override via recordSetDeterminacy-style
+  // hooks at the call site). The interpreters apply the DetDOM policy.
+  Det DOut = DIn;
+  (void)Info;
+
+  switch (Fn) {
+  case NativeFn::None:
+  case NativeFn::Eval:
+    return ok(Value::undefined(), DOut);
+
+  // -------------------------------------------------------------- Math ----
+  case NativeFn::MathRandom:
+    return ok(Value::number(Host.randomRng().nextDouble()),
+              Det::Indeterminate);
+  case NativeFn::MathFloor:
+    return ok(Value::number(std::floor(argNumber(Args, 0))), DOut);
+  case NativeFn::MathCeil:
+    return ok(Value::number(std::ceil(argNumber(Args, 0))), DOut);
+  case NativeFn::MathRound:
+    return ok(Value::number(std::floor(argNumber(Args, 0) + 0.5)), DOut);
+  case NativeFn::MathAbs:
+    return ok(Value::number(std::fabs(argNumber(Args, 0))), DOut);
+  case NativeFn::MathMax: {
+    double Best = -std::numeric_limits<double>::infinity();
+    for (size_t I = 0; I < Args.size(); ++I)
+      Best = std::max(Best, argNumber(Args, I));
+    return ok(Value::number(Best), DOut);
+  }
+  case NativeFn::MathMin: {
+    double Best = std::numeric_limits<double>::infinity();
+    for (size_t I = 0; I < Args.size(); ++I)
+      Best = std::min(Best, argNumber(Args, I));
+    return ok(Value::number(Best), DOut);
+  }
+  case NativeFn::MathPow:
+    return ok(Value::number(std::pow(argNumber(Args, 0), argNumber(Args, 1))),
+              DOut);
+  case NativeFn::MathSqrt:
+    return ok(Value::number(std::sqrt(argNumber(Args, 0))), DOut);
+
+  // ----------------------------------------------------------- globals ----
+  case NativeFn::ParseInt: {
+    std::string S = argString(Host, Args, 0);
+    size_t Begin = S.find_first_not_of(" \t\n\r");
+    if (Begin == std::string::npos)
+      return ok(Value::number(std::nan("")), DOut);
+    char *End = nullptr;
+    double N = static_cast<double>(std::strtol(S.c_str() + Begin, &End, 10));
+    if (End == S.c_str() + Begin)
+      return ok(Value::number(std::nan("")), DOut);
+    return ok(Value::number(N), DOut);
+  }
+  case NativeFn::ParseFloat: {
+    std::string S = argString(Host, Args, 0);
+    char *End = nullptr;
+    double N = std::strtod(S.c_str(), &End);
+    if (End == S.c_str())
+      return ok(Value::number(std::nan("")), DOut);
+    return ok(Value::number(N), DOut);
+  }
+  case NativeFn::IsNaN:
+    return ok(Value::boolean(std::isnan(argNumber(Args, 0))), DOut);
+  case NativeFn::StringCtor:
+    return ok(Value::string(Args.empty() ? "" : argString(Host, Args, 0)),
+              DOut);
+  case NativeFn::NumberCtor:
+    return ok(Value::number(Args.empty() ? 0 : argNumber(Args, 0)), DOut);
+  case NativeFn::BooleanCtor:
+    return ok(Value::boolean(!Args.empty() && toBoolean(Args[0].V)), DOut);
+  case NativeFn::Print: {
+    std::string Line;
+    for (size_t I = 0; I < Args.size(); ++I) {
+      if (I)
+        Line += " ";
+      Line += toStringValue(Args[I].V, H);
+    }
+    Host.output(Line);
+    return ok(Value::undefined(), Det::Determinate);
+  }
+
+  // ------------------------------------------------------------ string ----
+  case NativeFn::StrCharAt: {
+    std::string S = toStringValue(This.V, H);
+    double I = argNumber(Args, 0, 0);
+    if (std::isnan(I) || I < 0 || I >= static_cast<double>(S.size()))
+      return ok(Value::string(""), DOut);
+    return ok(Value::string(std::string(1, S[static_cast<size_t>(I)])), DOut);
+  }
+  case NativeFn::StrCharCodeAt: {
+    std::string S = toStringValue(This.V, H);
+    double I = argNumber(Args, 0, 0);
+    if (std::isnan(I) || I < 0 || I >= static_cast<double>(S.size()))
+      return ok(Value::number(std::nan("")), DOut);
+    return ok(Value::number(static_cast<unsigned char>(
+                  S[static_cast<size_t>(I)])),
+              DOut);
+  }
+  case NativeFn::StrToUpperCase: {
+    std::string S = toStringValue(This.V, H);
+    std::transform(S.begin(), S.end(), S.begin(),
+                   [](unsigned char C) { return std::toupper(C); });
+    return ok(Value::string(std::move(S)), DOut);
+  }
+  case NativeFn::StrToLowerCase: {
+    std::string S = toStringValue(This.V, H);
+    std::transform(S.begin(), S.end(), S.begin(),
+                   [](unsigned char C) { return std::tolower(C); });
+    return ok(Value::string(std::move(S)), DOut);
+  }
+  case NativeFn::StrSubstr: {
+    std::string S = toStringValue(This.V, H);
+    double Start = argNumber(Args, 0, 0);
+    double Len = argNumber(Args, 1, static_cast<double>(S.size()));
+    if (std::isnan(Start))
+      Start = 0;
+    if (Start < 0)
+      Start = std::max(0.0, static_cast<double>(S.size()) + Start);
+    if (std::isnan(Len) || Start >= static_cast<double>(S.size()) || Len <= 0)
+      return ok(Value::string(""), DOut);
+    size_t B = static_cast<size_t>(Start);
+    size_t N = static_cast<size_t>(std::min(Len, double(S.size()) - Start));
+    return ok(Value::string(S.substr(B, N)), DOut);
+  }
+  case NativeFn::StrSubstring:
+  case NativeFn::StrSlice: {
+    std::string S = toStringValue(This.V, H);
+    double Size = static_cast<double>(S.size());
+    double Start = argNumber(Args, 0, 0);
+    double End = argNumber(Args, 1, Size);
+    if (std::isnan(Start))
+      Start = 0;
+    if (std::isnan(End))
+      End = Fn == NativeFn::StrSubstring ? 0 : Size;
+    if (Fn == NativeFn::StrSlice) {
+      if (Start < 0)
+        Start = std::max(0.0, Size + Start);
+      if (End < 0)
+        End = std::max(0.0, Size + End);
+    }
+    Start = std::clamp(Start, 0.0, Size);
+    End = std::clamp(End, 0.0, Size);
+    if (Fn == NativeFn::StrSubstring && Start > End)
+      std::swap(Start, End);
+    if (Start >= End)
+      return ok(Value::string(""), DOut);
+    return ok(Value::string(S.substr(static_cast<size_t>(Start),
+                                     static_cast<size_t>(End - Start))),
+              DOut);
+  }
+  case NativeFn::StrIndexOf: {
+    std::string S = toStringValue(This.V, H);
+    std::string Needle = argString(Host, Args, 0);
+    size_t P = S.find(Needle);
+    return ok(Value::number(P == std::string::npos ? -1
+                                                   : static_cast<double>(P)),
+              DOut);
+  }
+  case NativeFn::StrSplit: {
+    std::string S = toStringValue(This.V, H);
+    std::vector<TaggedValue> Parts;
+    if (Args.empty()) {
+      Parts.emplace_back(Value::string(S), DOut);
+    } else {
+      std::string Sep = argString(Host, Args, 0);
+      if (Sep.empty()) {
+        for (char C : S)
+          Parts.emplace_back(Value::string(std::string(1, C)), DOut);
+      } else {
+        size_t Pos = 0;
+        for (;;) {
+          size_t Next = S.find(Sep, Pos);
+          if (Next == std::string::npos) {
+            Parts.emplace_back(Value::string(S.substr(Pos)), DOut);
+            break;
+          }
+          Parts.emplace_back(Value::string(S.substr(Pos, Next - Pos)), DOut);
+          Pos = Next + Sep.size();
+        }
+      }
+    }
+    return ok(Value::object(allocArray(Host, DOut, Parts)), DOut);
+  }
+  case NativeFn::StrConcat: {
+    std::string S = toStringValue(This.V, H);
+    for (size_t I = 0; I < Args.size(); ++I)
+      S += argString(Host, Args, I);
+    return ok(Value::string(std::move(S)), DOut);
+  }
+  case NativeFn::StrReplace: {
+    std::string S = toStringValue(This.V, H);
+    std::string Needle = argString(Host, Args, 0);
+    std::string Repl = argString(Host, Args, 1);
+    size_t P = S.find(Needle);
+    if (P != std::string::npos && !Needle.empty())
+      S = S.substr(0, P) + Repl + S.substr(P + Needle.size());
+    return ok(Value::string(std::move(S)), DOut);
+  }
+
+  // ------------------------------------------------------------- array ----
+  case NativeFn::ArrPush: {
+    if (!This.V.isObject())
+      return thrown("TypeError: push on non-object");
+    ObjectRef Arr = This.V.Obj;
+    TaggedValue Len = arrayLength(Host, Arr);
+    double N = Len.V.Num;
+    for (const TaggedValue &A : Args) {
+      Host.nativeWriteProperty(Arr, numberToString(N), A);
+      N += 1;
+    }
+    TaggedValue NewLen(Value::number(N), meet(Len.D, This.D));
+    Host.nativeWriteProperty(Arr, "length", NewLen);
+    return ok(NewLen.V, NewLen.D);
+  }
+  case NativeFn::ArrPop: {
+    if (!This.V.isObject())
+      return thrown("TypeError: pop on non-object");
+    ObjectRef Arr = This.V.Obj;
+    TaggedValue Len = arrayLength(Host, Arr);
+    if (Len.V.Num <= 0)
+      return ok(Value::undefined(), meet(Len.D, This.D));
+    double N = Len.V.Num - 1;
+    TaggedValue Last = Host.nativeReadProperty(Arr, numberToString(N));
+    Host.nativeWriteProperty(Arr, "length",
+                             TaggedValue(Value::number(N), Len.D));
+    return ok(Last.V, meet(Last.D, meet(Len.D, This.D)));
+  }
+  case NativeFn::ArrShift: {
+    if (!This.V.isObject())
+      return thrown("TypeError: shift on non-object");
+    ObjectRef Arr = This.V.Obj;
+    TaggedValue Len = arrayLength(Host, Arr);
+    if (Len.V.Num <= 0)
+      return ok(Value::undefined(), meet(Len.D, This.D));
+    TaggedValue First = Host.nativeReadProperty(Arr, "0");
+    double N = Len.V.Num;
+    for (double I = 1; I < N; I += 1) {
+      TaggedValue E = Host.nativeReadProperty(Arr, numberToString(I));
+      Host.nativeWriteProperty(Arr, numberToString(I - 1), E);
+    }
+    Host.nativeWriteProperty(Arr, "length",
+                             TaggedValue(Value::number(N - 1), Len.D));
+    return ok(First.V, meet(First.D, meet(Len.D, This.D)));
+  }
+  case NativeFn::ArrJoin: {
+    if (!This.V.isObject())
+      return thrown("TypeError: join on non-object");
+    ObjectRef Arr = This.V.Obj;
+    std::string Sep = Args.empty() ? "," : argString(Host, Args, 0);
+    TaggedValue Len = arrayLength(Host, Arr);
+    Det D = meet(DOut, Len.D);
+    std::string Out;
+    for (double I = 0; I < Len.V.Num; I += 1) {
+      if (I > 0)
+        Out += Sep;
+      TaggedValue E = Host.nativeReadProperty(Arr, numberToString(I));
+      D = meet(D, E.D);
+      if (!E.V.isUndefined() && !E.V.isNull())
+        Out += toStringValue(E.V, H);
+    }
+    return ok(Value::string(std::move(Out)), D);
+  }
+  case NativeFn::ArrIndexOf: {
+    if (!This.V.isObject())
+      return thrown("TypeError: indexOf on non-object");
+    ObjectRef Arr = This.V.Obj;
+    TaggedValue Len = arrayLength(Host, Arr);
+    Det D = meet(DOut, Len.D);
+    if (Args.empty())
+      return ok(Value::number(-1), D);
+    for (double I = 0; I < Len.V.Num; I += 1) {
+      TaggedValue E = Host.nativeReadProperty(Arr, numberToString(I));
+      D = meet(D, E.D);
+      if (strictEquals(E.V, Args[0].V))
+        return ok(Value::number(I), D);
+    }
+    return ok(Value::number(-1), D);
+  }
+  case NativeFn::ArrSlice: {
+    if (!This.V.isObject())
+      return thrown("TypeError: slice on non-object");
+    ObjectRef Arr = This.V.Obj;
+    TaggedValue Len = arrayLength(Host, Arr);
+    double Size = Len.V.Num;
+    double Start = argNumber(Args, 0, 0);
+    double End = argNumber(Args, 1, Size);
+    if (std::isnan(Start))
+      Start = 0;
+    if (std::isnan(End))
+      End = Size;
+    if (Start < 0)
+      Start = std::max(0.0, Size + Start);
+    if (End < 0)
+      End = std::max(0.0, Size + End);
+    Start = std::clamp(Start, 0.0, Size);
+    End = std::clamp(End, 0.0, Size);
+    std::vector<TaggedValue> Elements;
+    for (double I = Start; I < End; I += 1)
+      Elements.push_back(Host.nativeReadProperty(Arr, numberToString(I)));
+    Det D = meet(DOut, Len.D);
+    return ok(Value::object(allocArray(Host, D, Elements)), D);
+  }
+  case NativeFn::ArrConcat: {
+    if (!This.V.isObject())
+      return thrown("TypeError: concat on non-object");
+    std::vector<TaggedValue> Elements;
+    Det D = DOut;
+    auto AppendAll = [&](const TaggedValue &TV) {
+      if (TV.V.isObject() && H.get(TV.V.Obj).Class == ObjectClass::Array) {
+        TaggedValue Len = arrayLength(Host, TV.V.Obj);
+        D = meet(D, Len.D);
+        for (double I = 0; I < Len.V.Num; I += 1)
+          Elements.push_back(
+              Host.nativeReadProperty(TV.V.Obj, numberToString(I)));
+      } else {
+        Elements.push_back(TV);
+      }
+    };
+    AppendAll(This);
+    for (const TaggedValue &A : Args)
+      AppendAll(A);
+    return ok(Value::object(allocArray(Host, D, Elements)), D);
+  }
+
+  // ------------------------------------------------------------ object ----
+  case NativeFn::ObjHasOwnProperty: {
+    if (!This.V.isObject())
+      return ok(Value::boolean(false), DOut);
+    Det D = meet(DOut, Host.recordSetDeterminacy(This.V.Obj));
+    return ok(Value::boolean(H.get(This.V.Obj).has(argString(Host, Args, 0))),
+              D);
+  }
+  case NativeFn::ObjKeys: {
+    if (Args.empty() || !Args[0].V.isObject())
+      return thrown("TypeError: Object.keys on non-object");
+    ObjectRef O = Args[0].V.Obj;
+    Det D = meet(DOut, Host.recordSetDeterminacy(O));
+    std::vector<TaggedValue> Keys;
+    for (const std::string &K : H.get(O).ownKeys())
+      Keys.emplace_back(Value::string(K), D);
+    return ok(Value::object(allocArray(Host, D, Keys)), D);
+  }
+
+  // --------------------------------------------------------------- DOM ----
+  case NativeFn::DomGetElementById: {
+    std::string Id = argString(Host, Args, 0);
+    ObjectRef El = Host.domElement("id:" + Id);
+    return ok(Value::object(El), DOut);
+  }
+  case NativeFn::DomCreateElement: {
+    ObjectRef El = H.allocate(ObjectClass::Dom);
+    Host.nativeWriteProperty(
+        El, "tagName", TaggedValue(Value::string(argString(Host, Args, 0))));
+    return ok(Value::object(El), DOut);
+  }
+  case NativeFn::DomWrite:
+    Host.output("[document.write] " + argString(Host, Args, 0));
+    return ok(Value::undefined(), Det::Determinate);
+  case NativeFn::DomAddEventListener: {
+    if (Args.size() >= 2)
+      Host.registerEventHandler(argString(Host, Args, 0), Args[1].V);
+    return ok(Value::undefined(), Det::Determinate);
+  }
+  case NativeFn::DomGetAttribute: {
+    if (!This.V.isObject())
+      return thrown("TypeError: getAttribute on non-object");
+    std::string Name = "attr:" + argString(Host, Args, 0);
+    // A previously setAttribute'd value wins; otherwise synthesize content.
+    if (H.get(This.V.Obj).has(Name)) {
+      TaggedValue TV = Host.nativeReadProperty(This.V.Obj, Name);
+      return ok(TV.V, TV.D);
+    }
+    return ok(domSyntheticValue(Host.domSeed(), This.V.Obj, Name), DOut);
+  }
+  case NativeFn::DomSetAttribute: {
+    if (!This.V.isObject())
+      return thrown("TypeError: setAttribute on non-object");
+    std::string Name = "attr:" + argString(Host, Args, 0);
+    TaggedValue TV = Args.size() >= 2 ? Args[1]
+                                      : TaggedValue(Value::undefined());
+    Host.nativeWriteProperty(This.V.Obj, Name, TV);
+    return ok(Value::undefined(), Det::Determinate);
+  }
+  case NativeFn::DomAppendChild: {
+    if (!This.V.isObject())
+      return thrown("TypeError: appendChild on non-object");
+    TaggedValue Child =
+        Args.empty() ? TaggedValue(Value::undefined()) : Args[0];
+    Host.nativeWriteProperty(This.V.Obj, "lastChild", Child);
+    return ok(Child.V, Child.D);
+  }
+  }
+  return ok(Value::undefined(), DOut);
+}

@@ -1,0 +1,166 @@
+//===- Builtins.h - Native functions and their models ------------*- C++ -*-==//
+///
+/// \file
+/// Built-in (native) functions for MiniJS: Math, String and Array methods,
+/// global utilities, console output, and the DOM entry points. The paper's
+/// implementation provides "hand-written models" for natives that describe
+/// their effect on determinacy information (Section 4); here every native
+/// carries a NativeInfo record giving that model:
+///
+///  * Pure natives have no heap effect; their result is determinate iff the
+///    receiver and all arguments are.
+///  * `Random` natives (Math.random) return indeterminate results: they are
+///    the canonical indeterminate source.
+///  * `DomRead` natives return indeterminate results unless the analysis runs
+///    under the (unsound) determinate-DOM assumption of Section 5.1.
+///  * Natives not known side-effect-free abort counterfactual execution
+///    (CounterfactualSafe == false).
+///
+/// Natives perform all heap mutation through the NativeHost so that the
+/// instrumented interpreter can journal the writes (making them undoable
+/// during counterfactual execution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_INTERP_BUILTINS_H
+#define DDA_INTERP_BUILTINS_H
+
+#include "interp/Environment.h"
+#include "interp/Heap.h"
+#include "interp/Value.h"
+#include "support/RNG.h"
+
+#include <string>
+#include <vector>
+
+namespace dda {
+
+/// Identifies each native function.
+enum class NativeFn : uint16_t {
+  None = 0,
+  // Math.
+  MathRandom,
+  MathFloor,
+  MathCeil,
+  MathRound,
+  MathAbs,
+  MathMax,
+  MathMin,
+  MathPow,
+  MathSqrt,
+  // Globals.
+  ParseInt,
+  ParseFloat,
+  IsNaN,
+  StringCtor,
+  NumberCtor,
+  BooleanCtor,
+  Print, ///< console.log / print / alert.
+  Eval,  ///< Intercepted by the interpreters before dispatch.
+  // String.prototype.
+  StrCharAt,
+  StrCharCodeAt,
+  StrToUpperCase,
+  StrToLowerCase,
+  StrSubstr,
+  StrSubstring,
+  StrIndexOf,
+  StrSlice,
+  StrSplit,
+  StrConcat,
+  StrReplace,
+  // Array.prototype.
+  ArrPush,
+  ArrPop,
+  ArrShift,
+  ArrJoin,
+  ArrIndexOf,
+  ArrSlice,
+  ArrConcat,
+  // Object.
+  ObjHasOwnProperty,
+  ObjKeys,
+  // DOM.
+  DomGetElementById,
+  DomCreateElement,
+  DomWrite,
+  DomAddEventListener,
+  DomGetAttribute,
+  DomSetAttribute,
+  DomAppendChild,
+};
+
+/// Static model of a native's effect on determinacy information.
+struct NativeInfo {
+  const char *Name;
+  /// Result is indeterminate regardless of inputs (Math.random).
+  bool Random = false;
+  /// Result is a read from the environment/DOM: indeterminate unless the
+  /// determinate-DOM assumption is enabled.
+  bool DomRead = false;
+  /// Mutates only DOM data structures (no flush of the rest of the heap).
+  bool DomEffect = false;
+  /// Known side-effect-free (or all effects journaled via the host); safe to
+  /// run during counterfactual execution.
+  bool CounterfactualSafe = true;
+};
+
+/// Returns the model for \p Fn.
+const NativeInfo &nativeInfo(NativeFn Fn);
+
+/// Host services a native needs; implemented by both interpreters. Routing
+/// mutation through the host lets the instrumented interpreter journal it.
+class NativeHost {
+public:
+  virtual ~NativeHost();
+
+  virtual Heap &heap() = 0;
+  /// RNG backing Math.random (the "program input" source).
+  virtual RNG &randomRng() = 0;
+  /// RNG backing synthetic DOM contents (the "environment" source).
+  virtual RNG &domRng() = 0;
+
+  /// Journaled property write. \p D is the determinacy of the written value.
+  virtual void nativeWriteProperty(ObjectRef O, const std::string &Name,
+                                   TaggedValue TV) = 0;
+  /// Property read following the host's determinacy rules.
+  virtual TaggedValue nativeReadProperty(ObjectRef O,
+                                         const std::string &Name) = 0;
+  /// console.log / alert / document.write sink.
+  virtual void output(const std::string &Text) = 0;
+  /// addEventListener registration.
+  virtual void registerEventHandler(const std::string &Event,
+                                    Value Handler) = 0;
+  /// Lazily creates/returns the DOM element for an id/tag (identity cached so
+  /// repeated lookups agree).
+  virtual ObjectRef domElement(const std::string &Key) = 0;
+  /// Seed for synthetic DOM content; varies across "environments".
+  virtual uint64_t domSeed() const = 0;
+  /// Allocates an empty array object wired to Array.prototype.
+  virtual ObjectRef newArray() = 0;
+  /// Determinacy of an object's *property set* (open vs closed record). The
+  /// concrete interpreter always answers Determinate.
+  virtual Det recordSetDeterminacy(ObjectRef O) = 0;
+};
+
+/// Deterministic synthetic content for an unwritten DOM property: stable for
+/// a given (seed, object, name), different across seeds. Both interpreters
+/// use this for reads from DOM-class objects, so the instrumented run and
+/// same-seed concrete runs agree on concrete values.
+Value domSyntheticValue(uint64_t Seed, ObjectRef O, const std::string &Name);
+
+/// Result of invoking a native.
+struct NativeResult {
+  TaggedValue Result;
+  bool Threw = false;
+  Value Thrown;
+};
+
+/// Invokes native \p Fn. Determinacy of the result is computed from the
+/// inputs and the native's model; the concrete interpreter ignores it.
+NativeResult callNative(NativeHost &Host, NativeFn Fn, const TaggedValue &This,
+                        const std::vector<TaggedValue> &Args);
+
+} // namespace dda
+
+#endif // DDA_INTERP_BUILTINS_H

@@ -1,0 +1,84 @@
+//===- Environment.h - Scope chains for MiniJS -------------------*- C++ -*-==//
+///
+/// \file
+/// Environments form the lexical scope chain. Like the heap, slots carry a
+/// determinacy flag used only by the instrumented interpreter. Environments
+/// live in an arena (deque for reference stability) and are referenced by
+/// EnvRef; closures capture an EnvRef.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_INTERP_ENVIRONMENT_H
+#define DDA_INTERP_ENVIRONMENT_H
+
+#include "interp/Value.h"
+
+#include <cassert>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+namespace dda {
+
+/// A variable binding: value plus determinacy flag.
+struct Binding {
+  Value V;
+  Det D = Det::Determinate;
+  /// Builtin globals installed before the program runs are immune to the
+  /// conservative whole-environment taint (mirrors Slot::Immune); a user
+  /// write replaces the binding and clears the flag.
+  bool Immune = false;
+};
+
+/// One scope: bindings plus a parent link.
+struct Environment {
+  EnvRef Parent = 0;
+  std::unordered_map<std::string, Binding> Vars;
+};
+
+/// Arena of environments. Reference 0 is invalid; reference 1 is created by
+/// the interpreter as the global scope.
+class EnvArena {
+public:
+  EnvArena() { Envs.emplace_back(); } // Index 0 invalid.
+
+  EnvRef allocate(EnvRef Parent) {
+    Envs.emplace_back();
+    Envs.back().Parent = Parent;
+    return static_cast<EnvRef>(Envs.size() - 1);
+  }
+
+  Environment &get(EnvRef Ref) {
+    assert(Ref != 0 && Ref < Envs.size() && "invalid environment reference");
+    return Envs[Ref];
+  }
+
+  /// Finds the environment in \p Start's chain that declares \p Name, or 0.
+  EnvRef lookupEnv(EnvRef Start, const std::string &Name) {
+    for (EnvRef E = Start; E != 0; E = Envs[E].Parent)
+      if (Envs[E].Vars.count(Name))
+        return E;
+    return 0;
+  }
+
+  /// Finds the binding for \p Name starting at \p Start, or null.
+  Binding *lookup(EnvRef Start, const std::string &Name) {
+    EnvRef E = lookupEnv(Start, Name);
+    return E ? &Envs[E].Vars[Name] : nullptr;
+  }
+
+  size_t size() const { return Envs.size() - 1; }
+
+  /// Iterates every environment (conservative whole-environment taint).
+  template <typename Fn> void forEach(Fn F) {
+    for (size_t I = 1; I < Envs.size(); ++I)
+      F(static_cast<EnvRef>(I), Envs[I]);
+  }
+
+private:
+  std::deque<Environment> Envs;
+};
+
+} // namespace dda
+
+#endif // DDA_INTERP_ENVIRONMENT_H

@@ -1,0 +1,218 @@
+//===- Heap.h - Object heap for MiniJS ---------------------------*- C++ -*-==//
+///
+/// \file
+/// Heap object model shared by the concrete and instrumented interpreters.
+/// Objects store properties in insertion order (matching JavaScript engines'
+/// enumeration order, which the paper's eval case study relies on: "if the
+/// set of properties to iterate over is determinate, our analysis assumes
+/// that the iteration order is also determinate").
+///
+/// Each property slot carries a determinacy flag and a *recency epoch*: the
+/// instrumented interpreter implements the paper's heap flush (Section 4) by
+/// bumping a global epoch counter, so a property is determinate only when its
+/// flag is `!` and its epoch equals the current one. The concrete interpreter
+/// ignores both fields.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_INTERP_HEAP_H
+#define DDA_INTERP_HEAP_H
+
+#include "ast/AST.h"
+#include "interp/Value.h"
+
+#include <cassert>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dda {
+
+/// Classification of heap objects.
+enum class ObjectClass : uint8_t {
+  Plain,    ///< Object literal / new-expression result.
+  Array,    ///< Array literal; keeps `length` in sync with index writes.
+  Function, ///< User closure: AST function + captured environment.
+  Native,   ///< Built-in function.
+  Dom,      ///< DOM node / document / window; reads are indeterminate.
+};
+
+/// A property slot: the stored value plus instrumentation metadata.
+struct Slot {
+  Value V;
+  Det D = Det::Determinate;
+  uint32_t Epoch = 0; ///< Recency annotation (heap-flush support).
+  /// Builtin slots installed before the program runs (native methods,
+  /// prototype wiring) survive heap flushes: they model the immutable parts
+  /// of the standard library whose behavior the hand-written native models
+  /// already capture (paper Section 4). A user write replaces the slot and
+  /// clears the flag.
+  bool Immune = false;
+};
+
+/// Identifier of a built-in function; dispatch lives in Builtins.cpp.
+enum class NativeFn : uint16_t;
+
+/// A heap object. Also represents closures and built-ins.
+class JSObject {
+public:
+  ObjectClass Class = ObjectClass::Plain;
+  ObjectRef Proto = 0; ///< Prototype link; 0 means none.
+
+  // Function payload (Class == Function).
+  const FunctionExpr *Fn = nullptr;
+  EnvRef Closure = 0;
+
+  // Native payload (Class == Native).
+  NativeFn Native{};
+
+  /// Allocation site (NodeID of the literal / function / new expression), or
+  /// 0 for runtime-created objects. Used to render object values in facts and
+  /// by the pointer-analysis comparison tests.
+  NodeID AllocSite = 0;
+
+  // Instrumentation state (used only by the instrumented interpreter).
+  /// Epoch at which this record was created/known closed. The record is
+  /// *open* (paper: `{x:v, ...}`) if this differs from the current global
+  /// epoch or if ExplicitlyOpen is set.
+  uint32_t ClosedEpoch = 0;
+  /// Set when a property store with an indeterminate name hits this record.
+  bool ExplicitlyOpen = false;
+  /// Properties that are absent here but may exist in other executions
+  /// (counterfactually created then undone). The paper models records as
+  /// total functions, so a single absent property can be `undefined?` while
+  /// the rest of the record stays determinate.
+  std::vector<std::string> MaybeAbsent;
+  /// Properties present here but possibly absent in other executions
+  /// (created inside a branch with an indeterminate condition). They make
+  /// the record's property *set* indeterminate even though each value's
+  /// determinacy is tracked per slot.
+  std::vector<std::string> MaybePresent;
+
+  bool isMaybeAbsent(const std::string &Name) const {
+    for (const std::string &N : MaybeAbsent)
+      if (N == Name)
+        return true;
+    return false;
+  }
+
+  bool isMaybePresent(const std::string &Name) const {
+    for (const std::string &N : MaybePresent)
+      if (N == Name)
+        return true;
+    return false;
+  }
+
+  bool has(const std::string &Name) const { return Props.count(Name) != 0; }
+
+  /// Returns the slot for \p Name, or null if absent (prototype chain is the
+  /// interpreter's job, not the object's).
+  const Slot *get(const std::string &Name) const {
+    auto It = Props.find(Name);
+    return It == Props.end() ? nullptr : &It->second;
+  }
+
+  Slot *get(const std::string &Name) {
+    auto It = Props.find(Name);
+    return It == Props.end() ? nullptr : &It->second;
+  }
+
+  /// Creates or overwrites the slot for \p Name, maintaining insertion order.
+  void set(const std::string &Name, Slot S) {
+    auto It = Props.find(Name);
+    if (It == Props.end()) {
+      Props.emplace(Name, std::move(S));
+      Order.push_back(Name);
+    } else {
+      It->second = std::move(S);
+    }
+  }
+
+  /// Removes a property; returns true if it existed. The insertion-order
+  /// entry is removed too, so a later reinsertion appends at the end —
+  /// matching JavaScript enumeration semantics.
+  bool erase(const std::string &Name) {
+    auto It = Props.find(Name);
+    if (It == Props.end())
+      return false;
+    Props.erase(It);
+    for (size_t I = 0; I < Order.size(); ++I)
+      if (Order[I] == Name) {
+        Order.erase(Order.begin() + I);
+        break;
+      }
+    return true;
+  }
+
+  /// Own enumerable property names in insertion order.
+  std::vector<std::string> ownKeys() const {
+    std::vector<std::string> Keys;
+    Keys.reserve(Props.size());
+    for (const std::string &Name : Order)
+      if (Props.count(Name) && !seenBefore(Keys, Name))
+        Keys.push_back(Name);
+    return Keys;
+  }
+
+  size_t propertyCount() const { return Props.size(); }
+
+  /// Iteration support for analyses that need every slot.
+  const std::unordered_map<std::string, Slot> &slots() const { return Props; }
+  std::unordered_map<std::string, Slot> &slots() { return Props; }
+
+private:
+  static bool seenBefore(const std::vector<std::string> &Keys,
+                         const std::string &Name) {
+    for (const std::string &K : Keys)
+      if (K == Name)
+        return true;
+    return false;
+  }
+
+  std::unordered_map<std::string, Slot> Props;
+  std::vector<std::string> Order;
+};
+
+/// The heap: an append-only arena of objects (no GC; analysis runs are short,
+/// matching the paper's focus on initialization phases).
+class Heap {
+public:
+  Heap() { Objects.emplace_back(); } // Index 0 is the invalid object.
+
+  ObjectRef allocate(ObjectClass Class, NodeID AllocSite = 0) {
+    Objects.emplace_back();
+    JSObject &O = Objects.back();
+    O.Class = Class;
+    O.AllocSite = AllocSite;
+    return static_cast<ObjectRef>(Objects.size() - 1);
+  }
+
+  JSObject &get(ObjectRef Ref) {
+    assert(Ref != 0 && Ref < Objects.size() && "invalid object reference");
+    return Objects[Ref];
+  }
+
+  const JSObject &get(ObjectRef Ref) const {
+    assert(Ref != 0 && Ref < Objects.size() && "invalid object reference");
+    return Objects[Ref];
+  }
+
+  size_t size() const { return Objects.size() - 1; }
+
+  /// Iterates all live objects (used by whole-heap checks in tests and the
+  /// naive-flush ablation benchmark).
+  template <typename Fn> void forEach(Fn F) {
+    for (size_t I = 1; I < Objects.size(); ++I)
+      F(static_cast<ObjectRef>(I), Objects[I]);
+  }
+
+private:
+  // Deque: object references handed out as JSObject& stay valid across
+  // later allocations.
+  std::deque<JSObject> Objects;
+};
+
+} // namespace dda
+
+#endif // DDA_INTERP_HEAP_H

@@ -1,0 +1,203 @@
+//===- Ops.cpp ------------------------------------------------------------==//
+
+#include "interp/Ops.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace dda;
+
+bool dda::toBoolean(const Value &V) {
+  switch (V.Kind) {
+  case ValueKind::Undefined:
+  case ValueKind::Null:
+    return false;
+  case ValueKind::Boolean:
+    return V.Bool;
+  case ValueKind::Number:
+    return V.Num != 0 && !std::isnan(V.Num);
+  case ValueKind::String:
+    return !V.Str.empty();
+  case ValueKind::Object:
+    return true;
+  }
+  return false;
+}
+
+double dda::toNumber(const Value &V) {
+  switch (V.Kind) {
+  case ValueKind::Undefined:
+    return std::nan("");
+  case ValueKind::Null:
+    return 0;
+  case ValueKind::Boolean:
+    return V.Bool ? 1 : 0;
+  case ValueKind::Number:
+    return V.Num;
+  case ValueKind::String:
+    return stringToNumber(V.Str);
+  case ValueKind::Object:
+    return std::nan("");
+  }
+  return std::nan("");
+}
+
+std::string dda::toStringValue(const Value &V, const Heap &H) {
+  switch (V.Kind) {
+  case ValueKind::Undefined:
+    return "undefined";
+  case ValueKind::Null:
+    return "null";
+  case ValueKind::Boolean:
+    return V.Bool ? "true" : "false";
+  case ValueKind::Number:
+    return numberToString(V.Num);
+  case ValueKind::String:
+    return V.Str;
+  case ValueKind::Object: {
+    const JSObject &O = H.get(V.Obj);
+    switch (O.Class) {
+    case ObjectClass::Array: {
+      // Array.prototype.toString == join(",").
+      std::string Out;
+      const Slot *Len = O.get("length");
+      size_t N = Len && Len->V.isNumber() ? static_cast<size_t>(Len->V.Num) : 0;
+      for (size_t I = 0; I < N; ++I) {
+        if (I)
+          Out += ",";
+        const Slot *S = O.get(std::to_string(I));
+        if (S && !S->V.isUndefined() && !S->V.isNull())
+          Out += toStringValue(S->V, H);
+      }
+      return Out;
+    }
+    case ObjectClass::Function:
+    case ObjectClass::Native:
+      return "function";
+    case ObjectClass::Dom:
+      return "[object DOM]";
+    case ObjectClass::Plain:
+      return "[object Object]";
+    }
+    return "[object Object]";
+  }
+  }
+  return "undefined";
+}
+
+std::string dda::typeofString(const Value &V, const Heap &H) {
+  switch (V.Kind) {
+  case ValueKind::Undefined:
+    return "undefined";
+  case ValueKind::Null:
+    return "object"; // Yes, really.
+  case ValueKind::Boolean:
+    return "boolean";
+  case ValueKind::Number:
+    return "number";
+  case ValueKind::String:
+    return "string";
+  case ValueKind::Object: {
+    ObjectClass C = H.get(V.Obj).Class;
+    if (C == ObjectClass::Function || C == ObjectClass::Native)
+      return "function";
+    return "object";
+  }
+  }
+  return "undefined";
+}
+
+bool dda::strictEquals(const Value &A, const Value &B) {
+  if (A.Kind != B.Kind)
+    return false;
+  switch (A.Kind) {
+  case ValueKind::Undefined:
+  case ValueKind::Null:
+    return true;
+  case ValueKind::Boolean:
+    return A.Bool == B.Bool;
+  case ValueKind::Number:
+    return A.Num == B.Num; // NaN != NaN falls out of IEEE comparison.
+  case ValueKind::String:
+    return A.Str == B.Str;
+  case ValueKind::Object:
+    return A.Obj == B.Obj;
+  }
+  return false;
+}
+
+bool dda::looseEquals(const Value &A, const Value &B) {
+  if (A.Kind == B.Kind)
+    return strictEquals(A, B);
+  // null == undefined.
+  if ((A.isNull() && B.isUndefined()) || (A.isUndefined() && B.isNull()))
+    return true;
+  // Number vs string, and booleans coerce to numbers.
+  bool ANumeric = A.isNumber() || A.isBoolean() || A.isString();
+  bool BNumeric = B.isNumber() || B.isBoolean() || B.isString();
+  if (ANumeric && BNumeric) {
+    double X = toNumber(A);
+    double Y = toNumber(B);
+    return X == Y;
+  }
+  // Object-to-primitive coercion is not modeled.
+  return false;
+}
+
+Value dda::applyBinaryOp(BinaryOp Op, const Value &A, const Value &B,
+                         const Heap &H) {
+  switch (Op) {
+  case BinaryOp::Add:
+    // String concatenation if either side is (or renders as) a string.
+    if (A.isString() || B.isString() || A.isObject() || B.isObject())
+      return Value::string(toStringValue(A, H) + toStringValue(B, H));
+    return Value::number(toNumber(A) + toNumber(B));
+  case BinaryOp::Sub:
+    return Value::number(toNumber(A) - toNumber(B));
+  case BinaryOp::Mul:
+    return Value::number(toNumber(A) * toNumber(B));
+  case BinaryOp::Div:
+    return Value::number(toNumber(A) / toNumber(B));
+  case BinaryOp::Mod:
+    return Value::number(std::fmod(toNumber(A), toNumber(B)));
+  case BinaryOp::Eq:
+    return Value::boolean(looseEquals(A, B));
+  case BinaryOp::NotEq:
+    return Value::boolean(!looseEquals(A, B));
+  case BinaryOp::StrictEq:
+    return Value::boolean(strictEquals(A, B));
+  case BinaryOp::StrictNotEq:
+    return Value::boolean(!strictEquals(A, B));
+  case BinaryOp::Less:
+  case BinaryOp::LessEq:
+  case BinaryOp::Greater:
+  case BinaryOp::GreaterEq: {
+    // Both strings: lexicographic. Otherwise numeric.
+    bool Result;
+    if (A.isString() && B.isString()) {
+      int Cmp = A.Str.compare(B.Str);
+      Result = Op == BinaryOp::Less      ? Cmp < 0
+               : Op == BinaryOp::LessEq  ? Cmp <= 0
+               : Op == BinaryOp::Greater ? Cmp > 0
+                                         : Cmp >= 0;
+    } else {
+      double X = toNumber(A);
+      double Y = toNumber(B);
+      if (std::isnan(X) || std::isnan(Y))
+        Result = false;
+      else
+        Result = Op == BinaryOp::Less      ? X < Y
+                 : Op == BinaryOp::LessEq  ? X <= Y
+                 : Op == BinaryOp::Greater ? X > Y
+                                           : X >= Y;
+    }
+    return Value::boolean(Result);
+  }
+  case BinaryOp::Instanceof:
+  case BinaryOp::In:
+    // Handled structurally by the interpreters.
+    return Value::boolean(false);
+  }
+  return Value::undefined();
+}

@@ -1,0 +1,121 @@
+//===- Value.h - Runtime values for MiniJS -----------------------*- C++ -*-==//
+///
+/// \file
+/// The concrete runtime value type used by both the plain interpreter and the
+/// instrumented (determinacy) interpreter. Mirrors the paper's Value domain:
+/// primitives, heap addresses, and closures (closures live in the heap as
+/// function objects, so a Value only ever holds an address).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_INTERP_VALUE_H
+#define DDA_INTERP_VALUE_H
+
+#include <cstdint>
+#include <string>
+
+namespace dda {
+
+/// Index of an object in the Heap; 0 is reserved as "no object".
+using ObjectRef = uint32_t;
+
+/// Index of an environment in the environment arena; 0 is "no environment".
+using EnvRef = uint32_t;
+
+/// Runtime type tag of a Value.
+enum class ValueKind : uint8_t {
+  Undefined,
+  Null,
+  Boolean,
+  Number,
+  String,
+  Object, ///< Includes functions and arrays; see JSObject::Class.
+};
+
+/// A concrete MiniJS value. Small enough to copy freely; strings are held by
+/// value for simplicity.
+struct Value {
+  ValueKind Kind = ValueKind::Undefined;
+  bool Bool = false;
+  double Num = 0;
+  std::string Str;
+  ObjectRef Obj = 0;
+
+  static Value undefined() { return Value(); }
+
+  static Value null() {
+    Value V;
+    V.Kind = ValueKind::Null;
+    return V;
+  }
+
+  static Value boolean(bool B) {
+    Value V;
+    V.Kind = ValueKind::Boolean;
+    V.Bool = B;
+    return V;
+  }
+
+  static Value number(double N) {
+    Value V;
+    V.Kind = ValueKind::Number;
+    V.Num = N;
+    return V;
+  }
+
+  static Value string(std::string S) {
+    Value V;
+    V.Kind = ValueKind::String;
+    V.Str = std::move(S);
+    return V;
+  }
+
+  static Value object(ObjectRef Ref) {
+    Value V;
+    V.Kind = ValueKind::Object;
+    V.Obj = Ref;
+    return V;
+  }
+
+  bool isUndefined() const { return Kind == ValueKind::Undefined; }
+  bool isNull() const { return Kind == ValueKind::Null; }
+  bool isBoolean() const { return Kind == ValueKind::Boolean; }
+  bool isNumber() const { return Kind == ValueKind::Number; }
+  bool isString() const { return Kind == ValueKind::String; }
+  bool isObject() const { return Kind == ValueKind::Object; }
+};
+
+/// Determinacy flag: `!` (determinate) or `?` (indeterminate) in the paper's
+/// notation. Defined here so the shared heap slot type can carry it; the
+/// concrete interpreter simply leaves it at Determinate.
+enum class Det : uint8_t { Determinate, Indeterminate };
+
+/// Meet of two determinacy flags: the result of combining two values is
+/// determinate only if both inputs are.
+inline Det meet(Det A, Det B) {
+  return (A == Det::Determinate && B == Det::Determinate)
+             ? Det::Determinate
+             : Det::Indeterminate;
+}
+
+/// An instrumented value `v^d`: a concrete value plus its determinacy flag.
+/// The concrete interpreter uses these too (with D always Determinate) so
+/// the builtin library can be shared between the two evaluators.
+struct TaggedValue {
+  Value V;
+  Det D = Det::Determinate;
+
+  TaggedValue() = default;
+  TaggedValue(Value V, Det D = Det::Determinate) : V(std::move(V)), D(D) {}
+
+  bool isDet() const { return D == Det::Determinate; }
+
+  /// The paper's `v̂?`: same value, forced indeterminate.
+  TaggedValue asIndeterminate() const {
+    return TaggedValue(V, Det::Indeterminate);
+  }
+};
+
+} // namespace dda
+
+#endif // DDA_INTERP_VALUE_H

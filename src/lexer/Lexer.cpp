@@ -1,0 +1,458 @@
+//===- Lexer.cpp ----------------------------------------------------------==//
+
+#include "lexer/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace dda;
+
+const char *dda::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Number:
+    return "number";
+  case TokenKind::String:
+    return "string";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwFunction:
+    return "'function'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwTypeof:
+    return "'typeof'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwUndefined:
+    return "'undefined'";
+  case TokenKind::KwThis:
+    return "'this'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwTry:
+    return "'try'";
+  case TokenKind::KwCatch:
+    return "'catch'";
+  case TokenKind::KwFinally:
+    return "'finally'";
+  case TokenKind::KwThrow:
+    return "'throw'";
+  case TokenKind::KwDelete:
+    return "'delete'";
+  case TokenKind::KwInstanceof:
+    return "'instanceof'";
+  case TokenKind::KwSwitch:
+    return "'switch'";
+  case TokenKind::KwCase:
+    return "'case'";
+  case TokenKind::KwDefault:
+    return "'default'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Question:
+    return "'?'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::MinusAssign:
+    return "'-='";
+  case TokenKind::StarAssign:
+    return "'*='";
+  case TokenKind::SlashAssign:
+    return "'/='";
+  case TokenKind::PercentAssign:
+    return "'%='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::EqEqEq:
+    return "'==='";
+  case TokenKind::NotEqEq:
+    return "'!=='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  }
+  return "unknown";
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(size_t Ahead) const {
+  size_t Index = Pos + Ahead;
+  return Index < Source.size() ? Source[Index] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  if (C == '\0')
+    return C;
+  ++Pos;
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+SourceLoc Lexer::currentLoc() const {
+  return SourceLoc(Line, Column, static_cast<uint32_t>(Pos));
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = currentLoc();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  size_t Start = Pos;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+    Token T = makeToken(TokenKind::Number, Loc);
+    T.NumberValue = static_cast<double>(
+        std::strtoull(Source.substr(Start, Pos - Start).c_str(), nullptr, 16));
+    return T;
+  }
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Save = Pos;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    } else {
+      // Not an exponent after all (e.g. "3e" followed by an identifier).
+      Pos = Save;
+    }
+  }
+  Token T = makeToken(TokenKind::Number, Loc);
+  T.NumberValue = std::strtod(Source.substr(Start, Pos - Start).c_str(), nullptr);
+  return T;
+}
+
+Token Lexer::lexString(SourceLoc Loc, char Quote) {
+  std::string Value;
+  for (;;) {
+    char C = peek();
+    if (C == '\0' || C == '\n') {
+      Diags.error(Loc, "unterminated string literal");
+      Token T = makeToken(TokenKind::Error, Loc);
+      return T;
+    }
+    advance();
+    if (C == Quote)
+      break;
+    if (C == '\\') {
+      char Escaped = advance();
+      switch (Escaped) {
+      case 'n':
+        Value += '\n';
+        break;
+      case 't':
+        Value += '\t';
+        break;
+      case 'r':
+        Value += '\r';
+        break;
+      case '0':
+        Value += '\0';
+        break;
+      case '\\':
+        Value += '\\';
+        break;
+      case '\'':
+        Value += '\'';
+        break;
+      case '"':
+        Value += '"';
+        break;
+      case '\n':
+        break; // Line continuation.
+      default:
+        Value += Escaped;
+      }
+      continue;
+    }
+    Value += C;
+  }
+  Token T = makeToken(TokenKind::String, Loc);
+  T.Text = std::move(Value);
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLoc Loc) {
+  size_t Start = Pos;
+  auto IsPart = [](char C) {
+    return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+  };
+  while (IsPart(peek()))
+    advance();
+  std::string Text = Source.substr(Start, Pos - Start);
+
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"var", TokenKind::KwVar},
+      {"function", TokenKind::KwFunction},
+      {"return", TokenKind::KwReturn},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"do", TokenKind::KwDo},
+      {"for", TokenKind::KwFor},
+      {"in", TokenKind::KwIn},
+      {"new", TokenKind::KwNew},
+      {"typeof", TokenKind::KwTypeof},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"null", TokenKind::KwNull},
+      {"undefined", TokenKind::KwUndefined},
+      {"this", TokenKind::KwThis},
+      {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"try", TokenKind::KwTry},
+      {"catch", TokenKind::KwCatch},
+      {"finally", TokenKind::KwFinally},
+      {"throw", TokenKind::KwThrow},
+      {"delete", TokenKind::KwDelete},
+      {"instanceof", TokenKind::KwInstanceof},
+      {"switch", TokenKind::KwSwitch},
+      {"case", TokenKind::KwCase},
+      {"default", TokenKind::KwDefault},
+  };
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, Loc);
+  Token T = makeToken(TokenKind::Identifier, Loc);
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Loc = currentLoc();
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::Eof, Loc);
+
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (C == '"' || C == '\'') {
+    advance();
+    return lexString(Loc, C);
+  }
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$')
+    return lexIdentifierOrKeyword(Loc);
+
+  advance();
+  switch (C) {
+  case '{':
+    return makeToken(TokenKind::LBrace, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Loc);
+  case '(':
+    return makeToken(TokenKind::LParen, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Loc);
+  case ';':
+    return makeToken(TokenKind::Semi, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Loc);
+  case '.':
+    return makeToken(TokenKind::Dot, Loc);
+  case '?':
+    return makeToken(TokenKind::Question, Loc);
+  case ':':
+    return makeToken(TokenKind::Colon, Loc);
+  case '=':
+    if (match('=')) {
+      if (match('='))
+        return makeToken(TokenKind::EqEqEq, Loc);
+      return makeToken(TokenKind::EqEq, Loc);
+    }
+    return makeToken(TokenKind::Assign, Loc);
+  case '!':
+    if (match('=')) {
+      if (match('='))
+        return makeToken(TokenKind::NotEqEq, Loc);
+      return makeToken(TokenKind::NotEq, Loc);
+    }
+    return makeToken(TokenKind::Not, Loc);
+  case '<':
+    return makeToken(match('=') ? TokenKind::LessEq : TokenKind::Less, Loc);
+  case '>':
+    return makeToken(match('=') ? TokenKind::GreaterEq : TokenKind::Greater,
+                     Loc);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Loc);
+    if (match('='))
+      return makeToken(TokenKind::PlusAssign, Loc);
+    return makeToken(TokenKind::Plus, Loc);
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Loc);
+    if (match('='))
+      return makeToken(TokenKind::MinusAssign, Loc);
+    return makeToken(TokenKind::Minus, Loc);
+  case '*':
+    return makeToken(match('=') ? TokenKind::StarAssign : TokenKind::Star, Loc);
+  case '/':
+    return makeToken(match('=') ? TokenKind::SlashAssign : TokenKind::Slash,
+                     Loc);
+  case '%':
+    return makeToken(match('=') ? TokenKind::PercentAssign : TokenKind::Percent,
+                     Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Loc);
+    break;
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Loc);
+    break;
+  default:
+    break;
+  }
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Error, Loc);
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = next();
+    bool Done = T.is(TokenKind::Eof);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      return Tokens;
+  }
+}

@@ -1,0 +1,54 @@
+//===- Lexer.h - MiniJS tokenizer --------------------------------*- C++ -*-==//
+///
+/// \file
+/// Hand-written tokenizer for the MiniJS subset. Handles decimal and hex
+/// numbers, single- and double-quoted strings with escapes, line and block
+/// comments, and all operators of the subset. Malformed input produces an
+/// Error token and a diagnostic; the lexer always makes progress.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_LEXER_LEXER_H
+#define DDA_LEXER_LEXER_H
+
+#include "lexer/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <vector>
+
+namespace dda {
+
+/// Tokenizes a MiniJS source buffer.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token.
+  Token next();
+
+  /// Lexes the whole buffer (convenience for tests). The final token is Eof.
+  std::vector<Token> lexAll();
+
+private:
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  SourceLoc currentLoc() const;
+
+  Token makeToken(TokenKind Kind, SourceLoc Loc);
+  Token lexNumber(SourceLoc Loc);
+  Token lexString(SourceLoc Loc, char Quote);
+  Token lexIdentifierOrKeyword(SourceLoc Loc);
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace dda
+
+#endif // DDA_LEXER_LEXER_H

@@ -1,0 +1,112 @@
+//===- Token.h - MiniJS token definitions ------------------------*- C++ -*-==//
+///
+/// \file
+/// Token kinds and the Token value type produced by the Lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_LEXER_TOKEN_H
+#define DDA_LEXER_TOKEN_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+
+namespace dda {
+
+/// All token kinds in the MiniJS subset.
+enum class TokenKind {
+  Eof,
+  Error,
+
+  Identifier,
+  Number,
+  String,
+
+  // Keywords.
+  KwVar,
+  KwFunction,
+  KwReturn,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwIn,
+  KwNew,
+  KwTypeof,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwUndefined,
+  KwThis,
+  KwBreak,
+  KwContinue,
+  KwTry,
+  KwCatch,
+  KwFinally,
+  KwThrow,
+  KwDelete,
+  KwInstanceof,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Question,
+  Colon,
+
+  // Operators.
+  Assign,        // =
+  PlusAssign,    // +=
+  MinusAssign,   // -=
+  StarAssign,    // *=
+  SlashAssign,   // /=
+  PercentAssign, // %=
+  EqEq,          // ==
+  NotEq,         // !=
+  EqEqEq,        // ===
+  NotEqEq,       // !==
+  Less,          // <
+  LessEq,        // <=
+  Greater,       // >
+  GreaterEq,     // >=
+  Plus,          // +
+  Minus,         // -
+  Star,          // *
+  Slash,         // /
+  Percent,       // %
+  Not,           // !
+  AmpAmp,        // &&
+  PipePipe,      // ||
+  PlusPlus,      // ++
+  MinusMinus,    // --
+};
+
+/// Returns a human-readable spelling for diagnostics ("'==='", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// A single lexed token. String/identifier text and numeric values are
+/// materialized eagerly; tokens are small and copied freely.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;        ///< Identifier name or string literal contents.
+  double NumberValue = 0;  ///< Value for Number tokens.
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+};
+
+} // namespace dda
+
+#endif // DDA_LEXER_TOKEN_H

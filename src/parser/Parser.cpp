@@ -1,0 +1,769 @@
+//===- Parser.cpp ---------------------------------------------------------==//
+
+#include "parser/Parser.h"
+
+using namespace dda;
+
+Parser::Parser(const std::string &Source, ASTContext &Context,
+               DiagnosticEngine &Diags)
+    : Context(Context), Diags(Diags), Lex(Source, Diags) {
+  Current = Lex.next();
+}
+
+Token Parser::take() {
+  Token T = Current;
+  PrevEnd = SourceLoc(T.Loc.Line, T.Loc.Column, T.Loc.Offset);
+  Current = Lex.next();
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!at(Kind))
+    return false;
+  take();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Where) {
+  if (accept(Kind))
+    return true;
+  Diags.error(Current.Loc, std::string("expected ") + tokenKindName(Kind) +
+                               " " + Where + ", found " +
+                               tokenKindName(Current.Kind));
+  return false;
+}
+
+void Parser::expectSemi() {
+  // ASI-lite: consume a semicolon when present; otherwise a closing brace or
+  // end of input also terminates the statement.
+  if (accept(TokenKind::Semi))
+    return;
+  if (at(TokenKind::RBrace) || at(TokenKind::Eof))
+    return;
+  // Otherwise assume a newline separated the statements; MiniJS sources in
+  // this project always use semicolons, so stay silent and keep parsing.
+}
+
+SourceRange Parser::rangeFrom(SourceLoc Begin) const {
+  return SourceRange(Begin, PrevEnd);
+}
+
+std::vector<Stmt *> Parser::parseTopLevel() {
+  std::vector<Stmt *> Body;
+  while (!at(TokenKind::Eof)) {
+    size_t Before = Context.nodeCount();
+    SourceLoc Loc = Current.Loc;
+    Stmt *S = parseStatement();
+    Body.push_back(S);
+    // Recovery: if no progress was made, skip a token to avoid livelock.
+    if (Context.nodeCount() == Before && Current.Loc.Offset == Loc.Offset &&
+        !at(TokenKind::Eof))
+      take();
+  }
+  return Body;
+}
+
+Stmt *Parser::parseStatement() {
+  SourceLoc Loc = Current.Loc;
+  switch (Current.Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwVar:
+    return parseVarDecl();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwDo:
+    return parseDoWhile();
+  case TokenKind::KwFor:
+    return parseFor();
+  case TokenKind::KwReturn:
+    return parseReturn();
+  case TokenKind::KwTry:
+    return parseTry();
+  case TokenKind::KwThrow:
+    return parseThrow();
+  case TokenKind::KwSwitch:
+    return parseSwitch();
+  case TokenKind::KwBreak: {
+    take();
+    expectSemi();
+    return Context.create<BreakStmt>(rangeFrom(Loc));
+  }
+  case TokenKind::KwContinue: {
+    take();
+    expectSemi();
+    return Context.create<ContinueStmt>(rangeFrom(Loc));
+  }
+  case TokenKind::Semi: {
+    take();
+    return Context.create<EmptyStmt>(rangeFrom(Loc));
+  }
+  case TokenKind::KwFunction: {
+    FunctionExpr *F = parseFunction(/*RequireName=*/true);
+    return Context.create<FunctionDeclStmt>(rangeFrom(Loc), F);
+  }
+  default: {
+    Expr *E = parseExpression();
+    expectSemi();
+    return Context.create<ExpressionStmt>(rangeFrom(Loc), E);
+  }
+  }
+}
+
+Stmt *Parser::parseBlock() {
+  SourceLoc Loc = Current.Loc;
+  expect(TokenKind::LBrace, "to begin block");
+  std::vector<Stmt *> Body;
+  while (!at(TokenKind::RBrace) && !at(TokenKind::Eof)) {
+    size_t Before = Context.nodeCount();
+    SourceLoc StmtLoc = Current.Loc;
+    Body.push_back(parseStatement());
+    if (Context.nodeCount() == Before && Current.Loc.Offset == StmtLoc.Offset &&
+        !at(TokenKind::Eof))
+      take();
+  }
+  expect(TokenKind::RBrace, "to close block");
+  return Context.create<BlockStmt>(rangeFrom(Loc), std::move(Body));
+}
+
+Stmt *Parser::parseVarDecl() {
+  SourceLoc Loc = Current.Loc;
+  expect(TokenKind::KwVar, "to begin declaration");
+  std::vector<VarDeclStmt::Declarator> Decls;
+  do {
+    if (!at(TokenKind::Identifier)) {
+      Diags.error(Current.Loc, "expected identifier in var declaration");
+      break;
+    }
+    std::string Name = take().Text;
+    Expr *Init = nullptr;
+    if (accept(TokenKind::Assign))
+      Init = parseAssignment();
+    Decls.push_back({std::move(Name), Init});
+  } while (accept(TokenKind::Comma));
+  expectSemi();
+  return Context.create<VarDeclStmt>(rangeFrom(Loc), std::move(Decls));
+}
+
+Stmt *Parser::parseIf() {
+  SourceLoc Loc = Current.Loc;
+  expect(TokenKind::KwIf, "");
+  expect(TokenKind::LParen, "after 'if'");
+  Expr *Cond = parseExpression();
+  expect(TokenKind::RParen, "after if condition");
+  Stmt *Then = parseStatement();
+  Stmt *Else = nullptr;
+  if (accept(TokenKind::KwElse))
+    Else = parseStatement();
+  return Context.create<IfStmt>(rangeFrom(Loc), Cond, Then, Else);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLoc Loc = Current.Loc;
+  expect(TokenKind::KwWhile, "");
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpression();
+  expect(TokenKind::RParen, "after while condition");
+  Stmt *Body = parseStatement();
+  return Context.create<WhileStmt>(rangeFrom(Loc), Cond, Body);
+}
+
+Stmt *Parser::parseDoWhile() {
+  SourceLoc Loc = Current.Loc;
+  expect(TokenKind::KwDo, "");
+  Stmt *Body = parseStatement();
+  expect(TokenKind::KwWhile, "after do body");
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpression();
+  expect(TokenKind::RParen, "after do-while condition");
+  expectSemi();
+  return Context.create<DoWhileStmt>(rangeFrom(Loc), Body, Cond);
+}
+
+Stmt *Parser::parseFor() {
+  SourceLoc Loc = Current.Loc;
+  expect(TokenKind::KwFor, "");
+  expect(TokenKind::LParen, "after 'for'");
+
+  // for (var x in e) / for (x in e) / for (init; cond; update).
+  if (at(TokenKind::KwVar)) {
+    SourceLoc VarLoc = Current.Loc;
+    take();
+    if (!at(TokenKind::Identifier)) {
+      Diags.error(Current.Loc, "expected identifier after 'var' in for");
+      return Context.create<EmptyStmt>(rangeFrom(Loc));
+    }
+    std::string Name = take().Text;
+    if (accept(TokenKind::KwIn)) {
+      Expr *Object = parseExpression();
+      expect(TokenKind::RParen, "after for-in header");
+      Stmt *Body = parseStatement();
+      return Context.create<ForInStmt>(rangeFrom(Loc), std::move(Name),
+                                       /*Declares=*/true, Object, Body);
+    }
+    // Regular for with var-declared init.
+    std::vector<VarDeclStmt::Declarator> Decls;
+    Expr *Init = nullptr;
+    NoIn = true;
+    if (accept(TokenKind::Assign))
+      Init = parseAssignment();
+    Decls.push_back({std::move(Name), Init});
+    while (accept(TokenKind::Comma)) {
+      if (!at(TokenKind::Identifier)) {
+        Diags.error(Current.Loc, "expected identifier in for-init");
+        break;
+      }
+      std::string More = take().Text;
+      Expr *MoreInit = nullptr;
+      if (accept(TokenKind::Assign))
+        MoreInit = parseAssignment();
+      Decls.push_back({std::move(More), MoreInit});
+    }
+    NoIn = false;
+    Stmt *InitStmt =
+        Context.create<VarDeclStmt>(rangeFrom(VarLoc), std::move(Decls));
+    expect(TokenKind::Semi, "after for-init");
+    Expr *Cond = at(TokenKind::Semi) ? nullptr : parseExpression();
+    expect(TokenKind::Semi, "after for-condition");
+    Expr *Update = at(TokenKind::RParen) ? nullptr : parseExpression();
+    expect(TokenKind::RParen, "after for header");
+    Stmt *Body = parseStatement();
+    return Context.create<ForStmt>(rangeFrom(Loc), InitStmt, Cond, Update,
+                                   Body);
+  }
+
+  if (at(TokenKind::Semi)) {
+    take();
+    Expr *Cond = at(TokenKind::Semi) ? nullptr : parseExpression();
+    expect(TokenKind::Semi, "after for-condition");
+    Expr *Update = at(TokenKind::RParen) ? nullptr : parseExpression();
+    expect(TokenKind::RParen, "after for header");
+    Stmt *Body = parseStatement();
+    return Context.create<ForStmt>(rangeFrom(Loc), nullptr, Cond, Update,
+                                   Body);
+  }
+
+  SourceLoc InitLoc = Current.Loc;
+  NoIn = true;
+  Expr *InitExpr = parseExpression();
+  NoIn = false;
+  if (accept(TokenKind::KwIn)) {
+    const auto *Id = dyn_cast<Identifier>(InitExpr);
+    std::string Name = Id ? Id->getName() : std::string("__bad");
+    if (!Id)
+      Diags.error(InitLoc, "for-in target must be a plain identifier");
+    Expr *Object = parseExpression();
+    expect(TokenKind::RParen, "after for-in header");
+    Stmt *Body = parseStatement();
+    return Context.create<ForInStmt>(rangeFrom(Loc), std::move(Name),
+                                     /*Declares=*/false, Object, Body);
+  }
+  Stmt *InitStmt =
+      Context.create<ExpressionStmt>(rangeFrom(InitLoc), InitExpr);
+  expect(TokenKind::Semi, "after for-init");
+  Expr *Cond = at(TokenKind::Semi) ? nullptr : parseExpression();
+  expect(TokenKind::Semi, "after for-condition");
+  Expr *Update = at(TokenKind::RParen) ? nullptr : parseExpression();
+  expect(TokenKind::RParen, "after for header");
+  Stmt *Body = parseStatement();
+  return Context.create<ForStmt>(rangeFrom(Loc), InitStmt, Cond, Update, Body);
+}
+
+Stmt *Parser::parseReturn() {
+  SourceLoc Loc = Current.Loc;
+  expect(TokenKind::KwReturn, "");
+  Expr *Arg = nullptr;
+  if (!at(TokenKind::Semi) && !at(TokenKind::RBrace) && !at(TokenKind::Eof))
+    Arg = parseExpression();
+  expectSemi();
+  return Context.create<ReturnStmt>(rangeFrom(Loc), Arg);
+}
+
+Stmt *Parser::parseTry() {
+  SourceLoc Loc = Current.Loc;
+  expect(TokenKind::KwTry, "");
+  Stmt *Block = parseBlock();
+  std::string CatchParam;
+  Stmt *CatchBlock = nullptr;
+  Stmt *FinallyBlock = nullptr;
+  if (accept(TokenKind::KwCatch)) {
+    expect(TokenKind::LParen, "after 'catch'");
+    if (at(TokenKind::Identifier))
+      CatchParam = take().Text;
+    else
+      Diags.error(Current.Loc, "expected identifier in catch clause");
+    expect(TokenKind::RParen, "after catch parameter");
+    CatchBlock = parseBlock();
+  }
+  if (accept(TokenKind::KwFinally))
+    FinallyBlock = parseBlock();
+  if (!CatchBlock && !FinallyBlock)
+    Diags.error(Loc, "try statement requires catch or finally");
+  return Context.create<TryStmt>(rangeFrom(Loc), Block, std::move(CatchParam),
+                                 CatchBlock, FinallyBlock);
+}
+
+Stmt *Parser::parseThrow() {
+  SourceLoc Loc = Current.Loc;
+  expect(TokenKind::KwThrow, "");
+  Expr *Arg = parseExpression();
+  expectSemi();
+  return Context.create<ThrowStmt>(rangeFrom(Loc), Arg);
+}
+
+Stmt *Parser::parseSwitch() {
+  SourceLoc Loc = Current.Loc;
+  expect(TokenKind::KwSwitch, "");
+  expect(TokenKind::LParen, "after 'switch'");
+  Expr *Disc = parseExpression();
+  expect(TokenKind::RParen, "after switch discriminant");
+  expect(TokenKind::LBrace, "to begin switch body");
+  std::vector<SwitchStmt::Clause> Clauses;
+  while (!at(TokenKind::RBrace) && !at(TokenKind::Eof)) {
+    Expr *Test = nullptr;
+    if (accept(TokenKind::KwCase)) {
+      Test = parseExpression();
+    } else if (!accept(TokenKind::KwDefault)) {
+      Diags.error(Current.Loc, "expected 'case' or 'default' in switch");
+      break;
+    }
+    expect(TokenKind::Colon, "after switch clause label");
+    std::vector<Stmt *> Body;
+    while (!at(TokenKind::KwCase) && !at(TokenKind::KwDefault) &&
+           !at(TokenKind::RBrace) && !at(TokenKind::Eof)) {
+      size_t Before = Context.nodeCount();
+      SourceLoc StmtLoc = Current.Loc;
+      Body.push_back(parseStatement());
+      if (Context.nodeCount() == Before &&
+          Current.Loc.Offset == StmtLoc.Offset && !at(TokenKind::Eof))
+        take();
+    }
+    Clauses.push_back({Test, std::move(Body)});
+  }
+  expect(TokenKind::RBrace, "to close switch body");
+  return Context.create<SwitchStmt>(rangeFrom(Loc), Disc, std::move(Clauses));
+}
+
+FunctionExpr *Parser::parseFunction(bool RequireName) {
+  SourceLoc Loc = Current.Loc;
+  expect(TokenKind::KwFunction, "");
+  std::string Name;
+  if (at(TokenKind::Identifier))
+    Name = take().Text;
+  else if (RequireName)
+    Diags.error(Current.Loc, "expected function name");
+  expect(TokenKind::LParen, "after function name");
+  std::vector<std::string> Params;
+  if (!at(TokenKind::RParen)) {
+    do {
+      if (!at(TokenKind::Identifier)) {
+        Diags.error(Current.Loc, "expected parameter name");
+        break;
+      }
+      Params.push_back(take().Text);
+    } while (accept(TokenKind::Comma));
+  }
+  expect(TokenKind::RParen, "after parameter list");
+  // The body is parsed outside any for-header context.
+  bool SavedNoIn = NoIn;
+  NoIn = false;
+  Stmt *Body = parseBlock();
+  NoIn = SavedNoIn;
+  return Context.create<FunctionExpr>(rangeFrom(Loc), std::move(Name),
+                                      std::move(Params), Body);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::errorExpr(SourceLoc Loc) {
+  return Context.create<UndefinedLiteral>(SourceRange(Loc, Loc));
+}
+
+Expr *Parser::parseAssignment() {
+  SourceLoc Loc = Current.Loc;
+  Expr *Target = parseConditional();
+  AssignOp Op;
+  switch (Current.Kind) {
+  case TokenKind::Assign:
+    Op = AssignOp::Assign;
+    break;
+  case TokenKind::PlusAssign:
+    Op = AssignOp::Add;
+    break;
+  case TokenKind::MinusAssign:
+    Op = AssignOp::Sub;
+    break;
+  case TokenKind::StarAssign:
+    Op = AssignOp::Mul;
+    break;
+  case TokenKind::SlashAssign:
+    Op = AssignOp::Div;
+    break;
+  case TokenKind::PercentAssign:
+    Op = AssignOp::Mod;
+    break;
+  default:
+    return Target;
+  }
+  if (!isa<Identifier>(Target) && !isa<MemberExpr>(Target))
+    Diags.error(Current.Loc, "invalid assignment target");
+  take();
+  Expr *Value = parseAssignment();
+  return Context.create<AssignExpr>(rangeFrom(Loc), Op, Target, Value);
+}
+
+Expr *Parser::parseConditional() {
+  SourceLoc Loc = Current.Loc;
+  Expr *Cond = parseLogicalOr();
+  if (!accept(TokenKind::Question))
+    return Cond;
+  Expr *Then = parseAssignment();
+  expect(TokenKind::Colon, "in conditional expression");
+  Expr *Else = parseAssignment();
+  return Context.create<ConditionalExpr>(rangeFrom(Loc), Cond, Then, Else);
+}
+
+Expr *Parser::parseLogicalOr() {
+  SourceLoc Loc = Current.Loc;
+  Expr *LHS = parseLogicalAnd();
+  while (accept(TokenKind::PipePipe)) {
+    Expr *RHS = parseLogicalAnd();
+    LHS = Context.create<LogicalExpr>(rangeFrom(Loc), /*IsAnd=*/false, LHS,
+                                      RHS);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseLogicalAnd() {
+  SourceLoc Loc = Current.Loc;
+  Expr *LHS = parseEquality();
+  while (accept(TokenKind::AmpAmp)) {
+    Expr *RHS = parseEquality();
+    LHS = Context.create<LogicalExpr>(rangeFrom(Loc), /*IsAnd=*/true, LHS,
+                                      RHS);
+  }
+  return LHS;
+}
+
+Expr *Parser::parseEquality() {
+  SourceLoc Loc = Current.Loc;
+  Expr *LHS = parseRelational();
+  for (;;) {
+    BinaryOp Op;
+    if (at(TokenKind::EqEq))
+      Op = BinaryOp::Eq;
+    else if (at(TokenKind::NotEq))
+      Op = BinaryOp::NotEq;
+    else if (at(TokenKind::EqEqEq))
+      Op = BinaryOp::StrictEq;
+    else if (at(TokenKind::NotEqEq))
+      Op = BinaryOp::StrictNotEq;
+    else
+      return LHS;
+    take();
+    Expr *RHS = parseRelational();
+    LHS = Context.create<BinaryExpr>(rangeFrom(Loc), Op, LHS, RHS);
+  }
+}
+
+Expr *Parser::parseRelational() {
+  SourceLoc Loc = Current.Loc;
+  Expr *LHS = parseAdditive();
+  for (;;) {
+    BinaryOp Op;
+    if (at(TokenKind::Less))
+      Op = BinaryOp::Less;
+    else if (at(TokenKind::LessEq))
+      Op = BinaryOp::LessEq;
+    else if (at(TokenKind::Greater))
+      Op = BinaryOp::Greater;
+    else if (at(TokenKind::GreaterEq))
+      Op = BinaryOp::GreaterEq;
+    else if (at(TokenKind::KwInstanceof))
+      Op = BinaryOp::Instanceof;
+    else if (at(TokenKind::KwIn) && !NoIn)
+      Op = BinaryOp::In;
+    else
+      return LHS;
+    take();
+    Expr *RHS = parseAdditive();
+    LHS = Context.create<BinaryExpr>(rangeFrom(Loc), Op, LHS, RHS);
+  }
+}
+
+Expr *Parser::parseAdditive() {
+  SourceLoc Loc = Current.Loc;
+  Expr *LHS = parseMultiplicative();
+  for (;;) {
+    BinaryOp Op;
+    if (at(TokenKind::Plus))
+      Op = BinaryOp::Add;
+    else if (at(TokenKind::Minus))
+      Op = BinaryOp::Sub;
+    else
+      return LHS;
+    take();
+    Expr *RHS = parseMultiplicative();
+    LHS = Context.create<BinaryExpr>(rangeFrom(Loc), Op, LHS, RHS);
+  }
+}
+
+Expr *Parser::parseMultiplicative() {
+  SourceLoc Loc = Current.Loc;
+  Expr *LHS = parseUnary();
+  for (;;) {
+    BinaryOp Op;
+    if (at(TokenKind::Star))
+      Op = BinaryOp::Mul;
+    else if (at(TokenKind::Slash))
+      Op = BinaryOp::Div;
+    else if (at(TokenKind::Percent))
+      Op = BinaryOp::Mod;
+    else
+      return LHS;
+    take();
+    Expr *RHS = parseUnary();
+    LHS = Context.create<BinaryExpr>(rangeFrom(Loc), Op, LHS, RHS);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLoc Loc = Current.Loc;
+  UnaryOp Op;
+  switch (Current.Kind) {
+  case TokenKind::Not:
+    Op = UnaryOp::Not;
+    break;
+  case TokenKind::Minus:
+    Op = UnaryOp::Minus;
+    break;
+  case TokenKind::Plus:
+    Op = UnaryOp::Plus;
+    break;
+  case TokenKind::KwTypeof:
+    Op = UnaryOp::Typeof;
+    break;
+  case TokenKind::KwDelete:
+    Op = UnaryOp::Delete;
+    break;
+  case TokenKind::PlusPlus:
+  case TokenKind::MinusMinus: {
+    bool IsIncrement = at(TokenKind::PlusPlus);
+    take();
+    Expr *Operand = parseUnary();
+    return Context.create<UpdateExpr>(rangeFrom(Loc), IsIncrement,
+                                      /*IsPrefix=*/true, Operand);
+  }
+  default:
+    return parsePostfix();
+  }
+  take();
+  Expr *Operand = parseUnary();
+  return Context.create<UnaryExpr>(rangeFrom(Loc), Op, Operand);
+}
+
+Expr *Parser::parsePostfix() {
+  SourceLoc Loc = Current.Loc;
+  Expr *Base = at(TokenKind::KwNew) ? parseNew() : parsePrimary();
+  Expr *E = parseCallsAndMembers(Base);
+  if (at(TokenKind::PlusPlus) || at(TokenKind::MinusMinus)) {
+    bool IsIncrement = at(TokenKind::PlusPlus);
+    take();
+    E = Context.create<UpdateExpr>(rangeFrom(Loc), IsIncrement,
+                                   /*IsPrefix=*/false, E);
+  }
+  return E;
+}
+
+Expr *Parser::parseCallsAndMembers(Expr *Base) {
+  SourceLoc Loc = Base->getLoc();
+  for (;;) {
+    if (accept(TokenKind::Dot)) {
+      if (!at(TokenKind::Identifier)) {
+        // Allow keywords as property names after '.', as JS does.
+        if (Current.Kind >= TokenKind::KwVar &&
+            Current.Kind <= TokenKind::KwDefault) {
+          std::string Name = tokenKindName(Current.Kind);
+          // Strip the surrounding quotes from "'keyword'".
+          Name = Name.substr(1, Name.size() - 2);
+          take();
+          Base = Context.create<MemberExpr>(rangeFrom(Loc), Base, Name);
+          continue;
+        }
+        Diags.error(Current.Loc, "expected property name after '.'");
+        return Base;
+      }
+      std::string Name = take().Text;
+      Base = Context.create<MemberExpr>(rangeFrom(Loc), Base, std::move(Name));
+      continue;
+    }
+    if (accept(TokenKind::LBracket)) {
+      bool SavedNoIn = NoIn;
+      NoIn = false;
+      Expr *Index = parseExpression();
+      NoIn = SavedNoIn;
+      expect(TokenKind::RBracket, "after computed property");
+      Base = Context.create<MemberExpr>(rangeFrom(Loc), Base, Index);
+      continue;
+    }
+    if (at(TokenKind::LParen)) {
+      take();
+      std::vector<Expr *> Args;
+      if (!at(TokenKind::RParen)) {
+        bool SavedNoIn = NoIn;
+        NoIn = false;
+        do {
+          Args.push_back(parseAssignment());
+        } while (accept(TokenKind::Comma));
+        NoIn = SavedNoIn;
+      }
+      expect(TokenKind::RParen, "after arguments");
+      Base = Context.create<CallExpr>(rangeFrom(Loc), Base, std::move(Args));
+      continue;
+    }
+    return Base;
+  }
+}
+
+Expr *Parser::parseNew() {
+  SourceLoc Loc = Current.Loc;
+  expect(TokenKind::KwNew, "");
+  // Parse the constructor expression: a primary followed by member accesses
+  // (but not calls; the first argument list belongs to `new`).
+  Expr *Callee = at(TokenKind::KwNew) ? parseNew() : parsePrimary();
+  for (;;) {
+    if (accept(TokenKind::Dot)) {
+      if (!at(TokenKind::Identifier)) {
+        Diags.error(Current.Loc, "expected property name after '.'");
+        break;
+      }
+      std::string Name = take().Text;
+      Callee =
+          Context.create<MemberExpr>(rangeFrom(Loc), Callee, std::move(Name));
+      continue;
+    }
+    if (accept(TokenKind::LBracket)) {
+      Expr *Index = parseExpression();
+      expect(TokenKind::RBracket, "after computed property");
+      Callee = Context.create<MemberExpr>(rangeFrom(Loc), Callee, Index);
+      continue;
+    }
+    break;
+  }
+  std::vector<Expr *> Args;
+  if (accept(TokenKind::LParen)) {
+    if (!at(TokenKind::RParen)) {
+      do {
+        Args.push_back(parseAssignment());
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RParen, "after constructor arguments");
+  }
+  return Context.create<NewExpr>(rangeFrom(Loc), Callee, std::move(Args));
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLoc Loc = Current.Loc;
+  switch (Current.Kind) {
+  case TokenKind::Number: {
+    Token T = take();
+    return Context.create<NumberLiteral>(rangeFrom(Loc), T.NumberValue);
+  }
+  case TokenKind::String: {
+    Token T = take();
+    return Context.create<StringLiteral>(rangeFrom(Loc), std::move(T.Text));
+  }
+  case TokenKind::KwTrue:
+    take();
+    return Context.create<BooleanLiteral>(rangeFrom(Loc), true);
+  case TokenKind::KwFalse:
+    take();
+    return Context.create<BooleanLiteral>(rangeFrom(Loc), false);
+  case TokenKind::KwNull:
+    take();
+    return Context.create<NullLiteral>(rangeFrom(Loc));
+  case TokenKind::KwUndefined:
+    take();
+    return Context.create<UndefinedLiteral>(rangeFrom(Loc));
+  case TokenKind::KwThis:
+    take();
+    return Context.create<ThisExpr>(rangeFrom(Loc));
+  case TokenKind::Identifier: {
+    Token T = take();
+    return Context.create<Identifier>(rangeFrom(Loc), std::move(T.Text));
+  }
+  case TokenKind::KwFunction:
+    return parseFunction(/*RequireName=*/false);
+  case TokenKind::LParen: {
+    take();
+    bool SavedNoIn = NoIn;
+    NoIn = false;
+    Expr *E = parseExpression();
+    NoIn = SavedNoIn;
+    expect(TokenKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokenKind::LBracket: {
+    take();
+    std::vector<Expr *> Elements;
+    if (!at(TokenKind::RBracket)) {
+      do {
+        Elements.push_back(parseAssignment());
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RBracket, "to close array literal");
+    return Context.create<ArrayLiteral>(rangeFrom(Loc), std::move(Elements));
+  }
+  case TokenKind::LBrace: {
+    take();
+    std::vector<ObjectLiteral::Property> Props;
+    if (!at(TokenKind::RBrace)) {
+      do {
+        if (at(TokenKind::RBrace))
+          break; // Trailing comma.
+        std::string Key;
+        if (at(TokenKind::Identifier) || at(TokenKind::String)) {
+          Key = take().Text;
+        } else if (at(TokenKind::Number)) {
+          Key = std::to_string(static_cast<long long>(take().NumberValue));
+        } else {
+          Diags.error(Current.Loc, "expected property key in object literal");
+          break;
+        }
+        expect(TokenKind::Colon, "after property key");
+        Expr *Value = parseAssignment();
+        Props.push_back({std::move(Key), Value});
+      } while (accept(TokenKind::Comma));
+    }
+    expect(TokenKind::RBrace, "to close object literal");
+    return Context.create<ObjectLiteral>(rangeFrom(Loc), std::move(Props));
+  }
+  default:
+    Diags.error(Loc, std::string("unexpected ") + tokenKindName(Current.Kind) +
+                         " in expression");
+    take();
+    return errorExpr(Loc);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Entry points
+//===----------------------------------------------------------------------===//
+
+Program dda::parseProgram(const std::string &Source, DiagnosticEngine &Diags) {
+  Program P;
+  Parser TheParser(Source, *P.Context, Diags);
+  P.Body = TheParser.parseTopLevel();
+  return P;
+}
+
+std::vector<Stmt *> dda::parseIntoContext(const std::string &Source,
+                                          ASTContext &Context,
+                                          DiagnosticEngine &Diags) {
+  Parser TheParser(Source, Context, Diags);
+  return TheParser.parseTopLevel();
+}

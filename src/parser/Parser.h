@@ -1,0 +1,98 @@
+//===- Parser.h - Recursive-descent parser for MiniJS ------------*- C++ -*-==//
+///
+/// \file
+/// Parses MiniJS source into an AST. The parser is a conventional
+/// recursive-descent parser with precedence climbing for expressions. It is
+/// lenient about semicolons (an ASI-like policy: a statement terminator is
+/// consumed when present and otherwise inferred), reports all problems
+/// through the DiagnosticEngine, and recovers by skipping tokens, so callers
+/// always get a (possibly partial) AST plus diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_PARSER_PARSER_H
+#define DDA_PARSER_PARSER_H
+
+#include "ast/ASTContext.h"
+#include "lexer/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace dda {
+
+/// Parses \p Source into a fresh Program. Errors land in \p Diags.
+Program parseProgram(const std::string &Source, DiagnosticEngine &Diags);
+
+/// Parses \p Source into an existing context. Used by the runtime `eval`
+/// implementation (evaluated code is instrumented recursively, per paper
+/// Section 4) and by the specializer when splicing eval'd code. Returns the
+/// parsed top-level statements.
+std::vector<Stmt *> parseIntoContext(const std::string &Source,
+                                     ASTContext &Context,
+                                     DiagnosticEngine &Diags);
+
+/// Implementation class; exposed for white-box tests.
+class Parser {
+public:
+  Parser(const std::string &Source, ASTContext &Context,
+         DiagnosticEngine &Diags);
+
+  std::vector<Stmt *> parseTopLevel();
+
+private:
+  // Token plumbing.
+  const Token &peek() const { return Current; }
+  Token take();
+  bool at(TokenKind Kind) const { return Current.is(Kind); }
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void expectSemi();
+  SourceRange rangeFrom(SourceLoc Begin) const;
+
+  // Statements.
+  Stmt *parseStatement();
+  Stmt *parseBlock();
+  Stmt *parseVarDecl();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseDoWhile();
+  Stmt *parseFor();
+  Stmt *parseReturn();
+  Stmt *parseTry();
+  Stmt *parseThrow();
+  Stmt *parseSwitch();
+  FunctionExpr *parseFunction(bool RequireName);
+
+  // Expressions, ordered loosest to tightest.
+  Expr *parseExpression() { return parseAssignment(); }
+  Expr *parseAssignment();
+  Expr *parseConditional();
+  Expr *parseLogicalOr();
+  Expr *parseLogicalAnd();
+  Expr *parseEquality();
+  Expr *parseRelational();
+  Expr *parseAdditive();
+  Expr *parseMultiplicative();
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parseCallsAndMembers(Expr *Base);
+  Expr *parseNew();
+  Expr *parsePrimary();
+
+  Expr *errorExpr(SourceLoc Loc);
+
+  ASTContext &Context;
+  DiagnosticEngine &Diags;
+  Lexer Lex;
+  Token Current;
+  SourceLoc PrevEnd;
+  /// True while parsing a `for (...)` header, where a top-level `in` must not
+  /// be consumed as a binary operator.
+  bool NoIn = false;
+};
+
+} // namespace dda
+
+#endif // DDA_PARSER_PARSER_H

@@ -1,0 +1,1007 @@
+//===- PointsTo.cpp -------------------------------------------------------==//
+
+#include "pointsto/PointsTo.h"
+
+#include "ast/ASTWalk.h"
+#include "interp/Builtins.h"
+
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace dda;
+
+namespace {
+
+using AbsObj = uint32_t;
+using VarID = uint32_t;
+using FieldID = uint32_t;
+
+/// Grow-on-demand bitset over abstract objects.
+class Bits {
+public:
+  bool test(AbsObj O) const {
+    size_t W = O >> 6;
+    return W < Words.size() && (Words[W] >> (O & 63)) & 1;
+  }
+  bool set(AbsObj O) {
+    size_t W = O >> 6;
+    if (W >= Words.size())
+      Words.resize(W + 1, 0);
+    uint64_t Mask = 1ULL << (O & 63);
+    if (Words[W] & Mask)
+      return false;
+    Words[W] |= Mask;
+    ++Count;
+    return true;
+  }
+  size_t count() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  template <typename Fn> void forEach(Fn F) const {
+    for (size_t W = 0; W < Words.size(); ++W) {
+      uint64_t Bits = Words[W];
+      while (Bits) {
+        unsigned B = __builtin_ctzll(Bits);
+        F(static_cast<AbsObj>((W << 6) + B));
+        Bits &= Bits - 1;
+      }
+    }
+  }
+
+private:
+  std::vector<uint64_t> Words;
+  size_t Count = 0;
+};
+
+/// What an abstract object denotes.
+struct AbstractObject {
+  enum Kind : uint8_t {
+    FunctionObj, ///< Closure of a syntactic function (0-CFA merge).
+    ProtoObj,    ///< The implicit F.prototype object.
+    SiteObj,     ///< Object/array literal or new-expression allocation site.
+    NativeObj,   ///< A builtin function.
+    Singleton,   ///< window / document / Math / string-prim / ...
+  } K;
+  const FunctionExpr *Fn = nullptr;
+  NodeID Site = 0;
+  NativeFn Native = NativeFn::None;
+  const char *Name = "";
+};
+
+struct Analysis {
+  const Program &Prog;
+  const PointsToOptions &Opts;
+  PointsToResult Result;
+
+  // --- Abstract object universe (pre-enumerated) -------------------------
+  std::vector<AbstractObject> Objects;
+  std::unordered_map<const FunctionExpr *, AbsObj> FunctionObjs;
+  std::unordered_map<const FunctionExpr *, AbsObj> ProtoObjs;
+  std::unordered_map<NodeID, AbsObj> SiteObjs;
+  std::unordered_map<uint16_t, AbsObj> NativeObjs;
+  AbsObj WindowObj = 0, DocumentObj = 0, DomElementObj = 0, MathObj = 0,
+         ConsoleObj = 0, ObjectCtorObj = 0, ArrayCtorObj = 0,
+         StringProtoObj = 0, ArrayProtoObj = 0, ObjectProtoObj = 0,
+         NativeArrayObj = 0, StringPrimObj = 0;
+
+  // --- Constraint variables ------------------------------------------------
+  std::vector<Bits> PointsTo;
+  std::vector<Bits> Processed;
+  std::vector<std::vector<VarID>> Succ;
+
+  std::unordered_map<NodeID, VarID> ExprVars;
+  // Locals keyed by (function | null, name).
+  std::unordered_map<const FunctionExpr *,
+                     std::unordered_map<std::string, VarID>>
+      LocalVars;
+  std::unordered_map<const FunctionExpr *, VarID> RetVars;
+  std::unordered_map<const FunctionExpr *, VarID> ThisVars;
+  std::unordered_map<uint64_t, VarID> FieldVars; // (AbsObj<<20 | FieldID)
+  VarID ThrownVar = 0;
+
+  // --- Field names -----------------------------------------------------------
+  static constexpr FieldID StarField = 0;
+  static constexpr FieldID ProtoField = 1;
+  std::unordered_map<std::string, FieldID> FieldIDs;
+  std::vector<std::pair<FieldID, VarID>> FieldsOfTmp;
+  // Per object: created (field, var) pairs and pending load-all sinks.
+  std::unordered_map<AbsObj, std::vector<std::pair<FieldID, VarID>>> ObjFields;
+  std::unordered_map<AbsObj, std::vector<VarID>> LoadAllSinks;
+
+  // --- Deferred constraints ("triggers") -------------------------------------
+  struct Trigger {
+    enum Kind : uint8_t { Load, LoadAll, Store, StoreStar, Call } K;
+    FieldID Field = 0;
+    VarID Other = 0;        ///< dst for loads, src for stores.
+    // Call payload:
+    NodeID CallNode = 0;
+    std::vector<VarID> Args;
+    VarID Result = 0;
+    VarID Receiver = 0; ///< 0 = none.
+    bool IsNew = false;
+  };
+  std::vector<std::vector<Trigger>> Triggers;
+  std::vector<std::unordered_set<uint64_t>> TriggerKeys;
+
+  // --- Scope information ------------------------------------------------------
+  std::unordered_map<const FunctionExpr *, const FunctionExpr *> ParentFn;
+  std::unordered_map<const FunctionExpr *,
+                     std::unordered_set<std::string>>
+      DeclaredNames;
+  std::unordered_set<const FunctionExpr *> Generated;
+  std::unordered_map<NodeID, VarID> CallSiteCalleeVar;
+
+  std::deque<VarID> Worklist;
+  std::vector<bool> InWorklist;
+  uint64_t Steps = 0;
+  bool Budget = true;
+
+  Analysis(const Program &P, const PointsToOptions &O) : Prog(P), Opts(O) {
+    FieldIDs["*"] = StarField;
+    FieldIDs["__proto__"] = ProtoField;
+  }
+
+  // ---------------------------------------------------------------- setup --
+
+  AbsObj makeObject(AbstractObject O) {
+    Objects.push_back(O);
+    return static_cast<AbsObj>(Objects.size() - 1);
+  }
+
+  FieldID fieldID(const std::string &Name) {
+    auto It = FieldIDs.find(Name);
+    if (It != FieldIDs.end())
+      return It->second;
+    FieldID ID = static_cast<FieldID>(FieldIDs.size());
+    FieldIDs.emplace(Name, ID);
+    return ID;
+  }
+
+  VarID makeVar() {
+    PointsTo.emplace_back();
+    Processed.emplace_back();
+    Succ.emplace_back();
+    Triggers.emplace_back();
+    TriggerKeys.emplace_back();
+    InWorklist.push_back(false);
+    return static_cast<VarID>(PointsTo.size() - 1);
+  }
+
+  VarID exprVar(const Expr *E) {
+    auto It = ExprVars.find(E->getID());
+    if (It != ExprVars.end())
+      return It->second;
+    VarID V = makeVar();
+    ExprVars.emplace(E->getID(), V);
+    return V;
+  }
+
+  VarID localVar(const FunctionExpr *Fn, const std::string &Name) {
+    auto &Map = LocalVars[Fn];
+    auto It = Map.find(Name);
+    if (It != Map.end())
+      return It->second;
+    VarID V = makeVar();
+    Map.emplace(Name, V);
+    return V;
+  }
+
+  VarID retVar(const FunctionExpr *Fn) {
+    auto It = RetVars.find(Fn);
+    if (It != RetVars.end())
+      return It->second;
+    VarID V = makeVar();
+    RetVars.emplace(Fn, V);
+    return V;
+  }
+
+  VarID thisVar(const FunctionExpr *Fn) {
+    auto It = ThisVars.find(Fn);
+    if (It != ThisVars.end())
+      return It->second;
+    VarID V = makeVar();
+    ThisVars.emplace(Fn, V);
+    return V;
+  }
+
+  VarID fieldVar(AbsObj O, FieldID F) {
+    uint64_t Key = (static_cast<uint64_t>(O) << 24) | F;
+    auto It = FieldVars.find(Key);
+    if (It != FieldVars.end())
+      return It->second;
+    VarID V = makeVar();
+    FieldVars.emplace(Key, V);
+    ObjFields[O].emplace_back(F, V);
+    // Late wiring: an unknown-name load registered earlier must see this
+    // newly materialized field.
+    if (F != ProtoField) {
+      auto SinkIt = LoadAllSinks.find(O);
+      if (SinkIt != LoadAllSinks.end())
+        for (VarID Dst : SinkIt->second)
+          addEdge(V, Dst);
+    }
+    return V;
+  }
+
+  /// Resolves an identifier lexically from function \p Fn outward; names not
+  /// declared anywhere become globals (sloppy mode).
+  VarID resolveVar(const FunctionExpr *Fn, const std::string &Name) {
+    for (const FunctionExpr *F = Fn; F; F = ParentFn[F]) {
+      auto It = DeclaredNames.find(F);
+      if (It != DeclaredNames.end() && It->second.count(Name))
+        return localVar(F, Name);
+    }
+    return localVar(nullptr, Name);
+  }
+
+  // ------------------------------------------------------------ solving --
+
+  void enqueue(VarID V) {
+    if (!InWorklist[V]) {
+      InWorklist[V] = true;
+      Worklist.push_back(V);
+    }
+  }
+
+  void addObj(VarID V, AbsObj O) {
+    if (!Budget)
+      return;
+    if (PointsTo[V].set(O)) {
+      if (++Steps > Opts.MaxPropagationSteps)
+        Budget = false;
+      enqueue(V);
+    }
+  }
+
+  void addEdge(VarID From, VarID To) {
+    if (From == To)
+      return;
+    // Linear duplicate check is fine: fan-out is modest per variable.
+    for (VarID S : Succ[From])
+      if (S == To)
+        return;
+    Succ[From].push_back(To);
+    ++Result.NumCopyEdges;
+    PointsTo[From].forEach([&](AbsObj O) { addObj(To, O); });
+  }
+
+  uint64_t triggerKey(const Trigger &T) const {
+    uint64_t H = static_cast<uint64_t>(T.K);
+    H = H * 1000003 + T.Field;
+    H = H * 1000003 + T.Other;
+    H = H * 1000003 + T.CallNode;
+    H = H * 1000003 + T.Result;
+    return H;
+  }
+
+  void addTrigger(VarID V, Trigger T) {
+    uint64_t Key = triggerKey(T);
+    if (!TriggerKeys[V].insert(Key).second)
+      return;
+    // Apply to already-known objects, then store for future ones. Work on a
+    // copy: applyTrigger may grow Triggers[V] and invalidate references.
+    Bits Snapshot = PointsTo[V];
+    Triggers[V].push_back(T);
+    Snapshot.forEach([&](AbsObj O) { applyTrigger(T, O); });
+  }
+
+  void applyTrigger(const Trigger &T, AbsObj O) {
+    if (!Budget)
+      return;
+    switch (T.K) {
+    case Trigger::Load: {
+      addEdge(fieldVar(O, T.Field), T.Other);
+      addEdge(fieldVar(O, StarField), T.Other);
+      // Prototype chain: the same load applies to whatever __proto__ holds.
+      Trigger PL = T;
+      addTrigger(fieldVar(O, ProtoField), PL);
+      break;
+    }
+    case Trigger::LoadAll: {
+      for (const auto &[F, V] : ObjFields[O])
+        if (F != ProtoField)
+          addEdge(V, T.Other);
+      LoadAllSinks[O].push_back(T.Other);
+      addEdge(fieldVar(O, StarField), T.Other);
+      Trigger PL = T;
+      addTrigger(fieldVar(O, ProtoField), PL);
+      break;
+    }
+    case Trigger::Store:
+      addEdge(T.Other, fieldVar(O, T.Field));
+      break;
+    case Trigger::StoreStar:
+      addEdge(T.Other, fieldVar(O, StarField));
+      break;
+    case Trigger::Call:
+      applyCall(T, O);
+      break;
+    }
+  }
+
+  void applyCall(const Trigger &T, AbsObj O) {
+    const AbstractObject &AO = Objects[O];
+    if (AO.K == AbstractObject::FunctionObj) {
+      const FunctionExpr *F = AO.Fn;
+      if (T.CallNode)
+        Result.CallTargets[T.CallNode].insert(F->getID());
+      generateFunction(F);
+      // Parameters.
+      for (size_t I = 0; I < F->getParams().size(); ++I)
+        if (I < T.Args.size())
+          addEdge(T.Args[I], localVar(F, F->getParams()[I]));
+      // Return value.
+      addEdge(retVar(F), T.Result);
+      // this-binding.
+      if (T.IsNew) {
+        AbsObj NewObj = SiteObjs.at(T.CallNode);
+        addObj(thisVar(F), NewObj);
+        addObj(T.Result, NewObj);
+        // newObj.__proto__ ⊇ F.prototype.
+        addEdge(fieldVar(FunctionObjs.at(F), fieldID("prototype")),
+                fieldVar(NewObj, ProtoField));
+      } else if (T.Receiver) {
+        addEdge(T.Receiver, thisVar(F));
+      }
+      return;
+    }
+    if (AO.K != AbstractObject::NativeObj)
+      return;
+    // Native models.
+    switch (AO.Native) {
+    case NativeFn::Eval:
+      // Recorded post-hoc via CallSiteCalleeVar.
+      break;
+    case NativeFn::ObjKeys:
+    case NativeFn::StrSplit:
+      addObj(T.Result, NativeArrayObj);
+      break;
+    case NativeFn::ArrPush:
+      // Arguments flow into the receiver's merged element field.
+      if (T.Receiver)
+        for (VarID Arg : T.Args) {
+          Trigger St;
+          St.K = Trigger::StoreStar;
+          St.Other = Arg;
+          addTrigger(T.Receiver, St);
+        }
+      break;
+    case NativeFn::ArrPop:
+    case NativeFn::ArrShift:
+      // Result drawn from the receiver's elements.
+      if (T.Receiver) {
+        Trigger Ld;
+        Ld.K = Trigger::Load;
+        Ld.Field = StarField;
+        Ld.Other = T.Result;
+        addTrigger(T.Receiver, Ld);
+      }
+      break;
+    case NativeFn::ArrSlice:
+    case NativeFn::ArrConcat: {
+      addObj(T.Result, NativeArrayObj);
+      // Elements flow from the receiver (and, for concat, arguments) into
+      // the merged native-array element field.
+      VarID ElemField = fieldVar(NativeArrayObj, StarField);
+      if (T.Receiver) {
+        Trigger Ld;
+        Ld.K = Trigger::Load;
+        Ld.Field = StarField;
+        Ld.Other = ElemField;
+        addTrigger(T.Receiver, Ld);
+      }
+      for (VarID Arg : T.Args) {
+        // Array arguments contribute their elements; scalars flow directly.
+        Trigger Ld;
+        Ld.K = Trigger::Load;
+        Ld.Field = StarField;
+        Ld.Other = ElemField;
+        addTrigger(Arg, Ld);
+        addEdge(Arg, ElemField);
+      }
+      break;
+    }
+    case NativeFn::DomGetElementById:
+    case NativeFn::DomCreateElement:
+      addObj(T.Result, DomElementObj);
+      break;
+    case NativeFn::DomAddEventListener:
+      if (Opts.ModelEventHandlers && T.Args.size() >= 2) {
+        Trigger HandlerCall;
+        HandlerCall.K = Trigger::Call;
+        HandlerCall.CallNode = T.CallNode;
+        HandlerCall.Result = makeVar();
+        HandlerCall.Receiver = makeVar();
+        addObj(HandlerCall.Receiver, DocumentObj);
+        addTrigger(T.Args[1], HandlerCall);
+      }
+      break;
+    case NativeFn::StringCtor:
+    case NativeFn::StrCharAt:
+    case NativeFn::StrToUpperCase:
+    case NativeFn::StrToLowerCase:
+    case NativeFn::StrSubstr:
+    case NativeFn::StrSubstring:
+    case NativeFn::StrSlice:
+    case NativeFn::StrConcat:
+    case NativeFn::StrReplace:
+      addObj(T.Result, StringPrimObj);
+      break;
+    default:
+      break;
+    }
+  }
+
+  // ----------------------------------------------------------- pre-pass --
+
+  void collectDeclared(const FunctionExpr *Fn, const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case NodeKind::VarDeclStmt:
+      for (const auto &D : cast<VarDeclStmt>(S)->getDeclarators())
+        DeclaredNames[Fn].insert(D.Name);
+      return;
+    case NodeKind::FunctionDeclStmt:
+      DeclaredNames[Fn].insert(
+          cast<FunctionDeclStmt>(S)->getFunction()->getName());
+      return;
+    case NodeKind::ForInStmt:
+      if (cast<ForInStmt>(S)->declaresVar())
+        DeclaredNames[Fn].insert(cast<ForInStmt>(S)->getVar());
+      break;
+    case NodeKind::TryStmt:
+      if (!cast<TryStmt>(S)->getCatchParam().empty())
+        DeclaredNames[Fn].insert(cast<TryStmt>(S)->getCatchParam());
+      break;
+    case NodeKind::SwitchStmt:
+      break; // Clauses handled via child traversal below.
+    default:
+      break;
+    }
+    forEachChild(S, [&](const Node *Child) {
+      if (isa<FunctionExpr>(Child))
+        return; // Nested functions have their own scope.
+      if (const auto *CS = dyn_cast<Stmt>(Child))
+        collectDeclared(Fn, CS);
+      else
+        collectDeclaredExpr(Fn, cast<Expr>(Child));
+    });
+  }
+
+  void collectDeclaredExpr(const FunctionExpr *Fn, const Expr *E) {
+    forEachChild(E, [&](const Node *Child) {
+      if (isa<FunctionExpr>(Child))
+        return;
+      if (const auto *CS = dyn_cast<Stmt>(Child))
+        collectDeclared(Fn, CS);
+      else
+        collectDeclaredExpr(Fn, cast<Expr>(Child));
+    });
+  }
+
+  void prePass() {
+    // Enumerate the abstract-object universe and scope structure.
+    std::vector<const FunctionExpr *> Stack;
+    std::function<void(const Node *, const FunctionExpr *)> Walk =
+        [&](const Node *N, const FunctionExpr *Enclosing) {
+          if (const auto *F = dyn_cast<FunctionExpr>(N)) {
+            ParentFn[F] = Enclosing;
+            FunctionObjs[F] = makeObject(
+                {AbstractObject::FunctionObj, F, F->getID(), NativeFn::None,
+                 F->getName().empty() ? "<anon>" : F->getName().c_str()});
+            ProtoObjs[F] = makeObject(
+                {AbstractObject::ProtoObj, F, F->getID(), NativeFn::None,
+                 "proto"});
+            for (const std::string &P : F->getParams())
+              DeclaredNames[F].insert(P);
+            if (!F->getName().empty())
+              DeclaredNames[F].insert(F->getName());
+            collectDeclared(F, F->getBody());
+            forEachChild(F->getBody(),
+                         [&](const Node *C) { Walk(C, F); });
+            return;
+          }
+          if (isa<ObjectLiteral>(N) || isa<ArrayLiteral>(N) ||
+              isa<NewExpr>(N))
+            SiteObjs[N->getID()] =
+                makeObject({AbstractObject::SiteObj, nullptr, N->getID(),
+                            NativeFn::None, "site"});
+          forEachChild(N, [&](const Node *C) { Walk(C, Enclosing); });
+        };
+
+    // Reserve object 0 as invalid.
+    makeObject({AbstractObject::Singleton, nullptr, 0, NativeFn::None,
+                "<invalid>"});
+    for (const Stmt *S : Prog.Body) {
+      collectDeclared(nullptr, S);
+      Walk(S, nullptr);
+    }
+
+    auto MakeSingleton = [&](const char *Name) {
+      return makeObject(
+          {AbstractObject::Singleton, nullptr, 0, NativeFn::None, Name});
+    };
+    WindowObj = MakeSingleton("window");
+    DocumentObj = MakeSingleton("document");
+    DomElementObj = MakeSingleton("dom-element");
+    MathObj = MakeSingleton("Math");
+    ConsoleObj = MakeSingleton("console");
+    ObjectCtorObj = MakeSingleton("Object");
+    ArrayCtorObj = MakeSingleton("Array");
+    StringProtoObj = MakeSingleton("String.prototype");
+    ArrayProtoObj = MakeSingleton("Array.prototype");
+    ObjectProtoObj = MakeSingleton("Object.prototype");
+    NativeArrayObj = MakeSingleton("native-array");
+    StringPrimObj = MakeSingleton("string-prim");
+  }
+
+  AbsObj nativeObj(NativeFn Fn) {
+    auto Key = static_cast<uint16_t>(Fn);
+    auto It = NativeObjs.find(Key);
+    if (It != NativeObjs.end())
+      return It->second;
+    AbsObj O = makeObject({AbstractObject::NativeObj, nullptr, 0, Fn,
+                           nativeInfo(Fn).Name});
+    NativeObjs.emplace(Key, O);
+    return O;
+  }
+
+  void seedGlobals() {
+    auto Global = [&](const char *Name, AbsObj O) {
+      addObj(localVar(nullptr, Name), O);
+    };
+    auto Field = [&](AbsObj O, const char *Name, AbsObj V) {
+      addObj(fieldVar(O, fieldID(Name)), V);
+    };
+
+    Global("window", WindowObj);
+    Global("document", DocumentObj);
+    Global("Math", MathObj);
+    Global("console", ConsoleObj);
+    Global("Object", ObjectCtorObj);
+    Global("Array", ArrayCtorObj);
+    Global("alert", nativeObj(NativeFn::Print));
+    Global("print", nativeObj(NativeFn::Print));
+    Global("parseInt", nativeObj(NativeFn::ParseInt));
+    Global("parseFloat", nativeObj(NativeFn::ParseFloat));
+    Global("isNaN", nativeObj(NativeFn::IsNaN));
+    Global("String", nativeObj(NativeFn::StringCtor));
+    Global("Number", nativeObj(NativeFn::NumberCtor));
+    Global("Boolean", nativeObj(NativeFn::BooleanCtor));
+    Global("eval", nativeObj(NativeFn::Eval));
+
+    Field(WindowObj, "document", DocumentObj);
+    Field(WindowObj, "addEventListener",
+          nativeObj(NativeFn::DomAddEventListener));
+    Field(DocumentObj, "getElementById",
+          nativeObj(NativeFn::DomGetElementById));
+    Field(DocumentObj, "createElement",
+          nativeObj(NativeFn::DomCreateElement));
+    Field(DocumentObj, "write", nativeObj(NativeFn::DomWrite));
+    Field(DocumentObj, "addEventListener",
+          nativeObj(NativeFn::DomAddEventListener));
+    Field(DomElementObj, "getAttribute", nativeObj(NativeFn::DomGetAttribute));
+    Field(DomElementObj, "setAttribute", nativeObj(NativeFn::DomSetAttribute));
+    Field(DomElementObj, "appendChild", nativeObj(NativeFn::DomAppendChild));
+    Field(DomElementObj, "addEventListener",
+          nativeObj(NativeFn::DomAddEventListener));
+
+    Field(MathObj, "random", nativeObj(NativeFn::MathRandom));
+    Field(MathObj, "floor", nativeObj(NativeFn::MathFloor));
+    Field(MathObj, "ceil", nativeObj(NativeFn::MathCeil));
+    Field(MathObj, "round", nativeObj(NativeFn::MathRound));
+    Field(MathObj, "abs", nativeObj(NativeFn::MathAbs));
+    Field(MathObj, "max", nativeObj(NativeFn::MathMax));
+    Field(MathObj, "min", nativeObj(NativeFn::MathMin));
+    Field(MathObj, "pow", nativeObj(NativeFn::MathPow));
+    Field(MathObj, "sqrt", nativeObj(NativeFn::MathSqrt));
+    Field(ConsoleObj, "log", nativeObj(NativeFn::Print));
+
+    Field(ObjectCtorObj, "keys", nativeObj(NativeFn::ObjKeys));
+    Field(ObjectCtorObj, "prototype", ObjectProtoObj);
+    Field(ArrayCtorObj, "prototype", ArrayProtoObj);
+    Field(nativeObj(NativeFn::StringCtor), "prototype", StringProtoObj);
+
+    Field(ObjectProtoObj, "hasOwnProperty",
+          nativeObj(NativeFn::ObjHasOwnProperty));
+    auto StrMethod = [&](const char *Name, NativeFn Fn) {
+      Field(StringProtoObj, Name, nativeObj(Fn));
+    };
+    StrMethod("charAt", NativeFn::StrCharAt);
+    StrMethod("charCodeAt", NativeFn::StrCharCodeAt);
+    StrMethod("toUpperCase", NativeFn::StrToUpperCase);
+    StrMethod("toLowerCase", NativeFn::StrToLowerCase);
+    StrMethod("substr", NativeFn::StrSubstr);
+    StrMethod("substring", NativeFn::StrSubstring);
+    StrMethod("indexOf", NativeFn::StrIndexOf);
+    StrMethod("slice", NativeFn::StrSlice);
+    StrMethod("split", NativeFn::StrSplit);
+    StrMethod("concat", NativeFn::StrConcat);
+    StrMethod("replace", NativeFn::StrReplace);
+    auto ArrMethod = [&](const char *Name, NativeFn Fn) {
+      Field(ArrayProtoObj, Name, nativeObj(Fn));
+    };
+    ArrMethod("push", NativeFn::ArrPush);
+    ArrMethod("pop", NativeFn::ArrPop);
+    ArrMethod("shift", NativeFn::ArrShift);
+    ArrMethod("join", NativeFn::ArrJoin);
+    ArrMethod("indexOf", NativeFn::ArrIndexOf);
+    ArrMethod("slice", NativeFn::ArrSlice);
+    ArrMethod("concat", NativeFn::ArrConcat);
+
+    // Primitive strings and native arrays delegate to their prototypes.
+    addObj(fieldVar(StringPrimObj, ProtoField), StringProtoObj);
+    addObj(fieldVar(NativeArrayObj, ProtoField), ArrayProtoObj);
+    addObj(fieldVar(DomElementObj, ProtoField), ObjectProtoObj);
+
+    ThrownVar = makeVar();
+  }
+
+  // ------------------------------------------------- constraint generation --
+
+  /// Generates constraints for a function body once, when it becomes a call
+  /// target (on-the-fly call graph).
+  void generateFunction(const FunctionExpr *F) {
+    if (!Generated.insert(F).second)
+      return;
+    ++Result.ReachableFunctions;
+    if (!F->getName().empty())
+      addObj(localVar(F, F->getName()), FunctionObjs.at(F));
+    genStmt(F, F->getBody());
+  }
+
+  void genStmt(const FunctionExpr *Fn, const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->getKind()) {
+    case NodeKind::ExpressionStmt:
+      genExpr(Fn, cast<ExpressionStmt>(S)->getExpr());
+      return;
+    case NodeKind::VarDeclStmt:
+      for (const auto &D : cast<VarDeclStmt>(S)->getDeclarators())
+        if (D.Init) {
+          VarID V = genExpr(Fn, D.Init);
+          addEdge(V, resolveVar(Fn, D.Name));
+        }
+      return;
+    case NodeKind::FunctionDeclStmt: {
+      const FunctionExpr *F = cast<FunctionDeclStmt>(S)->getFunction();
+      seedFunctionObject(F);
+      addObj(resolveVar(Fn, F->getName()), FunctionObjs.at(F));
+      return;
+    }
+    case NodeKind::BlockStmt:
+      for (const Stmt *Child : cast<BlockStmt>(S)->getBody())
+        genStmt(Fn, Child);
+      return;
+    case NodeKind::IfStmt: {
+      const auto *If = cast<IfStmt>(S);
+      genExpr(Fn, If->getCond());
+      genStmt(Fn, If->getThen());
+      genStmt(Fn, If->getElse());
+      return;
+    }
+    case NodeKind::WhileStmt:
+      genExpr(Fn, cast<WhileStmt>(S)->getCond());
+      genStmt(Fn, cast<WhileStmt>(S)->getBody());
+      return;
+    case NodeKind::DoWhileStmt:
+      genStmt(Fn, cast<DoWhileStmt>(S)->getBody());
+      genExpr(Fn, cast<DoWhileStmt>(S)->getCond());
+      return;
+    case NodeKind::ForStmt: {
+      const auto *F = cast<ForStmt>(S);
+      genStmt(Fn, F->getInit());
+      if (F->getCond())
+        genExpr(Fn, F->getCond());
+      if (F->getUpdate())
+        genExpr(Fn, F->getUpdate());
+      genStmt(Fn, F->getBody());
+      return;
+    }
+    case NodeKind::ForInStmt: {
+      const auto *F = cast<ForInStmt>(S);
+      genExpr(Fn, F->getObject());
+      addObj(resolveVar(Fn, F->getVar()), StringPrimObj);
+      genStmt(Fn, F->getBody());
+      return;
+    }
+    case NodeKind::ReturnStmt:
+      if (const Expr *A = cast<ReturnStmt>(S)->getArg()) {
+        VarID V = genExpr(Fn, A);
+        if (Fn)
+          addEdge(V, retVar(Fn));
+      }
+      return;
+    case NodeKind::ThrowStmt:
+      addEdge(genExpr(Fn, cast<ThrowStmt>(S)->getArg()), ThrownVar);
+      return;
+    case NodeKind::TryStmt: {
+      const auto *T = cast<TryStmt>(S);
+      genStmt(Fn, T->getBlock());
+      if (T->getCatchBlock()) {
+        if (!T->getCatchParam().empty())
+          addEdge(ThrownVar, resolveVar(Fn, T->getCatchParam()));
+        genStmt(Fn, T->getCatchBlock());
+      }
+      genStmt(Fn, T->getFinallyBlock());
+      return;
+    }
+    case NodeKind::SwitchStmt: {
+      const auto *Sw = cast<SwitchStmt>(S);
+      genExpr(Fn, Sw->getDisc());
+      for (const auto &Clause : Sw->getClauses()) {
+        if (Clause.Test)
+          genExpr(Fn, Clause.Test);
+        for (const Stmt *Child : Clause.Body)
+          genStmt(Fn, Child);
+      }
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void seedFunctionObject(const FunctionExpr *F) {
+    AbsObj FO = FunctionObjs.at(F);
+    AbsObj PO = ProtoObjs.at(F);
+    addObj(fieldVar(FO, fieldID("prototype")), PO);
+    addObj(fieldVar(PO, fieldID("constructor")), FO);
+    addObj(fieldVar(PO, ProtoField), ObjectProtoObj);
+  }
+
+  /// Returns the constraint variable holding the expression's value.
+  VarID genExpr(const FunctionExpr *Fn, const Expr *E) {
+    VarID Out = exprVar(E);
+    switch (E->getKind()) {
+    case NodeKind::NumberLiteral:
+    case NodeKind::BooleanLiteral:
+    case NodeKind::NullLiteral:
+    case NodeKind::UndefinedLiteral:
+      return Out;
+    case NodeKind::StringLiteral:
+      addObj(Out, StringPrimObj);
+      return Out;
+    case NodeKind::Identifier:
+      addEdge(resolveVar(Fn, cast<Identifier>(E)->getName()), Out);
+      return Out;
+    case NodeKind::This:
+      if (Fn)
+        addEdge(thisVar(Fn), Out);
+      else
+        addObj(Out, WindowObj);
+      return Out;
+    case NodeKind::ArrayLiteral: {
+      AbsObj O = SiteObjs.at(E->getID());
+      addObj(Out, O);
+      addObj(fieldVar(O, ProtoField), ArrayProtoObj);
+      for (const Expr *Elem : cast<ArrayLiteral>(E)->getElements())
+        addEdge(genExpr(Fn, Elem), fieldVar(O, StarField));
+      return Out;
+    }
+    case NodeKind::ObjectLiteral: {
+      AbsObj O = SiteObjs.at(E->getID());
+      addObj(Out, O);
+      addObj(fieldVar(O, ProtoField), ObjectProtoObj);
+      for (const auto &P : cast<ObjectLiteral>(E)->getProperties())
+        addEdge(genExpr(Fn, P.Value), fieldVar(O, fieldID(P.Key)));
+      return Out;
+    }
+    case NodeKind::Function: {
+      const auto *F = cast<FunctionExpr>(E);
+      seedFunctionObject(F);
+      addObj(Out, FunctionObjs.at(F));
+      return Out;
+    }
+    case NodeKind::Member: {
+      const auto *M = cast<MemberExpr>(E);
+      VarID Base = genExpr(Fn, M->getObject());
+      genLoad(Fn, M, Base, Out);
+      return Out;
+    }
+    case NodeKind::Call:
+    case NodeKind::New:
+      genCall(Fn, E, Out);
+      return Out;
+    case NodeKind::Unary:
+      genExpr(Fn, cast<UnaryExpr>(E)->getOperand());
+      return Out;
+    case NodeKind::Update:
+      genExpr(Fn, cast<UpdateExpr>(E)->getOperand());
+      return Out;
+    case NodeKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      genExpr(Fn, B->getLHS());
+      genExpr(Fn, B->getRHS());
+      // `+` may concatenate strings.
+      if (B->getOp() == BinaryOp::Add)
+        addObj(Out, StringPrimObj);
+      return Out;
+    }
+    case NodeKind::Logical: {
+      const auto *L = cast<LogicalExpr>(E);
+      addEdge(genExpr(Fn, L->getLHS()), Out);
+      addEdge(genExpr(Fn, L->getRHS()), Out);
+      return Out;
+    }
+    case NodeKind::Assign: {
+      const auto *A = cast<AssignExpr>(E);
+      VarID V = genExpr(Fn, A->getValue());
+      if (const auto *Id = dyn_cast<Identifier>(A->getTarget())) {
+        addEdge(V, resolveVar(Fn, Id->getName()));
+      } else {
+        const auto *M = cast<MemberExpr>(A->getTarget());
+        VarID Base = genExpr(Fn, M->getObject());
+        genStore(Fn, M, Base, V);
+      }
+      addEdge(V, Out);
+      return Out;
+    }
+    case NodeKind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      genExpr(Fn, C->getCond());
+      addEdge(genExpr(Fn, C->getThen()), Out);
+      addEdge(genExpr(Fn, C->getElse()), Out);
+      return Out;
+    }
+    default:
+      return Out;
+    }
+  }
+
+  /// Static field name if the access is non-computed or uses a string
+  /// literal index; empty optional = unknown (★).
+  static const std::string *staticFieldName(const MemberExpr *M) {
+    if (!M->isComputed())
+      return &M->getProperty();
+    if (const auto *S = dyn_cast<StringLiteral>(M->getIndex()))
+      return &S->getValue();
+    return nullptr;
+  }
+
+  void genLoad(const FunctionExpr *Fn, const MemberExpr *M, VarID Base,
+               VarID Dst) {
+    if (M->isComputed() && !isa<StringLiteral>(M->getIndex()))
+      genExpr(Fn, M->getIndex());
+    Trigger T;
+    if (const std::string *Name = staticFieldName(M)) {
+      T.K = Trigger::Load;
+      T.Field = fieldID(*Name);
+    } else {
+      T.K = Trigger::LoadAll;
+    }
+    T.Other = Dst;
+    addTrigger(Base, T);
+  }
+
+  void genStore(const FunctionExpr *Fn, const MemberExpr *M, VarID Base,
+                VarID Src) {
+    if (M->isComputed() && !isa<StringLiteral>(M->getIndex()))
+      genExpr(Fn, M->getIndex());
+    Trigger T;
+    if (const std::string *Name = staticFieldName(M)) {
+      T.K = Trigger::Store;
+      T.Field = fieldID(*Name);
+    } else {
+      T.K = Trigger::StoreStar;
+    }
+    T.Other = Src;
+    addTrigger(Base, T);
+  }
+
+  void genCall(const FunctionExpr *Fn, const Expr *E, VarID Out) {
+    bool IsNew = isa<NewExpr>(E);
+    const Expr *CalleeE =
+        IsNew ? cast<NewExpr>(E)->getCallee() : cast<CallExpr>(E)->getCallee();
+    const std::vector<Expr *> &Args =
+        IsNew ? cast<NewExpr>(E)->getArgs() : cast<CallExpr>(E)->getArgs();
+
+    Trigger T;
+    T.K = Trigger::Call;
+    T.CallNode = E->getID();
+    T.Result = Out;
+    T.IsNew = IsNew;
+
+    VarID CalleeV;
+    if (const auto *M = dyn_cast<MemberExpr>(CalleeE)) {
+      VarID Base = genExpr(Fn, M->getObject());
+      CalleeV = exprVar(CalleeE);
+      genLoad(Fn, M, Base, CalleeV);
+      T.Receiver = Base;
+    } else {
+      CalleeV = genExpr(Fn, CalleeE);
+    }
+    for (const Expr *A : Args)
+      T.Args.push_back(genExpr(Fn, A));
+    CallSiteCalleeVar[E->getID()] = CalleeV;
+    addTrigger(CalleeV, T);
+  }
+
+  // ---------------------------------------------------------------- solve --
+
+  void solve() {
+    while (!Worklist.empty() && Budget) {
+      VarID V = Worklist.front();
+      Worklist.pop_front();
+      InWorklist[V] = false;
+
+      // New objects since last processing.
+      std::vector<AbsObj> Delta;
+      PointsTo[V].forEach([&](AbsObj O) {
+        if (Processed[V].set(O))
+          Delta.push_back(O);
+      });
+      for (AbsObj O : Delta) {
+        // Triggers may grow (and reallocate) while we iterate; index loop
+        // over a by-value copy of each entry.
+        for (size_t I = 0; I < Triggers[V].size() && Budget; ++I) {
+          Trigger T = Triggers[V][I];
+          applyTrigger(T, O);
+        }
+      }
+      // Copy edges.
+      for (VarID S : Succ[V])
+        PointsTo[V].forEach([&](AbsObj O) { addObj(S, O); });
+    }
+  }
+
+  void finalize() {
+    Result.Completed = Budget;
+    Result.PropagationSteps = Steps;
+    Result.NumAbstractObjects = Objects.size();
+    Result.NumConstraintVars = PointsTo.size();
+    size_t NonEmpty = 0;
+    for (const Bits &B : PointsTo) {
+      Result.TotalPointsToSize += B.count();
+      if (!B.empty())
+        ++NonEmpty;
+    }
+    Result.AvgPointsToSize =
+        NonEmpty ? double(Result.TotalPointsToSize) / double(NonEmpty) : 0;
+
+    for (const auto &[Site, Targets] : Result.CallTargets) {
+      Result.CallGraphEdges += Targets.size();
+      if (Targets.size() > 1)
+        ++Result.PolymorphicCallSites;
+    }
+    Result.AvgCallTargets =
+        Result.CallTargets.empty()
+            ? 0
+            : double(Result.CallGraphEdges) / double(Result.CallTargets.size());
+
+    AbsObj EvalObj = 0;
+    auto It = NativeObjs.find(static_cast<uint16_t>(NativeFn::Eval));
+    if (It != NativeObjs.end())
+      EvalObj = It->second;
+    for (const auto &[Site, CalleeV] : CallSiteCalleeVar) {
+      if (!EvalObj || !PointsTo[CalleeV].test(EvalObj))
+        continue;
+      Result.EvalMaybeCallSites.insert(Site);
+      if (PointsTo[CalleeV].count() == 1)
+        Result.EvalOnlyCallSites.insert(Site);
+    }
+  }
+
+  void run() {
+    prePass();
+    seedGlobals();
+    for (const Stmt *S : Prog.Body)
+      genStmt(nullptr, S);
+    solve();
+    finalize();
+  }
+};
+
+} // namespace
+
+PointsToResult dda::runPointsToAnalysis(const Program &P,
+                                        const PointsToOptions &Opts) {
+  Analysis A(P, Opts);
+  A.run();
+  return A.Result;
+}

@@ -1,0 +1,77 @@
+//===- Specializer.h - Determinacy-driven program specialization -*- C++ -*-==//
+///
+/// \file
+/// Rewrites a MiniJS program into a *residual program* using the facts a
+/// dynamic determinacy run produced, implementing the three specializations
+/// of paper Section 5.1 plus the eval rewriting of Section 5.2:
+///
+///  (i)   removing branches guarded by determinately-false (or -true)
+///        conditions;
+///  (ii)  making dynamic property accesses with determinate names static
+///        (`o["get"+p]` → `o.getWidth`);
+///  (iii) unrolling loops with a determinate iteration bound when this
+///        enables other specializations;
+///  (iv)  replacing `eval(s)` with the parsed code when `s` is determinate.
+///
+/// Context sensitivity is materialized as *function cloning*: a call site
+/// whose callee is determinate under a full-call-stack context gets
+/// redirected to a clone of the callee specialized for that context (the
+/// clone is declared as a sibling of the original, so closures resolve
+/// identically). The residual program is then analyzable by the plain
+/// context-insensitive pointer analysis — each clone is its own 0-CFA
+/// function, which is exactly how the paper's Spec configuration gains
+/// precision over Baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SPECIALIZE_SPECIALIZER_H
+#define DDA_SPECIALIZE_SPECIALIZER_H
+
+#include "ast/ASTContext.h"
+#include "determinacy/Determinacy.h"
+
+#include <set>
+#include <unordered_map>
+
+namespace dda {
+
+/// Specializer knobs. Defaults mirror the paper: up to four levels of
+/// calling context, and loops unrolled up to 32 iterations (jQuery 1.0
+/// needed 21).
+struct SpecializerOptions {
+  unsigned MaxCloneDepth = 4;
+  unsigned MaxUnroll = 32;
+  bool PruneBranches = true;
+  bool StaticizeProperties = true;
+  bool UnrollLoops = true;
+  bool SpliceEval = true;
+  bool CloneFunctions = true;
+};
+
+/// What the specializer did (for tests, benches, and EXPERIMENTS.md rows).
+struct SpecializationReport {
+  unsigned BranchesPruned = 0;
+  unsigned PropertiesStaticized = 0;
+  unsigned LoopsUnrolled = 0;
+  unsigned EvalsSpliced = 0;
+  unsigned FunctionClones = 0;
+  /// Original NodeIDs of eval call sites that were replaced by parsed code.
+  std::set<NodeID> SplicedEvalSites;
+};
+
+/// The residual program plus bookkeeping.
+struct SpecializeResult {
+  Program Residual;
+  SpecializationReport Report;
+  /// Maps every residual node back to the original node it was cloned from.
+  std::unordered_map<NodeID, NodeID> OriginOf;
+};
+
+/// Specializes \p P using \p Analysis (facts + contexts from a determinacy
+/// run). \p Analysis is non-const because context-chain lookups intern.
+SpecializeResult specializeProgram(const Program &P, AnalysisResult &Analysis,
+                                   const SpecializerOptions &Opts = {});
+
+} // namespace dda
+
+#endif // DDA_SPECIALIZE_SPECIALIZER_H

@@ -1,0 +1,30 @@
+//===- Diagnostics.cpp ----------------------------------------------------==//
+
+#include "support/Diagnostics.h"
+
+using namespace dda;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.Loc.str();
+    Out += ": ";
+    Out += kindName(D.Kind);
+    Out += ": ";
+    Out += D.Message;
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,66 @@
+//===- Diagnostics.h - Error collection for the MiniJS frontend -*- C++ -*-==//
+///
+/// \file
+/// A small diagnostic engine. Library code never throws or exits on malformed
+/// input; it reports a diagnostic here and recovers, so that tools decide how
+/// to surface errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SUPPORT_DIAGNOSTICS_H
+#define DDA_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLocation.h"
+
+#include <string>
+#include <vector>
+
+namespace dda {
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported problem, with its location in the source buffer.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics produced by the lexer, parser, and analyses.
+class DiagnosticEngine {
+public:
+  void report(DiagKind Kind, SourceLoc Loc, std::string Message) {
+    if (Kind == DiagKind::Error)
+      ++NumErrors;
+    Diags.push_back({Kind, Loc, std::move(Message)});
+  }
+
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Error, Loc, std::move(Message));
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagKind::Warning, Loc, std::move(Message));
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line, as "line:col: kind: message".
+  std::string str() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace dda
+
+#endif // DDA_SUPPORT_DIAGNOSTICS_H

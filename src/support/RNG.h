@@ -1,0 +1,51 @@
+//===- RNG.h - Deterministic seeded random number generator ----*- C++ -*-===//
+///
+/// \file
+/// A SplitMix64-based RNG. Used to back the MiniJS `Math.random` builtin (the
+/// paper's canonical indeterminate source) and the soundness fuzzer. Seeded
+/// explicitly so that "another execution" can be simulated by re-running the
+/// concrete interpreter with a different seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SUPPORT_RNG_H
+#define DDA_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace dda {
+
+/// SplitMix64: tiny, fast, and statistically solid for our purposes.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform double in [0, 1), like JavaScript's Math.random.
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform value in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) { return Bound ? next() % Bound : 0; }
+
+  /// Snapshot/restore: counterfactual execution treats the random tape as
+  /// part of the program state, restoring it on undo so the real execution
+  /// is unaffected by the branches that were explored hypothetically.
+  uint64_t getState() const { return State; }
+  void setState(uint64_t S) { State = S; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace dda
+
+#endif // DDA_SUPPORT_RNG_H

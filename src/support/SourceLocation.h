@@ -1,0 +1,55 @@
+//===- SourceLocation.h - Positions and ranges in MiniJS source -*- C++ -*-==//
+///
+/// \file
+/// Lightweight value types describing positions and ranges inside a source
+/// buffer. Lines and columns are 1-based, matching how the paper refers to
+/// program points ("line 14"); byte offsets are 0-based.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SUPPORT_SOURCELOCATION_H
+#define DDA_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace dda {
+
+/// A position in a source buffer.
+struct SourceLoc {
+  uint32_t Line = 0;   ///< 1-based line; 0 means "unknown".
+  uint32_t Column = 0; ///< 1-based column.
+  uint32_t Offset = 0; ///< 0-based byte offset.
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Column, uint32_t Offset)
+      : Line(Line), Column(Column), Offset(Offset) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &Other) const {
+    return Line == Other.Line && Column == Other.Column &&
+           Offset == Other.Offset;
+  }
+
+  /// Renders as "line:col", the format used in diagnostics and in printed
+  /// determinacy facts.
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+/// A half-open byte range [Begin, End) in a source buffer.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace dda
+
+#endif // DDA_SUPPORT_SOURCELOCATION_H

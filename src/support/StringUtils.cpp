@@ -1,0 +1,114 @@
+//===- StringUtils.cpp ----------------------------------------------------==//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace dda;
+
+std::string dda::numberToString(double Value) {
+  if (std::isnan(Value))
+    return "NaN";
+  if (std::isinf(Value))
+    return Value > 0 ? "Infinity" : "-Infinity";
+  // Negative zero prints as "0" in JS ToString.
+  if (Value == 0)
+    return "0";
+  // Integral values within the safe-integer range print without a decimal
+  // point, matching JS.
+  if (Value == std::floor(Value) && std::fabs(Value) < 1e15) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.0f", Value);
+    return Buf;
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  for (int Precision = 1; Precision <= 17; ++Precision) {
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Precision, Value);
+    if (std::strtod(Buf, nullptr) == Value)
+      return Buf;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
+  return Buf;
+}
+
+double dda::stringToNumber(const std::string &Text) {
+  const char *Begin = Text.c_str();
+  const char *End = Begin + Text.size();
+  while (Begin != End && std::isspace(static_cast<unsigned char>(*Begin)))
+    ++Begin;
+  while (End != Begin && std::isspace(static_cast<unsigned char>(End[-1])))
+    --End;
+  if (Begin == End)
+    return 0.0;
+  std::string Trimmed(Begin, End);
+  char *ParseEnd = nullptr;
+  double Result;
+  if (Trimmed.size() > 2 && Trimmed[0] == '0' &&
+      (Trimmed[1] == 'x' || Trimmed[1] == 'X')) {
+    Result = static_cast<double>(std::strtoull(Trimmed.c_str(), &ParseEnd, 16));
+  } else {
+    Result = std::strtod(Trimmed.c_str(), &ParseEnd);
+  }
+  if (ParseEnd != Trimmed.c_str() + Trimmed.size())
+    return std::nan("");
+  return Result;
+}
+
+std::string dda::escapeString(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size() + 2);
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+bool dda::isIdentifier(const std::string &Text) {
+  if (Text.empty())
+    return false;
+  auto IsStart = [](char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$';
+  };
+  auto IsPart = [&](char C) {
+    return IsStart(C) || std::isdigit(static_cast<unsigned char>(C));
+  };
+  if (!IsStart(Text[0]))
+    return false;
+  for (size_t I = 1; I < Text.size(); ++I)
+    if (!IsPart(Text[I]))
+      return false;
+  // A handful of keywords cannot be used with dot syntax in our parser.
+  static const char *Keywords[] = {
+      "var",      "function", "return", "if",    "else",   "while", "for",
+      "in",       "new",      "typeof", "true",  "false",  "null",  "this",
+      "break",    "continue", "try",    "catch", "finally", "throw",
+      "delete",   "do",       "instanceof", "undefined"};
+  for (const char *Keyword : Keywords)
+    if (Text == Keyword)
+      return false;
+  return true;
+}

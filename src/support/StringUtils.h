@@ -1,0 +1,37 @@
+//===- StringUtils.h - String and number conversions ------------*- C++ -*-==//
+///
+/// \file
+/// Conversions between MiniJS numbers and strings following (a practical
+/// subset of) the ECMAScript ToString/ToNumber rules, plus string escaping
+/// helpers used by the AST printer and fact rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SUPPORT_STRINGUTILS_H
+#define DDA_SUPPORT_STRINGUTILS_H
+
+#include <string>
+
+namespace dda {
+
+/// Formats a double the way JavaScript's ToString does for the common cases:
+/// integral values print without a decimal point, NaN prints "NaN", and
+/// infinities print "Infinity"/"-Infinity". Non-integral values use the
+/// shortest round-trip representation.
+std::string numberToString(double Value);
+
+/// Parses a string as a JavaScript number (ToNumber on a string). Leading and
+/// trailing whitespace is permitted; the empty string is 0; anything
+/// unparseable yields NaN.
+double stringToNumber(const std::string &Text);
+
+/// Escapes a string for inclusion inside double quotes in MiniJS source.
+std::string escapeString(const std::string &Text);
+
+/// True if \p Text is a valid MiniJS identifier (so a determinate property
+/// name can be rewritten from o["x"] to o.x by the specializer).
+bool isIdentifier(const std::string &Text);
+
+} // namespace dda
+
+#endif // DDA_SUPPORT_STRINGUTILS_H

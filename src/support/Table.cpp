@@ -1,0 +1,44 @@
+//===- Table.cpp ----------------------------------------------------------==//
+
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace dda;
+
+std::string TextTable::str() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  auto Widen = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size() && I < Widths.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Widen(Header);
+  for (const auto &Row : Rows)
+    Widen(Row);
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      std::string Cell = I < Row.size() ? Row[I] : "";
+      Cell.resize(Widths[I], ' ');
+      Line += Cell;
+      if (I + 1 != Widths.size())
+        Line += "  ";
+    }
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Out = RenderRow(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W;
+  Total += Widths.empty() ? 0 : 2 * (Widths.size() - 1);
+  Out += std::string(Total, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===- Table.h - Plain-text table rendering for bench output ----*- C++ -*-==//
+///
+/// \file
+/// Renders aligned plain-text tables. The benchmark harnesses use this to
+/// print rows in the same layout as the paper's tables (e.g. Table 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SUPPORT_TABLE_H
+#define DDA_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dda {
+
+/// An aligned plain-text table with a header row.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header)
+      : Header(std::move(Header)) {}
+
+  void addRow(std::vector<std::string> Row) { Rows.push_back(std::move(Row)); }
+
+  /// Renders the table with column separators and a header underline.
+  std::string str() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace dda
+
+#endif // DDA_SUPPORT_TABLE_H

@@ -1,0 +1,98 @@
+//===- Figures.cpp - The paper's worked examples ---------------------------==//
+
+#include "workloads/Workloads.h"
+
+using namespace dda;
+
+const char *workloads::figure1() {
+  return R"JS(
+function isHTML(s) { return s.indexOf("<") === 0; }
+var readyHandlers = [];
+function $(selector) {
+  if (typeof selector === "string") {
+    if (isHTML(selector)) {
+      print("parse-html:" + selector);
+      return {kind: "dom", html: selector};
+    } else {
+      print("css-query:" + selector);
+      return {kind: "css", query: selector};
+    }
+  } else if (typeof selector === "function") {
+    readyHandlers.push(selector);
+    return null;
+  } else {
+    return [selector];
+  }
+}
+$("div.menu");
+$("<p>hi</p>");
+$(function() { print("ready"); });
+$(42);
+)JS";
+}
+
+const char *workloads::figure2() {
+  return R"JS(
+function checkf(p) {
+  if (p.f < 32)
+    setg(p, 42);
+}
+function setg(r, v) {
+  r.g = v;
+}
+var x = { f: 23 },
+    y = { f: Math.random() * 100 };
+checkf(x);
+checkf(y);
+(y.f > 50 ? checkf : setg)(x, 72);
+var z = { f: x.g - 16, h: true };
+checkf(z);
+)JS";
+}
+
+const char *workloads::figure3() {
+  return R"JS(
+function Rectangle(w, h) {
+  this.width = w;
+  this.height = h;
+}
+Rectangle.prototype.toString = function() {
+  return "[" + this.width + "x" + this.height + "]";
+};
+String.prototype.cap = function() {
+  return this[0].toUpperCase() + this.substr(1);
+};
+function defAccessors(prop) {
+  Rectangle.prototype["get" + prop.cap()] =
+    function() { return this[prop]; };
+  Rectangle.prototype["set" + prop.cap()] =
+    function(v) { this[prop] = v; };
+}
+var props = ["width", "height"];
+for (var i = 0; i < props.length; i++)
+  defAccessors(props[i]);
+var r = new Rectangle(20, 30);
+r.setWidth(r.getWidth() + 20);
+alert(r.toString());
+)JS";
+}
+
+const char *workloads::figure4() {
+  return R"JS(
+ivymap = window.ivymap || {};
+ivymap['pc.sy.banner.tcck.'] = function() { print("banner:tcck"); };
+function showIvyViaJs(locationId) {
+  var _f = undefined;
+  var _fconv = "ivymap['" + locationId + "']";
+  try {
+    _f = eval(_fconv);
+    if (_f != undefined) {
+      _f();
+    }
+  } catch (e) {
+  }
+}
+showIvyViaJs('pc.sy.banner.tcck.');
+showIvyViaJs('pc.sy.banner.duilian.');
+)JS";
+}

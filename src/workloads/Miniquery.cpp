@@ -1,0 +1,480 @@
+//===- Miniquery.cpp - Synthetic jQuery-version stand-ins ------------------==//
+///
+/// Four versions of a small selector/effects library. Each version is
+/// engineered to exhibit the structural property the paper reports for the
+/// corresponding jQuery version in Table 1:
+///
+///  * 1.0 — accessor generation through computed property names in a
+///    21-iteration loop, plus extend()-style plugin copying and a widget
+///    registry; makes the baseline pointer analysis smear catastrophically
+///    while the determinacy facts enable full specialization.
+///  * 1.1 — the same machinery, but method names are derived from a DOM
+///    attribute, so determinacy facts exist only under the determinate-DOM
+///    assumption.
+///  * 1.2 — the heavy machinery moved into a lazy initializer nobody calls;
+///    startup performs >1000 DOM-conditional dispatches (heap flushes) that
+///    are irrelevant to the static analysis.
+///  * 1.3 — the heavy machinery runs inside event handlers registered during
+///    startup; the per-handler heap flush destroys the facts, and
+///    handler-reachable code defeats the static analysis in every
+///    configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace dda;
+
+namespace {
+
+/// Shared preamble: constructor, cap(), extend(), dispatcher, invoke().
+const char *corePrelude() {
+  return R"JS(
+function cap(s) { return s[0].toUpperCase() + s.substr(1); }
+
+function MiniQuery(selector) {
+  this.selector = selector;
+  this.size = 0;
+}
+MiniQuery.prototype.toString = function() {
+  return "[mq " + this.selector + "]";
+};
+
+function extend(dst, src) {
+  for (var k in src) {
+    dst[k] = src[k];
+  }
+  return dst;
+}
+
+var readyHandlers = [];
+function $(selector) {
+  if (typeof selector === "string") {
+    return new MiniQuery(selector);
+  } else if (typeof selector === "function") {
+    readyHandlers.push(selector);
+    return null;
+  } else {
+    return selector;
+  }
+}
+
+function invoke(obj, name) { return obj[name](); }
+)JS";
+}
+
+/// The 21-name accessor table and the generation loop (the paper: "one loop
+/// had to be unrolled 21 times to enable specialization of two critical
+/// property writes").
+const char *accessorGeneration() {
+  return R"JS(
+var attrNames = ["css", "attr", "html", "text", "val", "width", "height",
+                 "top", "left", "opacity", "color", "margin", "padding",
+                 "border", "font", "size", "weight", "display", "position",
+                 "zindex", "overflow"];
+function defAccessor(name) {
+  MiniQuery.prototype["get" + cap(name)] =
+    function() { return this["_" + name]; };
+  MiniQuery.prototype["set" + cap(name)] =
+    function(v) { this["_" + name] = v; return this; };
+}
+for (var ai = 0; ai < attrNames.length; ai++) {
+  defAccessor(attrNames[ai]);
+}
+)JS";
+}
+
+/// Plugin tables copied onto the prototype with extend() (for-in + computed
+/// store: lethal for the baseline, specialized via for-in unrolling).
+const char *pluginTables() {
+  return R"JS(
+var fxPlugin = {
+  fadeIn: function() { return this.setOpacity(1); },
+  fadeOut: function() { return this.setOpacity(0); },
+  slideUp: function() { return this.setHeight(0); },
+  slideDown: function() { return this.setHeight(100); },
+  animate: function(target) { return this.setTop(target); },
+  stopFx: function() { return this; },
+  delayFx: function(n) { this._delay = n; return this; },
+  show: function() { return this.setDisplay("block"); },
+  hide: function() { return this.setDisplay("none"); },
+  toggle: function() { return this; }
+};
+var ajaxPlugin = {
+  get: function(u) { this._url = u; return this; },
+  post: function(u) { this._url = u; return this; },
+  loadUrl: function(u) { return this.get(u); },
+  ajax: function(o) { return this; },
+  getJSON: function(u) { return this.get(u); },
+  param: function(o) { return "q=1"; },
+  serialize: function() { return this.selector; },
+  abort: function() { return this; }
+};
+extend(MiniQuery.prototype, fxPlugin);
+extend(MiniQuery.prototype, ajaxPlugin);
+)JS";
+}
+
+/// Widget registry: factories stored under computed names and instantiated
+/// through a generic create() — the megamorphic-call amplifier.
+const char *widgetRegistry() {
+  return R"JS(
+var registry = {};
+function register(name, factory) { registry[name] = factory; }
+function create(name) { return registry[name](); }
+
+register("panel", function() { return {
+  init: function() { this.ok = 1; return this; },
+  render: function() { return "panel"; },
+  update: function(v) { this.v = v; return this; },
+  destroy: function() { return null; } }; });
+register("grid", function() { return {
+  init: function() { this.rows = []; return this; },
+  render: function() { return "grid"; },
+  update: function(v) { this.rows.push(v); return this; },
+  destroy: function() { return null; } }; });
+register("tree", function() { return {
+  init: function() { this.depth = 0; return this; },
+  render: function() { return "tree"; },
+  update: function(v) { this.depth = v; return this; },
+  destroy: function() { return null; } }; });
+register("menu", function() { return {
+  init: function() { this.items = []; return this; },
+  render: function() { return "menu"; },
+  update: function(v) { this.items.push(v); return this; },
+  destroy: function() { return null; } }; });
+register("tabs", function() { return {
+  init: function() { this.active = 0; return this; },
+  render: function() { return "tabs"; },
+  update: function(v) { this.active = v; return this; },
+  destroy: function() { return null; } }; });
+register("form", function() { return {
+  init: function() { this.fields = {}; return this; },
+  render: function() { return "form"; },
+  update: function(v) { this.fields.last = v; return this; },
+  destroy: function() { return null; } }; });
+register("chart", function() { return {
+  init: function() { this.series = []; return this; },
+  render: function() { return "chart"; },
+  update: function(v) { this.series.push(v); return this; },
+  destroy: function() { return null; } }; });
+register("modal", function() { return {
+  init: function() { this.open = false; return this; },
+  render: function() { return "modal"; },
+  update: function(v) { this.open = v; return this; },
+  destroy: function() { return null; } }; });
+
+var widgetNames = ["panel", "grid", "tree", "menu", "tabs", "form",
+                   "chart", "modal"];
+for (var wi = 0; wi < widgetNames.length; wi++) {
+  var w = create(widgetNames[wi]);
+  w.init().update(wi);
+  print(w.render());
+}
+)JS";
+}
+
+
+/// The component framework: 16 component prototypes (96 distinct closures)
+/// registered under computed names, instantiated via extend(), cross-linked,
+/// and driven through a generic dispatcher. This is the smear amplifier: the
+/// baseline pointer analysis conflates all components and methods, while the
+/// determinacy facts specialize every name and call.
+///
+/// \p NamePrefixExpr is "" for literal component names or an expression
+/// prefix like `apiPrefix + ` for the DOM-derived namespace of 1.1.
+/// \p DefsOnly emits only the prototype tables (used by 1.3, which runs the
+/// instantiation storm inside an event handler).
+std::string componentDefinitions(const std::string &NamePrefixExpr) {
+  std::string Out = R"JS(
+var components = {};
+function defComponent(name, proto) { components[name] = proto; }
+function instantiate(name) {
+  var inst = { kind: name };
+  extend(inst, components[name]);
+  return inst;
+}
+var instReg = {};
+)JS";
+  for (int I = 0; I < 16; ++I) {
+    std::string Id = (I < 10 ? "c0" : "c1") + std::to_string(I % 10);
+    std::string NameExpr = NamePrefixExpr + "\"" + Id + "\"";
+    Out += "defComponent(" + NameExpr + ", {\n";
+    Out += "  setup: function(ctx) { this.ctx = ctx; this.id = \"" + Id +
+           "\"; return this; },\n";
+    Out += "  run: function() { return this.ctx ? \"run-" + Id +
+           "\" : \"idle-" + Id + "\"; },\n";
+    Out += "  emit: function() { return \"ev-" + Id + "\"; },\n";
+    Out += "  link: function(o) { this.peer = o; return o; },\n";
+    Out += "  sync: function() { this.stamp = " + std::to_string(I) +
+           "; return this; },\n";
+    Out += "  reset: function() { this.ctx = null; return this; }\n";
+    Out += "});\n";
+  }
+  Out += "var compNames = [";
+  for (int I = 0; I < 16; ++I) {
+    std::string Id = (I < 10 ? "c0" : "c1") + std::to_string(I % 10);
+    if (I)
+      Out += ", ";
+    Out += NamePrefixExpr + "\"" + Id + "\"";
+  }
+  Out += "];\n";
+  return Out;
+}
+
+/// The instantiation + dispatch storm over the registered components.
+const char *componentStorm() {
+  return R"JS(
+for (var ci = 0; ci < compNames.length; ci++) {
+  instReg[compNames[ci]] = instantiate(compNames[ci]);
+}
+var opNames = ["setup", "sync", "emit"];
+for (var si = 0; si < compNames.length; si++) {
+  for (var oj = 0; oj < opNames.length; oj++) {
+    invoke(instReg[compNames[si]], opNames[oj]);
+  }
+}
+for (var li = 0; li < compNames.length; li++) {
+  instReg[compNames[li]].link(instReg[compNames[(li + 1) % 16]]);
+}
+print("components:" + compNames.length);
+)JS";
+}
+
+/// Library self-exercise via the accessor API and generic dispatch.
+const char *usageSection() {
+  return R"JS(
+var q = $("#main");
+q.setCss("red").setWidth(100).setHeight(50);
+print(q.getCss(), q.getWidth(), q.getHeight());
+var q2 = $("#sidebar");
+q2.fadeIn().slideUp().hide();
+invoke(q2, "show");
+invoke(q2, "fadeOut");
+$(function() { print("dom-ready"); });
+)JS";
+}
+
+/// N DOM-conditional dispatches (each one is an indeterminate callee without
+/// the determinate-DOM assumption → one heap flush each), plus two
+/// genuinely random ones that flush in every configuration.
+std::string domDispatchSection(int Count, bool IncludeRandom = true) {
+  std::string Out = R"JS(
+var touched = 0;
+function touchDom(el) { touched++; return el; }
+function skipDom(el) { return el; }
+var domEls = [];
+for (var di = 0; di < )JS";
+  Out += std::to_string(Count);
+  Out += R"JS(; di++) {
+  var del = document.getElementById("item" + di);
+  (del.active ? touchDom : skipDom)(del);
+  domEls[di] = del;
+}
+)JS";
+  if (IncludeRandom)
+    Out += R"JS(
+(Math.random() < 0.5 ? touchDom : skipDom)(document.getElementById("xa"));
+(Math.random() < 0.5 ? touchDom : skipDom)(document.getElementById("xb"));
+)JS";
+  return Out;
+}
+
+std::string miniquery10() {
+  std::string Out;
+  Out += corePrelude();
+  Out += accessorGeneration();
+  Out += pluginTables();
+  Out += widgetRegistry();
+  Out += componentDefinitions("");
+  Out += componentStorm();
+  Out += usageSection();
+  // 80 DOM flushes + 2 random ones = 82, matching the paper's Table 1 cell;
+  // under DetDOM only the 2 random flushes remain.
+  Out += domDispatchSection(80);
+  Out += "print(\"miniquery 1.0 loaded\");\n";
+  return Out;
+}
+
+std::string miniquery11() {
+  std::string Out;
+  Out += corePrelude();
+  // DOM-derived method namespace: without DetDOM the prefix is
+  // indeterminate, so every accessor name fact is lost.
+  Out += R"JS(
+var cfgEl = document.getElementById("mq-config");
+var apiPrefix = cfgEl.getAttribute("prefix");
+var attrNames = ["css", "attr", "html", "text", "val", "width", "height",
+                 "top", "left", "opacity", "color", "margin", "padding",
+                 "border", "font", "size", "weight", "display", "position",
+                 "zindex", "overflow"];
+function defAccessor(name) {
+  MiniQuery.prototype[apiPrefix + "Get" + cap(name)] =
+    function() { return this["_" + name]; };
+  MiniQuery.prototype[apiPrefix + "Set" + cap(name)] =
+    function(v) { this["_" + name] = v; return this; };
+}
+for (var ai = 0; ai < attrNames.length; ai++) {
+  defAccessor(attrNames[ai]);
+}
+)JS";
+  Out += pluginTables();
+  Out += widgetRegistry();
+  Out += componentDefinitions("apiPrefix + ");
+  Out += componentStorm();
+  Out += R"JS(
+var q = $("#main");
+q[apiPrefix + "SetCss"]("red");
+q[apiPrefix + "SetWidth"](100);
+print(q[apiPrefix + "GetCss"](), q[apiPrefix + "GetWidth"]());
+var q2 = $("#sidebar");
+q2.get("/api").abort();
+$(function() { print("dom-ready"); });
+)JS";
+  // 103 DOM flushes + 4 random = 107 / 4, the paper's 1.1 cell.
+  Out += domDispatchSection(103);
+  Out += R"JS(
+(Math.random() < 0.5 ? touchDom : skipDom)(document.getElementById("xc"));
+(Math.random() < 0.5 ? touchDom : skipDom)(document.getElementById("xd"));
+print("miniquery 1.1 loaded");
+)JS";
+  return Out;
+}
+
+std::string miniquery12() {
+  std::string Out;
+  Out += corePrelude();
+  // Heavy machinery is defined but *lazy*: nothing calls initEngine without
+  // client code, so the static analysis never has to look inside.
+  Out += R"JS(
+MiniQuery.prototype.initEngine = function() {
+  var attrNames = ["css", "attr", "html", "text", "val", "width", "height",
+                   "top", "left", "opacity", "color", "margin", "padding",
+                   "border", "font", "size", "weight", "display", "position",
+                   "zindex", "overflow"];
+  function defAccessor(name) {
+    MiniQuery.prototype["get" + cap(name)] =
+      function() { return this["_" + name]; };
+    MiniQuery.prototype["set" + cap(name)] =
+      function(v) { this["_" + name] = v; return this; };
+  }
+  for (var ai = 0; ai < attrNames.length; ai++) {
+    defAccessor(attrNames[ai]);
+  }
+  var registry = {};
+  function register(name, factory) { registry[name] = factory; }
+  function create(name) { return registry[name](); }
+  register("panel", function() { return {init: function() { return this; }}; });
+  register("grid", function() { return {init: function() { return this; }}; });
+  var names = ["panel", "grid"];
+  for (var wi = 0; wi < names.length; wi++) {
+    create(names[wi]).init();
+  }
+  return this;
+};
+var q = $("#main");
+print(q.toString());
+$(function() { print("dom-ready"); });
+)JS";
+  // Startup hammers the DOM: >1000 flushes without DetDOM, 0 with. The
+  // analysis stops collecting facts, but none of this code matters
+  // statically, so every configuration still completes.
+  // No genuinely random dispatches: 1.2's cell is (>1000) vs (0).
+  Out += domDispatchSection(1030, /*IncludeRandom=*/false);
+  Out += "print(\"miniquery 1.2 loaded\");\n";
+  return Out;
+}
+
+std::string miniquery13() {
+  std::string Out;
+  Out += corePrelude();
+  // Component prototypes are built at the top level; the heavy machinery
+  // that *uses* them runs inside event handlers registered during startup.
+  // Handler entry flushes the heap, so every read of the pre-existing tables
+  // is indeterminate inside: the facts die, and the indeterminate-base
+  // stores keep flushing.
+  Out += componentDefinitions("");
+  Out += R"JS(
+document.addEventListener("ready", function() {
+  var attrNames = ["css", "attr", "html", "text", "val", "width", "height",
+                   "top", "left", "opacity", "color", "margin", "padding",
+                   "border", "font", "size", "weight", "display", "position",
+                   "zindex", "overflow"];
+  function defAccessor(name) {
+    MiniQuery.prototype["get" + cap(name)] =
+      function() { return this["_" + name]; };
+    MiniQuery.prototype["set" + cap(name)] =
+      function(v) { this["_" + name] = v; return this; };
+  }
+  for (var ai = 0; ai < attrNames.length; ai++) {
+    defAccessor(attrNames[ai]);
+  }
+  var fxPlugin = {
+    fadeIn: function() { return this.setOpacity(1); },
+    fadeOut: function() { return this.setOpacity(0); },
+    slideUp: function() { return this.setHeight(0); },
+    slideDown: function() { return this.setHeight(100); },
+    show: function() { return this.setDisplay("block"); },
+    hide: function() { return this.setDisplay("none"); }
+  };
+  extend(MiniQuery.prototype, fxPlugin);
+  // The component storm against the pre-handler tables.
+  for (var ci = 0; ci < compNames.length; ci++) {
+    instReg[compNames[ci]] = instantiate(compNames[ci]);
+  }
+  var opNames = ["setup", "sync", "emit"];
+  for (var si = 0; si < compNames.length; si++) {
+    for (var oj = 0; oj < opNames.length; oj++) {
+      invoke(instReg[compNames[si]], opNames[oj]);
+    }
+  }
+  // Cache priming: every store has an indeterminate base → a flush each.
+  var cache = MiniQuery.prototype;
+  for (var pi = 0; pi < 1000; pi++) {
+    cache["slot" + pi] = pi;
+  }
+  var q = $("#main");
+  q.setCss("red").fadeIn();
+  print(q.getCss());
+});
+document.addEventListener("load", function() {
+  var registry = {};
+  function register(name, factory) { registry[name] = factory; }
+  function create(name) { return registry[name](); }
+  register("panel", function() { return {
+    init: function() { return this; },
+    render: function() { return "panel"; } }; });
+  register("grid", function() { return {
+    init: function() { return this; },
+    render: function() { return "grid"; } }; });
+  var names = ["panel", "grid"];
+  for (var wi = 0; wi < names.length; wi++) {
+    print(create(names[wi]).init().render());
+  }
+});
+// An unexercised handler keeps even more code live for the static analysis.
+document.getElementById("app").addEventListener("click", function() {
+  var q = $("#clicked");
+  invoke(q, "toString");
+});
+print("miniquery 1.3 loaded");
+)JS";
+  return Out;
+}
+
+} // namespace
+
+std::string workloads::miniquery(int Minor) {
+  switch (Minor) {
+  case 0:
+    return miniquery10();
+  case 1:
+    return miniquery11();
+  case 2:
+    return miniquery12();
+  case 3:
+    return miniquery13();
+  default:
+    return "";
+  }
+}

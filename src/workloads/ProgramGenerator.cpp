@@ -1,0 +1,370 @@
+//===- ProgramGenerator.cpp -------------------------------------------------==//
+
+#include "workloads/ProgramGenerator.h"
+
+#include "support/RNG.h"
+
+#include <vector>
+
+using namespace dda;
+using workloads::GeneratorOptions;
+
+namespace {
+
+/// Generation state: typed pools of declared names plus emission helpers.
+class Generator {
+public:
+  Generator(uint64_t Seed, const GeneratorOptions &Opts)
+      : Rng(Seed ^ 0xddaddaddaULL), Opts(Opts) {}
+
+  std::string run() {
+    Out.clear();
+    // Seed pools so expressions always have material to work with.
+    declareNumber("n0", "1");
+    declareNumber("n1", "7");
+    declareString("s0", "\"alpha\"");
+    declareString("s1", "\"beta\"");
+    declareObject("o0", "{a: 1, b: \"two\"}");
+    emitFunctions();
+    for (unsigned I = 0; I < Opts.TopLevelStmts; ++I)
+      emitStmt(0);
+    emitSummary();
+    return Out;
+  }
+
+private:
+  // ------------------------------------------------------------- helpers --
+  uint64_t pick(uint64_t Bound) { return Rng.nextBelow(Bound); }
+  bool chance(unsigned Percent) { return pick(100) < Percent; }
+
+  std::string fresh(const char *Prefix) {
+    return std::string(Prefix) + std::to_string(++NameCounter);
+  }
+
+  void line(const std::string &Text) {
+    for (unsigned I = 0; I < Indent; ++I)
+      Out += "  ";
+    Out += Text;
+    Out += '\n';
+  }
+
+  // Pools only grow at block depth 0: a declaration inside a branch may
+  // never execute, so nested names must not be referenced elsewhere.
+  void declareNumber(const std::string &Name, const std::string &Init,
+                     bool Pool = true) {
+    line("var " + Name + " = " + Init + ";");
+    if (Pool)
+      Numbers.push_back(Name);
+  }
+  void declareString(const std::string &Name, const std::string &Init,
+                     bool Pool = true) {
+    line("var " + Name + " = " + Init + ";");
+    if (Pool)
+      Strings.push_back(Name);
+  }
+  void declareObject(const std::string &Name, const std::string &Init,
+                     bool Pool = true) {
+    line("var " + Name + " = " + Init + ";");
+    if (Pool)
+      Objects.push_back(Name);
+  }
+
+  std::string anyNumber() {
+    if (chance(30))
+      return std::to_string(pick(100));
+    return Numbers[pick(Numbers.size())];
+  }
+
+  std::string anyString() {
+    if (chance(30))
+      return "\"k" + std::to_string(pick(8)) + "\"";
+    return Strings[pick(Strings.size())];
+  }
+
+  std::string anyObject() { return Objects[pick(Objects.size())]; }
+
+  /// A side-effect-free numeric expression.
+  std::string numberExpr() {
+    switch (pick(6)) {
+    case 0:
+      return anyNumber() + " + " + anyNumber();
+    case 1:
+      return anyNumber() + " * " + std::to_string(1 + pick(5));
+    case 2:
+      return anyNumber() + " - " + anyNumber();
+    case 3:
+      return anyNumber() + " % " + std::to_string(2 + pick(5));
+    case 4:
+      if (Opts.UseIndeterminacy && chance(40))
+        return "Math.floor(Math.random() * " + std::to_string(2 + pick(8)) +
+               ")";
+      return "Math.abs(" + anyNumber() + ")";
+    default:
+      return anyNumber();
+    }
+  }
+
+  std::string stringExpr() {
+    switch (pick(5)) {
+    case 0:
+      return anyString() + " + " + anyString();
+    case 1:
+      return anyString() + " + " + anyNumber();
+    case 2:
+      return anyString() + ".toUpperCase()";
+    case 3:
+      if (Opts.UseIndeterminacy && chance(30))
+        return "\"\" + document.title";
+      return anyString() + ".substr(" + std::to_string(pick(3)) + ")";
+    default:
+      return anyString();
+    }
+  }
+
+  std::string boolExpr() {
+    switch (pick(5)) {
+    case 0:
+      return anyNumber() + " < " + anyNumber();
+    case 1:
+      return anyString() + " === " + anyString();
+    case 2:
+      if (Opts.UseIndeterminacy)
+        return "Math.random() < 0.5";
+      return anyNumber() + " >= " + std::to_string(pick(50));
+    case 3:
+      // Always-true / always-false but indeterminate when randomness is on.
+      if (Opts.UseIndeterminacy)
+        return chance(50) ? "Math.random() < 2" : "Math.random() > 2";
+      return chance(50) ? "1 < 2" : "2 < 1";
+    default:
+      return "typeof " + anyString() + " === \"string\"";
+    }
+  }
+
+  // ----------------------------------------------------------- functions --
+  void emitFunctions() {
+    unsigned N = 1 + pick(Opts.MaxFunctions);
+    for (unsigned I = 0; I < N; ++I) {
+      std::string Name = fresh("fn");
+      line("function " + Name + "(p, q) {");
+      ++Indent;
+      // Body draws only on parameters and globals declared so far, and only
+      // calls previously generated functions (no recursion, so termination
+      // is structural).
+      if (chance(60))
+        line("var t = p + q;");
+      else
+        line("var t = " + numberExpr() + ";");
+      if (chance(50)) {
+        line("if (" + boolExpr() + ") {");
+        ++Indent;
+        if (chance(50) && !Objects.empty())
+          line(anyObject() + ".from" + Name + " = t;");
+        else
+          line("t = t + 1;");
+        --Indent;
+        line("}");
+      }
+      if (!Functions.empty() && chance(40))
+        line("t = t + " + Functions[pick(Functions.size())] + "(" +
+             anyNumber() + ", 1);");
+      line(chance(70) ? "return t;" : "return p;");
+      --Indent;
+      line("}");
+      Functions.push_back(Name);
+    }
+  }
+
+  // ------------------------------------------------------------ statements --
+  void emitStmt(unsigned Depth) {
+    switch (pick(13)) {
+    case 0:
+      declareNumber(fresh("n"), numberExpr(), Depth == 0);
+      return;
+    case 1:
+      declareString(fresh("s"), stringExpr(), Depth == 0);
+      return;
+    case 2: {
+      std::string Name = fresh("o");
+      declareObject(Name, "{x: " + numberExpr() + ", tag: " + anyString() +
+                              "}",
+                    Depth == 0);
+      return;
+    }
+    case 3: // Property write, static or computed.
+      if (Opts.UseDynamicProperties && chance(40))
+        line(anyObject() + "[" + anyString() + "] = " + numberExpr() + ";");
+      else
+        line(anyObject() + ".w" + std::to_string(pick(4)) + " = " +
+             numberExpr() + ";");
+      return;
+    case 4: // Property read into a number.
+      declareNumber(fresh("n"), "0 + (" + anyObject() + ".x || 0)",
+                    Depth == 0);
+      return;
+    case 5: { // Conditional.
+      if (Depth >= Opts.MaxBlockDepth) {
+        line(Numbers[pick(Numbers.size())] + "++;");
+        return;
+      }
+      line("if (" + boolExpr() + ") {");
+      ++Indent;
+      emitStmt(Depth + 1);
+      if (chance(50))
+        emitStmt(Depth + 1);
+      --Indent;
+      if (chance(40)) {
+        line("} else {");
+        ++Indent;
+        emitStmt(Depth + 1);
+        --Indent;
+      }
+      line("}");
+      return;
+    }
+    case 6: { // Counted loop.
+      if (Depth >= Opts.MaxBlockDepth) {
+        line(Numbers[pick(Numbers.size())] + " += 2;");
+        return;
+      }
+      std::string Var = fresh("i");
+      line("for (var " + Var + " = 0; " + Var + " < " +
+           std::to_string(2 + pick(4)) + "; " + Var + "++) {");
+      ++Indent;
+      emitStmt(Depth + 1);
+      if (chance(30))
+        line("if (" + boolExpr() + ") { continue; }");
+      --Indent;
+      line("}");
+      return;
+    }
+    case 7: { // For-in.
+      if (!Opts.UseDynamicProperties || Depth >= Opts.MaxBlockDepth) {
+        line(Numbers[pick(Numbers.size())] + "--;");
+        return;
+      }
+      std::string Var = fresh("k");
+      std::string Acc = fresh("s");
+      declareString(Acc, "\"\"", Depth == 0);
+      line("for (var " + Var + " in " + anyObject() + ") {");
+      ++Indent;
+      line(Acc + " += " + Var + ";");
+      --Indent;
+      line("}");
+      return;
+    }
+    case 8: { // Call a generated function.
+      declareNumber(fresh("n"),
+                    Functions[pick(Functions.size())] + "(" + anyNumber() +
+                        ", " + anyNumber() + ")",
+                    Depth == 0);
+      return;
+    }
+    case 9: { // try/throw/catch.
+      if (Depth >= Opts.MaxBlockDepth) {
+        line(Numbers[pick(Numbers.size())] + " *= 2;");
+        return;
+      }
+      std::string Caught = fresh("s");
+      declareString(Caught, "\"no\"", Depth == 0);
+      line("try {");
+      ++Indent;
+      if (chance(50))
+        line("if (" + boolExpr() + ") { throw \"e" +
+             std::to_string(pick(5)) + "\"; }");
+      else
+        emitStmt(Depth + 1);
+      --Indent;
+      line("} catch (ex) {");
+      ++Indent;
+      line(Caught + " = \"\" + ex;");
+      --Indent;
+      line("}");
+      return;
+    }
+    case 10: { // Ternary / logical.
+      declareNumber(fresh("n"),
+                    "(" + boolExpr() + ") ? " + anyNumber() + " : " +
+                        anyNumber(),
+                    Depth == 0);
+      return;
+    }
+    case 11: { // switch over a small numeric discriminant.
+      if (Depth >= Opts.MaxBlockDepth) {
+        line(Numbers[pick(Numbers.size())] + " += 3;");
+        return;
+      }
+      std::string Out = fresh("s");
+      declareString(Out, "\"init\"", Depth == 0);
+      line("switch (" + numberExpr() + " % 3) {");
+      line("case 0:");
+      ++Indent;
+      line(Out + " = \"zero\";");
+      if (chance(50))
+        line("break;");
+      --Indent;
+      line("case 1:");
+      ++Indent;
+      line(Out + " = \"one\";");
+      line("break;");
+      --Indent;
+      line("default:");
+      ++Indent;
+      line(Out + " = \"many\";");
+      --Indent;
+      line("}");
+      return;
+    }
+    default: { // eval of a constant expression (optional).
+      if (!Opts.UseEval) {
+        line(Numbers[pick(Numbers.size())] + " += 1;");
+        return;
+      }
+      declareNumber(fresh("n"),
+                    "eval(\"" + std::to_string(pick(50)) + " + " +
+                        std::to_string(pick(50)) + "\")",
+                    Depth == 0);
+      return;
+    }
+    }
+  }
+
+  void emitSummary() {
+    // Deterministic observable endpoints for differential testing.
+    std::string Nums;
+    for (size_t I = 0; I < Numbers.size(); ++I) {
+      if (I)
+        Nums += " + ";
+      Nums += Numbers[I];
+    }
+    line("var summaryN = " + Nums + ";");
+    std::string Strs;
+    for (size_t I = 0; I < Strings.size(); ++I) {
+      if (I)
+        Strs += " + \"|\" + ";
+      Strs += Strings[I];
+    }
+    line("var summaryS = " + Strs + ";");
+    line("print(summaryN, summaryS);");
+    for (const std::string &O : Objects)
+      line("print(" + O + ".x, " + O + ".tag);");
+  }
+
+  RNG Rng;
+  const GeneratorOptions &Opts;
+  std::string Out;
+  unsigned Indent = 0;
+  unsigned NameCounter = 0;
+  std::vector<std::string> Numbers;
+  std::vector<std::string> Strings;
+  std::vector<std::string> Objects;
+  std::vector<std::string> Functions;
+};
+
+} // namespace
+
+std::string workloads::generateProgram(uint64_t Seed,
+                                       const GeneratorOptions &Opts) {
+  Generator G(Seed, Opts);
+  return G.run();
+}

@@ -1,0 +1,49 @@
+//===- ProgramGenerator.h - Random MiniJS program generation -----*- C++ -*-==//
+///
+/// \file
+/// Seeded random generation of well-formed, terminating MiniJS programs, in
+/// the spirit of the paper's future-work plan to use automated test
+/// generation [Artzi et al.] to improve coverage of the dynamic analysis.
+/// Used by the fuzz suites: parser round-trips, interpreter determinism,
+/// the Theorem 1 soundness harness, and specializer semantics preservation.
+///
+/// Generated programs are correct by construction:
+///  * every referenced variable is previously declared, typed pools keep
+///    calls landing on functions and property accesses on objects;
+///  * loops are counted with small constant bounds, functions never recurse,
+///    so every program terminates;
+///  * throws only occur inside try/catch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_WORKLOADS_PROGRAMGENERATOR_H
+#define DDA_WORKLOADS_PROGRAMGENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace dda {
+namespace workloads {
+
+/// Knobs for the generator.
+struct GeneratorOptions {
+  unsigned TopLevelStmts = 14;
+  unsigned MaxBlockDepth = 3;
+  unsigned MaxFunctions = 4;
+  /// Include Math.random / DOM reads (the indeterminate sources).
+  bool UseIndeterminacy = true;
+  /// Include eval of constant strings.
+  bool UseEval = true;
+  /// Include for-in loops and computed property accesses.
+  bool UseDynamicProperties = true;
+};
+
+/// Generates a program; the same (Seed, Options) always yields the same
+/// source text.
+std::string generateProgram(uint64_t Seed,
+                            const GeneratorOptions &Opts = {});
+
+} // namespace workloads
+} // namespace dda
+
+#endif // DDA_WORKLOADS_PROGRAMGENERATOR_H

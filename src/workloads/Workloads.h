@@ -1,0 +1,61 @@
+//===- Workloads.h - Benchmark programs (paper workload stand-ins) -*- C++-*-=//
+///
+/// \file
+/// Embedded MiniJS programs reproducing the paper's evaluation workloads:
+///
+///  * the worked examples of Figures 1–4;
+///  * four "miniquery" library versions engineered to exhibit the structural
+///    property that drove each jQuery version's row in Table 1
+///    (1.0: accessor-generation loops needing 21× unrolling; 1.1:
+///    DOM-dependent initialization; 1.2: lazy init + flush-heavy but
+///    analysis-irrelevant startup; 1.3: heavy code inside event handlers);
+///  * a 28-program eval-elimination suite with the same category counts as
+///    the Jensen et al. suite the paper evaluates on (Section 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_WORKLOADS_WORKLOADS_H
+#define DDA_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+namespace dda {
+namespace workloads {
+
+/// Paper Figure 1: the polymorphic jQuery-style `$` dispatcher.
+const char *figure1();
+/// Paper Figure 2: the worked determinacy example.
+const char *figure2();
+/// Paper Figure 3: accessor generation via computed property names.
+const char *figure3();
+/// Paper Figure 4: eval of a cross-statement string concatenation.
+const char *figure4();
+
+/// miniquery version sources; \p Minor is 0..3 for "1.0".."1.3".
+std::string miniquery(int Minor);
+
+/// One program of the eval-elimination suite.
+struct EvalBenchmark {
+  const char *Name;
+  std::string Source;
+  /// False for the one benchmark that cannot run in our harness (the
+  /// paper's "cannot be run in ZombieJS" case).
+  bool Runnable;
+  /// True for the three benchmarks with missing required code.
+  bool MissingCode;
+  /// Expected result of the syntactic unevalizer-style baseline.
+  bool ExpectedUnevalizer;
+  /// Expected result of our determinacy-based elimination (Spec).
+  bool ExpectedSpec;
+  /// Expected result under the determinate-DOM assumption (Spec+DetDOM).
+  bool ExpectedSpecDetDom;
+};
+
+/// The 28-program suite.
+const std::vector<EvalBenchmark> &evalSuite();
+
+} // namespace workloads
+} // namespace dda
+
+#endif // DDA_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,115 @@
+//===- ASTWalkTest.cpp - AST traversal unit tests -----------------------------==//
+
+#include "ast/ASTWalk.h"
+
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+TEST(ASTWalk, VisitsEveryNodeExactlyOnce) {
+  Program P = parse("function f(a) { if (a) { return a + 1; } return 0; }\n"
+                    "var o = {k: [1, 2], m: f(3)};\n"
+                    "for (var i = 0; i < 2; i++) { o.k[i]++; }\n");
+  std::set<NodeID> Seen;
+  size_t Visits = 0;
+  walkProgram(P, [&](const Node *N) {
+    ++Visits;
+    EXPECT_TRUE(Seen.insert(N->getID()).second)
+        << "node visited twice: " << nodeKindName(N->getKind());
+    return true;
+  });
+  EXPECT_EQ(Visits, Seen.size());
+  // Every node the parser allocated is reachable from the roots.
+  EXPECT_EQ(Visits, P.Context->nodeCount());
+}
+
+TEST(ASTWalk, PruningStopsDescent) {
+  Program P = parse("function outer() { function inner() { var deep = 1; } }");
+  bool SawDeep = false;
+  walkProgram(P, [&](const Node *N) {
+    if (const auto *F = dyn_cast<FunctionExpr>(N))
+      if (F->getName() == "inner")
+        return false; // Do not descend.
+    if (const auto *V = dyn_cast<VarDeclStmt>(N))
+      for (const auto &D : V->getDeclarators())
+        if (D.Name == "deep")
+          SawDeep = true;
+    return true;
+  });
+  EXPECT_FALSE(SawDeep);
+}
+
+TEST(ASTWalk, FindNodeReturnsFirstPreOrder) {
+  Program P = parse("var a = 1; var b = 2;");
+  const Node *First =
+      findNode(P, [](const Node *N) { return isa<VarDeclStmt>(N); });
+  ASSERT_TRUE(First);
+  EXPECT_EQ(cast<VarDeclStmt>(First)->getDeclarators()[0].Name, "a");
+  EXPECT_EQ(findNode(P, [](const Node *) { return false; }), nullptr);
+}
+
+TEST(ASTWalk, FindNodeOnLine) {
+  Program P = parse("var a = 1;\nif (a) { a = 2; }\nvar b = 3;\n");
+  const Node *If = findNodeOnLine(P, NodeKind::IfStmt, 2);
+  ASSERT_TRUE(If);
+  EXPECT_EQ(If->getLine(), 2u);
+  EXPECT_EQ(findNodeOnLine(P, NodeKind::IfStmt, 3), nullptr);
+}
+
+TEST(ASTWalk, ForEachChildCoversAllKinds) {
+  // A program exercising every node kind; forEachChild must reach each
+  // child exactly once (checked via the full-coverage walk above plus this
+  // structural sample).
+  Program P = parse(R"JS(
+var x = -(1 + 2) * 3 % 4;
+var s = "a" ? true : null;
+var u;
+var arr = [x, s];
+var obj = {p: arr};
+function g(p) { return p; }
+var fn = function named() { return this; };
+x += g(1);
+x++;
+--x;
+delete obj.p;
+typeof x;
+x = "p" in obj && obj instanceof Object || !x;
+do { break; } while (true);
+while (false) { continue; }
+for (var k in obj) {}
+try { throw 1; } catch (e) {} finally {}
+;
+new g(eval("1"));
+)JS");
+  size_t Kinds = 0;
+  std::set<NodeKind> SeenKinds;
+  walkProgram(P, [&](const Node *N) {
+    SeenKinds.insert(N->getKind());
+    ++Kinds;
+    return true;
+  });
+  // All statement and expression kinds appear.
+  EXPECT_GE(SeenKinds.size(), 30u);
+  EXPECT_EQ(Kinds, P.Context->nodeCount());
+}
+
+TEST(ASTWalk, NodeKindNamesAreDistinct) {
+  std::set<std::string> Names;
+  for (int K = 0; K <= static_cast<int>(NodeKind::EmptyStmt); ++K)
+    Names.insert(nodeKindName(static_cast<NodeKind>(K)));
+  EXPECT_EQ(Names.size(),
+            static_cast<size_t>(NodeKind::EmptyStmt) + 1);
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+//===- AnalysisOptionsTest.cpp - Option/ablation interaction tests -----------==//
+
+#include "determinacy/InstrumentedInterpreter.h"
+
+#include "ast/ASTWalk.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+TEST(Options, RecordAllExpressionsAddsExpressionFacts) {
+  const char *Source = "var x = 1 + 2;";
+  Program P1 = parse(Source);
+  AnalysisOptions Off;
+  AnalysisResult A = runDeterminacyAnalysis(P1, Off);
+  Program P2 = parse(Source);
+  AnalysisOptions On;
+  On.RecordAllExpressions = true;
+  AnalysisResult B = runDeterminacyAnalysis(P2, On);
+  EXPECT_EQ(A.Facts.countOfKind(FactKind::Expression), 0u);
+  EXPECT_GT(B.Facts.countOfKind(FactKind::Expression), 0u);
+  EXPECT_GT(B.Facts.size(), A.Facts.size());
+}
+
+TEST(Options, FlushLimitFreezesFactsButExecutionContinues) {
+  // After the limit, the run still completes (and still prints), but no new
+  // facts are recorded.
+  const char *Source =
+      "function a() {} function b() {}\n"
+      "for (var i = 0; i < 20; i++) { (Math.random() < 0.5 ? a : b)(); }\n"
+      "late = 7;\n"
+      "print(\"end\");\n";
+  Program P = parse(Source);
+  AnalysisOptions Opts;
+  Opts.FlushLimit = 2;
+  AnalysisResult R = runDeterminacyAnalysis(P, Opts);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Stats.FlushLimitHit);
+  EXPECT_NE(R.Output.find("end"), std::string::npos);
+  // The late assignment produced no fact (recording frozen).
+  const Node *Late = findNode(P, [](const Node *N) {
+    const auto *A = dyn_cast<AssignExpr>(N);
+    if (!A)
+      return false;
+    const auto *Id = dyn_cast<Identifier>(A->getTarget());
+    return Id && Id->getName() == "late";
+  });
+  ASSERT_TRUE(Late);
+  EXPECT_EQ(R.Facts.query({Late->getID(), 0, FactKind::Assign, 0}), nullptr);
+}
+
+TEST(Options, MaxStepsAbortsInstrumentedRun) {
+  Program P = parse("while (true) { }");
+  AnalysisOptions Opts;
+  Opts.MaxSteps = 5'000;
+  AnalysisResult R = runDeterminacyAnalysis(P, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(Options, CounterfactualDepthZeroEqualsDisabled) {
+  const char *Source = "var a = 0;\n"
+                       "if (Math.random() > 2) { a = 1; }\n";
+  Program P1 = parse(Source);
+  AnalysisOptions DepthZero;
+  DepthZero.CounterfactualDepth = 0;
+  AnalysisResult A = runDeterminacyAnalysis(P1, DepthZero);
+  Program P2 = parse(Source);
+  AnalysisOptions Disabled;
+  Disabled.CounterfactualEnabled = false;
+  AnalysisResult B = runDeterminacyAnalysis(P2, Disabled);
+  EXPECT_EQ(A.Stats.Counterfactuals, 0u);
+  EXPECT_EQ(B.Stats.Counterfactuals, 0u);
+  EXPECT_EQ(A.Stats.CounterfactualAborts, B.Stats.CounterfactualAborts);
+}
+
+TEST(Options, EventHandlersCanBeDisabled) {
+  const char *Source =
+      "document.addEventListener(\"ready\", function() { print(\"h\"); });\n"
+      "print(\"main\");\n";
+  Program P1 = parse(Source);
+  AnalysisOptions On;
+  AnalysisResult A = runDeterminacyAnalysis(P1, On);
+  EXPECT_NE(A.Output.find("h"), std::string::npos);
+  Program P2 = parse(Source);
+  AnalysisOptions Off;
+  Off.RunEventHandlers = false;
+  AnalysisResult B = runDeterminacyAnalysis(P2, Off);
+  EXPECT_EQ(B.Output.find("h"), std::string::npos);
+  EXPECT_EQ(B.Stats.HeapFlushes, 0u); // No handler-entry flush either.
+}
+
+TEST(Options, HandlerFactsGetSyntheticContexts) {
+  // Facts inside event handlers are qualified by a synthetic handler frame.
+  const char *Source =
+      "document.addEventListener(\"ready\", function() {\n"
+      "  if (1 < 2) { print(\"taken\"); }\n"
+      "});\n";
+  Program P = parse(Source);
+  AnalysisResult R = runDeterminacyAnalysis(P, AnalysisOptions());
+  ASSERT_TRUE(R.Ok);
+  const Node *If = findNode(P, [](const Node *N) { return isa<IfStmt>(N); });
+  ASSERT_TRUE(If);
+  bool Found = false;
+  for (const auto &[Key, Val] : R.Facts.all())
+    if (Key.Node == If->getID() && Key.Kind == FactKind::Condition) {
+      Found = true;
+      EXPECT_NE(Key.Ctx, ContextTable::Root);
+      EXPECT_TRUE(Val.isBooleanTrue());
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(Options, DetDomStillKeepsMathRandomIndeterminate) {
+  Program P = parse("var a = document.title;\n"
+                    "var b = Math.random();\n");
+  AnalysisOptions Opts;
+  Opts.DeterminateDom = true;
+  InstrumentedInterpreter I(P, Opts);
+  ASSERT_TRUE(I.run());
+  EXPECT_TRUE(I.globalVariable("a").isDet());
+  EXPECT_FALSE(I.globalVariable("b").isDet());
+}
+
+TEST(Options, SeedsChangeConcreteValuesNotSoundness) {
+  const char *Source = "var r = Math.random();\n"
+                       "var k = 5;\n";
+  Program P1 = parse(Source);
+  AnalysisOptions S1;
+  S1.RandomSeed = 1;
+  InstrumentedInterpreter A(P1, S1);
+  ASSERT_TRUE(A.run());
+  Program P2 = parse(Source);
+  AnalysisOptions S2;
+  S2.RandomSeed = 2;
+  InstrumentedInterpreter B(P2, S2);
+  ASSERT_TRUE(B.run());
+  EXPECT_NE(A.globalVariable("r").V.Num, B.globalVariable("r").V.Num);
+  EXPECT_FALSE(A.globalVariable("r").isDet());
+  EXPECT_FALSE(B.globalVariable("r").isDet());
+  EXPECT_TRUE(A.globalVariable("k").isDet());
+}
+
+TEST(Options, EvalInsideEvalIsInstrumentedRecursively) {
+  // "calls to eval are instrumented to recursively instrument any code
+  // loaded at runtime" (Section 4) — including eval within eval.
+  Program P = parse("var x = eval(\"eval('2 + 3') * 2\");\n"
+                    "var y = eval(\"eval('1 + ' + Math.floor(Math.random()))\");\n");
+  InstrumentedInterpreter I(P, AnalysisOptions());
+  ASSERT_TRUE(I.run());
+  TaggedValue X = I.globalVariable("x");
+  EXPECT_DOUBLE_EQ(X.V.Num, 10);
+  EXPECT_TRUE(X.isDet());
+  EXPECT_FALSE(I.globalVariable("y").isDet());
+}
+
+TEST(Options, InstrumentedMatchesConcreteOnWorkloadPrograms) {
+  // Differential: instrumented output == concrete output for matched seeds
+  // on branch/loop/eval-heavy code.
+  const char *Source =
+      "var acc = \"\";\n"
+      "for (var i = 0; i < 4; i++) {\n"
+      "  if (Math.random() < 0.5) { acc += \"a\"; } else { acc += \"b\"; }\n"
+      "}\n"
+      "print(acc, eval(\"acc + '!'\"));\n";
+  for (uint64_t Seed : {1, 2, 3, 4, 5}) {
+    Program PA = parse(Source);
+    AnalysisOptions AOpts;
+    AOpts.RandomSeed = Seed;
+    AnalysisResult A = runDeterminacyAnalysis(PA, AOpts);
+    ASSERT_TRUE(A.Ok);
+    Program PC = parse(Source);
+    InterpOptions COpts;
+    COpts.RandomSeed = Seed;
+    Interpreter C(PC, COpts);
+    ASSERT_TRUE(C.run());
+    EXPECT_EQ(A.Output, C.outputText()) << "seed " << Seed;
+  }
+}
+
+} // namespace

@@ -1,0 +1,136 @@
+//===- BuiltinsTest.cpp - Native-function model unit tests -------------------==//
+///
+/// Exercises every native through the interpreter and checks the effect
+/// metadata (NativeInfo) that the instrumented semantics relies on: which
+/// natives are random, which are DOM reads, and which abort counterfactual
+/// execution.
+///
+//===----------------------------------------------------------------------===//
+
+#include "interp/Builtins.h"
+
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+std::string runOutput(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  Interpreter I(P);
+  EXPECT_TRUE(I.run()) << I.errorMessage();
+  return I.outputText();
+}
+
+TEST(Builtins, InfoTableAlignment) {
+  // A misaligned table would mislabel every native; spot-check anchors.
+  EXPECT_STREQ(nativeInfo(NativeFn::MathRandom).Name, "Math.random");
+  EXPECT_STREQ(nativeInfo(NativeFn::Eval).Name, "eval");
+  EXPECT_STREQ(nativeInfo(NativeFn::StrToUpperCase).Name,
+               "String.toUpperCase");
+  EXPECT_STREQ(nativeInfo(NativeFn::ArrPush).Name, "Array.push");
+  EXPECT_STREQ(nativeInfo(NativeFn::DomAppendChild).Name, "appendChild");
+}
+
+TEST(Builtins, EffectFlags) {
+  EXPECT_TRUE(nativeInfo(NativeFn::MathRandom).Random);
+  EXPECT_FALSE(nativeInfo(NativeFn::MathFloor).Random);
+  EXPECT_TRUE(nativeInfo(NativeFn::DomGetElementById).DomRead);
+  EXPECT_TRUE(nativeInfo(NativeFn::DomGetAttribute).DomRead);
+  EXPECT_FALSE(nativeInfo(NativeFn::StrSplit).DomRead);
+  // document.write and addEventListener cannot run counterfactually.
+  EXPECT_FALSE(nativeInfo(NativeFn::DomWrite).CounterfactualSafe);
+  EXPECT_FALSE(nativeInfo(NativeFn::DomAddEventListener).CounterfactualSafe);
+  EXPECT_TRUE(nativeInfo(NativeFn::StrConcat).CounterfactualSafe);
+}
+
+TEST(Builtins, MathFamily) {
+  EXPECT_EQ(runOutput("print(Math.ceil(1.2), Math.round(2.5),"
+                      "      Math.min(3, 1, 2), Math.sqrt(16));"),
+            "2 3 1 4\n");
+  EXPECT_EQ(runOutput("var r = Math.random();"
+                      "print(r >= 0 && r < 1);"),
+            "true\n");
+}
+
+TEST(Builtins, StringFamilyEdgeCases) {
+  EXPECT_EQ(runOutput("print(\"abc\".charAt(10));"), "\n"); // Empty string.
+  EXPECT_EQ(runOutput("print(\"abc\".charCodeAt(0));"), "97\n");
+  EXPECT_EQ(runOutput("print(\"hello\".substring(3, 1));"), "el\n"); // Swap.
+  EXPECT_EQ(runOutput("print(\"hello\".slice(-3));"), "llo\n");
+  EXPECT_EQ(runOutput("print(\"hello\".substr(-3, 2));"), "ll\n");
+  EXPECT_EQ(runOutput("print(\"a\".concat(\"b\", 1, \"c\"));"), "ab1c\n");
+  EXPECT_EQ(runOutput("print(\"x,y\".split(\",\").join(\"+\"));"), "x+y\n");
+  EXPECT_EQ(runOutput("print(\"abc\".split(\"\").length);"), "3\n");
+  EXPECT_EQ(runOutput("print(\"nope\".indexOf(\"z\"));"), "-1\n");
+}
+
+TEST(Builtins, ArrayFamilyEdgeCases) {
+  EXPECT_EQ(runOutput("var a = [1]; print(a.pop(), a.pop(), a.length);"),
+            "1 undefined 0\n");
+  EXPECT_EQ(runOutput("var a = [1, 2, 3];"
+                      "print(a.shift(), a.join(\",\"), a.length);"),
+            "1 2,3 2\n");
+  EXPECT_EQ(runOutput("print([].join(\"-\"), [].length);"), " 0\n");
+  EXPECT_EQ(runOutput("print([1, 2].concat([3], 4).join(\",\"));"),
+            "1,2,3,4\n");
+  EXPECT_EQ(runOutput("print([5, 6, 7].slice(-2).join(\",\"));"), "6,7\n");
+  EXPECT_EQ(runOutput("var a = []; print(a.push(1, 2, 3), a.length);"),
+            "3 3\n");
+}
+
+TEST(Builtins, TypeErrorsOnWrongReceivers) {
+  EXPECT_EQ(runOutput("try { var n = 5; n.missingMethod(); }"
+                      "catch (e) { print(\"caught\"); }"),
+            "caught\n");
+}
+
+TEST(Builtins, ConversionCtors) {
+  EXPECT_EQ(runOutput("print(String(true), Number(\"7\") + 1,"
+                      "      Boolean(\"\"), Boolean(\"x\"));"),
+            "true 8 false true\n");
+  EXPECT_EQ(runOutput("print(String(), Number());"), " 0\n");
+}
+
+TEST(Builtins, DomSyntheticValueIsStable) {
+  Value A = domSyntheticValue(1, 5, "title");
+  Value B = domSyntheticValue(1, 5, "title");
+  Value C = domSyntheticValue(2, 5, "title");
+  Value D = domSyntheticValue(1, 6, "title");
+  Value E = domSyntheticValue(1, 5, "other");
+  EXPECT_EQ(A.Str, B.Str);
+  EXPECT_NE(A.Str, C.Str);
+  EXPECT_NE(A.Str, D.Str);
+  EXPECT_NE(A.Str, E.Str);
+  EXPECT_EQ(A.Str.rfind("dom", 0), 0u);
+}
+
+TEST(Builtins, DomElementRoundTrip) {
+  EXPECT_EQ(runOutput("var el = document.createElement(\"div\");"
+                      "print(el.tagName);"),
+            "div\n");
+  EXPECT_EQ(runOutput("var el = document.getElementById(\"a\");"
+                      "var child = document.getElementById(\"b\");"
+                      "el.appendChild(child);"
+                      "print(el.lastChild === child);"),
+            "true\n");
+}
+
+TEST(Builtins, DocumentWriteGoesToOutput) {
+  EXPECT_EQ(runOutput("document.write(\"<b>hi</b>\");"),
+            "[document.write] <b>hi</b>\n");
+}
+
+TEST(Builtins, HasOwnPropertyThroughProtoChain) {
+  EXPECT_EQ(runOutput("var o = {a: 1};"
+                      "print(o.hasOwnProperty(\"a\"),"
+                      "      o.hasOwnProperty(\"hasOwnProperty\"));"),
+            "true false\n");
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+//===- ContextTest.cpp - Calling-context table unit tests -------------------==//
+
+#include "determinacy/Context.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+TEST(Context, RootRendersAsDot) {
+  ContextTable T;
+  EXPECT_EQ(T.str(ContextTable::Root), "\xc2\xb7");
+  EXPECT_EQ(T.depth(ContextTable::Root), 0u);
+}
+
+TEST(Context, InternIsIdempotent) {
+  ContextTable T;
+  ContextID A = T.intern(ContextTable::Root, 10, 0, 16);
+  ContextID B = T.intern(ContextTable::Root, 10, 0, 16);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(T.size(), 2u); // Root + one entry.
+}
+
+TEST(Context, DistinctOccurrencesAreDistinctContexts) {
+  ContextTable T;
+  ContextID A = T.intern(ContextTable::Root, 10, 0, 24);
+  ContextID B = T.intern(ContextTable::Root, 10, 1, 24);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(T.entry(A).Occurrence, 0u);
+  EXPECT_EQ(T.entry(B).Occurrence, 1u);
+}
+
+TEST(Context, ChainsRenderLikeThePaper) {
+  // The paper's "18→5→10" notation, with subscripts for occurrences > 0.
+  ContextTable T;
+  ContextID C1 = T.intern(ContextTable::Root, 100, 0, 18);
+  ContextID C2 = T.intern(C1, 101, 0, 5);
+  ContextID C3 = T.intern(C2, 102, 0, 10);
+  EXPECT_EQ(T.str(C3), "18\xe2\x86\x92"
+                       "5\xe2\x86\x92"
+                       "10");
+  EXPECT_EQ(T.depth(C3), 3u);
+
+  ContextID WithOcc = T.intern(ContextTable::Root, 103, 1, 24);
+  EXPECT_EQ(T.str(WithOcc), "24_1");
+}
+
+TEST(Context, ChildrenAtReturnsOccurrenceOrdered) {
+  ContextTable T;
+  // Intern out of order; childrenAt must sort by occurrence.
+  ContextID B = T.intern(ContextTable::Root, 7, 2, 12);
+  ContextID A = T.intern(ContextTable::Root, 7, 0, 12);
+  ContextID C = T.intern(ContextTable::Root, 7, 1, 12);
+  std::vector<ContextID> Kids = T.childrenAt(ContextTable::Root, 7);
+  ASSERT_EQ(Kids.size(), 3u);
+  EXPECT_EQ(Kids[0], A);
+  EXPECT_EQ(Kids[1], C);
+  EXPECT_EQ(Kids[2], B);
+  // Different site: none.
+  EXPECT_TRUE(T.childrenAt(ContextTable::Root, 8).empty());
+}
+
+TEST(Context, ChildrenListsAllSitesUnderParent) {
+  ContextTable T;
+  T.intern(ContextTable::Root, 1, 0, 1);
+  T.intern(ContextTable::Root, 2, 0, 2);
+  ContextID Deep = T.intern(T.intern(ContextTable::Root, 1, 0, 1), 3, 0, 3);
+  EXPECT_EQ(T.children(ContextTable::Root).size(), 2u);
+  (void)Deep;
+}
+
+TEST(Context, RecursiveChainsCompose) {
+  // Recursion: the same site nested under itself stays distinguishable.
+  ContextTable T;
+  ContextID C = ContextTable::Root;
+  for (int I = 0; I < 5; ++I)
+    C = T.intern(C, 42, 0, 9);
+  EXPECT_EQ(T.depth(C), 5u);
+  EXPECT_EQ(T.str(C), "9\xe2\x86\x92"
+                      "9\xe2\x86\x92"
+                      "9\xe2\x86\x92"
+                      "9\xe2\x86\x92"
+                      "9");
+}
+
+} // namespace

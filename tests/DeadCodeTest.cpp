@@ -1,0 +1,124 @@
+//===- DeadCodeTest.cpp - Dead-code client tests ----------------------------==//
+
+#include "deadcode/DeadCode.h"
+
+#include "parser/Parser.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+DeadCodeResult analyze(const std::string &Source) {
+  Program P = parse(Source);
+  AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+  EXPECT_TRUE(A.Ok) << A.Error;
+  return findDeadCode(P, A);
+}
+
+TEST(DeadCode, DeterminatelyFalseBranchIsDead) {
+  DeadCodeResult R = analyze("if (2 < 1) { print(\"a\"); print(\"b\"); }\n"
+                             "print(\"live\");\n");
+  ASSERT_EQ(R.Regions.size(), 1u);
+  EXPECT_FALSE(R.Regions[0].CondValue);
+  EXPECT_EQ(R.Regions[0].StatementCount, 3u); // Block + 2 prints.
+  EXPECT_GT(R.TotalStatements, R.DeadStatements);
+}
+
+TEST(DeadCode, DeterminatelyTrueConditionKillsElse) {
+  DeadCodeResult R = analyze(
+      "if (1 < 2) { print(\"then\"); } else { print(\"dead\"); }\n");
+  ASSERT_EQ(R.Regions.size(), 1u);
+  EXPECT_TRUE(R.Regions[0].CondValue);
+}
+
+TEST(DeadCode, IndeterminateConditionIsNotDead) {
+  DeadCodeResult R = analyze(
+      "if (Math.random() < 0.5) { print(\"a\"); } else { print(\"b\"); }\n");
+  EXPECT_TRUE(R.Regions.empty());
+}
+
+TEST(DeadCode, ContextVaryingConditionIsNotDead) {
+  // The condition is determinate *per context* but differs across contexts:
+  // neither side is globally dead.
+  DeadCodeResult R = analyze("function f(x) {\n"
+                             "  if (x === 1) { print(\"one\"); }\n"
+                             "  else { print(\"other\"); }\n"
+                             "}\n"
+                             "f(1);\n"
+                             "f(2);\n");
+  EXPECT_TRUE(R.Regions.empty());
+}
+
+TEST(DeadCode, NestedDeadRegionsNotDoubleCounted) {
+  DeadCodeResult R = analyze("if (2 < 1) {\n"
+                             "  if (3 < 1) { print(\"inner\"); }\n"
+                             "  print(\"outer\");\n"
+                             "}\n");
+  ASSERT_EQ(R.Regions.size(), 1u); // Only the outer region.
+}
+
+TEST(DeadCode, FunctionsInsideDeadBranchCount) {
+  DeadCodeResult R = analyze("if (false) {\n"
+                             "  var helper = function() { print(\"x\"); };\n"
+                             "  helper();\n"
+                             "}\n");
+  ASSERT_EQ(R.Regions.size(), 1u);
+  EXPECT_GE(R.Regions[0].StatementCount, 4u);
+}
+
+TEST(DeadCode, Figure1MonomorphicCallSitesLeaveDispatcherLive) {
+  // The $ dispatcher is called with several argument types, so none of its
+  // dispatch branches is globally dead.
+  Program P = parse(workloads::figure1());
+  AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+  ASSERT_TRUE(A.Ok);
+  DeadCodeResult R = findDeadCode(P, A);
+  EXPECT_TRUE(R.Regions.empty());
+}
+
+TEST(DeadCode, DetDomRevealsDeadLegacyPaths) {
+  // The eval-suite #16 pattern: a DOM-guarded legacy path is dead under the
+  // determinate-DOM assumption but not under the conservative one.
+  const char *Source = R"JS(
+var el = document.getElementById("widget");
+if (el.getAttribute("legacy") === "on") {
+  print("legacy path");
+}
+print("done");
+)JS";
+  {
+    Program P = parse(Source);
+    AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+    ASSERT_TRUE(A.Ok);
+    EXPECT_TRUE(findDeadCode(P, A).Regions.empty());
+  }
+  {
+    Program P = parse(Source);
+    AnalysisOptions Opts;
+    Opts.DeterminateDom = true;
+    AnalysisResult A = runDeterminacyAnalysis(P, Opts);
+    ASSERT_TRUE(A.Ok);
+    DeadCodeResult R = findDeadCode(P, A);
+    ASSERT_EQ(R.Regions.size(), 1u);
+    EXPECT_FALSE(R.Regions[0].CondValue);
+  }
+}
+
+TEST(DeadCode, DeadFractionMetric) {
+  DeadCodeResult R = analyze("print(1);\n"
+                             "if (2 < 1) { print(2); }\n");
+  EXPECT_GT(R.deadFraction(), 0.0);
+  EXPECT_LT(R.deadFraction(), 1.0);
+}
+
+} // namespace

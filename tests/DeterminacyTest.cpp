@@ -1,0 +1,759 @@
+//===- DeterminacyTest.cpp - Instrumented semantics unit tests -------------==//
+///
+/// Validates the determinacy analysis against the paper's worked examples
+/// (Figures 2, 3, 4) and the individual rules: taint propagation, ÎF1
+/// marking, counterfactual execution with undo, heap flushes via epochs,
+/// open/closed records, and fact recording.
+///
+//===----------------------------------------------------------------------===//
+
+#include "determinacy/InstrumentedInterpreter.h"
+
+#include "ast/ASTWalk.h"
+#include "interp/Interpreter.h"
+#include "interp/Ops.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+/// Runs the instrumented interpreter, asserting success, and returns it for
+/// inspection (kept alive by the caller holding the unique_ptr).
+std::unique_ptr<InstrumentedInterpreter>
+analyze(Program &P, AnalysisOptions Opts = AnalysisOptions()) {
+  auto I = std::make_unique<InstrumentedInterpreter>(P, Opts);
+  EXPECT_TRUE(I->run()) << I->errorMessage();
+  return I;
+}
+
+bool isDetNumber(const TaggedValue &TV, double N) {
+  return TV.isDet() && TV.V.isNumber() && TV.V.Num == N;
+}
+
+TEST(Determinacy, ConstantsAreDeterminate) {
+  Program P = parse("var x = 23; var s = \"a\" + \"b\"; var b = 1 < 2;");
+  auto I = analyze(P);
+  EXPECT_TRUE(isDetNumber(I->globalVariable("x"), 23));
+  EXPECT_TRUE(I->globalVariable("s").isDet());
+  EXPECT_TRUE(I->globalVariable("b").isDet());
+}
+
+TEST(Determinacy, MathRandomIsIndeterminate) {
+  Program P = parse("var y = Math.random();");
+  auto I = analyze(P);
+  EXPECT_FALSE(I->globalVariable("y").isDet());
+}
+
+TEST(Determinacy, DirectTaintPropagation) {
+  Program P = parse("var y = Math.random() * 100;"
+                    "var z = y + 1;"
+                    "var w = 5 * 2;");
+  auto I = analyze(P);
+  EXPECT_FALSE(I->globalVariable("y").isDet());
+  EXPECT_FALSE(I->globalVariable("z").isDet());
+  EXPECT_TRUE(isDetNumber(I->globalVariable("w"), 10));
+}
+
+TEST(Determinacy, HeapTaintThroughProperties) {
+  Program P = parse("var o = {f: 23, g: Math.random()};"
+                    "var a = o.f; var b = o.g;");
+  auto I = analyze(P);
+  EXPECT_TRUE(isDetNumber(I->globalVariable("a"), 23));
+  EXPECT_FALSE(I->globalVariable("b").isDet());
+}
+
+TEST(Determinacy, IndeterminateTrueBranchMarksWritesAfterwards) {
+  // Math.random() < 2 is always true concretely but indeterminate; the write
+  // to w happens, keeps its value, and is weakened after the branch.
+  Program P = parse("var w = 0;"
+                    "if (Math.random() < 2) { w = 1; }");
+  auto I = analyze(P);
+  TaggedValue W = I->globalVariable("w");
+  EXPECT_FALSE(W.isDet());
+  EXPECT_DOUBLE_EQ(W.V.Num, 1); // Concrete value preserved.
+}
+
+TEST(Determinacy, FactsInsideIndeterminateBranchStayDeterminate) {
+  // Paper Section 2.1: "By marking variables indeterminate only after the
+  // branch has finished executing, we can infer more determinacy facts
+  // inside it." The assignment's fact records 42 determinately.
+  Program P = parse("var o = {};\n"
+                    "if (Math.random() < 2) { o.g = 42; }\n");
+  AnalysisOptions Opts;
+  auto I = analyze(P, Opts);
+  const Node *Assign =
+      findNode(P, [](const Node *N) { return isa<AssignExpr>(N); });
+  ASSERT_TRUE(Assign);
+  const FactValue *F = I->facts().query(
+      {Assign->getID(), ContextTable::Root, FactKind::Assign, 0});
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->K, FactValue::Number);
+  EXPECT_DOUBLE_EQ(F->Num, 42);
+  // But the heap location is weakened after the branch.
+  EXPECT_FALSE(I->taggedProperty(I->globalVariable("o"), "g").isDet());
+}
+
+TEST(Determinacy, CounterfactualExecutionUndoesWrites) {
+  // Math.random() > 2 is always false; the branch is counterfactually
+  // executed: z.g must NOT hold 42 afterwards, but must be indeterminate.
+  Program P = parse("var z = {f: 1, h: true};"
+                    "if (Math.random() > 2) { z.g = 42; z.f = 9; }");
+  auto I = analyze(P);
+  TaggedValue Z = I->globalVariable("z");
+  TaggedValue G = I->taggedProperty(Z, "g");
+  EXPECT_TRUE(G.V.isUndefined()) << "counterfactual write must be undone";
+  EXPECT_FALSE(G.isDet());
+  TaggedValue F = I->taggedProperty(Z, "f");
+  EXPECT_DOUBLE_EQ(F.V.Num, 1) << "counterfactual write must be undone";
+  EXPECT_FALSE(F.isDet());
+  // z.h was not written in the branch: still determinate (paper Section 2.1).
+  EXPECT_TRUE(I->taggedProperty(Z, "h").isDet());
+  EXPECT_GE(I->stats().Counterfactuals, 1u);
+}
+
+TEST(Determinacy, CounterfactualUndoesVariableWrites) {
+  Program P = parse("var w = 7;"
+                    "if (Math.random() > 2) { w = 1; }");
+  auto I = analyze(P);
+  TaggedValue W = I->globalVariable("w");
+  EXPECT_DOUBLE_EQ(W.V.Num, 7);
+  EXPECT_FALSE(W.isDet());
+}
+
+TEST(Determinacy, DeterminateConditionsNeedNoWeakening) {
+  Program P = parse("var w = 0;"
+                    "if (1 < 2) { w = 1; }"
+                    "if (2 < 1) { w = 99; }");
+  auto I = analyze(P);
+  EXPECT_TRUE(isDetNumber(I->globalVariable("w"), 1));
+  EXPECT_EQ(I->stats().Counterfactuals, 0u);
+}
+
+TEST(Determinacy, CounterfactualCutoffAborts) {
+  // Nested indeterminate-false conditionals beyond k trigger ĈNTRABORT.
+  Program P = parse("var a = 0;"
+                    "var r = Math.random() + 2;" // > 2, indeterminate
+                    "if (r > 100) { if (r > 101) { if (r > 102) { a = 1; } } }");
+  AnalysisOptions Opts;
+  Opts.CounterfactualDepth = 2;
+  auto I = analyze(P, Opts);
+  EXPECT_GE(I->stats().CounterfactualAborts, 1u);
+  EXPECT_FALSE(I->globalVariable("a").isDet());
+}
+
+TEST(Determinacy, CounterfactualDisabledFallsBackToAbort) {
+  Program P = parse("var a = 0;"
+                    "if (Math.random() > 2) { a = 1; }");
+  AnalysisOptions Opts;
+  Opts.CounterfactualEnabled = false;
+  auto I = analyze(P, Opts);
+  EXPECT_EQ(I->stats().Counterfactuals, 0u);
+  EXPECT_GE(I->stats().CounterfactualAborts, 1u);
+  EXPECT_FALSE(I->globalVariable("a").isDet());
+  EXPECT_GE(I->stats().HeapFlushes, 1u);
+}
+
+TEST(Determinacy, IndeterminateCalleeFlushesHeap) {
+  // Paper Section 2.1, line 21 of Figure 2: indeterminate callee → flush.
+  Program P = parse("function f(o) { o.g = 42; }"
+                    "function g(o) { o.g = 72; }"
+                    "var x = {f: 23};"
+                    "(Math.random() > 50 ? f : g)(x);"
+                    "var after = x.f;");
+  auto I = analyze(P);
+  EXPECT_GE(I->stats().HeapFlushes, 1u);
+  // x.f is still 23 concretely but indeterminate after the flush.
+  TaggedValue After = I->globalVariable("after");
+  EXPECT_DOUBLE_EQ(After.V.Num, 23);
+  EXPECT_FALSE(After.isDet());
+  // x itself (a local/global variable) stays determinate.
+  EXPECT_TRUE(I->globalVariable("x").isDet());
+}
+
+TEST(Determinacy, FlushMakesNewObjectsClosedAgain) {
+  Program P = parse("function f(o) {} function g(o) {}"
+                    "(Math.random() > 50 ? f : g)({});"
+                    "var fresh = {a: 1};"
+                    "var v = fresh.a;");
+  auto I = analyze(P);
+  EXPECT_TRUE(isDetNumber(I->globalVariable("v"), 1));
+}
+
+TEST(Determinacy, IndeterminatePropertyNameOpensRecord) {
+  Program P = parse("var o = {a: 1, b: 2};"
+                    "var k = Math.random() < 0.5 ? \"a\" : \"c\";"
+                    "o[k] = 9;"
+                    "var ra = o.a; var rmiss = o.zzz;");
+  auto I = analyze(P);
+  // Any property may have been overwritten.
+  EXPECT_FALSE(I->globalVariable("ra").isDet());
+  // Open record: a missing property may exist in another execution.
+  EXPECT_FALSE(I->globalVariable("rmiss").isDet());
+}
+
+TEST(Determinacy, ClosedRecordMissingPropertyIsDeterminateUndefined) {
+  Program P = parse("var o = {a: 1};"
+                    "var miss = o.nope;");
+  auto I = analyze(P);
+  TaggedValue Miss = I->globalVariable("miss");
+  EXPECT_TRUE(Miss.V.isUndefined());
+  EXPECT_TRUE(Miss.isDet());
+}
+
+TEST(Determinacy, DomReadsAreIndeterminate) {
+  Program P = parse("var t = document.title;");
+  auto I = analyze(P);
+  EXPECT_FALSE(I->globalVariable("t").isDet());
+}
+
+TEST(Determinacy, DetDomMakesDomReadsDeterminate) {
+  Program P = parse("var t = document.title;");
+  AnalysisOptions Opts;
+  Opts.DeterminateDom = true;
+  auto I = analyze(P, Opts);
+  EXPECT_TRUE(I->globalVariable("t").isDet());
+}
+
+TEST(Determinacy, EventHandlerEntryFlushesHeap) {
+  Program P = parse("var o = {a: 1};"
+                    "document.addEventListener(\"ready\", function() {"
+                    "  probe = o.a;"
+                    "});");
+  auto I = analyze(P);
+  EXPECT_GE(I->stats().HeapFlushes, 1u);
+  TaggedValue Probe = I->globalVariable("probe");
+  EXPECT_DOUBLE_EQ(Probe.V.Num, 1);
+  EXPECT_FALSE(Probe.isDet());
+}
+
+TEST(Determinacy, EvalWithDeterminateArgument) {
+  Program P = parse("var x = eval(\"1 + 2\");");
+  auto I = analyze(P);
+  EXPECT_TRUE(isDetNumber(I->globalVariable("x"), 3));
+  EXPECT_EQ(I->stats().HeapFlushes, 0u);
+}
+
+TEST(Determinacy, EvalWithIndeterminateArgumentFlushes) {
+  Program P = parse("var n = Math.random() < 2 ? \"1\" : \"2\";"
+                    "var x = eval(\"3 + \" + n);");
+  auto I = analyze(P);
+  EXPECT_FALSE(I->globalVariable("x").isDet());
+  EXPECT_GE(I->stats().HeapFlushes, 1u);
+}
+
+TEST(Determinacy, EvalArgFactRecorded) {
+  Program P = parse("var s = \"4\" + \"2\";\n"
+                    "var x = eval(s);\n");
+  auto I = analyze(P);
+  const Node *EvalCall = findNode(P, [](const Node *N) {
+    const auto *C = dyn_cast<CallExpr>(N);
+    if (!C)
+      return false;
+    const auto *Id = dyn_cast<Identifier>(C->getCallee());
+    return Id && Id->getName() == "eval";
+  });
+  ASSERT_TRUE(EvalCall);
+  auto Ctxs =
+      I->contexts().childrenAt(ContextTable::Root, EvalCall->getID());
+  ASSERT_EQ(Ctxs.size(), 1u);
+  const FactValue *F = I->facts().evalArg(EvalCall->getID(), Ctxs[0]);
+  ASSERT_TRUE(F);
+  EXPECT_EQ(F->K, FactValue::String);
+  EXPECT_EQ(F->Str, "42");
+}
+
+TEST(Determinacy, ConditionFactsTrueFalseIndet) {
+  Program P = parse("if (1 < 2) { print(1); }\n"
+                    "if (2 < 1) { print(2); }\n"
+                    "if (Math.random() < 2) { print(3); }\n");
+  auto I = analyze(P);
+  const Node *If1 = findNodeOnLine(P, NodeKind::IfStmt, 1);
+  const Node *If2 = findNodeOnLine(P, NodeKind::IfStmt, 2);
+  const Node *If3 = findNodeOnLine(P, NodeKind::IfStmt, 3);
+  ASSERT_TRUE(If1 && If2 && If3);
+  const FactValue *F1 = I->facts().condition(If1->getID(), 0);
+  const FactValue *F2 = I->facts().condition(If2->getID(), 0);
+  const FactValue *F3 = I->facts().condition(If3->getID(), 0);
+  ASSERT_TRUE(F1 && F2 && F3);
+  EXPECT_TRUE(F1->isBooleanTrue());
+  EXPECT_TRUE(F2->isBooleanFalse());
+  EXPECT_FALSE(F3->isDeterminate());
+}
+
+TEST(Determinacy, TripCountFacts) {
+  Program P = parse("var props = [\"width\", \"height\"];\n"
+                    "for (var i = 0; i < props.length; i++) { print(i); }\n"
+                    "var n = Math.floor(Math.random() * 3);\n"
+                    "for (var j = 0; j < n; j++) { print(j); }\n");
+  auto I = analyze(P);
+  const Node *Loop1 = findNodeOnLine(P, NodeKind::ForStmt, 2);
+  const Node *Loop2 = findNodeOnLine(P, NodeKind::ForStmt, 4);
+  ASSERT_TRUE(Loop1 && Loop2);
+  const FactValue *T1 = I->facts().tripCount(Loop1->getID(), 0);
+  const FactValue *T2 = I->facts().tripCount(Loop2->getID(), 0);
+  ASSERT_TRUE(T1 && T2);
+  ASSERT_EQ(T1->K, FactValue::Number);
+  EXPECT_DOUBLE_EQ(T1->Num, 2);
+  EXPECT_FALSE(T2->isDeterminate());
+}
+
+TEST(Determinacy, PropNameFactsFromFigure3) {
+  const char *Source = R"JS(
+function Rectangle(w, h) { this.width = w; this.height = h; }
+String.prototype.cap = function() {
+  return this[0].toUpperCase() + this.substr(1);
+};
+function defAccessors(prop) {
+  Rectangle.prototype["get" + prop.cap()] = function() { return this[prop]; };
+  Rectangle.prototype["set" + prop.cap()] = function(v) { this[prop] = v; };
+}
+var props = ["width", "height"];
+for (var i = 0; i < props.length; i++)
+  defAccessors(props[i]);
+var r = new Rectangle(20, 30);
+r.setWidth(r.getWidth() + 20);
+)JS";
+  Program P = parse(Source);
+  auto I = analyze(P);
+  // The computed member write "get" + prop.cap() is on line 7.
+  const Node *GetWrite = findNodeOnLine(P, NodeKind::Member, 7);
+  ASSERT_TRUE(GetWrite);
+  // Two contexts (loop iterations 0 and 1), with facts "getWidth" and
+  // "getHeight".
+  std::vector<std::string> Names;
+  for (const auto &[Key, Val] : I->facts().all()) {
+    if (Key.Node == GetWrite->getID() && Key.Kind == FactKind::PropName &&
+        Val.isDeterminate())
+      Names.push_back(Val.Str);
+  }
+  std::sort(Names.begin(), Names.end());
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "getHeight");
+  EXPECT_EQ(Names[1], "getWidth");
+}
+
+TEST(Determinacy, Figure2EndToEnd) {
+  // The full Figure 2 example with globals standing in for the closure
+  // variables, so the final tagged state is inspectable.
+  const char *Source = R"JS(
+function checkf(p) {
+  if (p.f < 32)
+    setg(p, 42);
+}
+function setg(r, v) {
+  r.g = v;
+}
+var x = { f: 23 },
+    y = { f: Math.random() * 100 };
+checkf(x);
+checkf(y);
+var xg_mid = x.g;
+(y.f > 50 ? checkf : setg)(x, 72);
+var z = { f: x.g - 16, h: true };
+checkf(z);
+)JS";
+  Program P = parse(Source);
+  AnalysisOptions Opts;
+  Opts.RandomSeed = 1;
+  auto I = analyze(P, Opts);
+
+  // ⟦x.f⟧14 = 23 before the indeterminate call: captured by xg_mid being
+  // determinate 42 (x.g was set under a determinate condition).
+  EXPECT_TRUE(isDetNumber(I->globalVariable("xg_mid"), 42));
+  // y.g: written under an indeterminate condition → indeterminate.
+  EXPECT_FALSE(I->taggedProperty(I->globalVariable("y"), "g").isDet());
+  // After the indeterminate call on line 14, the heap was flushed:
+  // x.g is indeterminate (⟦x.g⟧22 = ?).
+  EXPECT_FALSE(I->taggedProperty(I->globalVariable("x"), "g").isDet());
+  // z.h: initialized from a constant after the flush → determinate
+  // (fresh records are closed again).
+  EXPECT_TRUE(I->taggedProperty(I->globalVariable("z"), "h").isDet());
+  // z.f = x.g - 16 inherits indeterminacy from the flushed x.g.
+  EXPECT_FALSE(I->taggedProperty(I->globalVariable("z"), "f").isDet());
+
+  // The condition p.f < 32 in checkf: determinately true under the first
+  // call context, indeterminate under the second.
+  const Node *IfNode = findNodeOnLine(P, NodeKind::IfStmt, 3);
+  ASSERT_TRUE(IfNode);
+  const Node *Call1 = findNodeOnLine(P, NodeKind::Call, 11);
+  const Node *Call2 = findNodeOnLine(P, NodeKind::Call, 12);
+  ASSERT_TRUE(Call1 && Call2);
+  ContextID Ctx1 = I->contexts().intern(0, Call1->getID(), 0, 11);
+  ContextID Ctx2 = I->contexts().intern(0, Call2->getID(), 0, 12);
+  const FactValue *F1 = I->facts().condition(IfNode->getID(), Ctx1);
+  const FactValue *F2 = I->facts().condition(IfNode->getID(), Ctx2);
+  ASSERT_TRUE(F1 && F2);
+  EXPECT_TRUE(F1->isBooleanTrue()) << "⟦p.f<32⟧ 16→4 = true";
+  EXPECT_FALSE(F2->isDeterminate()) << "⟦p.f<32⟧ 25→4 = ?";
+}
+
+TEST(Determinacy, Figure4EvalArgsDeterminate) {
+  const char *Source = R"JS(
+ivymap = window.ivymap || {};
+function showIvyViaJs(locationId) {
+  var _f = undefined;
+  var _fconv = "ivymap['" + locationId + "']";
+  try {
+    _f = eval(_fconv);
+    if (_f != undefined) {
+      _f();
+    }
+  } catch (e) {
+  }
+}
+showIvyViaJs('pc.sy.banner.tcck.');
+showIvyViaJs('pc.sy.banner.duilian.');
+)JS";
+  Program P = parse(Source);
+  auto I = analyze(P);
+  const Node *EvalCall = findNode(P, [](const Node *N) {
+    const auto *C = dyn_cast<CallExpr>(N);
+    if (!C)
+      return false;
+    const auto *Id = dyn_cast<Identifier>(C->getCallee());
+    return Id && Id->getName() == "eval";
+  });
+  ASSERT_TRUE(EvalCall);
+  // Two call contexts; both eval-argument facts determinate with the paper's
+  // exact strings.
+  std::vector<std::string> ArgStrings;
+  for (const auto &[Key, Val] : I->facts().all())
+    if (Key.Node == EvalCall->getID() && Key.Kind == FactKind::EvalArg) {
+      ASSERT_TRUE(Val.isDeterminate());
+      ArgStrings.push_back(Val.Str);
+    }
+  std::sort(ArgStrings.begin(), ArgStrings.end());
+  ASSERT_EQ(ArgStrings.size(), 2u);
+  EXPECT_EQ(ArgStrings[0], "ivymap['pc.sy.banner.duilian.']");
+  EXPECT_EQ(ArgStrings[1], "ivymap['pc.sy.banner.tcck.']");
+}
+
+TEST(Determinacy, CalleeFactsIdentifyFunctions) {
+  Program P = parse("function a() { return 1; }\n"
+                    "function b() { return 2; }\n"
+                    "a();\n"
+                    "var f = Math.random() < 0.5 ? a : b;\n"
+                    "f();\n");
+  auto I = analyze(P);
+  const Node *DetCall = findNodeOnLine(P, NodeKind::Call, 3);
+  const Node *IndetCall = findNodeOnLine(P, NodeKind::Call, 5);
+  ASSERT_TRUE(DetCall && IndetCall);
+  // Callee facts are keyed by the child (site + occurrence) context.
+  auto DetCtxs = I->contexts().childrenAt(ContextTable::Root, DetCall->getID());
+  auto IndetCtxs =
+      I->contexts().childrenAt(ContextTable::Root, IndetCall->getID());
+  ASSERT_EQ(DetCtxs.size(), 1u);
+  ASSERT_EQ(IndetCtxs.size(), 1u);
+  const FactValue *FDet = I->facts().callee(DetCall->getID(), DetCtxs[0]);
+  const FactValue *FIndet =
+      I->facts().callee(IndetCall->getID(), IndetCtxs[0]);
+  ASSERT_TRUE(FDet && FIndet);
+  EXPECT_TRUE(FDet->isFunction());
+  EXPECT_FALSE(FIndet->isDeterminate());
+}
+
+TEST(Determinacy, OccurrenceContextsDistinguishLoopIterations) {
+  Program P = parse("function f(v) { return v; }\n"
+                    "var xs = [\"a\", \"b\"];\n"
+                    "for (var i = 0; i < 2; i++) { f(xs[i]); }\n");
+  auto I = analyze(P);
+  const Node *Call = findNodeOnLine(P, NodeKind::Call, 3);
+  ASSERT_TRUE(Call);
+  std::vector<ContextID> Ctxs =
+      I->contexts().childrenAt(ContextTable::Root, Call->getID());
+  ASSERT_EQ(Ctxs.size(), 2u);
+  const FactValue *A0 = I->facts().callArg(Call->getID(), Ctxs[0], 0);
+  const FactValue *A1 = I->facts().callArg(Call->getID(), Ctxs[1], 0);
+  ASSERT_TRUE(A0 && A1);
+  EXPECT_EQ(A0->Str, "a");
+  EXPECT_EQ(A1->Str, "b");
+}
+
+TEST(Determinacy, ForInDeterminateSetIsDeterminate) {
+  Program P = parse("var o = {a: 1, b: 2};\n"
+                    "var keys = \"\";\n"
+                    "for (var k in o) { keys += k; }\n");
+  auto I = analyze(P);
+  TaggedValue Keys = I->globalVariable("keys");
+  EXPECT_EQ(Keys.V.Str, "ab");
+  EXPECT_TRUE(Keys.isDet());
+}
+
+TEST(Determinacy, ForInOpenSetIsIndeterminate) {
+  Program P = parse("var o = {a: 1};\n"
+                    "var k2 = Math.random() < 0.5 ? \"x\" : \"y\";\n"
+                    "o[k2] = 1;\n" // Opens the record.
+                    "var keys = \"\";\n"
+                    "for (var k in o) { keys += k; }\n");
+  auto I = analyze(P);
+  EXPECT_FALSE(I->globalVariable("keys").isDet());
+}
+
+TEST(Determinacy, EarlyReturnUnderIndetConditionWeakensSkippedWrites) {
+  // The `return` is control-dependent on indeterminate data: other
+  // executions would run g = 1. g must not stay determinate.
+  Program P = parse("var g = 0;"
+                    "function setG() { g = 1; }"
+                    "function f() {"
+                    "  if (Math.random() < 2) { return; }"
+                    "  setG();"
+                    "}"
+                    "f();");
+  auto I = analyze(P);
+  TaggedValue G = I->globalVariable("g");
+  EXPECT_DOUBLE_EQ(G.V.Num, 0); // Concretely the return happened.
+  EXPECT_FALSE(G.isDet());      // But other executions write 1.
+}
+
+TEST(Determinacy, EarlyBreakUnderIndetConditionWeakensLoopState) {
+  Program P = parse("var total = 0;"
+                    "for (var i = 0; i < 10; i++) {"
+                    "  if (Math.random() < 2) { break; }"
+                    "  total += i;"
+                    "}");
+  auto I = analyze(P);
+  EXPECT_FALSE(I->globalVariable("total").isDet());
+  EXPECT_FALSE(I->globalVariable("i").isDet());
+}
+
+TEST(Determinacy, ThrowUnderIndetConditionWeakensSkippedWrites) {
+  Program P = parse("var g = 0;"
+                    "try {"
+                    "  if (Math.random() < 2) { throw \"x\"; }"
+                    "  g = 1;"
+                    "} catch (e) {}");
+  auto I = analyze(P);
+  TaggedValue G = I->globalVariable("g");
+  EXPECT_DOUBLE_EQ(G.V.Num, 0);
+  EXPECT_FALSE(G.isDet());
+}
+
+TEST(Determinacy, ConditionalExpressionFollowsBranchRules) {
+  Program P = parse("var side = 0;"
+                    "function bump() { side = 1; return 5; }"
+                    "var v = Math.random() < 2 ? 7 : bump();");
+  auto I = analyze(P);
+  // Result is control-dependent on indeterminate data.
+  EXPECT_FALSE(I->globalVariable("v").isDet());
+  EXPECT_DOUBLE_EQ(I->globalVariable("v").V.Num, 7);
+  // The untaken arm was explored counterfactually: side stayed 0 but is
+  // indeterminate.
+  TaggedValue Side = I->globalVariable("side");
+  EXPECT_DOUBLE_EQ(Side.V.Num, 0);
+  EXPECT_FALSE(Side.isDet());
+}
+
+TEST(Determinacy, LogicalOperatorShortCircuitDeterminacy) {
+  Program P = parse("var a = true && 5;"
+                    "var b = Math.random() < 2 && 5;");
+  auto I = analyze(P);
+  EXPECT_TRUE(isDetNumber(I->globalVariable("a"), 5));
+  EXPECT_FALSE(I->globalVariable("b").isDet());
+}
+
+TEST(Determinacy, StrictTaintAblationTaintsInsideBranch) {
+  Program P = parse("var o = {};"
+                    "if (Math.random() < 2) { o.g = 42; }");
+  AnalysisOptions Opts;
+  Opts.StrictTaint = true;
+  auto IStrict = analyze(P, Opts);
+  const Node *Assign =
+      findNode(P, [](const Node *N) { return isa<AssignExpr>(N); });
+  ASSERT_TRUE(Assign);
+  // Under strict taint, the fact recorded *inside* the branch is already
+  // indeterminate — exactly the precision the paper's delayed marking wins.
+  const FactValue *F = IStrict->facts().query(
+      {Assign->getID(), ContextTable::Root, FactKind::Assign, 0});
+  ASSERT_TRUE(F);
+  EXPECT_FALSE(F->isDeterminate());
+}
+
+TEST(Determinacy, FlushLimitStopsFactRecording) {
+  // Each indeterminate callee call flushes; with a tiny limit the analysis
+  // stops recording facts.
+  Program P = parse("function a() {} function b() {}"
+                    "for (var i = 0; i < 10; i++) {"
+                    "  (Math.random() < 0.5 ? a : b)();"
+                    "}"
+                    "var late = 7;");
+  AnalysisOptions Opts;
+  Opts.FlushLimit = 3;
+  auto I = analyze(P, Opts);
+  EXPECT_TRUE(I->stats().FlushLimitHit);
+}
+
+TEST(Determinacy, MultiSeedMergeDemotesInputDependentFacts) {
+  const char *Source = "var r = Math.random() < 0.5;\n"
+                       "if (r) { marker = 1; } else { marker = 2; }\n";
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  AnalysisOptions Opts;
+  AnalysisResult Merged =
+      runDeterminacyAnalysisMultiSeed(P, Opts, {1, 2, 3, 4, 5, 6});
+  // The if condition must be indeterminate in the merged database.
+  const Node *IfNode = findNodeOnLine(P, NodeKind::IfStmt, 2);
+  ASSERT_TRUE(IfNode);
+  const FactValue *F = Merged.Facts.condition(IfNode->getID(), 0);
+  ASSERT_TRUE(F);
+  EXPECT_FALSE(F->isDeterminate());
+}
+
+TEST(Determinacy, CollectAssignedVarsExcludesNestedFunctions) {
+  Program P = parse("if (x) {"
+                    "  a = 1;"
+                    "  var b = 2;"
+                    "  c += 3;"
+                    "  d++;"
+                    "  var f = function() { nested = 9; };"
+                    "}");
+  const auto *If = cast<IfStmt>(P.Body[0]);
+  std::vector<std::string> Vars = collectAssignedVars(If->getThen());
+  std::vector<std::string> Expected = {"a", "b", "c", "d", "f"};
+  EXPECT_EQ(Vars, Expected);
+}
+
+TEST(Determinacy, InstrumentationPreservesOutput) {
+  // The concrete projection of the instrumented run matches the concrete
+  // interpreter exactly (same seeds), even with counterfactual execution.
+  const char *Source =
+      "var r = Math.random();"
+      "var acc = 0;"
+      "if (r > 2) { acc = 99; print(\"never\"); }" // counterfactual
+      "for (var i = 0; i < 3; i++) acc += i;"
+      "print(acc, r < 1);";
+  DiagnosticEngine Diags;
+  Program P1 = parseProgram(Source, Diags);
+  Program P2 = parseProgram(Source, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+
+  AnalysisOptions AOpts;
+  AnalysisResult AR = runDeterminacyAnalysis(P1, AOpts);
+  ASSERT_TRUE(AR.Ok) << AR.Error;
+
+  Interpreter CI(P2, InterpOptions());
+  ASSERT_TRUE(CI.run());
+  EXPECT_EQ(AR.Output, CI.outputText());
+}
+
+
+// Regression tests for soundness holes found by the fuzz harness
+// (tests/FuzzTest.cpp). Kept separate and explicit so the mechanism is
+// documented even if the generator changes.
+namespace regression {
+
+TEST(Determinacy, PropertyCreatedInIndetBranchMakesSetIndeterminate) {
+  // o.w3 exists in this run but not in runs that take the other branch:
+  // the *property set* (and hence for-in) must be indeterminate even
+  // though the record is closed.
+  Program P = parse("var o = {a: 1};\n"
+                    "if (Math.random() < 2) { o.w3 = 3; } else { o.z = 1; }\n"
+                    "var keys = \"\";\n"
+                    "for (var k in o) { keys += k; }\n");
+  auto I = analyze(P);
+  EXPECT_FALSE(I->globalVariable("keys").isDet());
+}
+
+TEST(Determinacy, DeleteInIndetBranchWeakensMissingProperty) {
+  Program P = parse("var o = {a: 1};\n"
+                    "if (Math.random() < 2) { delete o.a; }\n"
+                    "var probe = o.a;\n"
+                    "var keys = \"\";\n"
+                    "for (var k in o) { keys += k; }\n");
+  auto I = analyze(P);
+  EXPECT_FALSE(I->globalVariable("probe").isDet());
+  EXPECT_FALSE(I->globalVariable("keys").isDet());
+}
+
+TEST(Determinacy, InOperatorOnMaybePresentProperty) {
+  Program P = parse("var o = {};\n"
+                    "if (Math.random() < 2) { o.p = 1; }\n"
+                    "var has = \"p\" in o;\n");
+  auto I = analyze(P);
+  EXPECT_FALSE(I->globalVariable("has").isDet());
+}
+
+TEST(Determinacy, CounterfactualThrowTaintsCatchTarget) {
+  // The throw only happens in *other* executions; their catch writes s.
+  Program P = parse("var s = \"no\";\n"
+                    "try {\n"
+                    "  if (Math.random() > 2) { throw \"e0\"; }\n"
+                    "  var afterInTry = 1;\n"
+                    "} catch (ex) {\n"
+                    "  s = \"\" + ex;\n"
+                    "}\n");
+  auto I = analyze(P);
+  TaggedValue S = I->globalVariable("s");
+  EXPECT_EQ(S.V.Str, "no"); // Concretely unchanged.
+  EXPECT_FALSE(S.isDet());  // But other executions write "e0".
+}
+
+TEST(Determinacy, CounterfactualReturnWeakensFunctionResult) {
+  // Other executions return 1; this one returns 2. The call result must
+  // not be determinate, and neither may writes after the escape point.
+  Program P = parse("var g = 0;\n"
+                    "function f() {\n"
+                    "  if (Math.random() > 2) { return 1; }\n"
+                    "  g = 5;\n"
+                    "  return 2;\n"
+                    "}\n"
+                    "var r = f();\n");
+  auto I = analyze(P);
+  TaggedValue R = I->globalVariable("r");
+  EXPECT_DOUBLE_EQ(R.V.Num, 2);
+  EXPECT_FALSE(R.isDet());
+  TaggedValue G = I->globalVariable("g");
+  EXPECT_DOUBLE_EQ(G.V.Num, 5);
+  EXPECT_FALSE(G.isDet());
+}
+
+TEST(Determinacy, CounterfactualBreakWeakensLaterIterations) {
+  // Other executions leave the loop at i==0; ours runs all 5 iterations.
+  Program P = parse("var acc = 0;\n"
+                    "for (var i = 0; i < 5; i++) {\n"
+                    "  if (Math.random() > 2) { break; }\n"
+                    "  acc += i;\n"
+                    "}\n");
+  auto I = analyze(P);
+  TaggedValue Acc = I->globalVariable("acc");
+  EXPECT_DOUBLE_EQ(Acc.V.Num, 10);
+  EXPECT_FALSE(Acc.isDet());
+}
+
+TEST(Determinacy, CntrAbortTaintsClosureWritableBindings) {
+  // Beyond the cutoff k the branch is not explored; it could call a closure
+  // that writes any reachable binding — n must not stay determinate.
+  Program P = parse("var n = 0;\n"
+                    "function bump() { n = n + 1; }\n"
+                    "var r = Math.random() + 2;\n"
+                    "if (r > 100) { if (r > 200) { bump(); } }\n");
+  AnalysisOptions Opts;
+  Opts.CounterfactualDepth = 1; // Inner if exceeds the cutoff.
+  auto I = analyze(P, Opts);
+  EXPECT_FALSE(I->globalVariable("n").isDet());
+}
+
+TEST(Determinacy, BuiltinGlobalsSurviveEnvironmentTaint) {
+  // The conservative environment taint must not destroy builtin bindings
+  // (print/Math/... are immutable unless the user overwrites them).
+  Program P = parse("var r = Math.random() + 2;\n"
+                    "try { if (r > 100) { throw \"x\"; } } catch (e) {}\n"
+                    "var after = Math.floor(3.7);\n");
+  auto I = analyze(P);
+  EXPECT_TRUE(I->globalVariable("after").isDet());
+  EXPECT_EQ(I->stats().HeapFlushes, 1u); // Only the counterfactual throw.
+}
+
+} // namespace regression
+
+} // namespace

@@ -1,0 +1,166 @@
+//===- FuzzTest.cpp - Generated-program fuzz suites -------------------------==//
+///
+/// Property tests over randomly generated (but well-formed and terminating)
+/// MiniJS programs — the paper's future-work direction of using automated
+/// test generation to drive the dynamic analysis. Four properties:
+///
+///   1. parser round-trip: print∘parse is a fixed point;
+///   2. interpreter determinism: same seeds → identical run;
+///   3. Theorem 1: determinate globals hold in every concrete execution;
+///   4. specializer soundness: the residual program is observationally
+///      equivalent to the original under matching seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "determinacy/InstrumentedInterpreter.h"
+#include "interp/Interpreter.h"
+#include "interp/Ops.h"
+#include "parser/Parser.h"
+#include "deadcode/DeadCode.h"
+#include "pointsto/PointsTo.h"
+#include "specialize/Specializer.h"
+#include "workloads/ProgramGenerator.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string generate(uint64_t Seed) {
+  return workloads::generateProgram(Seed);
+}
+
+Program parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors())
+      << Diags.str() << "\n--- source ---\n"
+      << Source;
+  return P;
+}
+
+TEST_P(FuzzTest, GeneratorIsDeterministic) {
+  EXPECT_EQ(generate(GetParam()), generate(GetParam()));
+  // Different seeds give different programs (no degenerate generator).
+  EXPECT_NE(generate(GetParam()), generate(GetParam() + 1));
+}
+
+TEST_P(FuzzTest, ParserRoundTrip) {
+  std::string Source = generate(GetParam());
+  Program P = parseOk(Source);
+  std::string Once = printProgram(P);
+  Program P2 = parseOk(Once);
+  EXPECT_EQ(printProgram(P2), Once) << "--- source ---\n" << Source;
+}
+
+TEST_P(FuzzTest, InterpreterRunsAndIsDeterministic) {
+  std::string Source = generate(GetParam());
+  Program P1 = parseOk(Source);
+  Interpreter I1(P1);
+  ASSERT_TRUE(I1.run()) << I1.errorMessage() << "\n--- source ---\n"
+                        << Source;
+  Program P2 = parseOk(Source);
+  Interpreter I2(P2);
+  ASSERT_TRUE(I2.run());
+  EXPECT_EQ(I1.outputText(), I2.outputText());
+}
+
+TEST_P(FuzzTest, SoundnessOfDeterminateGlobals) {
+  std::string Source = generate(GetParam());
+  Program IP = parseOk(Source);
+  AnalysisOptions AOpts;
+  InstrumentedInterpreter I(IP, AOpts);
+  ASSERT_TRUE(I.run()) << I.errorMessage() << "\n--- source ---\n" << Source;
+
+  for (uint64_t Seed : {1, 5, 99}) {
+    for (uint64_t DomSeed : {1, 17}) {
+      Program CP = parseOk(Source);
+      InterpOptions COpts;
+      COpts.RandomSeed = Seed;
+      COpts.DomSeed = DomSeed;
+      Interpreter C(CP, COpts);
+      ASSERT_TRUE(C.run()) << C.errorMessage() << "\n--- source ---\n"
+                           << Source;
+      if (Seed == AOpts.RandomSeed && DomSeed == AOpts.DomSeed) {
+        EXPECT_EQ(I.outputText(), C.outputText())
+            << "--- source ---\n" << Source;
+      }
+      for (const std::string &G : I.userGlobalNames()) {
+        TaggedValue TV = I.globalVariable(G);
+        if (!TV.isDet() || TV.V.isObject())
+          continue;
+        Value CV = C.globalVariable(G);
+        EXPECT_TRUE(strictEquals(TV.V, CV))
+            << "global " << G << " tagged determinate ("
+            << toStringValue(TV.V, I.heap()) << ") but concrete run (seed "
+            << Seed << "," << DomSeed << ") has "
+            << toStringValue(CV, C.heap()) << "\n--- source ---\n"
+            << Source;
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, SpecializationPreservesBehavior) {
+  std::string Source = generate(GetParam());
+  Program P = parseOk(Source);
+  AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+  ASSERT_TRUE(A.Ok) << A.Error << "\n--- source ---\n" << Source;
+  SpecializeResult S = specializeProgram(P, A);
+
+  // Residual and original must agree under the analysis seeds *and* under
+  // fresh seeds (the rewrites must be valid for every execution).
+  for (uint64_t Seed : {1, 42}) {
+    Program Orig = parseOk(Source);
+    InterpOptions Opts;
+    Opts.RandomSeed = Seed;
+    Interpreter IO(Orig, Opts);
+    ASSERT_TRUE(IO.run()) << IO.errorMessage();
+
+    DiagnosticEngine Diags;
+    Program Residual = parseProgram(printProgram(S.Residual), Diags);
+    ASSERT_FALSE(Diags.hasErrors())
+        << "residual does not reparse:\n"
+        << printProgram(S.Residual);
+    Interpreter IR(Residual, Opts);
+    ASSERT_TRUE(IR.run()) << IR.errorMessage() << "\n--- residual ---\n"
+                          << printProgram(S.Residual);
+    EXPECT_EQ(IR.outputText(), IO.outputText())
+        << "seed " << Seed << "\n--- source ---\n"
+        << Source << "\n--- residual ---\n"
+        << printProgram(S.Residual);
+  }
+}
+
+TEST_P(FuzzTest, StaticAnalysesAreTotalAndDeterministic) {
+  // The pointer analysis and dead-code client must terminate and be
+  // deterministic on arbitrary (well-formed) input, including residual
+  // programs.
+  std::string Source = generate(GetParam());
+  Program P = parseOk(Source);
+  PointsToResult A = runPointsToAnalysis(P);
+  PointsToResult B = runPointsToAnalysis(P);
+  EXPECT_TRUE(A.Completed);
+  EXPECT_EQ(A.PropagationSteps, B.PropagationSteps);
+  EXPECT_EQ(A.CallGraphEdges, B.CallGraphEdges);
+
+  AnalysisResult Facts = runDeterminacyAnalysis(P, AnalysisOptions());
+  ASSERT_TRUE(Facts.Ok);
+  DeadCodeResult Dead = findDeadCode(P, Facts);
+  EXPECT_LE(Dead.DeadStatements, Dead.TotalStatements);
+
+  SpecializeResult S = specializeProgram(P, Facts);
+  PointsToResult R = runPointsToAnalysis(S.Residual);
+  EXPECT_TRUE(R.Completed);
+  // Specialization may only improve (or preserve) call-graph precision.
+  EXPECT_LE(R.AvgCallTargets, A.AvgCallTargets + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+} // namespace

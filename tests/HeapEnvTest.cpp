@@ -1,0 +1,133 @@
+//===- HeapEnvTest.cpp - Heap and environment unit tests ---------------------==//
+
+#include "interp/Environment.h"
+#include "interp/Heap.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+TEST(Heap, AllocationAndClassTagging) {
+  Heap H;
+  EXPECT_EQ(H.size(), 0u);
+  ObjectRef A = H.allocate(ObjectClass::Plain, 42);
+  ObjectRef B = H.allocate(ObjectClass::Array);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(H.get(A).Class, ObjectClass::Plain);
+  EXPECT_EQ(H.get(A).AllocSite, 42u);
+  EXPECT_EQ(H.get(B).Class, ObjectClass::Array);
+  EXPECT_EQ(H.size(), 2u);
+}
+
+TEST(Heap, ReferencesStableAcrossGrowth) {
+  Heap H;
+  ObjectRef First = H.allocate(ObjectClass::Plain);
+  JSObject *Ptr = &H.get(First);
+  for (int I = 0; I < 10000; ++I)
+    H.allocate(ObjectClass::Plain);
+  EXPECT_EQ(&H.get(First), Ptr); // Deque storage: no reallocation moves.
+}
+
+TEST(Heap, InsertionOrderPreserved) {
+  JSObject O;
+  O.set("b", Slot{Value::number(1)});
+  O.set("a", Slot{Value::number(2)});
+  O.set("c", Slot{Value::number(3)});
+  std::vector<std::string> Expected = {"b", "a", "c"};
+  EXPECT_EQ(O.ownKeys(), Expected);
+}
+
+TEST(Heap, OverwriteKeepsOriginalPosition) {
+  JSObject O;
+  O.set("b", Slot{Value::number(1)});
+  O.set("a", Slot{Value::number(2)});
+  O.set("b", Slot{Value::number(9)}); // Overwrite.
+  std::vector<std::string> Expected = {"b", "a"};
+  EXPECT_EQ(O.ownKeys(), Expected);
+  EXPECT_DOUBLE_EQ(O.get("b")->V.Num, 9);
+}
+
+TEST(Heap, EraseAndReinsert) {
+  JSObject O;
+  O.set("x", Slot{Value::number(1)});
+  O.set("y", Slot{Value::number(2)});
+  EXPECT_TRUE(O.erase("x"));
+  EXPECT_FALSE(O.erase("x"));
+  EXPECT_FALSE(O.has("x"));
+  std::vector<std::string> AfterErase = {"y"};
+  EXPECT_EQ(O.ownKeys(), AfterErase);
+  // Reinsertion appends at the end (JS semantics).
+  O.set("x", Slot{Value::number(3)});
+  std::vector<std::string> AfterReinsert = {"y", "x"};
+  EXPECT_EQ(O.ownKeys(), AfterReinsert);
+}
+
+TEST(Heap, MaybeSets) {
+  JSObject O;
+  EXPECT_FALSE(O.isMaybeAbsent("p"));
+  EXPECT_FALSE(O.isMaybePresent("p"));
+  O.MaybeAbsent.push_back("p");
+  O.MaybePresent.push_back("q");
+  EXPECT_TRUE(O.isMaybeAbsent("p"));
+  EXPECT_TRUE(O.isMaybePresent("q"));
+  EXPECT_FALSE(O.isMaybeAbsent("q"));
+}
+
+TEST(Env, LexicalChainLookup) {
+  EnvArena A;
+  EnvRef Global = A.allocate(0);
+  EnvRef Inner = A.allocate(Global);
+  EnvRef Innermost = A.allocate(Inner);
+  A.get(Global).Vars["x"] = Binding{Value::number(1)};
+  A.get(Inner).Vars["y"] = Binding{Value::number(2)};
+
+  EXPECT_EQ(A.lookupEnv(Innermost, "x"), Global);
+  EXPECT_EQ(A.lookupEnv(Innermost, "y"), Inner);
+  EXPECT_EQ(A.lookupEnv(Innermost, "z"), 0u);
+  ASSERT_TRUE(A.lookup(Innermost, "x"));
+  EXPECT_DOUBLE_EQ(A.lookup(Innermost, "x")->V.Num, 1);
+}
+
+TEST(Env, ShadowingResolvesToNearest) {
+  EnvArena A;
+  EnvRef Outer = A.allocate(0);
+  EnvRef Inner = A.allocate(Outer);
+  A.get(Outer).Vars["x"] = Binding{Value::number(1)};
+  A.get(Inner).Vars["x"] = Binding{Value::number(2)};
+  EXPECT_EQ(A.lookupEnv(Inner, "x"), Inner);
+  EXPECT_DOUBLE_EQ(A.lookup(Inner, "x")->V.Num, 2);
+  EXPECT_EQ(A.lookupEnv(Outer, "x"), Outer);
+}
+
+TEST(Env, ForEachVisitsAllScopes) {
+  EnvArena A;
+  A.allocate(0);
+  A.allocate(1);
+  size_t Count = 0;
+  A.forEach([&](EnvRef, Environment &) { ++Count; });
+  EXPECT_EQ(Count, 2u);
+}
+
+TEST(Value, ConstructorsAndPredicates) {
+  EXPECT_TRUE(Value::undefined().isUndefined());
+  EXPECT_TRUE(Value::null().isNull());
+  EXPECT_TRUE(Value::boolean(true).isBoolean());
+  EXPECT_TRUE(Value::number(1).isNumber());
+  EXPECT_TRUE(Value::string("s").isString());
+  EXPECT_TRUE(Value::object(3).isObject());
+  EXPECT_EQ(Value::object(3).Obj, 3u);
+}
+
+TEST(Value, DetMeet) {
+  EXPECT_EQ(meet(Det::Determinate, Det::Determinate), Det::Determinate);
+  EXPECT_EQ(meet(Det::Determinate, Det::Indeterminate), Det::Indeterminate);
+  EXPECT_EQ(meet(Det::Indeterminate, Det::Determinate), Det::Indeterminate);
+  TaggedValue TV(Value::number(1), Det::Determinate);
+  EXPECT_TRUE(TV.isDet());
+  EXPECT_FALSE(TV.asIndeterminate().isDet());
+  EXPECT_DOUBLE_EQ(TV.asIndeterminate().V.Num, 1); // Value preserved.
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+//===- LexerTest.cpp - Tokenizer unit tests --------------------------------==//
+
+#include "lexer/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Lexer L(Source, Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Tokens;
+}
+
+std::vector<TokenKind> kinds(const std::vector<Token> &Tokens) {
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Tokens)
+    Kinds.push_back(T.Kind);
+  return Kinds;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, WhitespaceOnly) {
+  auto Tokens = lex("  \t\n\r  ");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, Numbers) {
+  auto Tokens = lex("0 42 3.14 0x1f 1e3 2.5e-2");
+  ASSERT_EQ(Tokens.size(), 7u);
+  EXPECT_DOUBLE_EQ(Tokens[0].NumberValue, 0);
+  EXPECT_DOUBLE_EQ(Tokens[1].NumberValue, 42);
+  EXPECT_DOUBLE_EQ(Tokens[2].NumberValue, 3.14);
+  EXPECT_DOUBLE_EQ(Tokens[3].NumberValue, 31);
+  EXPECT_DOUBLE_EQ(Tokens[4].NumberValue, 1000);
+  EXPECT_DOUBLE_EQ(Tokens[5].NumberValue, 0.025);
+}
+
+TEST(Lexer, NumberFollowedByDotProperty) {
+  // `23..toString` style is not needed, but `x.f` after a number must not
+  // absorb the dot: `1.f` would be a malformed number; we lex `1` `.` `f`
+  // only when the char after '.' is not a digit.
+  auto Tokens = lex("v[1].f");
+  auto K = kinds(Tokens);
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::LBracket, TokenKind::Number,
+      TokenKind::RBracket,   TokenKind::Dot,      TokenKind::Identifier,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  auto Tokens = lex(R"JS("a\"b" 'c\'d' "tab\there" "line\nbreak")JS");
+  ASSERT_EQ(Tokens.size(), 5u);
+  EXPECT_EQ(Tokens[0].Text, "a\"b");
+  EXPECT_EQ(Tokens[1].Text, "c'd");
+  EXPECT_EQ(Tokens[2].Text, "tab\there");
+  EXPECT_EQ(Tokens[3].Text, "line\nbreak");
+}
+
+TEST(Lexer, SingleAndDoubleQuotesEquivalent) {
+  auto A = lex("'abc'");
+  auto B = lex("\"abc\"");
+  EXPECT_EQ(A[0].Text, B[0].Text);
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  auto Tokens = lex("var varx function functions if iffy");
+  auto K = kinds(Tokens);
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwVar,      TokenKind::Identifier, TokenKind::KwFunction,
+      TokenKind::Identifier, TokenKind::KwIf,       TokenKind::Identifier,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, DollarAndUnderscoreIdentifiers) {
+  auto Tokens = lex("$ _f $set_1");
+  EXPECT_EQ(Tokens[0].Text, "$");
+  EXPECT_EQ(Tokens[1].Text, "_f");
+  EXPECT_EQ(Tokens[2].Text, "$set_1");
+}
+
+TEST(Lexer, OperatorsMaximalMunch) {
+  auto Tokens = lex("=== == = !== != ! <= < >= > ++ += + -- -= - && ||");
+  auto K = kinds(Tokens);
+  std::vector<TokenKind> Expected = {
+      TokenKind::EqEqEq,    TokenKind::EqEq,       TokenKind::Assign,
+      TokenKind::NotEqEq,   TokenKind::NotEq,      TokenKind::Not,
+      TokenKind::LessEq,    TokenKind::Less,       TokenKind::GreaterEq,
+      TokenKind::Greater,   TokenKind::PlusPlus,   TokenKind::PlusAssign,
+      TokenKind::Plus,      TokenKind::MinusMinus, TokenKind::MinusAssign,
+      TokenKind::Minus,     TokenKind::AmpAmp,     TokenKind::PipePipe,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, Comments) {
+  auto Tokens = lex("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  auto Tokens = lex("a\n  b\nc");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Line, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Column, 1u);
+}
+
+TEST(Lexer, UnterminatedStringReportsError) {
+  DiagnosticEngine Diags;
+  Lexer L("\"abc", Diags);
+  Token T = L.next();
+  EXPECT_EQ(T.Kind, TokenKind::Error);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnexpectedCharacterReportsError) {
+  DiagnosticEngine Diags;
+  Lexer L("a # b", Diags);
+  std::vector<Token> Tokens = L.lexAll();
+  EXPECT_TRUE(Diags.hasErrors());
+  // Lexing continues past the bad character.
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::Eof);
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+//===- OpsTest.cpp - Coercions and primitive operator tests ----------------==//
+
+#include "interp/Ops.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+TEST(NumberToString, Integers) {
+  EXPECT_EQ(numberToString(0), "0");
+  EXPECT_EQ(numberToString(-0.0), "0");
+  EXPECT_EQ(numberToString(23), "23");
+  EXPECT_EQ(numberToString(-7), "-7");
+  EXPECT_EQ(numberToString(1e6), "1000000");
+}
+
+TEST(NumberToString, NonIntegers) {
+  EXPECT_EQ(numberToString(3.14), "3.14");
+  EXPECT_EQ(numberToString(0.5), "0.5");
+}
+
+TEST(NumberToString, Specials) {
+  EXPECT_EQ(numberToString(std::nan("")), "NaN");
+  EXPECT_EQ(numberToString(INFINITY), "Infinity");
+  EXPECT_EQ(numberToString(-INFINITY), "-Infinity");
+}
+
+TEST(StringToNumber, Basic) {
+  EXPECT_DOUBLE_EQ(stringToNumber("42"), 42);
+  EXPECT_DOUBLE_EQ(stringToNumber("  3.5 "), 3.5);
+  EXPECT_DOUBLE_EQ(stringToNumber(""), 0);
+  EXPECT_DOUBLE_EQ(stringToNumber("0x10"), 16);
+  EXPECT_TRUE(std::isnan(stringToNumber("4x")));
+  EXPECT_TRUE(std::isnan(stringToNumber("abc")));
+}
+
+TEST(ToBoolean, AllKinds) {
+  Heap H;
+  EXPECT_FALSE(toBoolean(Value::undefined()));
+  EXPECT_FALSE(toBoolean(Value::null()));
+  EXPECT_FALSE(toBoolean(Value::number(0)));
+  EXPECT_FALSE(toBoolean(Value::number(std::nan(""))));
+  EXPECT_FALSE(toBoolean(Value::string("")));
+  EXPECT_TRUE(toBoolean(Value::number(31.4)));
+  EXPECT_TRUE(toBoolean(Value::string("0"))); // Non-empty string is true.
+  EXPECT_TRUE(toBoolean(Value::object(H.allocate(ObjectClass::Plain))));
+}
+
+TEST(ToNumber, Coercions) {
+  EXPECT_DOUBLE_EQ(toNumber(Value::null()), 0);
+  EXPECT_TRUE(std::isnan(toNumber(Value::undefined())));
+  EXPECT_DOUBLE_EQ(toNumber(Value::boolean(true)), 1);
+  EXPECT_DOUBLE_EQ(toNumber(Value::string("12")), 12);
+}
+
+TEST(ToString, ArrayJoinsElements) {
+  Heap H;
+  ObjectRef Arr = H.allocate(ObjectClass::Array);
+  H.get(Arr).set("0", Slot{Value::number(1)});
+  H.get(Arr).set("1", Slot{Value::string("x")});
+  H.get(Arr).set("length", Slot{Value::number(2)});
+  EXPECT_EQ(toStringValue(Value::object(Arr), H), "1,x");
+}
+
+TEST(StrictEquals, Basics) {
+  EXPECT_TRUE(strictEquals(Value::number(1), Value::number(1)));
+  EXPECT_FALSE(strictEquals(Value::number(1), Value::string("1")));
+  EXPECT_FALSE(strictEquals(Value::number(std::nan("")),
+                            Value::number(std::nan(""))));
+  EXPECT_TRUE(strictEquals(Value::undefined(), Value::undefined()));
+  EXPECT_FALSE(strictEquals(Value::undefined(), Value::null()));
+}
+
+TEST(LooseEquals, Coercing) {
+  EXPECT_TRUE(looseEquals(Value::null(), Value::undefined()));
+  EXPECT_TRUE(looseEquals(Value::number(1), Value::string("1")));
+  EXPECT_TRUE(looseEquals(Value::boolean(true), Value::number(1)));
+  EXPECT_FALSE(looseEquals(Value::number(2), Value::string("1")));
+}
+
+TEST(BinaryOps, AddConcatenatesWithStrings) {
+  Heap H;
+  Value R = applyBinaryOp(BinaryOp::Add, Value::string("get"),
+                          Value::string("Width"), H);
+  EXPECT_EQ(R.Str, "getWidth");
+  R = applyBinaryOp(BinaryOp::Add, Value::string("n="), Value::number(3), H);
+  EXPECT_EQ(R.Str, "n=3");
+  R = applyBinaryOp(BinaryOp::Add, Value::number(1), Value::number(2), H);
+  EXPECT_DOUBLE_EQ(R.Num, 3);
+}
+
+TEST(BinaryOps, Arithmetic) {
+  Heap H;
+  EXPECT_DOUBLE_EQ(
+      applyBinaryOp(BinaryOp::Mod, Value::number(7), Value::number(3), H).Num,
+      1);
+  EXPECT_DOUBLE_EQ(
+      applyBinaryOp(BinaryOp::Div, Value::number(1), Value::number(2), H).Num,
+      0.5);
+}
+
+TEST(BinaryOps, RelationalStringsLexicographic) {
+  Heap H;
+  EXPECT_TRUE(applyBinaryOp(BinaryOp::Less, Value::string("a"),
+                            Value::string("b"), H)
+                  .Bool);
+  // Lexicographic, not numeric: "10" < "9" because '1' < '9'.
+  EXPECT_TRUE(applyBinaryOp(BinaryOp::Less, Value::string("10"),
+                            Value::string("9"), H)
+                  .Bool);
+}
+
+TEST(BinaryOps, RelationalNaNAlwaysFalse) {
+  Heap H;
+  Value NaN = Value::number(std::nan(""));
+  EXPECT_FALSE(applyBinaryOp(BinaryOp::Less, NaN, Value::number(1), H).Bool);
+  EXPECT_FALSE(
+      applyBinaryOp(BinaryOp::GreaterEq, NaN, Value::number(1), H).Bool);
+}
+
+TEST(Identifiers, Classification) {
+  EXPECT_TRUE(isIdentifier("getWidth"));
+  EXPECT_TRUE(isIdentifier("_f"));
+  EXPECT_TRUE(isIdentifier("$x1"));
+  EXPECT_FALSE(isIdentifier("get-width"));
+  EXPECT_FALSE(isIdentifier("1abc"));
+  EXPECT_FALSE(isIdentifier(""));
+  EXPECT_FALSE(isIdentifier("function"));
+  EXPECT_FALSE(isIdentifier("a b"));
+}
+
+} // namespace

@@ -1,0 +1,253 @@
+//===- ParserTest.cpp - Parser unit tests ----------------------------------==//
+
+#include "parser/Parser.h"
+
+#include "ast/ASTPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+/// Parses and prints back; most structural assertions are easiest against the
+/// canonical printed form.
+std::string roundTrip(const std::string &Source) {
+  Program P = parse(Source);
+  return printProgram(P);
+}
+
+TEST(Parser, VarDeclarations) {
+  EXPECT_EQ(roundTrip("var x = 1;"), "var x = 1;\n");
+  EXPECT_EQ(roundTrip("var x = 1, y, z = \"s\";"),
+            "var x = 1, y, z = \"s\";\n");
+}
+
+TEST(Parser, PrecedenceMultiplicationBindsTighter) {
+  EXPECT_EQ(roundTrip("var x = 1 + 2 * 3;"), "var x = 1 + 2 * 3;\n");
+  EXPECT_EQ(roundTrip("var x = (1 + 2) * 3;"), "var x = (1 + 2) * 3;\n");
+}
+
+TEST(Parser, PrecedenceComparisonAndLogical) {
+  EXPECT_EQ(roundTrip("var b = a < 3 && c > 4 || d;"),
+            "var b = a < 3 && c > 4 || d;\n");
+}
+
+TEST(Parser, AssociativityOfSubtraction) {
+  // (1 - 2) - 3, not 1 - (2 - 3).
+  Program P = parse("var x = 1 - 2 - 3;");
+  const auto *Decl = cast<VarDeclStmt>(P.Body[0]);
+  const auto *Outer = cast<BinaryExpr>(Decl->getDeclarators()[0].Init);
+  EXPECT_EQ(Outer->getOp(), BinaryOp::Sub);
+  EXPECT_TRUE(isa<BinaryExpr>(Outer->getLHS()));
+  EXPECT_TRUE(isa<NumberLiteral>(Outer->getRHS()));
+}
+
+TEST(Parser, ConditionalExpression) {
+  EXPECT_EQ(roundTrip("var f = x > 50 ? a : b;"),
+            "var f = x > 50 ? a : b;\n");
+}
+
+TEST(Parser, MemberAccessChains) {
+  EXPECT_EQ(roundTrip("a.b.c = a[\"x\"][i];"), "a.b.c = a[\"x\"][i];\n");
+}
+
+TEST(Parser, KeywordAsPropertyName) {
+  EXPECT_EQ(roundTrip("a.in = 1;"), "a.in = 1;\n");
+  EXPECT_EQ(roundTrip("x = a.delete;"), "x = a.delete;\n");
+}
+
+TEST(Parser, CallsAndMethodCalls) {
+  EXPECT_EQ(roundTrip("f(1, 2);"), "f(1, 2);\n");
+  EXPECT_EQ(roundTrip("o.m(x)(y);"), "o.m(x)(y);\n");
+}
+
+TEST(Parser, NewExpression) {
+  EXPECT_EQ(roundTrip("var r = new Rectangle(20, 30);"),
+            "var r = new Rectangle(20, 30);\n");
+  // The first argument list binds to `new`.
+  Program P = parse("var x = new A.B(1)(2);");
+  const auto *Decl = cast<VarDeclStmt>(P.Body[0]);
+  const auto *Call = cast<CallExpr>(Decl->getDeclarators()[0].Init);
+  EXPECT_TRUE(isa<NewExpr>(Call->getCallee()));
+}
+
+TEST(Parser, FunctionDeclarationAndExpression) {
+  std::string Out = roundTrip("function f(a, b) { return a + b; }");
+  EXPECT_NE(Out.find("function f(a, b)"), std::string::npos);
+  Out = roundTrip("var g = function(x) { return x; };");
+  EXPECT_NE(Out.find("var g = function(x)"), std::string::npos);
+}
+
+TEST(Parser, IIFE) {
+  Program P = parse("(function() { var x = 1; })();");
+  const auto *ES = cast<ExpressionStmt>(P.Body[0]);
+  EXPECT_TRUE(isa<CallExpr>(ES->getExpr()));
+}
+
+TEST(Parser, ObjectAndArrayLiterals) {
+  EXPECT_EQ(roundTrip("var o = {f: 23, \"a b\": 1};"),
+            "var o = {f: 23, \"a b\": 1};\n");
+  EXPECT_EQ(roundTrip("var a = [1, \"two\", {x: 3}];"),
+            "var a = [1, \"two\", {x: 3}];\n");
+}
+
+TEST(Parser, IfElseChain) {
+  std::string Out = roundTrip(
+      "if (a) { f(); } else if (b) { g(); } else { h(); }");
+  EXPECT_NE(Out.find("if (a)"), std::string::npos);
+  EXPECT_NE(Out.find("else"), std::string::npos);
+}
+
+TEST(Parser, WhileAndDoWhile) {
+  EXPECT_NE(roundTrip("while (i < 10) { i++; }").find("while (i < 10)"),
+            std::string::npos);
+  EXPECT_NE(roundTrip("do { i++; } while (i < 10);").find("do {"),
+            std::string::npos);
+}
+
+TEST(Parser, ForClassic) {
+  Program P = parse("for (var i = 0; i < props.length; i++) f(props[i]);");
+  const auto *F = cast<ForStmt>(P.Body[0]);
+  EXPECT_TRUE(isa<VarDeclStmt>(F->getInit()));
+  EXPECT_TRUE(F->getCond() != nullptr);
+  EXPECT_TRUE(F->getUpdate() != nullptr);
+}
+
+TEST(Parser, ForInDeclaring) {
+  Program P = parse("for (var k in obj) { f(k); }");
+  const auto *F = cast<ForInStmt>(P.Body[0]);
+  EXPECT_TRUE(F->declaresVar());
+  EXPECT_EQ(F->getVar(), "k");
+}
+
+TEST(Parser, ForInNonDeclaring) {
+  Program P = parse("for (k in obj) { f(k); }");
+  const auto *F = cast<ForInStmt>(P.Body[0]);
+  EXPECT_FALSE(F->declaresVar());
+}
+
+TEST(Parser, InOperatorAllowedOutsideForHeader) {
+  Program P = parse("var b = \"x\" in o;");
+  const auto *Decl = cast<VarDeclStmt>(P.Body[0]);
+  const auto *B = cast<BinaryExpr>(Decl->getDeclarators()[0].Init);
+  EXPECT_EQ(B->getOp(), BinaryOp::In);
+}
+
+TEST(Parser, InOperatorInsideParensInForHeader) {
+  Program P = parse("for (var i = (\"x\" in o) ? 0 : 1; i < 2; i++) f();");
+  EXPECT_TRUE(isa<ForStmt>(P.Body[0]));
+}
+
+TEST(Parser, TryCatchFinally) {
+  Program P = parse("try { f(); } catch (e) { g(e); } finally { h(); }");
+  const auto *T = cast<TryStmt>(P.Body[0]);
+  EXPECT_EQ(T->getCatchParam(), "e");
+  EXPECT_TRUE(T->getCatchBlock() != nullptr);
+  EXPECT_TRUE(T->getFinallyBlock() != nullptr);
+}
+
+TEST(Parser, ThrowStatement) {
+  Program P = parse("throw \"boom\";");
+  EXPECT_TRUE(isa<ThrowStmt>(P.Body[0]));
+}
+
+TEST(Parser, TypeofAndDelete) {
+  EXPECT_EQ(roundTrip("var t = typeof selector === \"string\";"),
+            "var t = typeof selector === \"string\";\n");
+  EXPECT_EQ(roundTrip("delete o.p;"), "delete o.p;\n");
+}
+
+TEST(Parser, UpdateExpressions) {
+  EXPECT_EQ(roundTrip("i++;"), "i++;\n");
+  EXPECT_EQ(roundTrip("--o.count;"), "--o.count;\n");
+}
+
+TEST(Parser, CompoundAssignment) {
+  EXPECT_EQ(roundTrip("x += 2;"), "x += 2;\n");
+  EXPECT_EQ(roundTrip("o.n %= 3;"), "o.n %= 3;\n");
+}
+
+TEST(Parser, NodeIDsAreUniqueAndDense) {
+  Program P = parse("var x = 1 + 2; function f() { return x; }");
+  // Node count equals highest assigned id.
+  EXPECT_EQ(P.Context->nodeCount(), P.Context->nextID() - 1);
+}
+
+TEST(Parser, LineNumbersOnNodes) {
+  Program P = parse("var a = 1;\nvar b = 2;\nvar c = 3;\n");
+  EXPECT_EQ(P.Body[0]->getLine(), 1u);
+  EXPECT_EQ(P.Body[1]->getLine(), 2u);
+  EXPECT_EQ(P.Body[2]->getLine(), 3u);
+}
+
+TEST(Parser, ErrorRecoveryProducesDiagnosticsNotCrash) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram("var = ; if (( { ]", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  (void)P;
+}
+
+TEST(Parser, ParseIntoContextSharesArena) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram("var x = 1;", Diags);
+  size_t Before = P.Context->nodeCount();
+  std::vector<Stmt *> Extra = parseIntoContext("x = 2;", *P.Context, Diags);
+  EXPECT_FALSE(Diags.hasErrors());
+  ASSERT_EQ(Extra.size(), 1u);
+  EXPECT_GT(P.Context->nodeCount(), Before);
+}
+
+TEST(Parser, Figure2Parses) {
+  // The paper's Figure 2 example, verbatim structure.
+  const char *Source = R"JS(
+(function() {
+  function checkf(p) {
+    if (p.f < 32)
+      setg(p, 42);
+  }
+  function setg(r, v) {
+    r.g = v;
+  }
+  var x = { f: 23 },
+      y = { f: Math.random() * 100 };
+  checkf(x);
+  checkf(y);
+  (y.f > 50 ? checkf : setg)(x, 72);
+  var z = { f: x.g - 16, h: true };
+  checkf(z);
+})();
+)JS";
+  Program P = parse(Source);
+  EXPECT_EQ(P.Body.size(), 1u);
+}
+
+TEST(Parser, Figure4Parses) {
+  const char *Source = R"JS(
+ivymap = window.ivymap || {};
+function showIvyViaJs(locationId) {
+  var _f = undefined;
+  var _fconv = "ivymap['" + locationId + "']";
+  try {
+    _f = eval(_fconv);
+    if (_f != undefined) {
+      _f();
+    }
+  } catch (e) {
+  }
+}
+showIvyViaJs('pc.sy.banner.tcck.');
+showIvyViaJs('pc.sy.banner.duilian.');
+)JS";
+  Program P = parse(Source);
+  EXPECT_EQ(P.Body.size(), 4u);
+}
+
+} // namespace

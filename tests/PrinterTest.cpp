@@ -1,0 +1,97 @@
+//===- PrinterTest.cpp - AST printer tests ---------------------------------==//
+///
+/// The printer must emit source that re-parses to the same canonical form
+/// (print∘parse is idempotent); the specializer depends on this to emit
+/// residual programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+std::string canon(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return printProgram(P);
+}
+
+/// print(parse(print(parse(s)))) == print(parse(s)).
+void expectStable(const std::string &Source) {
+  std::string Once = canon(Source);
+  std::string Twice = canon(Once);
+  EXPECT_EQ(Once, Twice) << "printer output is not a fixed point for:\n"
+                         << Source;
+}
+
+TEST(Printer, IdempotentOnExpressions) {
+  expectStable("var x = 1 + 2 * 3 - -4;");
+  expectStable("var y = (1 + 2) * (3 - 4);");
+  expectStable("var z = a ? b ? c : d : e;");
+  expectStable("var w = a && b || c && !d;");
+  expectStable("var v = a < b === c > d;");
+}
+
+TEST(Printer, IdempotentOnMembersAndCalls) {
+  expectStable("o[\"get\" + prop.cap()] = function() { return this[prop]; };");
+  expectStable("a.b[c.d](e, f)(g);");
+  expectStable("new Foo(new Bar(1).x);");
+}
+
+TEST(Printer, IdempotentOnStatements) {
+  expectStable("if (a) b(); else { c(); }");
+  expectStable("for (var i = 0, n = xs.length; i < n; i++) f(xs[i]);");
+  expectStable("for (k in o) { delete o[k]; }");
+  expectStable("do { x--; } while (x);");
+  expectStable("try { f(); } catch (e) { g(); } finally { h(); }");
+  expectStable("while (a) if (b) break; else continue;");
+}
+
+TEST(Printer, FunctionExpressionAtStatementStartIsParenthesized) {
+  std::string Out = canon("(function() { return 1; })();");
+  EXPECT_EQ(Out.find("(function"), 0u);
+  expectStable("(function() { return 1; })();");
+}
+
+TEST(Printer, StringEscaping) {
+  std::string Out = canon("var s = \"a\\\"b\\n\";");
+  EXPECT_NE(Out.find("\\\""), std::string::npos);
+  EXPECT_NE(Out.find("\\n"), std::string::npos);
+  expectStable("var s = \"a\\\"b\\n\\t\\\\\";");
+}
+
+TEST(Printer, NumbersRoundTrip) {
+  EXPECT_EQ(canon("var x = 23;"), "var x = 23;\n");
+  EXPECT_EQ(canon("var x = 3.14;"), "var x = 3.14;\n");
+  EXPECT_EQ(canon("var x = 0.025;"), "var x = 0.025;\n");
+  expectStable("var x = 1e21;");
+}
+
+TEST(Printer, NonIdentifierObjectKeysQuoted) {
+  EXPECT_EQ(canon("var o = {\"a b\": 1, ok: 2};"),
+            "var o = {\"a b\": 1, ok: 2};\n");
+}
+
+TEST(Printer, UnaryPrecedence) {
+  expectStable("var x = -(a + b);");
+  expectStable("var x = -a + b;");
+  expectStable("var x = typeof a === \"string\";");
+  expectStable("var x = !(a && b);");
+}
+
+TEST(Printer, NestedFunctionsIndentation) {
+  std::string Out = canon(
+      "function outer() { function inner() { return 1; } return inner; }");
+  // Inner body is indented deeper than outer body.
+  EXPECT_NE(Out.find("  function inner"), std::string::npos);
+  expectStable(
+      "function outer() { function inner() { return 1; } return inner; }");
+}
+
+} // namespace

@@ -1,0 +1,407 @@
+//===- SpecializerTest.cpp - Determinacy-driven specialization tests -------==//
+
+#include "specialize/Specializer.h"
+
+#include "ast/ASTPrinter.h"
+#include "ast/ASTWalk.h"
+#include "determinacy/Determinacy.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "pointsto/PointsTo.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+/// Runs dynamic analysis + specialization with default options.
+SpecializeResult specialize(Program &P,
+                            SpecializerOptions SOpts = SpecializerOptions(),
+                            AnalysisOptions AOpts = AnalysisOptions()) {
+  AnalysisResult A = runDeterminacyAnalysis(P, AOpts);
+  EXPECT_TRUE(A.Ok) << A.Error;
+  return specializeProgram(P, A, SOpts);
+}
+
+std::string runProgram(Program &P) {
+  Interpreter I(P);
+  EXPECT_TRUE(I.run()) << I.errorMessage();
+  return I.outputText();
+}
+
+TEST(Specializer, PrunesDeterminatelyFalseBranch) {
+  Program P = parse("if (1 < 2) { print(\"yes\"); } else { print(\"no\"); }\n"
+                    "if (2 < 1) { print(\"dead\"); }\n");
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.BranchesPruned, 2u);
+  std::string Out = printProgram(R.Residual);
+  EXPECT_EQ(Out.find("dead"), std::string::npos);
+  EXPECT_EQ(Out.find("\"no\""), std::string::npos);
+  EXPECT_NE(Out.find("yes"), std::string::npos);
+}
+
+TEST(Specializer, KeepsIndeterminateBranches) {
+  Program P = parse("if (Math.random() < 0.5) { print(\"a\"); }\n");
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.BranchesPruned, 0u);
+  EXPECT_NE(printProgram(R.Residual).find("if ("), std::string::npos);
+}
+
+TEST(Specializer, ImpureConditionSideEffectsKept) {
+  Program P = parse("var n = 0;\n"
+                    "function bump() { n++; return true; }\n"
+                    "if (bump()) { print(n); }\n");
+  SpecializeResult R = specialize(P);
+  ASSERT_EQ(R.Report.BranchesPruned, 1u);
+  // The bump() call must survive as an expression statement.
+  std::string Out = printProgram(R.Residual);
+  EXPECT_NE(Out.find("bump()"), std::string::npos);
+  EXPECT_EQ(runProgram(R.Residual), "1\n");
+}
+
+TEST(Specializer, StaticizesComputedAccess) {
+  Program P = parse("var o = {};\n"
+                    "o[\"get\" + \"Width\"] = 1;\n"
+                    "print(o.getWidth);\n");
+  SpecializeResult R = specialize(P);
+  EXPECT_GE(R.Report.PropertiesStaticized, 1u);
+  std::string Out = printProgram(R.Residual);
+  EXPECT_NE(Out.find("o.getWidth = 1"), std::string::npos);
+}
+
+TEST(Specializer, LeavesIndeterminateAccessComputed) {
+  Program P = parse("var o = {};\n"
+                    "var k = Math.random() < 0.5 ? \"a\" : \"b\";\n"
+                    "o[k] = 1;\n");
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.PropertiesStaticized, 0u);
+  EXPECT_NE(printProgram(R.Residual).find("o[k]"), std::string::npos);
+}
+
+TEST(Specializer, NonIdentifierNamesStayComputed) {
+  Program P = parse("var o = {};\n"
+                    "o[\"a b\"] = 1;\n"); // Not an identifier.
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.PropertiesStaticized, 0u);
+}
+
+TEST(Specializer, SplicesEvalExpression) {
+  Program P = parse("var x = eval(\"1 + 2\");\n"
+                    "print(x);\n");
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.EvalsSpliced, 1u);
+  std::string Out = printProgram(R.Residual);
+  EXPECT_EQ(Out.find("eval"), std::string::npos);
+  EXPECT_NE(Out.find("var x = 1 + 2;"), std::string::npos);
+  EXPECT_EQ(runProgram(R.Residual), "3\n");
+}
+
+TEST(Specializer, SplicesEvalStatementPosition) {
+  Program P = parse("eval(\"var spliced = 10; print(spliced);\");\n");
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.EvalsSpliced, 1u);
+  EXPECT_EQ(printProgram(R.Residual).find("eval"), std::string::npos);
+  EXPECT_EQ(runProgram(R.Residual), "10\n");
+}
+
+TEST(Specializer, KeepsIndeterminateEval) {
+  Program P = parse("var n = Math.random() < 0.5 ? \"1\" : \"2\";\n"
+                    "var x = eval(\"3 + \" + n);\n");
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.EvalsSpliced, 0u);
+  EXPECT_NE(printProgram(R.Residual).find("eval"), std::string::npos);
+}
+
+TEST(Specializer, Figure4EvalElimination) {
+  const char *Source = R"JS(
+ivymap = window.ivymap || {};
+ivymap['pc.sy.banner.tcck.'] = function() { print("tcck"); };
+function showIvyViaJs(locationId) {
+  var _f = undefined;
+  var _fconv = "ivymap['" + locationId + "']";
+  try {
+    _f = eval(_fconv);
+    if (_f != undefined) {
+      _f();
+    }
+  } catch (e) {
+  }
+}
+showIvyViaJs('pc.sy.banner.tcck.');
+showIvyViaJs('pc.sy.banner.duilian.');
+)JS";
+  Program P = parse(Source);
+  SpecializeResult R = specialize(P);
+  // Both showIvyViaJs call contexts get clones, and within each clone the
+  // eval argument is determinate, so eval disappears entirely.
+  EXPECT_GE(R.Report.FunctionClones, 2u);
+  EXPECT_GE(R.Report.EvalsSpliced, 2u);
+  std::string Out = printProgram(R.Residual);
+  EXPECT_NE(Out.find("ivymap[\"pc.sy.banner.tcck.\"]"), std::string::npos);
+  // The residual program behaves identically.
+  EXPECT_EQ(runProgram(R.Residual), "tcck\n");
+}
+
+TEST(Specializer, ClonesFunctionPerCallContext) {
+  Program P = parse("function greet(who) {\n"
+                    "  print(\"hi \" + who);\n"
+                    "  if (who === \"a\") { print(\"first\"); }\n"
+                    "}\n"
+                    "greet(\"a\");\n"
+                    "greet(\"b\");\n");
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.FunctionClones, 2u);
+  std::string Out = printProgram(R.Residual);
+  EXPECT_NE(Out.find("greet$1"), std::string::npos);
+  EXPECT_NE(Out.find("greet$2"), std::string::npos);
+  // Inside the clones the who === "a" branch is pruned each way.
+  EXPECT_GE(R.Report.BranchesPruned, 2u);
+  // Behavior is preserved.
+  Program P2 = parse("function greet(who) {\n"
+                     "  print(\"hi \" + who);\n"
+                     "  if (who === \"a\") { print(\"first\"); }\n"
+                     "}\n"
+                     "greet(\"a\");\n"
+                     "greet(\"b\");\n");
+  EXPECT_EQ(runProgram(R.Residual), runProgram(P2));
+}
+
+TEST(Specializer, UnrollsDeterminateLoop) {
+  const char *Source =
+      "function f(v) { print(v); }\n"
+      "var xs = [\"a\", \"b\", \"c\"];\n"
+      "for (var i = 0; i < xs.length; i++) { f(xs[i]); }\n";
+  Program P = parse(Source);
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.LoopsUnrolled, 1u);
+  std::string Out = printProgram(R.Residual);
+  EXPECT_EQ(Out.find("for ("), std::string::npos);
+  // Per-iteration clones of f.
+  EXPECT_EQ(R.Report.FunctionClones, 3u);
+  Program P2 = parse(Source);
+  EXPECT_EQ(runProgram(R.Residual), runProgram(P2));
+}
+
+TEST(Specializer, DoesNotUnrollIndeterminateBound) {
+  Program P = parse("function f(v) {}\n"
+                    "var n = Math.floor(Math.random() * 5);\n"
+                    "for (var i = 0; i < n; i++) { f(i); }\n");
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.LoopsUnrolled, 0u);
+}
+
+TEST(Specializer, DoesNotUnrollLoopWithBreak) {
+  Program P = parse("function f(v) {}\n"
+                    "for (var i = 0; i < 3; i++) { if (i === 1) break; f(i); }\n");
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.LoopsUnrolled, 0u);
+}
+
+TEST(Specializer, Figure3FullPipeline) {
+  // The paper's central example: dynamic facts let the static analysis see
+  // precisely which function lands in getWidth/setWidth.
+  const char *Source = R"JS(
+function Rectangle(w, h) { this.width = w; this.height = h; }
+String.prototype.cap = function() {
+  return this[0].toUpperCase() + this.substr(1);
+};
+function defAccessors(prop) {
+  Rectangle.prototype["get" + prop.cap()] = function() { return this[prop]; };
+  Rectangle.prototype["set" + prop.cap()] = function(v) { this[prop] = v; };
+}
+var props = ["width", "height"];
+for (var i = 0; i < props.length; i++)
+  defAccessors(props[i]);
+var r = new Rectangle(20, 30);
+r.setWidth(r.getWidth() + 20);
+alert(r.toString ? "has" : "[" + r.width + "x" + r.height + "]");
+)JS";
+  Program P = parse(Source);
+  SpecializeResult R = specialize(P);
+
+  // Loop unrolled twice, defAccessors cloned per iteration, and inside each
+  // clone the property writes and the captured-prop reads staticized.
+  EXPECT_EQ(R.Report.LoopsUnrolled, 1u);
+  EXPECT_GE(R.Report.FunctionClones, 2u);
+  EXPECT_GE(R.Report.PropertiesStaticized, 4u);
+  std::string Out = printProgram(R.Residual);
+  EXPECT_NE(Out.find(".getWidth ="), std::string::npos);
+  EXPECT_NE(Out.find(".setHeight ="), std::string::npos);
+  // The closures capture `prop`, whose value is a known constant per clone.
+  EXPECT_NE(Out.find("this.width"), std::string::npos);
+  EXPECT_NE(Out.find("this.height"), std::string::npos);
+
+  // Pointer analysis on the residual program resolves r.setWidth() to
+  // exactly one target; on the original it smears.
+  PointsToResult Base = runPointsToAnalysis(P);
+  PointsToResult Spec = runPointsToAnalysis(R.Residual);
+  ASSERT_TRUE(Base.Completed && Spec.Completed);
+
+  auto TargetsOf = [](const Program &Prog, const PointsToResult &PR,
+                      const char *Needle) {
+    // Find the call whose printed form contains Needle.
+    size_t Max = 0;
+    const Node *Found = nullptr;
+    walkProgram(Prog, [&](const Node *N) {
+      if (const auto *C = dyn_cast<CallExpr>(N)) {
+        std::string Text = printExpr(C);
+        if (Text.find(Needle) != std::string::npos && !Found)
+          Found = N;
+      }
+      return true;
+    });
+    (void)Max;
+    if (!Found)
+      return size_t(99);
+    auto It = PR.CallTargets.find(Found->getID());
+    return It == PR.CallTargets.end() ? size_t(0) : It->second.size();
+  };
+
+  size_t BaseTargets = TargetsOf(P, Base, "setWidth(");
+  size_t SpecTargets = TargetsOf(R.Residual, Spec, "setWidth(");
+  // Baseline smears both accessor closures into every prototype slot.
+  EXPECT_GE(BaseTargets, 2u) << "baseline should smear accessors";
+  EXPECT_EQ(SpecTargets, 1u) << "residual should be monomorphic";
+
+  // And the residual program still computes the right rectangle.
+  Program P2 = parse(Source);
+  EXPECT_EQ(runProgram(R.Residual), runProgram(P2));
+}
+
+TEST(Specializer, PolymorphicDispatchSpecialization) {
+  // The Figure 1 jQuery-$ pattern: per-call-site clones prune the dispatch.
+  const char *Source = R"JS(
+function $(selector) {
+  if (typeof selector === "string") {
+    print("css: " + selector);
+  } else if (typeof selector === "function") {
+    print("handler");
+  } else {
+    print("wrap");
+  }
+}
+$("div.item");
+$(function() { return 1; });
+$(42);
+)JS";
+  Program P = parse(Source);
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.FunctionClones, 3u);
+  // Each clone prunes at least one dispatch branch.
+  EXPECT_GE(R.Report.BranchesPruned, 3u);
+  Program P2 = parse(Source);
+  EXPECT_EQ(runProgram(R.Residual), runProgram(P2));
+}
+
+TEST(Specializer, ResidualSemanticsPreservedOnCorpus) {
+  const char *Programs[] = {
+      "var s = 0; for (var i = 0; i < 4; i++) { s += i; } print(s);",
+      "function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }"
+      "print(fib(10));",
+      "var o = {}; o[\"k\" + 1] = 5; print(o.k1);",
+      "print(eval(\"2 * 21\"));",
+      "function f(x) { if (x > 0) { return \"pos\"; } return \"neg\"; }"
+      "print(f(1), f(-1));",
+      "var keys = \"\"; for (var k in {x: 1, y: 2}) keys += k; print(keys);",
+      "try { null.x; } catch (e) { print(\"caught\"); }",
+  };
+  for (const char *Source : Programs) {
+    Program P = parse(Source);
+    SpecializeResult R = specialize(P);
+    Program P2 = parse(Source);
+    EXPECT_EQ(runProgram(R.Residual), runProgram(P2)) << Source;
+  }
+}
+
+TEST(Specializer, DisabledOptionsDoNothing) {
+  Program P = parse("if (2 < 1) { print(\"dead\"); }\n"
+                    "var o = {}; o[\"a\" + \"b\"] = 1;\n"
+                    "var x = eval(\"5\");\n");
+  SpecializerOptions Off;
+  Off.PruneBranches = false;
+  Off.StaticizeProperties = false;
+  Off.UnrollLoops = false;
+  Off.SpliceEval = false;
+  Off.CloneFunctions = false;
+  SpecializeResult R = specialize(P, Off);
+  EXPECT_EQ(R.Report.BranchesPruned, 0u);
+  EXPECT_EQ(R.Report.PropertiesStaticized, 0u);
+  EXPECT_EQ(R.Report.EvalsSpliced, 0u);
+  EXPECT_EQ(R.Report.FunctionClones, 0u);
+}
+
+TEST(Specializer, OriginMapTracksProvenance) {
+  Program P = parse("var x = 1;\n");
+  SpecializeResult R = specialize(P);
+  ASSERT_EQ(R.Residual.Body.size(), 1u);
+  NodeID Residual = R.Residual.Body[0]->getID();
+  auto It = R.OriginOf.find(Residual);
+  ASSERT_NE(It, R.OriginOf.end());
+  EXPECT_EQ(It->second, P.Body[0]->getID());
+}
+
+TEST(Specializer, UnrollsForInOverDeterminateSet) {
+  // The jQuery-extend pattern: for-in copy loops unroll against the
+  // per-iteration key facts, and the computed accesses staticize via the
+  // known loop variable.
+  const char *Source =
+      "function extend(dst, src) {\n"
+      "  for (var k in src) { dst[k] = src[k]; }\n"
+      "  return dst;\n"
+      "}\n"
+      "var plugin = {fadeIn: 1, fadeOut: 2};\n"
+      "var target = {};\n"
+      "extend(target, plugin);\n"
+      "print(target.fadeIn, target.fadeOut);\n";
+  Program P = parse(Source);
+  SpecializeResult R = specialize(P);
+  EXPECT_GE(R.Report.FunctionClones, 1u);   // extend cloned for the site.
+  EXPECT_GE(R.Report.LoopsUnrolled, 1u);    // for-in unrolled.
+  EXPECT_GE(R.Report.PropertiesStaticized, 2u);
+  std::string Out = printProgram(R.Residual);
+  EXPECT_NE(Out.find("dst.fadeIn"), std::string::npos);
+  EXPECT_NE(Out.find("dst.fadeOut"), std::string::npos);
+  Program P2 = parse(Source);
+  EXPECT_EQ(runProgram(R.Residual), runProgram(P2));
+}
+
+TEST(Specializer, ForInOverOpenSetNotUnrolled) {
+  Program P = parse("var o = {a: 1};\n"
+                    "o[Math.random() < 0.5 ? \"x\" : \"y\"] = 2;\n"
+                    "var acc = \"\";\n"
+                    "for (var k in o) { acc += o[k]; }\n");
+  SpecializeResult R = specialize(P);
+  EXPECT_EQ(R.Report.LoopsUnrolled, 0u);
+  EXPECT_NE(printProgram(R.Residual).find("in o)"), std::string::npos);
+}
+
+TEST(Specializer, NestedLoopOccurrencesComposeCorrectly) {
+  // The inner call executes outer*inner times; per-iteration clones must
+  // bind the right argument pair or the residual output changes.
+  const char *Source =
+      "function tag(a, b) { print(a + \":\" + b); }\n"
+      "var xs = [\"x\", \"y\"];\n"
+      "var ys = [\"1\", \"2\", \"3\"];\n"
+      "for (var i = 0; i < xs.length; i++) {\n"
+      "  for (var j = 0; j < ys.length; j++) {\n"
+      "    tag(xs[i], ys[j]);\n"
+      "  }\n"
+      "}\n";
+  Program P = parse(Source);
+  SpecializeResult R = specialize(P);
+  // Outer unroll + the inner loop unrolled once per outer iteration.
+  EXPECT_EQ(R.Report.LoopsUnrolled, 3u);
+  EXPECT_EQ(R.Report.FunctionClones, 6u); // One per (i, j) pair.
+  Program P2 = parse(Source);
+  EXPECT_EQ(runProgram(R.Residual), runProgram(P2));
+}
+
+} // namespace

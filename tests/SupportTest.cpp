@@ -1,0 +1,99 @@
+//===- SupportTest.cpp - Support library unit tests --------------------------==//
+
+#include "support/Diagnostics.h"
+#include "support/RNG.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace dda;
+
+namespace {
+
+TEST(RNG, DeterministicPerSeed) {
+  RNG A(42), B(42), C(43);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(A.next(), C.next());
+}
+
+TEST(RNG, DoubleInUnitInterval) {
+  RNG R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNG, NextBelowRespectsBound) {
+  RNG R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 200; ++I) {
+    uint64_t V = R.nextBelow(5);
+    EXPECT_LT(V, 5u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u); // All residues hit.
+  EXPECT_EQ(R.nextBelow(0), 0u);
+}
+
+TEST(RNG, StateSnapshotRestores) {
+  // The counterfactual-execution tape-restore contract.
+  RNG R(5);
+  R.next();
+  uint64_t State = R.getState();
+  uint64_t A = R.next();
+  uint64_t B = R.next();
+  R.setState(State);
+  EXPECT_EQ(R.next(), A);
+  EXPECT_EQ(R.next(), B);
+}
+
+TEST(Diagnostics, CountsAndRendering) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(3, 7, 0), "something bad");
+  D.warning(SourceLoc(1, 1, 0), "heads up");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 2u);
+  std::string Text = D.str();
+  EXPECT_NE(Text.find("3:7: error: something bad"), std::string::npos);
+  EXPECT_NE(Text.find("1:1: warning: heads up"), std::string::npos);
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.diagnostics().empty());
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer-name", "22"});
+  std::string Out = T.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4);
+  // Both value columns start at the same offset.
+  size_t Row1 = Out.find("a ");
+  size_t Row2 = Out.find("longer-name");
+  ASSERT_NE(Row1, std::string::npos);
+  ASSERT_NE(Row2, std::string::npos);
+  size_t Col1 = Out.find('1', Row1) - Out.rfind('\n', Row1);
+  size_t Col2 = Out.find("22", Row2) - Out.rfind('\n', Row2);
+  EXPECT_EQ(Col1, Col2);
+}
+
+TEST(Table, ShortRowsPadded) {
+  TextTable T({"a", "b", "c"});
+  T.addRow({"only"});
+  EXPECT_NE(T.str().find("only"), std::string::npos);
+}
+
+TEST(SourceLoc, Rendering) {
+  EXPECT_EQ(SourceLoc(12, 3, 100).str(), "12:3");
+  EXPECT_FALSE(SourceLoc().isValid());
+  EXPECT_TRUE(SourceLoc(1, 1, 0).isValid());
+}
+
+} // namespace

@@ -1,0 +1,269 @@
+//===- SwitchTest.cpp - switch-statement support across the stack -----------==//
+///
+/// The switch statement exercises every layer: lexer/parser/printer, both
+/// interpreters (fall-through, break, default, indeterminate discriminants),
+/// the pointer analysis, and the specializer's determinate-selection
+/// collapse — switch is the idiomatic form of the argument-type dispatch the
+/// paper's Figure 1 motivates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "determinacy/InstrumentedInterpreter.h"
+#include "interp/Interpreter.h"
+#include "interp/Ops.h"
+#include "parser/Parser.h"
+#include "pointsto/PointsTo.h"
+#include "specialize/Specializer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+std::string runOutput(const std::string &Source) {
+  Program P = parse(Source);
+  Interpreter I(P);
+  EXPECT_TRUE(I.run()) << I.errorMessage();
+  return I.outputText();
+}
+
+TEST(Switch, ParseAndPrintRoundTrip) {
+  const char *Source = "switch (x) {\n"
+                       "case 1:\n"
+                       "  print(\"one\");\n"
+                       "  break;\n"
+                       "case \"two\":\n"
+                       "default:\n"
+                       "  print(\"rest\");\n"
+                       "}\n";
+  Program P = parse(std::string("var x = 1;\n") + Source);
+  std::string Once = printProgram(P);
+  Program P2 = parse(Once);
+  EXPECT_EQ(printProgram(P2), Once);
+  const auto *Sw = cast<SwitchStmt>(P.Body[1]);
+  ASSERT_EQ(Sw->getClauses().size(), 3u);
+  EXPECT_TRUE(Sw->getClauses()[0].Test != nullptr);
+  EXPECT_TRUE(Sw->getClauses()[2].Test == nullptr); // default.
+}
+
+TEST(Switch, BasicDispatchWithBreak) {
+  EXPECT_EQ(runOutput("function f(n) {\n"
+                      "  switch (n) {\n"
+                      "  case 1: return \"one\";\n"
+                      "  case 2: return \"two\";\n"
+                      "  default: return \"many\";\n"
+                      "  }\n"
+                      "}\n"
+                      "print(f(1), f(2), f(9));\n"),
+            "one two many\n");
+}
+
+TEST(Switch, FallThrough) {
+  EXPECT_EQ(runOutput("var log = \"\";\n"
+                      "switch (2) {\n"
+                      "case 1: log += \"a\";\n"
+                      "case 2: log += \"b\";\n"
+                      "case 3: log += \"c\"; break;\n"
+                      "case 4: log += \"d\";\n"
+                      "}\n"
+                      "print(log);\n"),
+            "bc\n");
+}
+
+TEST(Switch, DefaultInTheMiddle) {
+  // Default is only selected when nothing matches, regardless of position.
+  EXPECT_EQ(runOutput("var log = \"\";\n"
+                      "switch (99) {\n"
+                      "case 1: log += \"a\"; break;\n"
+                      "default: log += \"d\";\n"
+                      "case 2: log += \"b\"; break;\n"
+                      "}\n"
+                      "print(log);\n"),
+            "db\n");
+}
+
+TEST(Switch, StrictEqualitySelection) {
+  EXPECT_EQ(runOutput("switch (\"1\") {\n"
+                      "case 1: print(\"number\"); break;\n"
+                      "case \"1\": print(\"string\"); break;\n"
+                      "}\n"),
+            "string\n");
+}
+
+TEST(Switch, NoMatchNoDefaultIsNoOp) {
+  EXPECT_EQ(runOutput("switch (5) { case 1: print(\"x\"); }\nprint(\"end\");\n"),
+            "end\n");
+}
+
+TEST(Switch, CaseTestsEvaluateInOrderUntilMatch) {
+  EXPECT_EQ(runOutput("var seen = \"\";\n"
+                      "function t(v) { seen += v; return v; }\n"
+                      "switch (2) {\n"
+                      "case t(1): break;\n"
+                      "case t(2): break;\n"
+                      "case t(3): break;\n"
+                      "}\n"
+                      "print(seen);\n"),
+            "12\n");
+}
+
+TEST(Switch, ReturnAndThrowPropagate) {
+  EXPECT_EQ(runOutput("function f(n) {\n"
+                      "  switch (n) { case 1: throw \"boom\"; }\n"
+                      "  return \"ok\";\n"
+                      "}\n"
+                      "try { f(1); } catch (e) { print(e); }\n"
+                      "print(f(2));\n"),
+            "boom\nok\n");
+}
+
+TEST(Switch, DeterminateSelectionFactAndDeterminacy) {
+  Program P = parse("var mode = \"b\";\n"
+                    "var out = \"\";\n"
+                    "switch (mode) {\n"
+                    "case \"a\": out = \"A\"; break;\n"
+                    "case \"b\": out = \"B\"; break;\n"
+                    "default: out = \"D\";\n"
+                    "}\n");
+  InstrumentedInterpreter I(P, AnalysisOptions());
+  ASSERT_TRUE(I.run()) << I.errorMessage();
+  TaggedValue Out = I.globalVariable("out");
+  EXPECT_EQ(Out.V.Str, "B");
+  EXPECT_TRUE(Out.isDet()) << "determinate dispatch keeps writes determinate";
+}
+
+TEST(Switch, IndeterminateDiscriminantWeakensWrites) {
+  Program P = parse("var out = \"\";\n"
+                    "var bystander = 1;\n"
+                    "switch (Math.floor(Math.random() * 3)) {\n"
+                    "case 0: out = \"A\"; break;\n"
+                    "case 1: out = \"B\"; break;\n"
+                    "default: out = \"D\";\n"
+                    "}\n");
+  InstrumentedInterpreter I(P, AnalysisOptions());
+  ASSERT_TRUE(I.run());
+  EXPECT_FALSE(I.globalVariable("out").isDet());
+  // Bystanders keep their values (just possibly weakened by the abort's
+  // conservative env taint; the concrete value is intact).
+  EXPECT_DOUBLE_EQ(I.globalVariable("bystander").V.Num, 1);
+}
+
+TEST(Switch, SoundnessAcrossSeeds) {
+  const char *Source = "var out = \"\";\n"
+                       "switch (Math.floor(Math.random() * 2)) {\n"
+                       "case 0: out = \"zero\"; break;\n"
+                       "default: out = \"other\";\n"
+                       "}\n"
+                       "var stable = \"k\";\n";
+  Program IP = parse(Source);
+  InstrumentedInterpreter I(IP, AnalysisOptions());
+  ASSERT_TRUE(I.run());
+  for (uint64_t Seed : {1, 2, 3, 9, 77}) {
+    Program CP = parse(Source);
+    InterpOptions Opts;
+    Opts.RandomSeed = Seed;
+    Interpreter C(CP, Opts);
+    ASSERT_TRUE(C.run());
+    for (const std::string &G : I.userGlobalNames()) {
+      TaggedValue TV = I.globalVariable(G);
+      if (TV.isDet() && !TV.V.isObject()) {
+        EXPECT_TRUE(strictEquals(TV.V, C.globalVariable(G)))
+            << G << " seed " << Seed;
+      }
+    }
+  }
+}
+
+TEST(Switch, SpecializerCollapsesDeterminateSwitch) {
+  const char *Source = "var mode = \"fast\";\n"
+                       "switch (mode) {\n"
+                       "case \"slow\": print(\"s\"); break;\n"
+                       "case \"fast\": print(\"f\"); break;\n"
+                       "default: print(\"d\");\n"
+                       "}\n";
+  Program P = parse(Source);
+  AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+  ASSERT_TRUE(A.Ok);
+  SpecializeResult R = specializeProgram(P, A);
+  EXPECT_GE(R.Report.BranchesPruned, 1u);
+  std::string Out = printProgram(R.Residual);
+  EXPECT_EQ(Out.find("switch"), std::string::npos);
+  EXPECT_EQ(Out.find("\"s\""), std::string::npos); // Dead clause gone.
+  Program P2 = parse(Source);
+  Interpreter IO(P2);
+  ASSERT_TRUE(IO.run());
+  Interpreter IR(R.Residual);
+  ASSERT_TRUE(IR.run());
+  EXPECT_EQ(IR.outputText(), IO.outputText());
+}
+
+TEST(Switch, SpecializerKeepsIndeterminateSwitch) {
+  Program P = parse("switch (Math.floor(Math.random() * 2)) {\n"
+                    "case 0: print(\"a\"); break;\n"
+                    "default: print(\"b\");\n"
+                    "}\n");
+  AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+  ASSERT_TRUE(A.Ok);
+  SpecializeResult R = specializeProgram(P, A);
+  EXPECT_NE(printProgram(R.Residual).find("switch"), std::string::npos);
+}
+
+TEST(Switch, SpecializedFallThroughPreserved) {
+  const char *Source = "var log = \"\";\n"
+                       "switch (2) {\n"
+                       "case 1: log += \"a\";\n"
+                       "case 2: log += \"b\";\n"
+                       "case 3: log += \"c\"; break;\n"
+                       "case 4: log += \"x\";\n"
+                       "}\n"
+                       "print(log);\n";
+  Program P = parse(Source);
+  AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+  SpecializeResult R = specializeProgram(P, A);
+  Program P2 = parse(Source);
+  Interpreter IO(P2);
+  ASSERT_TRUE(IO.run());
+  Interpreter IR(R.Residual);
+  ASSERT_TRUE(IR.run());
+  EXPECT_EQ(IR.outputText(), IO.outputText());
+  EXPECT_EQ(IR.outputText(), "bc\n");
+}
+
+TEST(Switch, PointsToSeesAllClauses) {
+  Program P = parse("function fa() {} function fb() {}\n"
+                    "var f;\n"
+                    "switch (cfgMode) {\n"
+                    "case 1: f = fa; break;\n"
+                    "default: f = fb;\n"
+                    "}\n"
+                    "f();\n"
+                    "var cfgMode = 1;\n");
+  PointsToResult R = runPointsToAnalysis(P);
+  ASSERT_TRUE(R.Completed);
+  // Static analysis must consider both assignments.
+  size_t Targets = 0;
+  for (const auto &[Site, T] : R.CallTargets)
+    Targets = std::max(Targets, T.size());
+  EXPECT_EQ(Targets, 2u);
+}
+
+TEST(Switch, HoistingInsideClauses) {
+  EXPECT_EQ(runOutput("switch (1) {\n"
+                      "case 1:\n"
+                      "  print(hoisted());\n"
+                      "  function hoisted() { return \"up\"; }\n"
+                      "  break;\n"
+                      "}\n"),
+            "up\n");
+}
+
+} // namespace

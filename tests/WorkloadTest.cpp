@@ -1,0 +1,182 @@
+//===- WorkloadTest.cpp - Table 1 workload behavior tests ------------------==//
+///
+/// Locks in the Table 1 experiment: for each miniquery version and analysis
+/// configuration, the dynamic analysis's flush behavior and the static
+/// pointer analysis's completion under the step budget must reproduce the
+/// paper's ✓/✗ pattern:
+///
+///   version  Baseline  Spec        Spec+DetDOM
+///   1.0      ✗         ✓ (82)      ✓ (2)
+///   1.1      ✗         ✗ (~400)    ✓ (4)
+///   1.2      ✓         ✓ (>1000)   ✓ (0)
+///   1.3      ✗         ✗ (>1000)   ✗ (>1000)
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "determinacy/Determinacy.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "pointsto/PointsTo.h"
+#include "specialize/Specializer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dda;
+
+namespace {
+
+/// The step budget standing in for the paper's 10-minute timeout. Chosen
+/// between the specialized residuals (~15k steps) and the unspecialized
+/// programs (~80k-110k steps) with a wide margin on both sides.
+constexpr uint64_t TimeoutBudget = 40'000;
+
+Program parse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+struct VersionResult {
+  bool BaselineCompletes;
+  bool SpecCompletes;
+  bool DetDomCompletes;
+  uint64_t SpecFlushes;
+  uint64_t DetDomFlushes;
+};
+
+VersionResult analyzeVersion(int Minor) {
+  std::string Source = workloads::miniquery(Minor);
+  VersionResult R{};
+
+  PointsToOptions PTOpts;
+  PTOpts.MaxPropagationSteps = TimeoutBudget;
+
+  {
+    Program P = parse(Source);
+    R.BaselineCompletes = runPointsToAnalysis(P, PTOpts).Completed;
+  }
+  {
+    Program P = parse(Source);
+    AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+    EXPECT_TRUE(A.Ok) << A.Error;
+    R.SpecFlushes = A.Stats.HeapFlushes;
+    SpecializeResult S = specializeProgram(P, A);
+    R.SpecCompletes = runPointsToAnalysis(S.Residual, PTOpts).Completed;
+  }
+  {
+    Program P = parse(Source);
+    AnalysisOptions AOpts;
+    AOpts.DeterminateDom = true;
+    AnalysisResult A = runDeterminacyAnalysis(P, AOpts);
+    EXPECT_TRUE(A.Ok) << A.Error;
+    R.DetDomFlushes = A.Stats.HeapFlushes;
+    SpecializeResult S = specializeProgram(P, A);
+    R.DetDomCompletes = runPointsToAnalysis(S.Residual, PTOpts).Completed;
+  }
+  return R;
+}
+
+TEST(Workloads, AllVersionsParseAndRun) {
+  for (int Minor = 0; Minor <= 3; ++Minor) {
+    Program P = parse(workloads::miniquery(Minor));
+    Interpreter I(P);
+    EXPECT_TRUE(I.run()) << "miniquery 1." << Minor << ": "
+                         << I.errorMessage();
+    EXPECT_NE(I.outputText().find("loaded"), std::string::npos);
+  }
+}
+
+TEST(Workloads, FigureProgramsRun) {
+  const char *Sources[] = {workloads::figure1(), workloads::figure2(),
+                           workloads::figure3(), workloads::figure4()};
+  for (const char *Source : Sources) {
+    Program P = parse(Source);
+    Interpreter I(P);
+    EXPECT_TRUE(I.run()) << I.errorMessage();
+  }
+}
+
+TEST(Workloads, SpecializationPreservesMiniquerySemantics) {
+  // The residual program must behave identically (the whole Table 1 pipeline
+  // is meaningless otherwise).
+  for (int Minor = 0; Minor <= 3; ++Minor) {
+    Program P = parse(workloads::miniquery(Minor));
+    AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+    ASSERT_TRUE(A.Ok) << A.Error;
+    SpecializeResult S = specializeProgram(P, A);
+
+    Program P2 = parse(workloads::miniquery(Minor));
+    Interpreter Orig(P2);
+    ASSERT_TRUE(Orig.run()) << Orig.errorMessage();
+    Interpreter Spec(S.Residual);
+    ASSERT_TRUE(Spec.run()) << "miniquery 1." << Minor
+                            << " residual: " << Spec.errorMessage();
+    EXPECT_EQ(Spec.outputText(), Orig.outputText())
+        << "miniquery 1." << Minor;
+  }
+}
+
+TEST(Workloads, Table1_V10_SpecRescuesBaseline) {
+  VersionResult R = analyzeVersion(0);
+  EXPECT_FALSE(R.BaselineCompletes) << "baseline must exceed the budget";
+  EXPECT_TRUE(R.SpecCompletes);
+  EXPECT_TRUE(R.DetDomCompletes);
+  // The paper's exact flush counts for jQuery 1.0: 82 and 2.
+  EXPECT_EQ(R.SpecFlushes, 82u);
+  EXPECT_EQ(R.DetDomFlushes, 2u);
+}
+
+TEST(Workloads, Table1_V11_NeedsDeterminateDom) {
+  VersionResult R = analyzeVersion(1);
+  EXPECT_FALSE(R.BaselineCompletes);
+  EXPECT_FALSE(R.SpecCompletes)
+      << "DOM-derived names leave Spec without facts";
+  EXPECT_TRUE(R.DetDomCompletes);
+  EXPECT_GT(R.SpecFlushes, 100u);
+  EXPECT_EQ(R.DetDomFlushes, 4u); // The paper's 1.1/DetDOM cell.
+}
+
+TEST(Workloads, Table1_V12_LazyInitIsEasyForEveryone) {
+  VersionResult R = analyzeVersion(2);
+  EXPECT_TRUE(R.BaselineCompletes);
+  EXPECT_TRUE(R.SpecCompletes);
+  EXPECT_TRUE(R.DetDomCompletes);
+  EXPECT_GT(R.SpecFlushes, 1000u); // ">1000" in the paper.
+  EXPECT_EQ(R.DetDomFlushes, 0u);  // "(0)" in the paper.
+}
+
+TEST(Workloads, Table1_V13_EventHandlersDefeatEveryConfiguration) {
+  VersionResult R = analyzeVersion(3);
+  EXPECT_FALSE(R.BaselineCompletes);
+  EXPECT_FALSE(R.SpecCompletes);
+  EXPECT_FALSE(R.DetDomCompletes)
+      << "handler-entry flushes kill the facts even under DetDOM";
+  EXPECT_GT(R.SpecFlushes, 1000u);
+  EXPECT_GT(R.DetDomFlushes, 1000u);
+}
+
+TEST(Workloads, V10SpecializationShape) {
+  // The 21-iteration accessor loop must unroll and the property writes must
+  // staticize — the specific specializations the paper calls out.
+  Program P = parse(workloads::miniquery(0));
+  AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+  ASSERT_TRUE(A.Ok);
+  SpecializeResult S = specializeProgram(P, A);
+  EXPECT_GE(S.Report.LoopsUnrolled, 4u);  // accessor + widget + storm loops
+  EXPECT_GE(S.Report.FunctionClones, 21u); // ≥ one clone per accessor iter
+  EXPECT_GE(S.Report.PropertiesStaticized, 42u); // 21 getters + 21 setters
+}
+
+TEST(Workloads, FlushLimitReportedForV12AndV13) {
+  for (int Minor : {2, 3}) {
+    Program P = parse(workloads::miniquery(Minor));
+    AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+    ASSERT_TRUE(A.Ok);
+    EXPECT_TRUE(A.Stats.FlushLimitHit) << "miniquery 1." << Minor;
+  }
+}
+
+} // namespace

@@ -1,0 +1,267 @@
+//===- ddajs.cpp - Command-line driver for the determinacy toolkit ----------==//
+///
+/// The downstream-user entry point: run, analyze, specialize, and inspect
+/// MiniJS programs from files.
+///
+///   ddajs run <file> [--seed N] [--dom-seed N]     execute a program
+///   ddajs analyze <file> [--detdom] [--seeds N]    dump determinacy facts
+///   ddajs specialize <file> [--detdom]             print the residual program
+///   ddajs deadcode <file> [--detdom]               report dead branches
+///   ddajs evalelim <file> [--detdom]               eval-elimination report
+///   ddajs pointsto <file>                          call-graph summary
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+#include "deadcode/DeadCode.h"
+#include "determinacy/Determinacy.h"
+#include "evalelim/EvalElim.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "pointsto/PointsTo.h"
+#include "specialize/Specializer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dda;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: ddajs <command> <file.js> [options]\n"
+      "\n"
+      "commands:\n"
+      "  run         execute the program and print its output\n"
+      "  analyze     run the dynamic determinacy analysis, dump the facts\n"
+      "  specialize  print the fact-specialized residual program\n"
+      "  deadcode    report branches no execution can take\n"
+      "  evalelim    classify and eliminate eval call sites\n"
+      "  pointsto    static call-graph summary\n"
+      "\n"
+      "options:\n"
+      "  --seed N      Math.random seed (default 1)\n"
+      "  --dom-seed N  synthetic-DOM seed (default 1)\n"
+      "  --seeds N     analyze: merge N random-seed runs\n"
+      "  --detdom      assume determinate DOM (unsound; paper Section 5.1)\n");
+  return 2;
+}
+
+struct Options {
+  std::string Command;
+  std::string File;
+  uint64_t Seed = 1;
+  uint64_t DomSeed = 1;
+  unsigned Seeds = 1;
+  bool DetDom = false;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &Opts) {
+  if (Argc < 3)
+    return false;
+  Opts.Command = Argv[1];
+  Opts.File = Argv[2];
+  for (int I = 3; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--detdom") {
+      Opts.DetDom = true;
+    } else if (Arg == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Seed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--dom-seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.DomSeed = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--seeds") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Seeds = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "ddajs: cannot open %s\n", Path.c_str());
+    return false;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+bool parseSource(const std::string &Source, Program &P) {
+  DiagnosticEngine Diags;
+  P = parseProgram(Source, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return false;
+  }
+  return true;
+}
+
+AnalysisResult analyze(Program &P, const Options &Opts) {
+  AnalysisOptions AOpts;
+  AOpts.RandomSeed = Opts.Seed;
+  AOpts.DomSeed = Opts.DomSeed;
+  AOpts.DeterminateDom = Opts.DetDom;
+  if (Opts.Seeds <= 1)
+    return runDeterminacyAnalysis(P, AOpts);
+  std::vector<uint64_t> Seeds;
+  for (unsigned I = 0; I < Opts.Seeds; ++I)
+    Seeds.push_back(Opts.Seed + I);
+  return runDeterminacyAnalysisMultiSeed(P, AOpts, Seeds);
+}
+
+int cmdRun(const std::string &Source, const Options &Opts) {
+  Program P;
+  if (!parseSource(Source, P))
+    return 1;
+  InterpOptions IOpts;
+  IOpts.RandomSeed = Opts.Seed;
+  IOpts.DomSeed = Opts.DomSeed;
+  Interpreter I(P, IOpts);
+  bool Ok = I.run();
+  std::fputs(I.outputText().c_str(), stdout);
+  if (!Ok) {
+    std::fprintf(stderr, "ddajs: %s\n", I.errorMessage().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmdAnalyze(const std::string &Source, const Options &Opts) {
+  Program P;
+  if (!parseSource(Source, P))
+    return 1;
+  AnalysisResult R = analyze(P, Opts);
+  if (!R.Ok) {
+    std::fprintf(stderr, "ddajs: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::fputs(R.Facts.dump(R.Contexts).c_str(), stdout);
+  std::fprintf(stderr,
+               "%zu facts (%zu determinate), %llu flushes, "
+               "%llu counterfactuals\n",
+               R.Facts.size(), R.Facts.countDeterminate(),
+               static_cast<unsigned long long>(R.Stats.HeapFlushes),
+               static_cast<unsigned long long>(R.Stats.Counterfactuals));
+  return 0;
+}
+
+int cmdSpecialize(const std::string &Source, const Options &Opts) {
+  Program P;
+  if (!parseSource(Source, P))
+    return 1;
+  AnalysisResult R = analyze(P, Opts);
+  if (!R.Ok) {
+    std::fprintf(stderr, "ddajs: %s\n", R.Error.c_str());
+    return 1;
+  }
+  SpecializeResult S = specializeProgram(P, R);
+  std::fputs(printProgram(S.Residual).c_str(), stdout);
+  std::fprintf(stderr,
+               "%u branches pruned, %u accesses staticized, %u loops "
+               "unrolled, %u evals spliced, %u clones\n",
+               S.Report.BranchesPruned, S.Report.PropertiesStaticized,
+               S.Report.LoopsUnrolled, S.Report.EvalsSpliced,
+               S.Report.FunctionClones);
+  return 0;
+}
+
+int cmdDeadCode(const std::string &Source, const Options &Opts) {
+  Program P;
+  if (!parseSource(Source, P))
+    return 1;
+  AnalysisResult R = analyze(P, Opts);
+  if (!R.Ok) {
+    std::fprintf(stderr, "ddajs: %s\n", R.Error.c_str());
+    return 1;
+  }
+  DeadCodeResult D = findDeadCode(P, R);
+  for (const DeadRegion &Region : D.Regions)
+    std::printf("line %u: dead branch (condition determinately %s)\n",
+                Region.Line, Region.CondValue ? "true" : "false");
+  std::printf("%zu/%zu statements dead (%.0f%%)\n", D.DeadStatements,
+              D.TotalStatements, 100 * D.deadFraction());
+  return 0;
+}
+
+int cmdEvalElim(const std::string &Source, const Options &Opts) {
+  EvalElimOptions EOpts;
+  EOpts.DeterminateDom = Opts.DetDom;
+  EOpts.RandomSeed = Opts.Seed;
+  EOpts.DomSeed = Opts.DomSeed;
+  EvalElimResult R = runEvalElimination(Source, EOpts);
+  if (!R.Ran) {
+    std::fprintf(stderr, "ddajs: %s\n", R.RunError.c_str());
+    return 1;
+  }
+  for (const EvalSiteInfo &S : R.Sites)
+    std::printf("eval at line %u: %s\n", S.Line, evalOutcomeName(S.Outcome));
+  std::printf("%s: %zu reachable eval site(s) remain in the residual\n",
+              R.Handled ? "handled" : "NOT handled",
+              R.ResidualReachableEvalSites);
+  return R.Handled ? 0 : 1;
+}
+
+int cmdPointsTo(const std::string &Source) {
+  Program P;
+  if (!parseSource(Source, P))
+    return 1;
+  PointsToResult R = runPointsToAnalysis(P);
+  std::printf("completed: %s (%llu steps)\n", R.Completed ? "yes" : "NO",
+              static_cast<unsigned long long>(R.PropagationSteps));
+  std::printf("reachable functions : %zu\n", R.ReachableFunctions);
+  std::printf("call-graph edges    : %zu over %zu sites (avg %.2f)\n",
+              R.CallGraphEdges, R.CallTargets.size(), R.AvgCallTargets);
+  std::printf("polymorphic sites   : %zu\n", R.PolymorphicCallSites);
+  std::printf("eval call sites     : %zu (%zu provably eval-only)\n",
+              R.EvalMaybeCallSites.size(), R.EvalOnlyCallSites.size());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage();
+  std::string Source;
+  if (!readFile(Opts.File, Source))
+    return 1;
+
+  if (Opts.Command == "run")
+    return cmdRun(Source, Opts);
+  if (Opts.Command == "analyze")
+    return cmdAnalyze(Source, Opts);
+  if (Opts.Command == "specialize")
+    return cmdSpecialize(Source, Opts);
+  if (Opts.Command == "deadcode")
+    return cmdDeadCode(Source, Opts);
+  if (Opts.Command == "evalelim")
+    return cmdEvalElim(Source, Opts);
+  if (Opts.Command == "pointsto")
+    return cmdPointsTo(Source);
+  return usage();
+}
