@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contextdepth.dir/bench_contextdepth.cpp.o"
+  "CMakeFiles/bench_contextdepth.dir/bench_contextdepth.cpp.o.d"
+  "bench_contextdepth"
+  "bench_contextdepth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contextdepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counterfactual.dir/bench_counterfactual.cpp.o"
+  "CMakeFiles/bench_counterfactual.dir/bench_counterfactual.cpp.o.d"
+  "bench_counterfactual"
+  "bench_counterfactual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counterfactual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

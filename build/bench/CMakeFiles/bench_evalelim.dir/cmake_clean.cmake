@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_evalelim.dir/bench_evalelim.cpp.o"
+  "CMakeFiles/bench_evalelim.dir/bench_evalelim.cpp.o.d"
+  "bench_evalelim"
+  "bench_evalelim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evalelim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

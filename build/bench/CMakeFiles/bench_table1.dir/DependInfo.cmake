@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1.cpp" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o" "gcc" "bench/CMakeFiles/bench_table1.dir/bench_table1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evalelim/CMakeFiles/dda_evalelim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dda_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/specialize/CMakeFiles/dda_specialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointsto/CMakeFiles/dda_pointsto.dir/DependInfo.cmake"
+  "/root/repo/build/src/determinacy/CMakeFiles/dda_determinacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dda_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/dda_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/dda_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/dda_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dda_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

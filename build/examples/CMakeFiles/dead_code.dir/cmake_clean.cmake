@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dead_code.dir/dead_code.cpp.o"
+  "CMakeFiles/dead_code.dir/dead_code.cpp.o.d"
+  "dead_code"
+  "dead_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dead_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

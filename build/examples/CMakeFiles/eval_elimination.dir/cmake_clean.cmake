@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_elimination.dir/eval_elimination.cpp.o"
+  "CMakeFiles/eval_elimination.dir/eval_elimination.cpp.o.d"
+  "eval_elimination"
+  "eval_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_explorer.dir/fact_explorer.cpp.o"
+  "CMakeFiles/fact_explorer.dir/fact_explorer.cpp.o.d"
+  "fact_explorer"
+  "fact_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

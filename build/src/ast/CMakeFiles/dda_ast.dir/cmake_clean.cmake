@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dda_ast.dir/AST.cpp.o"
+  "CMakeFiles/dda_ast.dir/AST.cpp.o.d"
+  "CMakeFiles/dda_ast.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/dda_ast.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/dda_ast.dir/ASTWalk.cpp.o"
+  "CMakeFiles/dda_ast.dir/ASTWalk.cpp.o.d"
+  "libdda_ast.a"
+  "libdda_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dda_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deadcode/DeadCode.cpp" "src/deadcode/CMakeFiles/dda_deadcode.dir/DeadCode.cpp.o" "gcc" "src/deadcode/CMakeFiles/dda_deadcode.dir/DeadCode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/determinacy/CMakeFiles/dda_determinacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/dda_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dda_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dda_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/dda_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/dda_lexer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dda_deadcode.dir/DeadCode.cpp.o"
+  "CMakeFiles/dda_deadcode.dir/DeadCode.cpp.o.d"
+  "libdda_deadcode.a"
+  "libdda_deadcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dda_deadcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

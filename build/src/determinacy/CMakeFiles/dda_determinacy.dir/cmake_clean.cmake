@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dda_determinacy.dir/Context.cpp.o"
+  "CMakeFiles/dda_determinacy.dir/Context.cpp.o.d"
+  "CMakeFiles/dda_determinacy.dir/Facts.cpp.o"
+  "CMakeFiles/dda_determinacy.dir/Facts.cpp.o.d"
+  "CMakeFiles/dda_determinacy.dir/InstrumentedInterpreter.cpp.o"
+  "CMakeFiles/dda_determinacy.dir/InstrumentedInterpreter.cpp.o.d"
+  "libdda_determinacy.a"
+  "libdda_determinacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dda_determinacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dda_evalelim.dir/EvalElim.cpp.o"
+  "CMakeFiles/dda_evalelim.dir/EvalElim.cpp.o.d"
+  "libdda_evalelim.a"
+  "libdda_evalelim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dda_evalelim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

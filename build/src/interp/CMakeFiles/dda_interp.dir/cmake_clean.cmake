@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dda_interp.dir/Builtins.cpp.o"
+  "CMakeFiles/dda_interp.dir/Builtins.cpp.o.d"
+  "CMakeFiles/dda_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/dda_interp.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/dda_interp.dir/Ops.cpp.o"
+  "CMakeFiles/dda_interp.dir/Ops.cpp.o.d"
+  "libdda_interp.a"
+  "libdda_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dda_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

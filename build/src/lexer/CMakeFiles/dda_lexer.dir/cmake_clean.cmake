@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dda_lexer.dir/Lexer.cpp.o"
+  "CMakeFiles/dda_lexer.dir/Lexer.cpp.o.d"
+  "libdda_lexer.a"
+  "libdda_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dda_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dda_parser.dir/Parser.cpp.o"
+  "CMakeFiles/dda_parser.dir/Parser.cpp.o.d"
+  "libdda_parser.a"
+  "libdda_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dda_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dda_pointsto.dir/PointsTo.cpp.o"
+  "CMakeFiles/dda_pointsto.dir/PointsTo.cpp.o.d"
+  "libdda_pointsto.a"
+  "libdda_pointsto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dda_pointsto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dda_specialize.dir/Specializer.cpp.o"
+  "CMakeFiles/dda_specialize.dir/Specializer.cpp.o.d"
+  "libdda_specialize.a"
+  "libdda_specialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dda_specialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

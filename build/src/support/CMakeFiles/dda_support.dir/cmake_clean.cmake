@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dda_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/dda_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/dda_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/dda_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/dda_support.dir/Table.cpp.o"
+  "CMakeFiles/dda_support.dir/Table.cpp.o.d"
+  "libdda_support.a"
+  "libdda_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dda_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

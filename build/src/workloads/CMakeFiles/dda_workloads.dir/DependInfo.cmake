@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/EvalSuite.cpp" "src/workloads/CMakeFiles/dda_workloads.dir/EvalSuite.cpp.o" "gcc" "src/workloads/CMakeFiles/dda_workloads.dir/EvalSuite.cpp.o.d"
+  "/root/repo/src/workloads/Figures.cpp" "src/workloads/CMakeFiles/dda_workloads.dir/Figures.cpp.o" "gcc" "src/workloads/CMakeFiles/dda_workloads.dir/Figures.cpp.o.d"
+  "/root/repo/src/workloads/Miniquery.cpp" "src/workloads/CMakeFiles/dda_workloads.dir/Miniquery.cpp.o" "gcc" "src/workloads/CMakeFiles/dda_workloads.dir/Miniquery.cpp.o.d"
+  "/root/repo/src/workloads/ProgramGenerator.cpp" "src/workloads/CMakeFiles/dda_workloads.dir/ProgramGenerator.cpp.o" "gcc" "src/workloads/CMakeFiles/dda_workloads.dir/ProgramGenerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dda_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dda_workloads.dir/EvalSuite.cpp.o"
+  "CMakeFiles/dda_workloads.dir/EvalSuite.cpp.o.d"
+  "CMakeFiles/dda_workloads.dir/Figures.cpp.o"
+  "CMakeFiles/dda_workloads.dir/Figures.cpp.o.d"
+  "CMakeFiles/dda_workloads.dir/Miniquery.cpp.o"
+  "CMakeFiles/dda_workloads.dir/Miniquery.cpp.o.d"
+  "CMakeFiles/dda_workloads.dir/ProgramGenerator.cpp.o"
+  "CMakeFiles/dda_workloads.dir/ProgramGenerator.cpp.o.d"
+  "libdda_workloads.a"
+  "libdda_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dda_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

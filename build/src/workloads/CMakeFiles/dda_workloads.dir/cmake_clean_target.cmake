@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdda_workloads.a"
+)

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ASTWalkTest.cpp" "tests/CMakeFiles/dda_tests.dir/ASTWalkTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/ASTWalkTest.cpp.o.d"
+  "/root/repo/tests/AnalysisOptionsTest.cpp" "tests/CMakeFiles/dda_tests.dir/AnalysisOptionsTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/AnalysisOptionsTest.cpp.o.d"
+  "/root/repo/tests/BuiltinsTest.cpp" "tests/CMakeFiles/dda_tests.dir/BuiltinsTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/BuiltinsTest.cpp.o.d"
+  "/root/repo/tests/ContextTest.cpp" "tests/CMakeFiles/dda_tests.dir/ContextTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/ContextTest.cpp.o.d"
+  "/root/repo/tests/DeadCodeTest.cpp" "tests/CMakeFiles/dda_tests.dir/DeadCodeTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/DeadCodeTest.cpp.o.d"
+  "/root/repo/tests/DeterminacyTest.cpp" "tests/CMakeFiles/dda_tests.dir/DeterminacyTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/DeterminacyTest.cpp.o.d"
+  "/root/repo/tests/EvalElimTest.cpp" "tests/CMakeFiles/dda_tests.dir/EvalElimTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/EvalElimTest.cpp.o.d"
+  "/root/repo/tests/FactsTest.cpp" "tests/CMakeFiles/dda_tests.dir/FactsTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/FactsTest.cpp.o.d"
+  "/root/repo/tests/FuzzTest.cpp" "tests/CMakeFiles/dda_tests.dir/FuzzTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/FuzzTest.cpp.o.d"
+  "/root/repo/tests/HeapEnvTest.cpp" "tests/CMakeFiles/dda_tests.dir/HeapEnvTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/HeapEnvTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/dda_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/dda_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/OpsTest.cpp" "tests/CMakeFiles/dda_tests.dir/OpsTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/OpsTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/dda_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PointsToTest.cpp" "tests/CMakeFiles/dda_tests.dir/PointsToTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/PointsToTest.cpp.o.d"
+  "/root/repo/tests/PrinterTest.cpp" "tests/CMakeFiles/dda_tests.dir/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/PrinterTest.cpp.o.d"
+  "/root/repo/tests/SoundnessTest.cpp" "tests/CMakeFiles/dda_tests.dir/SoundnessTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/SoundnessTest.cpp.o.d"
+  "/root/repo/tests/SpecializerTest.cpp" "tests/CMakeFiles/dda_tests.dir/SpecializerTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/SpecializerTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/dda_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/SwitchTest.cpp" "tests/CMakeFiles/dda_tests.dir/SwitchTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/SwitchTest.cpp.o.d"
+  "/root/repo/tests/WorkloadTest.cpp" "tests/CMakeFiles/dda_tests.dir/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/dda_tests.dir/WorkloadTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/deadcode/CMakeFiles/dda_deadcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/evalelim/CMakeFiles/dda_evalelim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dda_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/specialize/CMakeFiles/dda_specialize.dir/DependInfo.cmake"
+  "/root/repo/build/src/determinacy/CMakeFiles/dda_determinacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointsto/CMakeFiles/dda_pointsto.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/dda_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/dda_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/dda_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexer/CMakeFiles/dda_lexer.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dda_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddajs.dir/ddajs.cpp.o"
+  "CMakeFiles/ddajs.dir/ddajs.cpp.o.d"
+  "ddajs"
+  "ddajs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddajs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
