@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark microbenchmark suite and writes one
+# BENCH_<name>.json per binary (google-benchmark's JSON format), so runs can
+# be diffed across commits. Plain-executable table reproductions
+# (bench_table1 etc.) print deterministic counts and are not timed here.
+#
+# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build tree containing bench/ (default: build)
+#   OUT_DIR    where BENCH_*.json land (default: repo root)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT_DIR="${2:-$REPO_ROOT}"
+
+GBENCH_BINARIES=(bench_overhead bench_flush bench_figure2 bench_figure3
+                 bench_figure4)
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found; build first:" >&2
+  echo "  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build" >&2
+  exit 1
+fi
+
+for NAME in "${GBENCH_BINARIES[@]}"; do
+  BIN="$BUILD_DIR/bench/$NAME"
+  if [ ! -x "$BIN" ]; then
+    echo "skip: $NAME (not built)" >&2
+    continue
+  fi
+  OUT="$OUT_DIR/BENCH_${NAME#bench_}.json"
+  echo "== $NAME -> $OUT"
+  "$BIN" --benchmark_format=json --benchmark_out="$OUT" \
+         --benchmark_out_format=json >/dev/null
+done
+
+echo "done: $(ls "$OUT_DIR"/BENCH_*.json 2>/dev/null | wc -l) reports in $OUT_DIR"

@@ -13,6 +13,7 @@
 #ifndef DDA_AST_AST_H
 #define DDA_AST_AST_H
 
+#include "support/Interner.h"
 #include "support/SourceLocation.h"
 
 #include <cassert>
@@ -124,18 +125,22 @@ private:
   double Value;
 };
 
-/// String literal, e.g. `"width"`.
+/// String literal, e.g. `"width"`. The spelling is interned once at
+/// construction so evaluation never re-hashes the characters.
 class StringLiteral : public Expr {
 public:
   StringLiteral(NodeID ID, SourceRange R, std::string Value)
-      : Expr(NodeKind::StringLiteral, ID, R), Value(std::move(Value)) {}
+      : Expr(NodeKind::StringLiteral, ID, R), Value(std::move(Value)),
+        Atom(intern(this->Value)) {}
   const std::string &getValue() const { return Value; }
+  StringId getAtom() const { return Atom; }
   static bool classof(const Node *N) {
     return N->getKind() == NodeKind::StringLiteral;
   }
 
 private:
   std::string Value;
+  StringId Atom;
 };
 
 /// `true` or `false`.
@@ -171,18 +176,21 @@ public:
   }
 };
 
-/// A variable reference.
+/// A variable reference. The name is interned once at construction.
 class Identifier : public Expr {
 public:
   Identifier(NodeID ID, SourceRange R, std::string Name)
-      : Expr(NodeKind::Identifier, ID, R), Name(std::move(Name)) {}
+      : Expr(NodeKind::Identifier, ID, R), Name(std::move(Name)),
+        Atom(intern(this->Name)) {}
   const std::string &getName() const { return Name; }
+  StringId getAtom() const { return Atom; }
   static bool classof(const Node *N) {
     return N->getKind() == NodeKind::Identifier;
   }
 
 private:
   std::string Name;
+  StringId Atom;
 };
 
 /// `this`.
@@ -212,10 +220,14 @@ public:
   struct Property {
     std::string Key;
     Expr *Value;
+    StringId KeyAtom; ///< Filled by the ObjectLiteral constructor.
   };
   ObjectLiteral(NodeID ID, SourceRange R, std::vector<Property> Properties)
       : Expr(NodeKind::ObjectLiteral, ID, R),
-        Properties(std::move(Properties)) {}
+        Properties(std::move(Properties)) {
+    for (Property &P : this->Properties)
+      P.KeyAtom = intern(P.Key);
+  }
   const std::vector<Property> &getProperties() const { return Properties; }
   static bool classof(const Node *N) {
     return N->getKind() == NodeKind::ObjectLiteral;
@@ -232,10 +244,17 @@ public:
   FunctionExpr(NodeID ID, SourceRange R, std::string Name,
                std::vector<std::string> Params, Stmt *Body)
       : Expr(NodeKind::Function, ID, R), Name(std::move(Name)),
-        Params(std::move(Params)), Body(Body) {}
+        Params(std::move(Params)), Body(Body),
+        NameAtom(intern(this->Name)) {
+    ParamAtoms.reserve(this->Params.size());
+    for (const std::string &P : this->Params)
+      ParamAtoms.push_back(intern(P));
+  }
   /// Empty for anonymous functions.
   const std::string &getName() const { return Name; }
   const std::vector<std::string> &getParams() const { return Params; }
+  StringId getNameAtom() const { return NameAtom; }
+  const std::vector<StringId> &getParamAtoms() const { return ParamAtoms; }
   Stmt *getBody() const { return Body; }
   static bool classof(const Node *N) {
     return N->getKind() == NodeKind::Function;
@@ -245,6 +264,8 @@ private:
   std::string Name;
   std::vector<std::string> Params;
   Stmt *Body;
+  StringId NameAtom;
+  std::vector<StringId> ParamAtoms;
 };
 
 /// `obj.prop` (Computed == false) or `obj[expr]` (Computed == true).
@@ -252,7 +273,8 @@ class MemberExpr : public Expr {
 public:
   MemberExpr(NodeID ID, SourceRange R, Expr *Object, std::string Property)
       : Expr(NodeKind::Member, ID, R), Object(Object),
-        Property(std::move(Property)), Index(nullptr), Computed(false) {}
+        Property(std::move(Property)), Index(nullptr),
+        PropAtom(intern(this->Property)), Computed(false) {}
   MemberExpr(NodeID ID, SourceRange R, Expr *Object, Expr *Index)
       : Expr(NodeKind::Member, ID, R), Object(Object), Index(Index),
         Computed(true) {}
@@ -262,6 +284,11 @@ public:
   const std::string &getProperty() const {
     assert(!Computed && "static property of a computed member access");
     return Property;
+  }
+  /// Interned property atom; only valid when !isComputed().
+  StringId getPropertyAtom() const {
+    assert(!Computed && "static property of a computed member access");
+    return PropAtom;
   }
   /// Only valid when isComputed().
   Expr *getIndex() const {
@@ -276,6 +303,7 @@ private:
   Expr *Object;
   std::string Property;
   Expr *Index;
+  StringId PropAtom;
   bool Computed;
 };
 
@@ -479,9 +507,13 @@ public:
   struct Declarator {
     std::string Name;
     Expr *Init; ///< May be null.
+    StringId Atom; ///< Filled by the VarDeclStmt constructor.
   };
   VarDeclStmt(NodeID ID, SourceRange R, std::vector<Declarator> Decls)
-      : Stmt(NodeKind::VarDeclStmt, ID, R), Decls(std::move(Decls)) {}
+      : Stmt(NodeKind::VarDeclStmt, ID, R), Decls(std::move(Decls)) {
+    for (Declarator &D : this->Decls)
+      D.Atom = intern(D.Name);
+  }
   const std::vector<Declarator> &getDeclarators() const { return Decls; }
   static bool classof(const Node *N) {
     return N->getKind() == NodeKind::VarDeclStmt;
@@ -597,8 +629,9 @@ public:
   ForInStmt(NodeID ID, SourceRange R, std::string Var, bool Declares,
             Expr *Object, Stmt *Body)
       : Stmt(NodeKind::ForInStmt, ID, R), Var(std::move(Var)), Object(Object),
-        Body(Body), Declares(Declares) {}
+        Body(Body), VarAtom(intern(this->Var)), Declares(Declares) {}
   const std::string &getVar() const { return Var; }
+  StringId getVarAtom() const { return VarAtom; }
   bool declaresVar() const { return Declares; }
   Expr *getObject() const { return Object; }
   Stmt *getBody() const { return Body; }
@@ -610,6 +643,7 @@ private:
   std::string Var;
   Expr *Object;
   Stmt *Body;
+  StringId VarAtom;
   bool Declares;
 };
 
@@ -668,9 +702,10 @@ public:
           Stmt *CatchBlock, Stmt *FinallyBlock)
       : Stmt(NodeKind::TryStmt, ID, R), Block(Block),
         CatchParam(std::move(CatchParam)), CatchBlock(CatchBlock),
-        FinallyBlock(FinallyBlock) {}
+        FinallyBlock(FinallyBlock), CatchAtom(intern(this->CatchParam)) {}
   Stmt *getBlock() const { return Block; }
   const std::string &getCatchParam() const { return CatchParam; }
+  StringId getCatchAtom() const { return CatchAtom; }
   Stmt *getCatchBlock() const { return CatchBlock; }     ///< May be null.
   Stmt *getFinallyBlock() const { return FinallyBlock; } ///< May be null.
   static bool classof(const Node *N) {
@@ -682,6 +717,7 @@ private:
   std::string CatchParam;
   Stmt *CatchBlock;
   Stmt *FinallyBlock;
+  StringId CatchAtom;
 };
 
 /// `switch (disc) { case e: ...; default: ...; }`. Clauses execute with

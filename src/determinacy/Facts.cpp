@@ -116,7 +116,7 @@ std::string FactValue::str() const {
   case Number:
     return numberToString(Num);
   case String:
-    return "\"" + escapeString(Str) + "\"";
+    return "\"" + escapeString(Interner::global().str(Str)) + "\"";
   case Function:
     return "function@" + std::to_string(Node);
   case Native:

@@ -70,7 +70,7 @@ struct FactValue {
 
   bool B = false;
   double Num = 0;
-  std::string Str;
+  StringId Str; ///< Interned atom (K == String).
   NodeID Node = 0;
   NativeFn NativeID = NativeFn::None;
 

@@ -17,9 +17,9 @@ using namespace dda;
 
 namespace {
 
-void collectAssignedInExpr(const Expr *E, std::vector<std::string> &Out);
+void collectAssignedInExpr(const Expr *E, std::vector<StringId> &Out);
 
-void collectAssignedInStmt(const Stmt *S, std::vector<std::string> &Out) {
+void collectAssignedInStmt(const Stmt *S, std::vector<StringId> &Out) {
   if (!S)
     return;
   switch (S->getKind()) {
@@ -28,13 +28,13 @@ void collectAssignedInStmt(const Stmt *S, std::vector<std::string> &Out) {
     return;
   case NodeKind::VarDeclStmt:
     for (const auto &D : cast<VarDeclStmt>(S)->getDeclarators()) {
-      Out.push_back(D.Name);
+      Out.push_back(D.Atom);
       if (D.Init)
         collectAssignedInExpr(D.Init, Out);
     }
     return;
   case NodeKind::FunctionDeclStmt:
-    Out.push_back(cast<FunctionDeclStmt>(S)->getFunction()->getName());
+    Out.push_back(cast<FunctionDeclStmt>(S)->getFunction()->getNameAtom());
     return;
   case NodeKind::BlockStmt:
     for (const Stmt *Child : cast<BlockStmt>(S)->getBody())
@@ -67,7 +67,7 @@ void collectAssignedInStmt(const Stmt *S, std::vector<std::string> &Out) {
   }
   case NodeKind::ForInStmt: {
     const auto *F = cast<ForInStmt>(S);
-    Out.push_back(F->getVar());
+    Out.push_back(F->getVarAtom());
     collectAssignedInExpr(F->getObject(), Out);
     collectAssignedInStmt(F->getBody(), Out);
     return;
@@ -102,14 +102,14 @@ void collectAssignedInStmt(const Stmt *S, std::vector<std::string> &Out) {
   }
 }
 
-void collectAssignedInExpr(const Expr *E, std::vector<std::string> &Out) {
+void collectAssignedInExpr(const Expr *E, std::vector<StringId> &Out) {
   if (!E)
     return;
   switch (E->getKind()) {
   case NodeKind::Assign: {
     const auto *A = cast<AssignExpr>(E);
     if (const auto *Id = dyn_cast<Identifier>(A->getTarget()))
-      Out.push_back(Id->getName());
+      Out.push_back(Id->getAtom());
     else
       collectAssignedInExpr(A->getTarget(), Out);
     collectAssignedInExpr(A->getValue(), Out);
@@ -118,7 +118,7 @@ void collectAssignedInExpr(const Expr *E, std::vector<std::string> &Out) {
   case NodeKind::Update: {
     const auto *U = cast<UpdateExpr>(E);
     if (const auto *Id = dyn_cast<Identifier>(U->getOperand()))
-      Out.push_back(Id->getName());
+      Out.push_back(Id->getAtom());
     else
       collectAssignedInExpr(U->getOperand(), Out);
     return;
@@ -177,8 +177,8 @@ void collectAssignedInExpr(const Expr *E, std::vector<std::string> &Out) {
 
 } // namespace
 
-std::vector<std::string> dda::collectAssignedVars(const Stmt *S) {
-  std::vector<std::string> Out;
+std::vector<StringId> dda::collectAssignedVars(const Stmt *S) {
+  std::vector<StringId> Out;
   collectAssignedInStmt(S, Out);
   std::sort(Out.begin(), Out.end());
   Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
@@ -216,10 +216,11 @@ ObjectRef InstrumentedInterpreter::makeFunction(const FunctionExpr *Fn,
   ObjectRef ProtoObj = TheHeap.allocate(ObjectClass::Plain);
   TheHeap.get(ProtoObj).Proto = ObjectProto;
   TheHeap.get(ProtoObj).ClosedEpoch = Epoch;
-  TheHeap.get(ProtoObj).set("constructor",
-                            Slot{Value::object(Ref), Det::Determinate, Epoch});
-  TheHeap.get(Ref).set("prototype",
-                       Slot{Value::object(ProtoObj), Det::Determinate, Epoch});
+  TheHeap.get(ProtoObj).set(
+      atoms().Constructor, Slot{Value::object(Ref), Det::Determinate, Epoch});
+  TheHeap.get(Ref).set(
+      atoms().Prototype,
+      Slot{Value::object(ProtoObj), Det::Determinate, Epoch});
   return Ref;
 }
 
@@ -228,8 +229,8 @@ void InstrumentedInterpreter::installGlobals() {
   CurrentEnv = GlobalEnv;
 
   auto Set = [&](ObjectRef O, const char *Name, Value V) {
-    TheHeap.get(O).set(Name, Slot{std::move(V), Det::Determinate, Epoch,
-                                  /*Immune=*/true});
+    TheHeap.get(O).set(intern(Name), Slot{std::move(V), Det::Determinate,
+                                          Epoch, /*Immune=*/true});
   };
 
   ObjectProto = TheHeap.allocate(ObjectClass::Plain);
@@ -267,7 +268,8 @@ void InstrumentedInterpreter::installGlobals() {
 
   Environment &G = Envs.get(GlobalEnv);
   auto DefineGlobal = [&](const char *Name, Value V) {
-    G.Vars[Name] = Binding{std::move(V), Det::Determinate, /*Immune=*/true};
+    G.Vars[intern(Name)] =
+        Binding{std::move(V), Det::Determinate, /*Immune=*/true};
   };
 
   ObjectRef MathObj = TheHeap.allocate(ObjectClass::Plain);
@@ -332,16 +334,15 @@ void InstrumentedInterpreter::installGlobals() {
 // NativeHost
 //===----------------------------------------------------------------------===//
 
-void InstrumentedInterpreter::nativeWriteProperty(ObjectRef O,
-                                                  const std::string &Name,
+void InstrumentedInterpreter::nativeWriteProperty(ObjectRef O, StringId Name,
                                                   TaggedValue TV) {
   // Natives resolved their receiver through a determinate path (the
   // interpreter flushed otherwise), so Base/Name are determinate here.
   writeProp(O, Name, std::move(TV), Det::Determinate, Det::Determinate);
 }
 
-TaggedValue InstrumentedInterpreter::nativeReadProperty(
-    ObjectRef O, const std::string &Name) {
+TaggedValue InstrumentedInterpreter::nativeReadProperty(ObjectRef O,
+                                                        StringId Name) {
   const JSObject &Obj = TheHeap.get(O);
   if (const Slot *S = Obj.get(Name))
     return TaggedValue(S->V, slotDet(*S));
@@ -360,12 +361,12 @@ void InstrumentedInterpreter::output(const std::string &Text) {
   Output += '\n';
 }
 
-void InstrumentedInterpreter::registerEventHandler(const std::string &Event,
+void InstrumentedInterpreter::registerEventHandler(StringId Event,
                                                    Value Handler) {
   EventHandlers.emplace_back(Event, std::move(Handler));
 }
 
-ObjectRef InstrumentedInterpreter::domElement(const std::string &Key) {
+ObjectRef InstrumentedInterpreter::domElement(StringId Key) {
   auto It = DomElements.find(Key);
   if (It != DomElements.end())
     return It->second;
@@ -373,8 +374,8 @@ ObjectRef InstrumentedInterpreter::domElement(const std::string &Key) {
   JSObject &O = TheHeap.get(El);
   O.ClosedEpoch = Epoch;
   auto Set = [&](const char *Name, NativeFn Fn) {
-    O.set(Name, Slot{Value::object(makeNative(Fn)), Det::Determinate, Epoch,
-                     /*Immune=*/true});
+    O.set(intern(Name), Slot{Value::object(makeNative(Fn)), Det::Determinate,
+                             Epoch, /*Immune=*/true});
   };
   Set("getAttribute", NativeFn::DomGetAttribute);
   Set("setAttribute", NativeFn::DomSetAttribute);
@@ -405,7 +406,7 @@ Det InstrumentedInterpreter::recordSetDeterminacy(ObjectRef O) {
 // Journaled mutation
 //===----------------------------------------------------------------------===//
 
-void InstrumentedInterpreter::declareVar(EnvRef Env, const std::string &Name,
+void InstrumentedInterpreter::declareVar(EnvRef Env, StringId Name,
                                          TaggedValue TV) {
   Environment &E = Envs.get(Env);
   JournalEntry JE;
@@ -421,14 +422,14 @@ void InstrumentedInterpreter::declareVar(EnvRef Env, const std::string &Name,
   E.Vars[Name] = Binding{std::move(TV.V), taintAdjust(TV.D)};
 }
 
-void InstrumentedInterpreter::setVar(const std::string &Name, TaggedValue TV) {
+void InstrumentedInterpreter::setVar(StringId Name, TaggedValue TV) {
   EnvRef E = Envs.lookupEnv(CurrentEnv, Name);
   if (!E)
     E = GlobalEnv; // Sloppy-mode global creation.
   declareVar(E, Name, std::move(TV));
 }
 
-void InstrumentedInterpreter::weakenVar(EnvRef Env, const std::string &Name) {
+void InstrumentedInterpreter::weakenVar(EnvRef Env, StringId Name) {
   Environment &E = Envs.get(Env);
   auto It = E.Vars.find(Name);
   if (It == E.Vars.end() || It->second.D == Det::Indeterminate)
@@ -444,7 +445,7 @@ void InstrumentedInterpreter::weakenVar(EnvRef Env, const std::string &Name) {
   It->second.D = Det::Indeterminate;
 }
 
-void InstrumentedInterpreter::writeProp(ObjectRef Obj, const std::string &Name,
+void InstrumentedInterpreter::writeProp(ObjectRef Obj, StringId Name,
                                         TaggedValue TV, Det BaseDet,
                                         Det NameDet) {
   // ŜTO: an indeterminate property name makes the whole record open and
@@ -467,26 +468,26 @@ void InstrumentedInterpreter::writeProp(ObjectRef Obj, const std::string &Name,
   Det D = taintAdjust(meet(TV.D, NameDet));
   O.set(Name, Slot{std::move(TV.V), D, Epoch});
 
-  // Array length maintenance.
-  if (O.Class == ObjectClass::Array && !Name.empty() &&
-      std::isdigit(static_cast<unsigned char>(Name[0])) && Name != "length") {
-    double I = stringToNumber(Name);
-    const Slot *Len = O.get("length");
+  // Array length maintenance. Canonical index atoms carry their numeric
+  // value from intern time, so no digits are re-parsed here.
+  uint32_t Idx = Interner::global().arrayIndex(Name);
+  if (O.Class == ObjectClass::Array && Idx != Interner::NotAnIndex) {
+    const Slot *Len = O.get(atoms().Length);
     double N = Len && Len->V.isNumber() ? Len->V.Num : 0;
     Det LenDet = Len ? slotDet(*Len) : Det::Determinate;
-    if (!std::isnan(I) && I + 1 > N) {
+    if (Idx + 1 > N) {
       JournalEntry LE;
       LE.K = JournalEntry::PropWrite;
       LE.Obj = Obj;
-      LE.Name = "length";
+      LE.Name = atoms().Length;
       if (Len) {
         LE.Existed = true;
         LE.OldSlot = *Len;
       }
       J.push(std::move(LE));
       ++Stats.JournalEntries;
-      O.set("length",
-            Slot{Value::number(I + 1), taintAdjust(meet(LenDet, NameDet)),
+      O.set(atoms().Length,
+            Slot{Value::number(Idx + 1.0), taintAdjust(meet(LenDet, NameDet)),
                  Epoch});
     }
   }
@@ -495,8 +496,7 @@ void InstrumentedInterpreter::writeProp(ObjectRef Obj, const std::string &Name,
     flushHeap();
 }
 
-bool InstrumentedInterpreter::eraseProp(ObjectRef Obj,
-                                        const std::string &Name) {
+bool InstrumentedInterpreter::eraseProp(ObjectRef Obj, StringId Name) {
   JSObject &O = TheHeap.get(Obj);
   const Slot *S = O.get(Name);
   JournalEntry JE;
@@ -524,12 +524,12 @@ void InstrumentedInterpreter::openRecord(ObjectRef Obj) {
     O.ExplicitlyOpen = true;
   }
   // All existing properties become indeterminate (any may be overwritten).
-  std::vector<std::string> Names;
+  std::vector<StringId> Names;
   Names.reserve(O.slots().size());
   for (const auto &[Name, S] : O.slots())
     if (S.D == Det::Determinate && S.Epoch == Epoch)
       Names.push_back(Name);
-  for (const std::string &Name : Names) {
+  for (StringId Name : Names) {
     Slot *S = TheHeap.get(Obj).get(Name);
     JournalEntry JE;
     JE.K = JournalEntry::PropWrite;
@@ -543,10 +543,9 @@ void InstrumentedInterpreter::openRecord(ObjectRef Obj) {
   }
 }
 
-void InstrumentedInterpreter::addMaybeAbsent(ObjectRef Obj,
-                                              const std::string &Name) {
+void InstrumentedInterpreter::addMaybeAbsent(ObjectRef Obj, StringId Name) {
   JSObject &O = TheHeap.get(Obj);
-  if (O.has(Name) || O.isMaybeAbsent(Name))
+  if (O.has(Name) || !O.insertMaybeAbsent(Name))
     return;
   JournalEntry JE;
   JE.K = JournalEntry::MaybeAbsentAdd;
@@ -554,13 +553,11 @@ void InstrumentedInterpreter::addMaybeAbsent(ObjectRef Obj,
   JE.Name = Name;
   J.push(std::move(JE));
   ++Stats.JournalEntries;
-  O.MaybeAbsent.push_back(Name);
 }
 
-void InstrumentedInterpreter::addMaybePresent(ObjectRef Obj,
-                                               const std::string &Name) {
+void InstrumentedInterpreter::addMaybePresent(ObjectRef Obj, StringId Name) {
   JSObject &O = TheHeap.get(Obj);
-  if (O.isMaybePresent(Name))
+  if (!O.insertMaybePresent(Name))
     return;
   JournalEntry JE;
   JE.K = JournalEntry::MaybePresentAdd;
@@ -568,7 +565,6 @@ void InstrumentedInterpreter::addMaybePresent(ObjectRef Obj,
   JE.Name = Name;
   J.push(std::move(JE));
   ++Stats.JournalEntries;
-  O.MaybePresent.push_back(Name);
 }
 
 void InstrumentedInterpreter::flushHeap() {
@@ -637,34 +633,22 @@ void InstrumentedInterpreter::undoSince(Journal::Mark M) {
     case JournalEntry::RecordOpen:
       TheHeap.get(E.Obj).ExplicitlyOpen = E.OldOpen;
       break;
-    case JournalEntry::MaybeAbsentAdd: {
-      auto &MA = TheHeap.get(E.Obj).MaybeAbsent;
-      for (size_t K = 0; K < MA.size(); ++K)
-        if (MA[K] == E.Name) {
-          MA.erase(MA.begin() + K);
-          break;
-        }
+    case JournalEntry::MaybeAbsentAdd:
+      TheHeap.get(E.Obj).eraseMaybeAbsent(E.Name);
       break;
-    }
-    case JournalEntry::MaybePresentAdd: {
-      auto &MP = TheHeap.get(E.Obj).MaybePresent;
-      for (size_t K = 0; K < MP.size(); ++K)
-        if (MP[K] == E.Name) {
-          MP.erase(MP.begin() + K);
-          break;
-        }
+    case JournalEntry::MaybePresentAdd:
+      TheHeap.get(E.Obj).eraseMaybePresent(E.Name);
       break;
-    }
     }
   }
   J.truncate(M);
 }
 
 void InstrumentedInterpreter::cntrAbort(
-    const std::vector<std::string> &AbortVd) {
+    const std::vector<StringId> &AbortVd) {
   ++Stats.CounterfactualAborts;
   flushHeap();
-  for (const std::string &Name : AbortVd) {
+  for (StringId Name : AbortVd) {
     EnvRef E = Envs.lookupEnv(CurrentEnv, Name);
     if (E)
       weakenVar(E, Name);
@@ -677,11 +661,11 @@ void InstrumentedInterpreter::cntrAbort(
 
 void InstrumentedInterpreter::taintAllEnvironments() {
   Envs.forEach([&](EnvRef Ref, Environment &E) {
-    std::vector<std::string> Names;
+    std::vector<StringId> Names;
     for (const auto &[Name, B] : E.Vars)
       if (!B.Immune && B.D == Det::Determinate)
         Names.push_back(Name);
-    for (const std::string &Name : Names)
+    for (StringId Name : Names)
       weakenVar(Ref, Name);
   });
 }
@@ -717,7 +701,7 @@ void InstrumentedInterpreter::noteCounterfactualEscape(IComp::Kind K,
 }
 
 IComp InstrumentedInterpreter::counterfactualBranch(
-    const std::vector<std::string> &AbortVd,
+    const std::vector<StringId> &AbortVd,
     const std::function<IComp()> &Exec) {
   if (!Opts.CounterfactualEnabled ||
       CfDepth >= Opts.CounterfactualDepth) {
@@ -857,13 +841,13 @@ void InstrumentedInterpreter::hoistStmt(const Stmt *S, EnvRef Env) {
   switch (S->getKind()) {
   case NodeKind::VarDeclStmt:
     for (const auto &D : cast<VarDeclStmt>(S)->getDeclarators())
-      if (!Envs.get(Env).Vars.count(D.Name))
-        declareVar(Env, D.Name, TaggedValue(Value::undefined()));
+      if (!Envs.get(Env).Vars.count(D.Atom))
+        declareVar(Env, D.Atom, TaggedValue(Value::undefined()));
     return;
   case NodeKind::FunctionDeclStmt: {
     const FunctionExpr *Fn = cast<FunctionDeclStmt>(S)->getFunction();
     ObjectRef FnObj = makeFunction(Fn, Env);
-    declareVar(Env, Fn->getName(), TaggedValue(Value::object(FnObj)));
+    declareVar(Env, Fn->getNameAtom(), TaggedValue(Value::object(FnObj)));
     return;
   }
   case NodeKind::BlockStmt:
@@ -887,8 +871,8 @@ void InstrumentedInterpreter::hoistStmt(const Stmt *S, EnvRef Env) {
     return;
   case NodeKind::ForInStmt: {
     const auto *F = cast<ForInStmt>(S);
-    if (F->declaresVar() && !Envs.get(Env).Vars.count(F->getVar()))
-      declareVar(Env, F->getVar(), TaggedValue(Value::undefined()));
+    if (F->declaresVar() && !Envs.get(Env).Vars.count(F->getVarAtom()))
+      declareVar(Env, F->getVarAtom(), TaggedValue(Value::undefined()));
     hoistStmt(F->getBody(), Env);
     return;
   }
@@ -933,7 +917,7 @@ IComp InstrumentedInterpreter::execStmtsFrom(const std::vector<Stmt *> &Body,
     if (C.IndetControl && C.K != IComp::Fatal && I + 1 < Body.size()) {
       // Other executions may not take this control transfer: explore the
       // statements it skips counterfactually.
-      std::vector<std::string> Vd;
+      std::vector<StringId> Vd;
       for (size_t R = I + 1; R < Body.size(); ++R)
         collectAssignedInStmt(Body[R], Vd);
       std::sort(Vd.begin(), Vd.end());
@@ -974,7 +958,7 @@ IComp InstrumentedInterpreter::execStmt(const Stmt *S) {
       recordFact(FactKind::Assign, S->getID(),
                  TaggedValue(R.V.V, taintAdjust(R.V.D)),
                  static_cast<uint16_t>(I));
-      setVar(Decls[I].Name, R.V);
+      setVar(Decls[I].Atom, R.V);
     }
     return IComp::normal();
   }
@@ -1041,7 +1025,7 @@ IComp InstrumentedInterpreter::execStmt(const Stmt *S) {
       EnvRef CatchEnv = Envs.allocate(CurrentEnv);
       EnvRef Saved = CurrentEnv;
       CurrentEnv = CatchEnv;
-      declareVar(CatchEnv, T->getCatchParam(),
+      declareVar(CatchEnv, T->getCatchAtom(),
                  Indet ? C.V.asIndeterminate() : C.V);
       // If the throw itself is control-dependent on indeterminate data,
       // other executions may skip the catch block entirely: treat it like a
@@ -1175,7 +1159,7 @@ IComp InstrumentedInterpreter::execIf(const IfStmt *If) {
   // the shared pre-branch state), then run the taken side and weaken its
   // writes (ÎF1).
   if (Untaken) {
-    std::vector<std::string> Vd;
+    std::vector<StringId> Vd;
     collectAssignedInStmt(Untaken, Vd);
     IComp CF =
         counterfactualBranch(Vd, [&] { return execStmt(Untaken); });
@@ -1207,7 +1191,7 @@ IComp InstrumentedInterpreter::execLoop(const Stmt *LoopNode, const Expr *Cond,
   auto CounterfactualContinuation = [&]() {
     // ĈNTR on the loop desugaring if(x){s; while(x){s}}: hypothetically run
     // the body once more, then the rest of the loop.
-    std::vector<std::string> Vd;
+    std::vector<StringId> Vd;
     collectAssignedInStmt(Body, Vd);
     return counterfactualBranch(Vd, [&]() -> IComp {
       IComp BC = execStmt(Body);
@@ -1347,7 +1331,7 @@ IComp InstrumentedInterpreter::execForIn(const ForInStmt *F) {
   ObjectRef O = Obj.V.V.Obj;
   Det SetDet = meet(Obj.V.D, recordSetDeterminacy(O));
 
-  std::vector<std::string> Keys = TheHeap.get(O).ownKeys();
+  std::vector<StringId> Keys = TheHeap.get(O).ownKeys();
   Journal::Mark M = J.mark();
   if (SetDet == Det::Indeterminate)
     ++IndetBranchDepth;
@@ -1355,7 +1339,7 @@ IComp InstrumentedInterpreter::execForIn(const ForInStmt *F) {
   IComp Result = IComp::normal();
   bool IndetExit = false;
   uint32_t Index = 0;
-  for (const std::string &Key : Keys) {
+  for (StringId Key : Keys) {
     if (!TheHeap.get(O).has(Key))
       continue; // Deleted during iteration.
     // With a determinate property set, iteration order is determinate too
@@ -1369,7 +1353,7 @@ IComp InstrumentedInterpreter::execForIn(const ForInStmt *F) {
                       static_cast<uint16_t>(Index));
     }
     ++Index;
-    setVar(F->getVar(), TaggedValue(Value::string(Key), SetDet));
+    setVar(F->getVarAtom(), TaggedValue(Value::atom(Key), SetDet));
     IComp C = execStmt(F->getBody());
     if (C.K == IComp::Break) {
       IndetExit = C.IndetControl;
@@ -1400,7 +1384,7 @@ IComp InstrumentedInterpreter::execForIn(const ForInStmt *F) {
     // flush for heap writes we cannot enumerate.
     markIndetSince(M);
     if (SetDet == Det::Indeterminate) {
-      for (const std::string &Name : collectAssignedVars(F)) {
+      for (StringId Name : collectAssignedVars(F)) {
         EnvRef E = Envs.lookupEnv(CurrentEnv, Name);
         if (E)
           weakenVar(E, Name);
@@ -1418,30 +1402,27 @@ IComp InstrumentedInterpreter::execForIn(const ForInStmt *F) {
 //===----------------------------------------------------------------------===//
 
 IRes InstrumentedInterpreter::readProperty(const TaggedValue &Base,
-                                           const std::string &Name,
-                                           Det NameDet) {
+                                           StringId Name, Det NameDet) {
   Det DIn = meet(Base.D, NameDet);
   switch (Base.V.Kind) {
   case ValueKind::Undefined:
   case ValueKind::Null: {
-    IComp C = throwString("TypeError: cannot read property '" + Name +
-                          "' of " + (Base.V.isNull() ? "null" : "undefined"));
+    IComp C = throwString("TypeError: cannot read property '" +
+                          Interner::global().str(Name) + "' of " +
+                          (Base.V.isNull() ? "null" : "undefined"));
     // Whether this throw happens is control-dependent on the base value.
     C.IndetControl = Base.D == Det::Indeterminate;
     return IRes::abruptly(C);
   }
   case ValueKind::String: {
-    if (Name == "length")
+    std::string_view Chars = Base.V.strView();
+    if (Name == atoms().Length)
       return IRes::value(TaggedValue(
-          Value::number(static_cast<double>(Base.V.Str.size())), DIn));
-    if (!Name.empty() && std::isdigit(static_cast<unsigned char>(Name[0]))) {
-      double I = stringToNumber(Name);
-      if (!std::isnan(I) && I >= 0 &&
-          I < static_cast<double>(Base.V.Str.size()))
-        return IRes::value(TaggedValue(
-            Value::string(std::string(1, Base.V.Str[static_cast<size_t>(I)])),
-            DIn));
-    }
+          Value::number(static_cast<double>(Chars.size())), DIn));
+    uint32_t I = Interner::global().arrayIndex(Name);
+    if (I != Interner::NotAnIndex && I < Chars.size())
+      return IRes::value(TaggedValue(
+          Value::atom(Interner::global().internChar(Chars[I])), DIn));
     const Slot *S = TheHeap.get(StringProto).get(Name);
     if (!S)
       return IRes::value(TaggedValue(Value::undefined(), DIn));
@@ -1483,11 +1464,11 @@ IRes InstrumentedInterpreter::readProperty(const TaggedValue &Base,
 }
 
 IComp InstrumentedInterpreter::setPropertyTagged(const TaggedValue &Base,
-                                                 const std::string &Name,
-                                                 Det NameDet, TaggedValue V) {
+                                                 StringId Name, Det NameDet,
+                                                 TaggedValue V) {
   if (!Base.V.isObject()) {
-    IComp C = throwString("TypeError: cannot set property '" + Name +
-                          "' on a non-object");
+    IComp C = throwString("TypeError: cannot set property '" +
+                          Interner::global().str(Name) + "' on a non-object");
     C.IndetControl = Base.D == Det::Indeterminate;
     return C;
   }
@@ -1499,22 +1480,22 @@ IComp InstrumentedInterpreter::setPropertyTagged(const TaggedValue &Base,
 // Expressions
 //===----------------------------------------------------------------------===//
 
-IRes InstrumentedInterpreter::resolveKey(const MemberExpr *M, std::string &Key,
+IRes InstrumentedInterpreter::resolveKey(const MemberExpr *M, StringId &Key,
                                          Det &KeyDet) {
   if (!M->isComputed()) {
-    Key = M->getProperty();
+    Key = M->getPropertyAtom();
     KeyDet = Det::Determinate;
     return IRes::value(TaggedValue());
   }
   IRes I = evalExpr(M->getIndex());
   if (I.abrupt())
     return I;
-  Key = toStringValue(I.V.V, TheHeap);
+  Key = toStringAtom(I.V.V, TheHeap);
   KeyDet = I.V.D;
   // The value of a computed property name is a core client fact (access
   // staticization, paper Section 2.2 / 5.1).
   recordFact(FactKind::PropName, M->getID(),
-             TaggedValue(Value::string(Key), KeyDet));
+             TaggedValue(Value::atom(Key), KeyDet));
   return IRes::value(TaggedValue());
 }
 
@@ -1522,7 +1503,7 @@ IRes InstrumentedInterpreter::evalMember(const MemberExpr *E) {
   IRes Base = evalExpr(E->getObject());
   if (Base.abrupt())
     return Base;
-  std::string Key;
+  StringId Key;
   Det KeyDet = Det::Determinate;
   IRes KeyR = resolveKey(E, Key, KeyDet);
   if (KeyR.abrupt())
@@ -1541,7 +1522,7 @@ IRes InstrumentedInterpreter::evalBranchExpr(const TaggedValue &CondV,
   // Indeterminate condition: explore the untaken side counterfactually
   // against the shared pre-branch state.
   if (Untaken) {
-    std::vector<std::string> Vd;
+    std::vector<StringId> Vd;
     collectAssignedInExpr(Untaken, Vd);
     IComp CF = counterfactualBranch(Vd, [&] {
       IRes R = evalExpr(Untaken);
@@ -1577,7 +1558,7 @@ IRes InstrumentedInterpreter::evalExpr(const Expr *E) {
           TaggedValue(Value::number(cast<NumberLiteral>(E)->getValue())));
     case NodeKind::StringLiteral:
       return IRes::value(
-          TaggedValue(Value::string(cast<StringLiteral>(E)->getValue())));
+          TaggedValue(Value::atom(cast<StringLiteral>(E)->getAtom())));
     case NodeKind::BooleanLiteral:
       return IRes::value(
           TaggedValue(Value::boolean(cast<BooleanLiteral>(E)->getValue())));
@@ -1588,11 +1569,11 @@ IRes InstrumentedInterpreter::evalExpr(const Expr *E) {
     case NodeKind::This:
       return IRes::value(Frames.back().ThisV);
     case NodeKind::Identifier: {
-      const std::string &Name = cast<Identifier>(E)->getName();
-      Binding *B = Envs.lookup(CurrentEnv, Name);
+      const auto *Id = cast<Identifier>(E);
+      Binding *B = Envs.lookup(CurrentEnv, Id->getAtom());
       if (!B)
-        return IRes::abruptly(
-            throwString("ReferenceError: " + Name + " is not defined"));
+        return IRes::abruptly(throwString("ReferenceError: " + Id->getName() +
+                                          " is not defined"));
       return IRes::value(TaggedValue(B->V, B->D));
     }
     case NodeKind::ArrayLiteral: {
@@ -1605,10 +1586,10 @@ IRes InstrumentedInterpreter::evalExpr(const Expr *E) {
         IRes R = evalExpr(A->getElements()[I]);
         if (R.abrupt())
           return R;
-        TheHeap.get(Arr).set(std::to_string(I),
+        TheHeap.get(Arr).set(Interner::global().internIndex(I),
                              Slot{R.V.V, taintAdjust(R.V.D), Epoch});
       }
-      TheHeap.get(Arr).set("length",
+      TheHeap.get(Arr).set(atoms().Length,
                            Slot{Value::number(static_cast<double>(N)),
                                 Det::Determinate, Epoch});
       return IRes::value(TaggedValue(Value::object(Arr)));
@@ -1622,7 +1603,8 @@ IRes InstrumentedInterpreter::evalExpr(const Expr *E) {
         IRes R = evalExpr(P.Value);
         if (R.abrupt())
           return R;
-        TheHeap.get(O).set(P.Key, Slot{R.V.V, taintAdjust(R.V.D), Epoch});
+        TheHeap.get(O).set(P.KeyAtom,
+                           Slot{R.V.V, taintAdjust(R.V.D), Epoch});
       }
       return IRes::value(TaggedValue(Value::object(O)));
     }
@@ -1631,7 +1613,7 @@ IRes InstrumentedInterpreter::evalExpr(const Expr *E) {
       ObjectRef FnObj = makeFunction(F, CurrentEnv);
       if (!F->getName().empty()) {
         EnvRef Wrapper = Envs.allocate(CurrentEnv);
-        Envs.get(Wrapper).Vars[F->getName()] =
+        Envs.get(Wrapper).Vars[F->getNameAtom()] =
             Binding{Value::object(FnObj), Det::Determinate};
         TheHeap.get(FnObj).Closure = Wrapper;
       }
@@ -1652,7 +1634,7 @@ IRes InstrumentedInterpreter::evalExpr(const Expr *E) {
         IRes Base = evalExpr(M->getObject());
         if (Base.abrupt())
           return Base;
-        std::string Key;
+        StringId Key;
         Det KeyDet = Det::Determinate;
         IRes KeyR = resolveKey(M, Key, KeyDet);
         if (KeyR.abrupt())
@@ -1670,9 +1652,9 @@ IRes InstrumentedInterpreter::evalExpr(const Expr *E) {
       }
       if (U->getOp() == UnaryOp::Typeof) {
         if (const auto *Id = dyn_cast<Identifier>(U->getOperand())) {
-          Binding *B = Envs.lookup(CurrentEnv, Id->getName());
+          Binding *B = Envs.lookup(CurrentEnv, Id->getAtom());
           if (!B)
-            return IRes::value(TaggedValue(Value::string("undefined")));
+            return IRes::value(TaggedValue(Value::atom(atoms().Undefined)));
           return IRes::value(
               TaggedValue(Value::string(typeofString(B->V, TheHeap)), B->D));
         }
@@ -1715,7 +1697,7 @@ IRes InstrumentedInterpreter::evalExpr(const Expr *E) {
           C.IndetControl = R.V.D == Det::Indeterminate;
           return IRes::abruptly(C);
         }
-        std::string Key = toStringValue(L.V.V, TheHeap);
+        StringId Key = toStringAtom(L.V.V, TheHeap);
         // Walk the chain; openness on the way makes the answer uncertain.
         Det MissDet = Det::Determinate;
         for (ObjectRef O = R.V.V.Obj; O; O = TheHeap.get(O).Proto) {
@@ -1738,7 +1720,7 @@ IRes InstrumentedInterpreter::evalExpr(const Expr *E) {
           C.IndetControl = R.V.D == Det::Indeterminate;
           return IRes::abruptly(C);
         }
-        IRes Proto = readProperty(R.V, "prototype", Det::Determinate);
+        IRes Proto = readProperty(R.V, atoms().Prototype, Det::Determinate);
         if (Proto.abrupt())
           return Proto;
         Det DP = meet(D, Proto.V.D);
@@ -1828,7 +1810,7 @@ IRes InstrumentedInterpreter::evalAssign(const AssignExpr *E) {
   };
 
   if (const auto *Id = dyn_cast<Identifier>(E->getTarget())) {
-    Binding *B = Envs.lookup(CurrentEnv, Id->getName());
+    Binding *B = Envs.lookup(CurrentEnv, Id->getAtom());
     if (!B && E->getOp() != AssignOp::Assign)
       return IRes::abruptly(throwString("ReferenceError: " + Id->getName() +
                                         " is not defined"));
@@ -1840,7 +1822,7 @@ IRes InstrumentedInterpreter::evalAssign(const AssignExpr *E) {
       return IRes::abruptly(C);
     recordFact(FactKind::Assign, E->getID(),
                TaggedValue(NewV.V, taintAdjust(NewV.D)));
-    setVar(Id->getName(), NewV);
+    setVar(Id->getAtom(), NewV);
     return IRes::value(NewV);
   }
 
@@ -1848,7 +1830,7 @@ IRes InstrumentedInterpreter::evalAssign(const AssignExpr *E) {
   IRes Base = evalExpr(M->getObject());
   if (Base.abrupt())
     return Base;
-  std::string Key;
+  StringId Key;
   Det KeyDet = Det::Determinate;
   IRes KeyR = resolveKey(M, Key, KeyDet);
   if (KeyR.abrupt())
@@ -1876,13 +1858,13 @@ IRes InstrumentedInterpreter::evalAssign(const AssignExpr *E) {
 IRes InstrumentedInterpreter::evalUpdate(const UpdateExpr *E) {
   double Delta = E->isIncrement() ? 1 : -1;
   if (const auto *Id = dyn_cast<Identifier>(E->getOperand())) {
-    Binding *B = Envs.lookup(CurrentEnv, Id->getName());
+    Binding *B = Envs.lookup(CurrentEnv, Id->getAtom());
     if (!B)
       return IRes::abruptly(throwString("ReferenceError: " + Id->getName() +
                                         " is not defined"));
     double Old = toNumber(B->V);
     Det D = B->D;
-    setVar(Id->getName(), TaggedValue(Value::number(Old + Delta), D));
+    setVar(Id->getAtom(), TaggedValue(Value::number(Old + Delta), D));
     return IRes::value(
         TaggedValue(Value::number(E->isPrefix() ? Old + Delta : Old), D));
   }
@@ -1892,7 +1874,7 @@ IRes InstrumentedInterpreter::evalUpdate(const UpdateExpr *E) {
   IRes Base = evalExpr(M->getObject());
   if (Base.abrupt())
     return Base;
-  std::string Key;
+  StringId Key;
   Det KeyDet = Det::Determinate;
   IRes KeyR = resolveKey(M, Key, KeyDet);
   if (KeyR.abrupt())
@@ -1921,7 +1903,7 @@ IRes InstrumentedInterpreter::evalCall(const CallExpr *E) {
     IRes Base = evalExpr(M->getObject());
     if (Base.abrupt())
       return Base;
-    std::string Key;
+    StringId Key;
     Det KeyDet = Det::Determinate;
     IRes KeyR = resolveKey(M, Key, KeyDet);
     if (KeyR.abrupt())
@@ -2020,9 +2002,10 @@ IRes InstrumentedInterpreter::callClosure(ObjectRef FnObj, Det CalleeDet,
   const JSObject &O = TheHeap.get(FnObj);
   const FunctionExpr *Fn = O.Fn;
   EnvRef CallEnv = Envs.allocate(O.Closure);
-  for (size_t I = 0; I < Fn->getParams().size(); ++I) {
+  const std::vector<StringId> &Params = Fn->getParamAtoms();
+  for (size_t I = 0; I < Params.size(); ++I) {
     TaggedValue V = I < Args.size() ? Args[I] : TaggedValue();
-    declareVar(CallEnv, Fn->getParams()[I], std::move(V));
+    declareVar(CallEnv, Params[I], std::move(V));
   }
   const auto *Body = cast<BlockStmt>(Fn->getBody());
   hoist(Body->getBody(), CallEnv);
@@ -2115,7 +2098,7 @@ IRes InstrumentedInterpreter::evalNew(const NewExpr *E) {
 
   ObjectRef Fresh = TheHeap.allocate(ObjectClass::Plain, E->getID());
   TheHeap.get(Fresh).ClosedEpoch = Epoch;
-  IRes ProtoR = readProperty(Fn.V, "prototype", Det::Determinate);
+  IRes ProtoR = readProperty(Fn.V, atoms().Prototype, Det::Determinate);
   if (ProtoR.abrupt())
     return ProtoR;
   TheHeap.get(Fresh).Proto =
@@ -2140,8 +2123,8 @@ IRes InstrumentedInterpreter::evalEval(const CallExpr *E,
     return IRes::value(Arg);
 
   DiagnosticEngine Diags;
-  std::vector<Stmt *> Body =
-      parseIntoContext(Arg.V.Str, *Prog.Context, Diags);
+  std::vector<Stmt *> Body = parseIntoContext(
+      Interner::global().str(Arg.V.Str), *Prog.Context, Diags);
   if (Diags.hasErrors()) {
     IComp C = throwString("SyntaxError: " + Diags.diagnostics()[0].Message);
     C.IndetControl = Arg.D == Det::Indeterminate;
@@ -2199,9 +2182,9 @@ bool InstrumentedInterpreter::run() {
 
   if (Opts.RunEventHandlers) {
     // Matches the concrete interpreter: only ready/load handlers fire.
-    std::vector<std::pair<std::string, Value>> Firable;
+    std::vector<std::pair<StringId, Value>> Firable;
     for (auto &H : EventHandlers)
-      if (H.first == "ready" || H.first == "load")
+      if (H.first == atoms().Ready || H.first == atoms().Load)
         Firable.push_back(H);
     EventHandlers = std::move(Firable);
     size_t Fired = 0;
@@ -2211,7 +2194,7 @@ bool InstrumentedInterpreter::run() {
       size_t Pick = Fired + DomRng.nextBelow(Remaining);
       std::swap(EventHandlers[Fired], EventHandlers[Pick]);
       Value Handler = EventHandlers[Fired].second;
-      std::string EventName = EventHandlers[Fired].first;
+      StringId EventName = EventHandlers[Fired].first;
       ++Fired;
 
       // "Since DOM events can fire in any order, we perform a heap flush
@@ -2220,7 +2203,7 @@ bool InstrumentedInterpreter::run() {
       // Event handlers run under a synthetic context frame (site 0 with the
       // firing index as occurrence) so facts inside them stay qualified.
       std::vector<TaggedValue> HandlerArgs = {
-          TaggedValue(Value::string(EventName), Det::Indeterminate)};
+          TaggedValue(Value::atom(EventName), Det::Indeterminate)};
       ContextID HandlerCtx =
           Contexts.intern(ContextTable::Root, /*Site=*/0, HandlerIndex, 0);
       IRes R = callValueTagged(TaggedValue(Handler),
@@ -2257,15 +2240,17 @@ static bool isBuiltinGlobalName(const std::string &Name) {
 }
 
 TaggedValue InstrumentedInterpreter::globalVariable(const std::string &Name) {
-  Binding *B = Envs.lookup(GlobalEnv, Name);
+  Binding *B = Envs.lookup(GlobalEnv, intern(Name));
   return B ? TaggedValue(B->V, B->D) : TaggedValue();
 }
 
 std::vector<std::string> InstrumentedInterpreter::userGlobalNames() {
   std::vector<std::string> Names;
-  for (const auto &[Name, B] : Envs.get(GlobalEnv).Vars)
-    if (!isBuiltinGlobalName(Name))
-      Names.push_back(Name);
+  for (const auto &[Name, B] : Envs.get(GlobalEnv).Vars) {
+    std::string Text(atomText(Name));
+    if (!isBuiltinGlobalName(Text))
+      Names.push_back(std::move(Text));
+  }
   std::sort(Names.begin(), Names.end());
   return Names;
 }
@@ -2273,7 +2258,7 @@ std::vector<std::string> InstrumentedInterpreter::userGlobalNames() {
 TaggedValue
 InstrumentedInterpreter::taggedProperty(const TaggedValue &Base,
                                         const std::string &Name) {
-  IRes R = readProperty(Base, Name, Det::Determinate);
+  IRes R = readProperty(Base, intern(Name), Det::Determinate);
   return R.abrupt() ? TaggedValue() : R.V;
 }
 

@@ -106,12 +106,12 @@ public:
   Heap &heap() override { return TheHeap; }
   RNG &randomRng() override { return RandomRng; }
   RNG &domRng() override { return DomRng; }
-  void nativeWriteProperty(ObjectRef O, const std::string &Name,
+  void nativeWriteProperty(ObjectRef O, StringId Name,
                            TaggedValue TV) override;
-  TaggedValue nativeReadProperty(ObjectRef O, const std::string &Name) override;
+  TaggedValue nativeReadProperty(ObjectRef O, StringId Name) override;
   void output(const std::string &Text) override;
-  void registerEventHandler(const std::string &Event, Value Handler) override;
-  ObjectRef domElement(const std::string &Key) override;
+  void registerEventHandler(StringId Event, Value Handler) override;
+  ObjectRef domElement(StringId Key) override;
   uint64_t domSeed() const override { return Opts.DomSeed; }
   ObjectRef newArray() override;
   Det recordSetDeterminacy(ObjectRef O) override;
@@ -124,24 +124,24 @@ private:
 
   // --- Journaled state mutation -------------------------------------------
   /// Resolves and writes a variable (creating a global when undeclared).
-  void setVar(const std::string &Name, TaggedValue TV);
+  void setVar(StringId Name, TaggedValue TV);
   /// Declares/overwrites a binding in a specific environment.
-  void declareVar(EnvRef Env, const std::string &Name, TaggedValue TV);
+  void declareVar(EnvRef Env, StringId Name, TaggedValue TV);
   /// Marks an existing binding indeterminate (journaled).
-  void weakenVar(EnvRef Env, const std::string &Name);
+  void weakenVar(EnvRef Env, StringId Name);
   /// The ŜTO rule: journaled property write honoring base/name determinacy.
-  void writeProp(ObjectRef Obj, const std::string &Name, TaggedValue TV,
+  void writeProp(ObjectRef Obj, StringId Name, TaggedValue TV,
                  Det BaseDet, Det NameDet);
   /// Journaled property deletion; returns whether it existed.
-  bool eraseProp(ObjectRef Obj, const std::string &Name);
+  bool eraseProp(ObjectRef Obj, StringId Name);
   /// Opens a record (journaled) and marks all its properties indeterminate.
   void openRecord(ObjectRef Obj);
   /// Marks \p Name as possibly-present-in-other-executions on \p Obj
   /// (journaled).
-  void addMaybeAbsent(ObjectRef Obj, const std::string &Name);
+  void addMaybeAbsent(ObjectRef Obj, StringId Name);
   /// Marks \p Name as present-here-but-possibly-absent-elsewhere (created
   /// under an indeterminate condition); journaled.
-  void addMaybePresent(ObjectRef Obj, const std::string &Name);
+  void addMaybePresent(ObjectRef Obj, StringId Name);
 
   bool recordClosed(const JSObject &O) const {
     return !O.ExplicitlyOpen && O.ClosedEpoch == Epoch;
@@ -166,10 +166,10 @@ private:
   /// undoes its writes, and weakens the touched locations. \p AbortVd is the
   /// syntactic variable domain used by the ĈNTRABORT fallback. Returns only
   /// Normal or Fatal.
-  IComp counterfactualBranch(const std::vector<std::string> &AbortVd,
+  IComp counterfactualBranch(const std::vector<StringId> &AbortVd,
                              const std::function<IComp()> &Exec);
   /// ĈNTRABORT: flush the heap and taint every name in \p AbortVd.
-  void cntrAbort(const std::vector<std::string> &AbortVd);
+  void cntrAbort(const std::vector<StringId> &AbortVd);
   /// Conservative env taint: code we could not explore (an unexplored
   /// counterfactual suffix, or alternative-world catch handlers) may write
   /// any reachable binding. Journaled; builtin bindings are immune.
@@ -212,9 +212,9 @@ private:
                       const Expr *Untaken);
 
   // --- Helpers ----------------------------------------------------------------
-  IRes readProperty(const TaggedValue &Base, const std::string &Name,
+  IRes readProperty(const TaggedValue &Base, StringId Name,
                     Det NameDet);
-  IComp setPropertyTagged(const TaggedValue &Base, const std::string &Name,
+  IComp setPropertyTagged(const TaggedValue &Base, StringId Name,
                           Det NameDet, TaggedValue V);
   IRes callValueTagged(const TaggedValue &Callee, const TaggedValue &ThisV,
                        const std::vector<TaggedValue> &Args,
@@ -224,7 +224,7 @@ private:
   /// Interns the child context for an execution of call site \p Site in the
   /// current activation (bumping its occurrence counter).
   ContextID enterSite(NodeID Site, uint32_t Line);
-  IRes resolveKey(const MemberExpr *M, std::string &Key, Det &KeyDet);
+  IRes resolveKey(const MemberExpr *M, StringId &Key, Det &KeyDet);
 
   ContextID currentCtx() const { return Frames.back().Ctx; }
   void recordFact(FactKind Kind, NodeID Node, const TaggedValue &TV,
@@ -295,8 +295,8 @@ private:
   ObjectRef WindowObj = 0;
   ObjectRef DocumentObj = 0;
 
-  std::unordered_map<std::string, ObjectRef> DomElements;
-  std::vector<std::pair<std::string, Value>> EventHandlers;
+  std::unordered_map<StringId, ObjectRef> DomElements;
+  std::vector<std::pair<StringId, Value>> EventHandlers;
 
   std::string Output;
   std::string Error;
@@ -305,7 +305,7 @@ private:
 
 /// Syntactic vd(s): names assigned anywhere in \p S, not descending into
 /// nested function bodies (paper Section 3.1). Exposed for tests.
-std::vector<std::string> collectAssignedVars(const Stmt *S);
+std::vector<StringId> collectAssignedVars(const Stmt *S);
 
 } // namespace dda
 

@@ -48,7 +48,7 @@ struct JournalEntry {
   Slot OldSlot;
   bool OldOpen = false;
 
-  std::string Name; ///< Variable or property name.
+  StringId Name; ///< Variable or property name (interned atom).
   bool Existed = false;
 };
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 using namespace dda;
 
@@ -69,17 +70,18 @@ const NativeInfo &dda::nativeInfo(NativeFn Fn) {
   return Infos[Index];
 }
 
-Value dda::domSyntheticValue(uint64_t Seed, ObjectRef O,
-                             const std::string &Name) {
-  // FNV-1a over (seed, object, name), then render as a short token. The
-  // token is what "the page" happened to contain in this environment.
+Value dda::domSyntheticValue(uint64_t Seed, ObjectRef O, StringId Name) {
+  // FNV-1a over (seed, object, name characters), then render as a short
+  // token. The token is what "the page" happened to contain in this
+  // environment. Hashing the characters (not the atom id) keeps the value
+  // stable regardless of interning order.
   uint64_t H = 1469598103934665603ULL ^ Seed;
   auto Mix = [&H](uint64_t X) {
     H ^= X;
     H *= 1099511628211ULL;
   };
   Mix(O);
-  for (char C : Name)
+  for (char C : Interner::global().view(Name))
     Mix(static_cast<unsigned char>(C));
   char Buf[32];
   std::snprintf(Buf, sizeof(Buf), "dom%llx",
@@ -103,6 +105,13 @@ std::string argString(NativeHost &Host, const std::vector<TaggedValue> &Args,
   return toStringValue(Args[I].V, Host.heap());
 }
 
+StringId argAtom(NativeHost &Host, const std::vector<TaggedValue> &Args,
+                 size_t I) {
+  if (I >= Args.size())
+    return Interner::global().wellKnown().Undefined;
+  return toStringAtom(Args[I].V, Host.heap());
+}
+
 Det inputsDet(const TaggedValue &This, const std::vector<TaggedValue> &Args) {
   Det D = This.D;
   for (const TaggedValue &A : Args)
@@ -113,7 +122,7 @@ Det inputsDet(const TaggedValue &This, const std::vector<TaggedValue> &Args) {
 /// Reads the numeric `length` of an array through the host (so determinacy
 /// of the length participates in the result).
 TaggedValue arrayLength(NativeHost &Host, ObjectRef Arr) {
-  TaggedValue Len = Host.nativeReadProperty(Arr, "length");
+  TaggedValue Len = Host.nativeReadProperty(Arr, atoms().Length);
   if (!Len.V.isNumber())
     Len.V = Value::number(0);
   return Len;
@@ -122,10 +131,11 @@ TaggedValue arrayLength(NativeHost &Host, ObjectRef Arr) {
 ObjectRef allocArray(NativeHost &Host, Det D,
                      const std::vector<TaggedValue> &Elements) {
   ObjectRef Arr = Host.newArray();
+  Interner &In = Interner::global();
   for (size_t I = 0; I < Elements.size(); ++I)
-    Host.nativeWriteProperty(Arr, std::to_string(I), Elements[I]);
+    Host.nativeWriteProperty(Arr, In.internIndex(I), Elements[I]);
   Host.nativeWriteProperty(
-      Arr, "length",
+      Arr, In.wellKnown().Length,
       TaggedValue(Value::number(static_cast<double>(Elements.size())), D));
   return Arr;
 }
@@ -360,11 +370,11 @@ NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
     TaggedValue Len = arrayLength(Host, Arr);
     double N = Len.V.Num;
     for (const TaggedValue &A : Args) {
-      Host.nativeWriteProperty(Arr, numberToString(N), A);
+      Host.nativeWriteProperty(Arr, Interner::global().internNumber(N), A);
       N += 1;
     }
     TaggedValue NewLen(Value::number(N), meet(Len.D, This.D));
-    Host.nativeWriteProperty(Arr, "length", NewLen);
+    Host.nativeWriteProperty(Arr, atoms().Length, NewLen);
     return ok(NewLen.V, NewLen.D);
   }
   case NativeFn::ArrPop: {
@@ -375,8 +385,9 @@ NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
     if (Len.V.Num <= 0)
       return ok(Value::undefined(), meet(Len.D, This.D));
     double N = Len.V.Num - 1;
-    TaggedValue Last = Host.nativeReadProperty(Arr, numberToString(N));
-    Host.nativeWriteProperty(Arr, "length",
+    TaggedValue Last =
+        Host.nativeReadProperty(Arr, Interner::global().internNumber(N));
+    Host.nativeWriteProperty(Arr, atoms().Length,
                              TaggedValue(Value::number(N), Len.D));
     return ok(Last.V, meet(Last.D, meet(Len.D, This.D)));
   }
@@ -387,13 +398,14 @@ NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
     TaggedValue Len = arrayLength(Host, Arr);
     if (Len.V.Num <= 0)
       return ok(Value::undefined(), meet(Len.D, This.D));
-    TaggedValue First = Host.nativeReadProperty(Arr, "0");
+    Interner &In = Interner::global();
+    TaggedValue First = Host.nativeReadProperty(Arr, In.internIndex(0));
     double N = Len.V.Num;
     for (double I = 1; I < N; I += 1) {
-      TaggedValue E = Host.nativeReadProperty(Arr, numberToString(I));
-      Host.nativeWriteProperty(Arr, numberToString(I - 1), E);
+      TaggedValue E = Host.nativeReadProperty(Arr, In.internNumber(I));
+      Host.nativeWriteProperty(Arr, In.internNumber(I - 1), E);
     }
-    Host.nativeWriteProperty(Arr, "length",
+    Host.nativeWriteProperty(Arr, In.wellKnown().Length,
                              TaggedValue(Value::number(N - 1), Len.D));
     return ok(First.V, meet(First.D, meet(Len.D, This.D)));
   }
@@ -408,7 +420,8 @@ NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
     for (double I = 0; I < Len.V.Num; I += 1) {
       if (I > 0)
         Out += Sep;
-      TaggedValue E = Host.nativeReadProperty(Arr, numberToString(I));
+      TaggedValue E =
+          Host.nativeReadProperty(Arr, Interner::global().internNumber(I));
       D = meet(D, E.D);
       if (!E.V.isUndefined() && !E.V.isNull())
         Out += toStringValue(E.V, H);
@@ -424,7 +437,8 @@ NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
     if (Args.empty())
       return ok(Value::number(-1), D);
     for (double I = 0; I < Len.V.Num; I += 1) {
-      TaggedValue E = Host.nativeReadProperty(Arr, numberToString(I));
+      TaggedValue E =
+          Host.nativeReadProperty(Arr, Interner::global().internNumber(I));
       D = meet(D, E.D);
       if (strictEquals(E.V, Args[0].V))
         return ok(Value::number(I), D);
@@ -451,7 +465,8 @@ NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
     End = std::clamp(End, 0.0, Size);
     std::vector<TaggedValue> Elements;
     for (double I = Start; I < End; I += 1)
-      Elements.push_back(Host.nativeReadProperty(Arr, numberToString(I)));
+      Elements.push_back(
+          Host.nativeReadProperty(Arr, Interner::global().internNumber(I)));
     Det D = meet(DOut, Len.D);
     return ok(Value::object(allocArray(Host, D, Elements)), D);
   }
@@ -465,8 +480,8 @@ NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
         TaggedValue Len = arrayLength(Host, TV.V.Obj);
         D = meet(D, Len.D);
         for (double I = 0; I < Len.V.Num; I += 1)
-          Elements.push_back(
-              Host.nativeReadProperty(TV.V.Obj, numberToString(I)));
+          Elements.push_back(Host.nativeReadProperty(
+              TV.V.Obj, Interner::global().internNumber(I)));
       } else {
         Elements.push_back(TV);
       }
@@ -482,7 +497,7 @@ NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
     if (!This.V.isObject())
       return ok(Value::boolean(false), DOut);
     Det D = meet(DOut, Host.recordSetDeterminacy(This.V.Obj));
-    return ok(Value::boolean(H.get(This.V.Obj).has(argString(Host, Args, 0))),
+    return ok(Value::boolean(H.get(This.V.Obj).has(argAtom(Host, Args, 0))),
               D);
   }
   case NativeFn::ObjKeys: {
@@ -491,21 +506,22 @@ NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
     ObjectRef O = Args[0].V.Obj;
     Det D = meet(DOut, Host.recordSetDeterminacy(O));
     std::vector<TaggedValue> Keys;
-    for (const std::string &K : H.get(O).ownKeys())
-      Keys.emplace_back(Value::string(K), D);
+    for (StringId K : H.get(O).orderedKeys())
+      Keys.emplace_back(Value::atom(K), D);
     return ok(Value::object(allocArray(Host, D, Keys)), D);
   }
 
   // --------------------------------------------------------------- DOM ----
   case NativeFn::DomGetElementById: {
     std::string Id = argString(Host, Args, 0);
-    ObjectRef El = Host.domElement("id:" + Id);
+    ObjectRef El = Host.domElement(intern("id:" + Id));
     return ok(Value::object(El), DOut);
   }
   case NativeFn::DomCreateElement: {
     ObjectRef El = H.allocate(ObjectClass::Dom);
     Host.nativeWriteProperty(
-        El, "tagName", TaggedValue(Value::string(argString(Host, Args, 0))));
+        El, intern("tagName"),
+        TaggedValue(Value::string(argString(Host, Args, 0))));
     return ok(Value::object(El), DOut);
   }
   case NativeFn::DomWrite:
@@ -513,13 +529,13 @@ NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
     return ok(Value::undefined(), Det::Determinate);
   case NativeFn::DomAddEventListener: {
     if (Args.size() >= 2)
-      Host.registerEventHandler(argString(Host, Args, 0), Args[1].V);
+      Host.registerEventHandler(argAtom(Host, Args, 0), Args[1].V);
     return ok(Value::undefined(), Det::Determinate);
   }
   case NativeFn::DomGetAttribute: {
     if (!This.V.isObject())
       return thrown("TypeError: getAttribute on non-object");
-    std::string Name = "attr:" + argString(Host, Args, 0);
+    StringId Name = intern("attr:" + argString(Host, Args, 0));
     // A previously setAttribute'd value wins; otherwise synthesize content.
     if (H.get(This.V.Obj).has(Name)) {
       TaggedValue TV = Host.nativeReadProperty(This.V.Obj, Name);
@@ -530,7 +546,7 @@ NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
   case NativeFn::DomSetAttribute: {
     if (!This.V.isObject())
       return thrown("TypeError: setAttribute on non-object");
-    std::string Name = "attr:" + argString(Host, Args, 0);
+    StringId Name = intern("attr:" + argString(Host, Args, 0));
     TaggedValue TV = Args.size() >= 2 ? Args[1]
                                       : TaggedValue(Value::undefined());
     Host.nativeWriteProperty(This.V.Obj, Name, TV);
@@ -541,7 +557,7 @@ NativeResult dda::callNative(NativeHost &Host, NativeFn Fn,
       return thrown("TypeError: appendChild on non-object");
     TaggedValue Child =
         Args.empty() ? TaggedValue(Value::undefined()) : Args[0];
-    Host.nativeWriteProperty(This.V.Obj, "lastChild", Child);
+    Host.nativeWriteProperty(This.V.Obj, intern("lastChild"), Child);
     return ok(Child.V, Child.D);
   }
   }

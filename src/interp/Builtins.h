@@ -120,20 +120,18 @@ public:
   /// RNG backing synthetic DOM contents (the "environment" source).
   virtual RNG &domRng() = 0;
 
-  /// Journaled property write. \p D is the determinacy of the written value.
-  virtual void nativeWriteProperty(ObjectRef O, const std::string &Name,
+  /// Journaled property write. \p Name is an interned atom.
+  virtual void nativeWriteProperty(ObjectRef O, StringId Name,
                                    TaggedValue TV) = 0;
   /// Property read following the host's determinacy rules.
-  virtual TaggedValue nativeReadProperty(ObjectRef O,
-                                         const std::string &Name) = 0;
+  virtual TaggedValue nativeReadProperty(ObjectRef O, StringId Name) = 0;
   /// console.log / alert / document.write sink.
   virtual void output(const std::string &Text) = 0;
   /// addEventListener registration.
-  virtual void registerEventHandler(const std::string &Event,
-                                    Value Handler) = 0;
-  /// Lazily creates/returns the DOM element for an id/tag (identity cached so
-  /// repeated lookups agree).
-  virtual ObjectRef domElement(const std::string &Key) = 0;
+  virtual void registerEventHandler(StringId Event, Value Handler) = 0;
+  /// Lazily creates/returns the DOM element for an id/tag atom (identity
+  /// cached so repeated lookups agree).
+  virtual ObjectRef domElement(StringId Key) = 0;
   /// Seed for synthetic DOM content; varies across "environments".
   virtual uint64_t domSeed() const = 0;
   /// Allocates an empty array object wired to Array.prototype.
@@ -147,7 +145,7 @@ public:
 /// a given (seed, object, name), different across seeds. Both interpreters
 /// use this for reads from DOM-class objects, so the instrumented run and
 /// same-seed concrete runs agree on concrete values.
-Value domSyntheticValue(uint64_t Seed, ObjectRef O, const std::string &Name);
+Value domSyntheticValue(uint64_t Seed, ObjectRef O, StringId Name);
 
 /// Result of invoking a native.
 struct NativeResult {

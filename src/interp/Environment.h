@@ -4,7 +4,8 @@
 /// Environments form the lexical scope chain. Like the heap, slots carry a
 /// determinacy flag used only by the instrumented interpreter. Environments
 /// live in an arena (deque for reference stability) and are referenced by
-/// EnvRef; closures capture an EnvRef.
+/// EnvRef; closures capture an EnvRef. Bindings are keyed on interned atoms,
+/// so a variable lookup hashes a 32-bit id instead of the name's characters.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,7 +16,6 @@
 
 #include <cassert>
 #include <deque>
-#include <string>
 #include <unordered_map>
 
 namespace dda {
@@ -33,7 +33,7 @@ struct Binding {
 /// One scope: bindings plus a parent link.
 struct Environment {
   EnvRef Parent = 0;
-  std::unordered_map<std::string, Binding> Vars;
+  std::unordered_map<StringId, Binding> Vars;
 };
 
 /// Arena of environments. Reference 0 is invalid; reference 1 is created by
@@ -54,17 +54,22 @@ public:
   }
 
   /// Finds the environment in \p Start's chain that declares \p Name, or 0.
-  EnvRef lookupEnv(EnvRef Start, const std::string &Name) {
+  EnvRef lookupEnv(EnvRef Start, StringId Name) {
     for (EnvRef E = Start; E != 0; E = Envs[E].Parent)
       if (Envs[E].Vars.count(Name))
         return E;
     return 0;
   }
 
-  /// Finds the binding for \p Name starting at \p Start, or null.
-  Binding *lookup(EnvRef Start, const std::string &Name) {
-    EnvRef E = lookupEnv(Start, Name);
-    return E ? &Envs[E].Vars[Name] : nullptr;
+  /// Finds the binding for \p Name starting at \p Start, or null. One hash
+  /// probe per environment on the chain (no lookupEnv + operator[] re-probe).
+  Binding *lookup(EnvRef Start, StringId Name) {
+    for (EnvRef E = Start; E != 0; E = Envs[E].Parent) {
+      auto It = Envs[E].Vars.find(Name);
+      if (It != Envs[E].Vars.end())
+        return &It->second;
+    }
+    return nullptr;
   }
 
   size_t size() const { return Envs.size() - 1; }

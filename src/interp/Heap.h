@@ -13,6 +13,9 @@
 /// flag is `!` and its epoch equals the current one. The concrete interpreter
 /// ignores both fields.
 ///
+/// Property names are interned atoms (StringId): map probes hash a 32-bit id,
+/// and the array-index fast path reads the index precomputed at intern time.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DDA_INTERP_HEAP_H
@@ -21,9 +24,9 @@
 #include "ast/AST.h"
 #include "interp/Value.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -82,96 +85,99 @@ public:
   /// Properties that are absent here but may exist in other executions
   /// (counterfactually created then undone). The paper models records as
   /// total functions, so a single absent property can be `undefined?` while
-  /// the rest of the record stays determinate.
-  std::vector<std::string> MaybeAbsent;
+  /// the rest of the record stays determinate. Sorted, duplicate-free.
+  std::vector<StringId> MaybeAbsent;
   /// Properties present here but possibly absent in other executions
   /// (created inside a branch with an indeterminate condition). They make
   /// the record's property *set* indeterminate even though each value's
-  /// determinacy is tracked per slot.
-  std::vector<std::string> MaybePresent;
+  /// determinacy is tracked per slot. Sorted, duplicate-free.
+  std::vector<StringId> MaybePresent;
 
-  bool isMaybeAbsent(const std::string &Name) const {
-    for (const std::string &N : MaybeAbsent)
-      if (N == Name)
-        return true;
-    return false;
+  bool isMaybeAbsent(StringId Name) const {
+    return std::binary_search(MaybeAbsent.begin(), MaybeAbsent.end(), Name);
   }
 
-  bool isMaybePresent(const std::string &Name) const {
-    for (const std::string &N : MaybePresent)
-      if (N == Name)
-        return true;
-    return false;
+  bool isMaybePresent(StringId Name) const {
+    return std::binary_search(MaybePresent.begin(), MaybePresent.end(), Name);
   }
 
-  bool has(const std::string &Name) const { return Props.count(Name) != 0; }
+  /// Inserts into the sorted MaybeAbsent set; returns false if already there
+  /// (so callers journal only real insertions and the set cannot grow
+  /// unboundedly across counterfactual rounds).
+  bool insertMaybeAbsent(StringId Name) { return sortedInsert(MaybeAbsent, Name); }
+  bool insertMaybePresent(StringId Name) {
+    return sortedInsert(MaybePresent, Name);
+  }
+
+  /// Removes from the sorted sets (journal undo).
+  void eraseMaybeAbsent(StringId Name) { sortedErase(MaybeAbsent, Name); }
+  void eraseMaybePresent(StringId Name) { sortedErase(MaybePresent, Name); }
+
+  bool has(StringId Name) const { return Props.count(Name) != 0; }
 
   /// Returns the slot for \p Name, or null if absent (prototype chain is the
   /// interpreter's job, not the object's).
-  const Slot *get(const std::string &Name) const {
+  const Slot *get(StringId Name) const {
     auto It = Props.find(Name);
     return It == Props.end() ? nullptr : &It->second;
   }
 
-  Slot *get(const std::string &Name) {
+  Slot *get(StringId Name) {
     auto It = Props.find(Name);
     return It == Props.end() ? nullptr : &It->second;
   }
 
   /// Creates or overwrites the slot for \p Name, maintaining insertion order.
-  void set(const std::string &Name, Slot S) {
-    auto It = Props.find(Name);
-    if (It == Props.end()) {
-      Props.emplace(Name, std::move(S));
+  void set(StringId Name, Slot S) {
+    auto [It, Inserted] = Props.try_emplace(Name, S);
+    if (Inserted)
       Order.push_back(Name);
-    } else {
-      It->second = std::move(S);
-    }
+    else
+      It->second = S;
   }
 
   /// Removes a property; returns true if it existed. The insertion-order
   /// entry is removed too, so a later reinsertion appends at the end —
   /// matching JavaScript enumeration semantics.
-  bool erase(const std::string &Name) {
+  bool erase(StringId Name) {
     auto It = Props.find(Name);
     if (It == Props.end())
       return false;
     Props.erase(It);
-    for (size_t I = 0; I < Order.size(); ++I)
-      if (Order[I] == Name) {
-        Order.erase(Order.begin() + I);
-        break;
-      }
+    Order.erase(std::find(Order.begin(), Order.end(), Name));
     return true;
   }
 
-  /// Own enumerable property names in insertion order.
-  std::vector<std::string> ownKeys() const {
-    std::vector<std::string> Keys;
-    Keys.reserve(Props.size());
-    for (const std::string &Name : Order)
-      if (Props.count(Name) && !seenBefore(Keys, Name))
-        Keys.push_back(Name);
-    return Keys;
-  }
+  /// Own enumerable property names in insertion order. `erase` keeps Order
+  /// consistent with Props, so this is a straight copy.
+  std::vector<StringId> ownKeys() const { return Order; }
+
+  /// Insertion-order keys without copying (hot-path iteration).
+  const std::vector<StringId> &orderedKeys() const { return Order; }
 
   size_t propertyCount() const { return Props.size(); }
 
   /// Iteration support for analyses that need every slot.
-  const std::unordered_map<std::string, Slot> &slots() const { return Props; }
-  std::unordered_map<std::string, Slot> &slots() { return Props; }
+  const std::unordered_map<StringId, Slot> &slots() const { return Props; }
+  std::unordered_map<StringId, Slot> &slots() { return Props; }
 
 private:
-  static bool seenBefore(const std::vector<std::string> &Keys,
-                         const std::string &Name) {
-    for (const std::string &K : Keys)
-      if (K == Name)
-        return true;
-    return false;
+  static bool sortedInsert(std::vector<StringId> &Set, StringId Name) {
+    auto It = std::lower_bound(Set.begin(), Set.end(), Name);
+    if (It != Set.end() && *It == Name)
+      return false;
+    Set.insert(It, Name);
+    return true;
   }
 
-  std::unordered_map<std::string, Slot> Props;
-  std::vector<std::string> Order;
+  static void sortedErase(std::vector<StringId> &Set, StringId Name) {
+    auto It = std::lower_bound(Set.begin(), Set.end(), Name);
+    if (It != Set.end() && *It == Name)
+      Set.erase(It);
+  }
+
+  std::unordered_map<StringId, Slot> Props;
+  std::vector<StringId> Order;
 };
 
 /// The heap: an append-only arena of objects (no GC; analysis runs are short,

@@ -39,8 +39,8 @@ ObjectRef Interpreter::makeFunction(const FunctionExpr *Fn, EnvRef Closure) {
   // Fn.prototype work.
   ObjectRef ProtoObj = TheHeap.allocate(ObjectClass::Plain);
   TheHeap.get(ProtoObj).Proto = ObjectProto;
-  TheHeap.get(ProtoObj).set("constructor", Slot{Value::object(Ref)});
-  TheHeap.get(Ref).set("prototype", Slot{Value::object(ProtoObj)});
+  TheHeap.get(ProtoObj).set(atoms().Constructor, Slot{Value::object(Ref)});
+  TheHeap.get(Ref).set(atoms().Prototype, Slot{Value::object(ProtoObj)});
   return Ref;
 }
 
@@ -50,12 +50,13 @@ void Interpreter::installGlobals() {
 
   ObjectProto = TheHeap.allocate(ObjectClass::Plain);
   TheHeap.get(ObjectProto)
-      .set("hasOwnProperty",
+      .set(intern("hasOwnProperty"),
            Slot{Value::object(makeNative(NativeFn::ObjHasOwnProperty))});
 
   StringProto = TheHeap.allocate(ObjectClass::Plain);
   auto AddStringMethod = [&](const char *Name, NativeFn Fn) {
-    TheHeap.get(StringProto).set(Name, Slot{Value::object(makeNative(Fn))});
+    TheHeap.get(StringProto)
+        .set(intern(Name), Slot{Value::object(makeNative(Fn))});
   };
   AddStringMethod("charAt", NativeFn::StrCharAt);
   AddStringMethod("charCodeAt", NativeFn::StrCharCodeAt);
@@ -72,7 +73,8 @@ void Interpreter::installGlobals() {
   ArrayProto = TheHeap.allocate(ObjectClass::Plain);
   TheHeap.get(ArrayProto).Proto = ObjectProto;
   auto AddArrayMethod = [&](const char *Name, NativeFn Fn) {
-    TheHeap.get(ArrayProto).set(Name, Slot{Value::object(makeNative(Fn))});
+    TheHeap.get(ArrayProto)
+        .set(intern(Name), Slot{Value::object(makeNative(Fn))});
   };
   AddArrayMethod("push", NativeFn::ArrPush);
   AddArrayMethod("pop", NativeFn::ArrPop);
@@ -84,13 +86,14 @@ void Interpreter::installGlobals() {
 
   Environment &G = Envs.get(GlobalEnv);
   auto DefineGlobal = [&](const char *Name, Value V) {
-    G.Vars[Name] = Binding{std::move(V), Det::Determinate};
+    G.Vars[intern(Name)] = Binding{std::move(V), Det::Determinate};
   };
 
   // Math.
   ObjectRef MathObj = TheHeap.allocate(ObjectClass::Plain);
   auto AddMath = [&](const char *Name, NativeFn Fn) {
-    TheHeap.get(MathObj).set(Name, Slot{Value::object(makeNative(Fn))});
+    TheHeap.get(MathObj).set(intern(Name),
+                             Slot{Value::object(makeNative(Fn))});
   };
   AddMath("random", NativeFn::MathRandom);
   AddMath("floor", NativeFn::MathFloor);
@@ -106,7 +109,7 @@ void Interpreter::installGlobals() {
   // console.
   ObjectRef ConsoleObj = TheHeap.allocate(ObjectClass::Plain);
   TheHeap.get(ConsoleObj)
-      .set("log", Slot{Value::object(makeNative(NativeFn::Print))});
+      .set(intern("log"), Slot{Value::object(makeNative(NativeFn::Print))});
   DefineGlobal("console", Value::object(ConsoleObj));
   DefineGlobal("alert", Value::object(makeNative(NativeFn::Print)));
   DefineGlobal("print", Value::object(makeNative(NativeFn::Print)));
@@ -125,21 +128,23 @@ void Interpreter::installGlobals() {
   // String.prototype.cap); expose it via the String constructor object.
   TheHeap.get(EvalFn); // (no-op; keeps object ids stable across edits)
   // The String global is a native function object; give it a prototype prop.
-  Binding *StringB = Envs.lookup(GlobalEnv, "String");
+  Binding *StringB = Envs.lookup(GlobalEnv, intern("String"));
   TheHeap.get(StringB->V.Obj)
-      .set("prototype", Slot{Value::object(StringProto)});
-  Binding *NumberB = Envs.lookup(GlobalEnv, "Number");
+      .set(atoms().Prototype, Slot{Value::object(StringProto)});
+  Binding *NumberB = Envs.lookup(GlobalEnv, intern("Number"));
   (void)NumberB;
 
   // Object global with Object.keys and Object.prototype.
   ObjectRef ObjectCtor = TheHeap.allocate(ObjectClass::Plain);
   TheHeap.get(ObjectCtor)
-      .set("keys", Slot{Value::object(makeNative(NativeFn::ObjKeys))});
-  TheHeap.get(ObjectCtor).set("prototype", Slot{Value::object(ObjectProto)});
+      .set(intern("keys"), Slot{Value::object(makeNative(NativeFn::ObjKeys))});
+  TheHeap.get(ObjectCtor)
+      .set(atoms().Prototype, Slot{Value::object(ObjectProto)});
   DefineGlobal("Object", Value::object(ObjectCtor));
 
   ObjectRef ArrayCtor = TheHeap.allocate(ObjectClass::Plain);
-  TheHeap.get(ArrayCtor).set("prototype", Slot{Value::object(ArrayProto)});
+  TheHeap.get(ArrayCtor).set(atoms().Prototype,
+                             Slot{Value::object(ArrayProto)});
   DefineGlobal("Array", Value::object(ArrayCtor));
 
   // DOM: window is a plain object (absent properties read as undefined, so
@@ -148,16 +153,17 @@ void Interpreter::installGlobals() {
   WindowObj = TheHeap.allocate(ObjectClass::Plain);
   DocumentObj = TheHeap.allocate(ObjectClass::Dom);
   JSObject &Doc = TheHeap.get(DocumentObj);
-  Doc.set("getElementById",
+  Doc.set(intern("getElementById"),
           Slot{Value::object(makeNative(NativeFn::DomGetElementById))});
-  Doc.set("createElement",
+  Doc.set(intern("createElement"),
           Slot{Value::object(makeNative(NativeFn::DomCreateElement))});
-  Doc.set("write", Slot{Value::object(makeNative(NativeFn::DomWrite))});
-  Doc.set("addEventListener",
+  Doc.set(intern("write"),
+          Slot{Value::object(makeNative(NativeFn::DomWrite))});
+  Doc.set(intern("addEventListener"),
           Slot{Value::object(makeNative(NativeFn::DomAddEventListener))});
   JSObject &Win = TheHeap.get(WindowObj);
-  Win.set("document", Slot{Value::object(DocumentObj)});
-  Win.set("addEventListener",
+  Win.set(intern("document"), Slot{Value::object(DocumentObj)});
+  Win.set(intern("addEventListener"),
           Slot{Value::object(makeNative(NativeFn::DomAddEventListener))});
   DefineGlobal("window", Value::object(WindowObj));
   DefineGlobal("document", Value::object(DocumentObj));
@@ -168,13 +174,12 @@ void Interpreter::installGlobals() {
 // NativeHost
 //===----------------------------------------------------------------------===//
 
-void Interpreter::nativeWriteProperty(ObjectRef O, const std::string &Name,
+void Interpreter::nativeWriteProperty(ObjectRef O, StringId Name,
                                       TaggedValue TV) {
   TheHeap.get(O).set(Name, Slot{std::move(TV.V), TV.D, 0});
 }
 
-TaggedValue Interpreter::nativeReadProperty(ObjectRef O,
-                                            const std::string &Name) {
+TaggedValue Interpreter::nativeReadProperty(ObjectRef O, StringId Name) {
   const Slot *S = TheHeap.get(O).get(Name);
   if (!S)
     return TaggedValue(Value::undefined());
@@ -186,24 +191,23 @@ void Interpreter::output(const std::string &Text) {
   Output += '\n';
 }
 
-void Interpreter::registerEventHandler(const std::string &Event,
-                                       Value Handler) {
+void Interpreter::registerEventHandler(StringId Event, Value Handler) {
   EventHandlers.emplace_back(Event, std::move(Handler));
 }
 
-ObjectRef Interpreter::domElement(const std::string &Key) {
+ObjectRef Interpreter::domElement(StringId Key) {
   auto It = DomElements.find(Key);
   if (It != DomElements.end())
     return It->second;
   ObjectRef El = TheHeap.allocate(ObjectClass::Dom);
   JSObject &O = TheHeap.get(El);
-  O.set("getAttribute",
+  O.set(intern("getAttribute"),
         Slot{Value::object(makeNative(NativeFn::DomGetAttribute))});
-  O.set("setAttribute",
+  O.set(intern("setAttribute"),
         Slot{Value::object(makeNative(NativeFn::DomSetAttribute))});
-  O.set("appendChild",
+  O.set(intern("appendChild"),
         Slot{Value::object(makeNative(NativeFn::DomAppendChild))});
-  O.set("addEventListener",
+  O.set(intern("addEventListener"),
         Slot{Value::object(makeNative(NativeFn::DomAddEventListener))});
   DomElements.emplace(Key, El);
   return El;
@@ -239,9 +243,9 @@ bool Interpreter::run() {
     // Only "ready"/"load" handlers fire in this synthetic environment;
     // handlers for other events model the paper's *unexercised* handlers
     // (statically reachable, dynamically never covered).
-    std::vector<std::pair<std::string, Value>> Firable;
+    std::vector<std::pair<StringId, Value>> Firable;
     for (auto &H : EventHandlers)
-      if (H.first == "ready" || H.first == "load")
+      if (H.first == atoms().Ready || H.first == atoms().Load)
         Firable.push_back(H);
     EventHandlers = std::move(Firable);
     size_t Fired = 0;
@@ -253,9 +257,9 @@ bool Interpreter::run() {
                         : Fired;
       std::swap(EventHandlers[Fired], EventHandlers[Pick]);
       Value Handler = EventHandlers[Fired].second;
-      std::string EventName = EventHandlers[Fired].first;
+      StringId EventName = EventHandlers[Fired].first;
       ++Fired;
-      std::vector<Value> Args = {Value::string(EventName)};
+      std::vector<Value> Args = {Value::atom(EventName)};
       EvalResult R = callValue(Handler, Value::object(DocumentObj), Args);
       if (R.C.K == Completion::Throw) {
         Error = "uncaught exception in event handler: " +
@@ -284,21 +288,23 @@ static bool isBuiltinGlobalName(const std::string &Name) {
 }
 
 Value Interpreter::globalVariable(const std::string &Name) {
-  Binding *B = Envs.lookup(GlobalEnv, Name);
+  Binding *B = Envs.lookup(GlobalEnv, intern(Name));
   return B ? B->V : Value::undefined();
 }
 
 std::vector<std::string> Interpreter::userGlobalNames() {
   std::vector<std::string> Names;
-  for (const auto &[Name, B] : Envs.get(GlobalEnv).Vars)
-    if (!isBuiltinGlobalName(Name))
-      Names.push_back(Name);
+  for (const auto &[Name, B] : Envs.get(GlobalEnv).Vars) {
+    std::string Text(atomText(Name));
+    if (!isBuiltinGlobalName(Text))
+      Names.push_back(std::move(Text));
+  }
   std::sort(Names.begin(), Names.end());
   return Names;
 }
 
 Value Interpreter::property(const Value &Base, const std::string &Name) {
-  EvalResult R = getProperty(Base, Name);
+  EvalResult R = getProperty(Base, intern(Name));
   return R.abrupt() ? Value::undefined() : R.V;
 }
 
@@ -323,13 +329,14 @@ void Interpreter::hoistStmt(const Stmt *S, EnvRef Env) {
   switch (S->getKind()) {
   case NodeKind::VarDeclStmt:
     for (const auto &D : cast<VarDeclStmt>(S)->getDeclarators())
-      if (!E.Vars.count(D.Name))
-        E.Vars[D.Name] = Binding{Value::undefined(), Det::Determinate};
+      if (!E.Vars.count(D.Atom))
+        E.Vars[D.Atom] = Binding{Value::undefined(), Det::Determinate};
     return;
   case NodeKind::FunctionDeclStmt: {
     const FunctionExpr *Fn = cast<FunctionDeclStmt>(S)->getFunction();
     ObjectRef FnObj = makeFunction(Fn, Env);
-    E.Vars[Fn->getName()] = Binding{Value::object(FnObj), Det::Determinate};
+    E.Vars[Fn->getNameAtom()] =
+        Binding{Value::object(FnObj), Det::Determinate};
     return;
   }
   case NodeKind::BlockStmt:
@@ -353,8 +360,8 @@ void Interpreter::hoistStmt(const Stmt *S, EnvRef Env) {
     return;
   case NodeKind::ForInStmt: {
     const auto *F = cast<ForInStmt>(S);
-    if (F->declaresVar() && !E.Vars.count(F->getVar()))
-      E.Vars[F->getVar()] = Binding{Value::undefined(), Det::Determinate};
+    if (F->declaresVar() && !E.Vars.count(F->getVarAtom()))
+      E.Vars[F->getVarAtom()] = Binding{Value::undefined(), Det::Determinate};
     hoistStmt(F->getBody(), Env);
     return;
   }
@@ -415,11 +422,11 @@ Completion Interpreter::execStmt(const Stmt *S) {
       if (R.abrupt())
         return R.C;
       // The variable was hoisted into the nearest function scope.
-      Binding *B = Envs.lookup(CurrentEnv, D.Name);
+      Binding *B = Envs.lookup(CurrentEnv, D.Atom);
       if (B)
         B->V = R.V;
       else
-        Envs.get(GlobalEnv).Vars[D.Name] = Binding{R.V, Det::Determinate};
+        Envs.get(GlobalEnv).Vars[D.Atom] = Binding{R.V, Det::Determinate};
     }
     return Completion::normal();
   }
@@ -513,16 +520,16 @@ Completion Interpreter::execStmt(const Stmt *S) {
       return Obj.C;
     if (!Obj.V.isObject())
       return Completion::normal();
-    std::vector<std::string> Keys = TheHeap.get(Obj.V.Obj).ownKeys();
-    for (const std::string &Key : Keys) {
+    std::vector<StringId> Keys = TheHeap.get(Obj.V.Obj).ownKeys();
+    for (StringId Key : Keys) {
       if (!TheHeap.get(Obj.V.Obj).has(Key))
         continue; // Deleted during iteration.
-      Binding *B = Envs.lookup(CurrentEnv, F->getVar());
+      Binding *B = Envs.lookup(CurrentEnv, F->getVarAtom());
       if (B)
-        B->V = Value::string(Key);
+        B->V = Value::atom(Key);
       else
-        Envs.get(GlobalEnv).Vars[F->getVar()] =
-            Binding{Value::string(Key), Det::Determinate};
+        Envs.get(GlobalEnv).Vars[F->getVarAtom()] =
+            Binding{Value::atom(Key), Det::Determinate};
       Completion C = execStmt(F->getBody());
       if (C.K == Completion::Break)
         return Completion::normal();
@@ -556,7 +563,7 @@ Completion Interpreter::execStmt(const Stmt *S) {
     if (C.K == Completion::Throw && T->getCatchBlock()) {
       // Catch parameter gets a fresh scope.
       EnvRef CatchEnv = Envs.allocate(CurrentEnv);
-      Envs.get(CatchEnv).Vars[T->getCatchParam()] =
+      Envs.get(CatchEnv).Vars[T->getCatchAtom()] =
           Binding{C.V, Det::Determinate};
       EnvRef Saved = CurrentEnv;
       CurrentEnv = CatchEnv;
@@ -617,29 +624,27 @@ Completion Interpreter::execStmt(const Stmt *S) {
 // Expressions
 //===----------------------------------------------------------------------===//
 
-std::string Interpreter::propertyKey(const Value &V) {
-  return toStringValue(V, TheHeap);
+StringId Interpreter::propertyKey(const Value &V) {
+  return toStringAtom(V, TheHeap);
 }
 
-EvalResult Interpreter::getProperty(const Value &Base,
-                                    const std::string &Name) {
+EvalResult Interpreter::getProperty(const Value &Base, StringId Name) {
   switch (Base.Kind) {
   case ValueKind::Undefined:
   case ValueKind::Null:
-    return EvalResult::abruptly(
-        throwTypeError("cannot read property '" + Name + "' of " +
-                       (Base.isNull() ? "null" : "undefined")));
+    return EvalResult::abruptly(throwTypeError(
+        "cannot read property '" + Interner::global().str(Name) + "' of " +
+        (Base.isNull() ? "null" : "undefined")));
   case ValueKind::String: {
-    if (Name == "length")
+    std::string_view Chars = Base.strView();
+    if (Name == atoms().Length)
       return EvalResult::value(
-          Value::number(static_cast<double>(Base.Str.size())));
-    // Numeric index.
-    if (!Name.empty() && std::isdigit(static_cast<unsigned char>(Name[0]))) {
-      double I = stringToNumber(Name);
-      if (!std::isnan(I) && I >= 0 && I < static_cast<double>(Base.Str.size()))
-        return EvalResult::value(
-            Value::string(std::string(1, Base.Str[static_cast<size_t>(I)])));
-    }
+          Value::number(static_cast<double>(Chars.size())));
+    // Numeric index: precomputed at intern time, no digit re-parse.
+    uint32_t I = Interner::global().arrayIndex(Name);
+    if (I != Interner::NotAnIndex && I < Chars.size())
+      return EvalResult::value(
+          Value::atom(Interner::global().internChar(Chars[I])));
     const Slot *S = TheHeap.get(StringProto).get(Name);
     return EvalResult::value(S ? S->V : Value::undefined());
   }
@@ -665,21 +670,22 @@ EvalResult Interpreter::getProperty(const Value &Base,
   return EvalResult::value(Value::undefined());
 }
 
-Completion Interpreter::setProperty(const Value &Base, const std::string &Name,
+Completion Interpreter::setProperty(const Value &Base, StringId Name,
                                     Value V) {
   if (!Base.isObject())
-    return throwTypeError("cannot set property '" + Name +
-                          "' on a non-object");
+    return throwTypeError("cannot set property '" +
+                          Interner::global().str(Name) + "' on a non-object");
   JSObject &O = TheHeap.get(Base.Obj);
   O.set(Name, Slot{std::move(V), Det::Determinate, 0});
   // Keep array length in sync with index writes.
-  if (O.Class == ObjectClass::Array && !Name.empty() &&
-      std::isdigit(static_cast<unsigned char>(Name[0]))) {
-    double I = stringToNumber(Name);
-    const Slot *Len = O.get("length");
-    double N = Len && Len->V.isNumber() ? Len->V.Num : 0;
-    if (!std::isnan(I) && I + 1 > N)
-      O.set("length", Slot{Value::number(I + 1)});
+  if (O.Class == ObjectClass::Array) {
+    uint32_t I = Interner::global().arrayIndex(Name);
+    if (I != Interner::NotAnIndex) {
+      const Slot *Len = O.get(atoms().Length);
+      double N = Len && Len->V.isNumber() ? Len->V.Num : 0;
+      if (I + 1 > N)
+        O.set(atoms().Length, Slot{Value::number(I + 1.0)});
+    }
   }
   return Completion::normal();
 }
@@ -693,7 +699,7 @@ EvalResult Interpreter::evalExpr(const Expr *E) {
   case NodeKind::NumberLiteral:
     return EvalResult::value(Value::number(cast<NumberLiteral>(E)->getValue()));
   case NodeKind::StringLiteral:
-    return EvalResult::value(Value::string(cast<StringLiteral>(E)->getValue()));
+    return EvalResult::value(Value::atom(cast<StringLiteral>(E)->getAtom()));
   case NodeKind::BooleanLiteral:
     return EvalResult::value(
         Value::boolean(cast<BooleanLiteral>(E)->getValue()));
@@ -704,11 +710,11 @@ EvalResult Interpreter::evalExpr(const Expr *E) {
   case NodeKind::This:
     return EvalResult::value(CurrentThis);
   case NodeKind::Identifier: {
-    const std::string &Name = cast<Identifier>(E)->getName();
-    Binding *B = Envs.lookup(CurrentEnv, Name);
+    const auto *Id = cast<Identifier>(E);
+    Binding *B = Envs.lookup(CurrentEnv, Id->getAtom());
     if (!B)
-      return EvalResult::abruptly(Completion::thrown(
-          Value::string("ReferenceError: " + Name + " is not defined")));
+      return EvalResult::abruptly(Completion::thrown(Value::string(
+          "ReferenceError: " + Id->getName() + " is not defined")));
     return EvalResult::value(B->V);
   }
   case NodeKind::ArrayLiteral: {
@@ -720,9 +726,9 @@ EvalResult Interpreter::evalExpr(const Expr *E) {
       EvalResult R = evalExpr(A->getElements()[I]);
       if (R.abrupt())
         return R;
-      TheHeap.get(Arr).set(std::to_string(I), Slot{R.V});
+      TheHeap.get(Arr).set(Interner::global().internIndex(I), Slot{R.V});
     }
-    TheHeap.get(Arr).set("length",
+    TheHeap.get(Arr).set(atoms().Length,
                          Slot{Value::number(static_cast<double>(N))});
     return EvalResult::value(Value::object(Arr));
   }
@@ -734,7 +740,7 @@ EvalResult Interpreter::evalExpr(const Expr *E) {
       EvalResult R = evalExpr(P.Value);
       if (R.abrupt())
         return R;
-      TheHeap.get(O).set(P.Key, Slot{R.V});
+      TheHeap.get(O).set(P.KeyAtom, Slot{R.V});
     }
     return EvalResult::value(Value::object(O));
   }
@@ -745,7 +751,7 @@ EvalResult Interpreter::evalExpr(const Expr *E) {
     // small wrapper scope captured by the closure.
     if (!F->getName().empty()) {
       EnvRef Wrapper = Envs.allocate(CurrentEnv);
-      Envs.get(Wrapper).Vars[F->getName()] =
+      Envs.get(Wrapper).Vars[F->getNameAtom()] =
           Binding{Value::object(FnObj), Det::Determinate};
       TheHeap.get(FnObj).Closure = Wrapper;
     }
@@ -766,14 +772,14 @@ EvalResult Interpreter::evalExpr(const Expr *E) {
       EvalResult Base = evalExpr(M->getObject());
       if (Base.abrupt())
         return Base;
-      std::string Key;
+      StringId Key;
       if (M->isComputed()) {
         EvalResult I = evalExpr(M->getIndex());
         if (I.abrupt())
           return I;
         Key = propertyKey(I.V);
       } else {
-        Key = M->getProperty();
+        Key = M->getPropertyAtom();
       }
       if (!Base.V.isObject())
         return EvalResult::value(Value::boolean(true));
@@ -783,9 +789,9 @@ EvalResult Interpreter::evalExpr(const Expr *E) {
     if (U->getOp() == UnaryOp::Typeof) {
       // typeof tolerates undeclared identifiers.
       if (const auto *Id = dyn_cast<Identifier>(U->getOperand())) {
-        Binding *B = Envs.lookup(CurrentEnv, Id->getName());
+        Binding *B = Envs.lookup(CurrentEnv, Id->getAtom());
         if (!B)
-          return EvalResult::value(Value::string("undefined"));
+          return EvalResult::value(Value::atom(atoms().Undefined));
         return EvalResult::value(
             Value::string(typeofString(B->V, TheHeap)));
       }
@@ -823,7 +829,7 @@ EvalResult Interpreter::evalExpr(const Expr *E) {
       if (!R.V.isObject())
         return EvalResult::abruptly(
             throwTypeError("'in' requires an object"));
-      std::string Key = propertyKey(L.V);
+      StringId Key = propertyKey(L.V);
       for (ObjectRef O = R.V.Obj; O; O = TheHeap.get(O).Proto)
         if (TheHeap.get(O).has(Key))
           return EvalResult::value(Value::boolean(true));
@@ -833,7 +839,7 @@ EvalResult Interpreter::evalExpr(const Expr *E) {
       if (!R.V.isObject())
         return EvalResult::abruptly(
             throwTypeError("'instanceof' requires a function"));
-      EvalResult Proto = getProperty(R.V, "prototype");
+      EvalResult Proto = getProperty(R.V, atoms().Prototype);
       if (Proto.abrupt())
         return Proto;
       if (!L.V.isObject() || !Proto.V.isObject())
@@ -875,14 +881,14 @@ EvalResult Interpreter::evalMember(const MemberExpr *E) {
   EvalResult Base = evalExpr(E->getObject());
   if (Base.abrupt())
     return Base;
-  std::string Key;
+  StringId Key;
   if (E->isComputed()) {
     EvalResult I = evalExpr(E->getIndex());
     if (I.abrupt())
       return I;
     Key = propertyKey(I.V);
   } else {
-    Key = E->getProperty();
+    Key = E->getPropertyAtom();
   }
   return getProperty(Base.V, Key);
 }
@@ -921,7 +927,7 @@ EvalResult Interpreter::evalAssign(const AssignExpr *E) {
   };
 
   if (const auto *Id = dyn_cast<Identifier>(E->getTarget())) {
-    Binding *B = Envs.lookup(CurrentEnv, Id->getName());
+    Binding *B = Envs.lookup(CurrentEnv, Id->getAtom());
     Value Old = B ? B->V : Value::undefined();
     if (!B && E->getOp() != AssignOp::Assign)
       return EvalResult::abruptly(Completion::thrown(Value::string(
@@ -932,11 +938,11 @@ EvalResult Interpreter::evalAssign(const AssignExpr *E) {
     if (Failed)
       return EvalResult::abruptly(C);
     // Assignment to an undeclared name creates a global (sloppy mode).
-    B = Envs.lookup(CurrentEnv, Id->getName());
+    B = Envs.lookup(CurrentEnv, Id->getAtom());
     if (B)
       B->V = NewV;
     else
-      Envs.get(GlobalEnv).Vars[Id->getName()] =
+      Envs.get(GlobalEnv).Vars[Id->getAtom()] =
           Binding{NewV, Det::Determinate};
     return EvalResult::value(NewV);
   }
@@ -945,14 +951,14 @@ EvalResult Interpreter::evalAssign(const AssignExpr *E) {
   EvalResult Base = evalExpr(M->getObject());
   if (Base.abrupt())
     return Base;
-  std::string Key;
+  StringId Key;
   if (M->isComputed()) {
     EvalResult I = evalExpr(M->getIndex());
     if (I.abrupt())
       return I;
     Key = propertyKey(I.V);
   } else {
-    Key = M->getProperty();
+    Key = M->getPropertyAtom();
   }
   Value Old;
   if (E->getOp() != AssignOp::Assign) {
@@ -975,7 +981,7 @@ EvalResult Interpreter::evalAssign(const AssignExpr *E) {
 EvalResult Interpreter::evalUpdate(const UpdateExpr *E) {
   double Delta = E->isIncrement() ? 1 : -1;
   if (const auto *Id = dyn_cast<Identifier>(E->getOperand())) {
-    Binding *B = Envs.lookup(CurrentEnv, Id->getName());
+    Binding *B = Envs.lookup(CurrentEnv, Id->getAtom());
     if (!B)
       return EvalResult::abruptly(Completion::thrown(Value::string(
           "ReferenceError: " + Id->getName() + " is not defined")));
@@ -989,14 +995,14 @@ EvalResult Interpreter::evalUpdate(const UpdateExpr *E) {
   EvalResult Base = evalExpr(M->getObject());
   if (Base.abrupt())
     return Base;
-  std::string Key;
+  StringId Key;
   if (M->isComputed()) {
     EvalResult I = evalExpr(M->getIndex());
     if (I.abrupt())
       return I;
     Key = propertyKey(I.V);
   } else {
-    Key = M->getProperty();
+    Key = M->getPropertyAtom();
   }
   EvalResult OldR = getProperty(Base.V, Key);
   if (OldR.abrupt())
@@ -1016,14 +1022,14 @@ EvalResult Interpreter::evalCall(const CallExpr *E) {
     EvalResult Base = evalExpr(M->getObject());
     if (Base.abrupt())
       return Base;
-    std::string Key;
+    StringId Key;
     if (M->isComputed()) {
       EvalResult I = evalExpr(M->getIndex());
       if (I.abrupt())
         return I;
       Key = propertyKey(I.V);
     } else {
-      Key = M->getProperty();
+      Key = M->getPropertyAtom();
     }
     EvalResult Fn = getProperty(Base.V, Key);
     if (Fn.abrupt())
@@ -1059,8 +1065,8 @@ EvalResult Interpreter::evalEval(const CallExpr *E,
   if (Args.empty() || !Args[0].isString())
     return EvalResult::value(Args.empty() ? Value::undefined() : Args[0]);
   DiagnosticEngine Diags;
-  std::vector<Stmt *> Body =
-      parseIntoContext(Args[0].Str, *Prog.Context, Diags);
+  std::vector<Stmt *> Body = parseIntoContext(
+      Interner::global().str(Args[0].Str), *Prog.Context, Diags);
   if (Diags.hasErrors())
     return EvalResult::abruptly(Completion::thrown(
         Value::string("SyntaxError: " + Diags.diagnostics()[0].Message)));
@@ -1109,7 +1115,7 @@ EvalResult Interpreter::evalNew(const NewExpr *E) {
     return EvalResult::abruptly(throwTypeError("not a constructor"));
 
   ObjectRef Fresh = TheHeap.allocate(ObjectClass::Plain, E->getID());
-  const Slot *ProtoSlot = TheHeap.get(Fn.V.Obj).get("prototype");
+  const Slot *ProtoSlot = TheHeap.get(Fn.V.Obj).get(atoms().Prototype);
   TheHeap.get(Fresh).Proto = ProtoSlot && ProtoSlot->V.isObject()
                                  ? ProtoSlot->V.Obj
                                  : ObjectProto;
@@ -1153,9 +1159,10 @@ EvalResult Interpreter::callClosure(ObjectRef FnObj, const Value &ThisV,
   const FunctionExpr *Fn = O.Fn;
   EnvRef CallEnv = Envs.allocate(O.Closure);
   Environment &E = Envs.get(CallEnv);
-  for (size_t I = 0; I < Fn->getParams().size(); ++I) {
+  const std::vector<StringId> &Params = Fn->getParamAtoms();
+  for (size_t I = 0; I < Params.size(); ++I) {
     Value V = I < Args.size() ? Args[I] : Value::undefined();
-    E.Vars[Fn->getParams()[I]] = Binding{std::move(V), Det::Determinate};
+    E.Vars[Params[I]] = Binding{std::move(V), Det::Determinate};
   }
 
   const auto *Body = cast<BlockStmt>(Fn->getBody());

@@ -90,12 +90,12 @@ public:
   Heap &heap() override { return TheHeap; }
   RNG &randomRng() override { return RandomRng; }
   RNG &domRng() override { return DomRng; }
-  void nativeWriteProperty(ObjectRef O, const std::string &Name,
+  void nativeWriteProperty(ObjectRef O, StringId Name,
                            TaggedValue TV) override;
-  TaggedValue nativeReadProperty(ObjectRef O, const std::string &Name) override;
+  TaggedValue nativeReadProperty(ObjectRef O, StringId Name) override;
   void output(const std::string &Text) override;
-  void registerEventHandler(const std::string &Event, Value Handler) override;
-  ObjectRef domElement(const std::string &Key) override;
+  void registerEventHandler(StringId Event, Value Handler) override;
+  ObjectRef domElement(StringId Key) override;
   uint64_t domSeed() const override { return Opts.DomSeed; }
   ObjectRef newArray() override;
   Det recordSetDeterminacy(ObjectRef O) override;
@@ -124,13 +124,13 @@ private:
   EvalResult evalEval(const CallExpr *E, const std::vector<Value> &Args);
 
   // Helpers.
-  EvalResult getProperty(const Value &Base, const std::string &Name);
-  Completion setProperty(const Value &Base, const std::string &Name, Value V);
+  EvalResult getProperty(const Value &Base, StringId Name);
+  Completion setProperty(const Value &Base, StringId Name, Value V);
   EvalResult callValue(const Value &Callee, const Value &ThisV,
                        const std::vector<Value> &Args);
   EvalResult callClosure(ObjectRef FnObj, const Value &ThisV,
                          const std::vector<Value> &Args);
-  std::string propertyKey(const Value &V);
+  StringId propertyKey(const Value &V);
   bool tick(Completion &C);
   Completion throwTypeError(const std::string &Message);
 
@@ -155,8 +155,8 @@ private:
   ObjectRef WindowObj = 0;
   ObjectRef DocumentObj = 0;
 
-  std::unordered_map<std::string, ObjectRef> DomElements;
-  std::vector<std::pair<std::string, Value>> EventHandlers;
+  std::unordered_map<StringId, ObjectRef> DomElements;
+  std::vector<std::pair<StringId, Value>> EventHandlers;
 
   std::string Output;
   std::string Error;

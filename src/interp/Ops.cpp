@@ -18,7 +18,7 @@ bool dda::toBoolean(const Value &V) {
   case ValueKind::Number:
     return V.Num != 0 && !std::isnan(V.Num);
   case ValueKind::String:
-    return !V.Str.empty();
+    return V.Str != Interner::global().wellKnown().Empty;
   case ValueKind::Object:
     return true;
   }
@@ -36,7 +36,7 @@ double dda::toNumber(const Value &V) {
   case ValueKind::Number:
     return V.Num;
   case ValueKind::String:
-    return stringToNumber(V.Str);
+    return stringToNumber(Interner::global().str(V.Str));
   case ValueKind::Object:
     return std::nan("");
   }
@@ -54,19 +54,19 @@ std::string dda::toStringValue(const Value &V, const Heap &H) {
   case ValueKind::Number:
     return numberToString(V.Num);
   case ValueKind::String:
-    return V.Str;
+    return std::string(V.strView());
   case ValueKind::Object: {
     const JSObject &O = H.get(V.Obj);
     switch (O.Class) {
     case ObjectClass::Array: {
       // Array.prototype.toString == join(",").
       std::string Out;
-      const Slot *Len = O.get("length");
+      const Slot *Len = O.get(Interner::global().wellKnown().Length);
       size_t N = Len && Len->V.isNumber() ? static_cast<size_t>(Len->V.Num) : 0;
       for (size_t I = 0; I < N; ++I) {
         if (I)
           Out += ",";
-        const Slot *S = O.get(std::to_string(I));
+        const Slot *S = O.get(Interner::global().internIndex(I));
         if (S && !S->V.isUndefined() && !S->V.isNull())
           Out += toStringValue(S->V, H);
       }
@@ -84,6 +84,25 @@ std::string dda::toStringValue(const Value &V, const Heap &H) {
   }
   }
   return "undefined";
+}
+
+StringId dda::toStringAtom(const Value &V, const Heap &H) {
+  Interner &I = Interner::global();
+  switch (V.Kind) {
+  case ValueKind::Undefined:
+    return I.wellKnown().Undefined;
+  case ValueKind::Null:
+    return I.wellKnown().Null;
+  case ValueKind::Boolean:
+    return V.Bool ? I.wellKnown().True : I.wellKnown().False;
+  case ValueKind::Number:
+    return I.internNumber(V.Num);
+  case ValueKind::String:
+    return V.Str;
+  case ValueKind::Object:
+    return I.intern(toStringValue(V, H));
+  }
+  return I.wellKnown().Undefined;
 }
 
 std::string dda::typeofString(const Value &V, const Heap &H) {
@@ -176,7 +195,10 @@ Value dda::applyBinaryOp(BinaryOp Op, const Value &A, const Value &B,
     // Both strings: lexicographic. Otherwise numeric.
     bool Result;
     if (A.isString() && B.isString()) {
-      int Cmp = A.Str.compare(B.Str);
+      int Cmp = A.Str == B.Str
+                    ? 0
+                    : Interner::global().view(A.Str).compare(
+                          Interner::global().view(B.Str));
       Result = Op == BinaryOp::Less      ? Cmp < 0
                : Op == BinaryOp::LessEq  ? Cmp <= 0
                : Op == BinaryOp::Greater ? Cmp > 0

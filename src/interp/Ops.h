@@ -27,6 +27,11 @@ double toNumber(const Value &V);
 /// ToString. Needs the heap to render arrays and functions.
 std::string toStringValue(const Value &V, const Heap &H);
 
+/// ToString as an interned atom — the property-key fast path. A string value
+/// returns its atom with no hashing; integral numbers hit the cached
+/// numeric-index atoms; everything else interns the rendered text.
+StringId toStringAtom(const Value &V, const Heap &H);
+
 /// The string produced by `typeof`.
 std::string typeofString(const Value &V, const Heap &H);
 

@@ -6,13 +6,22 @@
 /// primitives, heap addresses, and closures (closures live in the heap as
 /// function objects, so a Value only ever holds an address).
 ///
+/// A Value is a 16-byte POD: a kind tag plus a payload union. Strings are
+/// atoms in the global Interner, so copying a Value never allocates and
+/// string equality is an id compare.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DDA_INTERP_VALUE_H
 #define DDA_INTERP_VALUE_H
 
+#include "support/Interner.h"
+
+#include <cassert>
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <type_traits>
 
 namespace dda {
 
@@ -32,14 +41,18 @@ enum class ValueKind : uint8_t {
   Object, ///< Includes functions and arrays; see JSObject::Class.
 };
 
-/// A concrete MiniJS value. Small enough to copy freely; strings are held by
-/// value for simplicity.
+/// A concrete MiniJS value. A trivially copyable 16-byte tag + payload; only
+/// the member selected by Kind is meaningful.
 struct Value {
   ValueKind Kind = ValueKind::Undefined;
-  bool Bool = false;
-  double Num = 0;
-  std::string Str;
-  ObjectRef Obj = 0;
+  union {
+    bool Bool;
+    double Num;
+    StringId Str; ///< Atom in Interner::global().
+    ObjectRef Obj;
+  };
+
+  Value() : Num(0) {}
 
   static Value undefined() { return Value(); }
 
@@ -63,10 +76,16 @@ struct Value {
     return V;
   }
 
-  static Value string(std::string S) {
+  /// Interns \p S in the global table.
+  static Value string(std::string_view S) {
+    return atom(Interner::global().intern(S));
+  }
+
+  /// Wraps an already interned atom (no hashing).
+  static Value atom(StringId Id) {
     Value V;
     V.Kind = ValueKind::String;
-    V.Str = std::move(S);
+    V.Str = Id;
     return V;
   }
 
@@ -83,7 +102,17 @@ struct Value {
   bool isNumber() const { return Kind == ValueKind::Number; }
   bool isString() const { return Kind == ValueKind::String; }
   bool isObject() const { return Kind == ValueKind::Object; }
+
+  /// The characters of a string value (valid only when isString()).
+  std::string_view strView() const {
+    assert(isString() && "strView on non-string");
+    return Interner::global().view(Str);
+  }
 };
+
+static_assert(sizeof(Value) <= 16, "Value must stay a compact POD");
+static_assert(std::is_trivially_copyable_v<Value>,
+              "Value must be trivially copyable");
 
 /// Determinacy flag: `!` (determinate) or `?` (indeterminate) in the paper's
 /// notation. Defined here so the shared heap slot type can carry it; the
@@ -106,7 +135,7 @@ struct TaggedValue {
   Det D = Det::Determinate;
 
   TaggedValue() = default;
-  TaggedValue(Value V, Det D = Det::Determinate) : V(std::move(V)), D(D) {}
+  TaggedValue(Value V, Det D = Det::Determinate) : V(V), D(D) {}
 
   bool isDet() const { return D == Det::Determinate; }
 

@@ -609,7 +609,7 @@ private:
     if (!hasSpecializationOpportunity(F->getBody()))
       return nullptr;
     // Every iteration's key must be determinate.
-    std::vector<std::string> Keys;
+    std::vector<StringId> Keys;
     for (unsigned I = 0; I < static_cast<unsigned>(N); ++I) {
       const FactValue *Key =
           A.Facts.forInKey(F->getID(), St.Ctx, static_cast<uint16_t>(I));
@@ -644,7 +644,7 @@ private:
         return FV;
       }();
       // Bind the loop variable so plain uses of it still work.
-      auto *KeyLit = make<StringLiteral>(F, Keys[I]);
+      auto *KeyLit = make<StringLiteral>(F, std::string(atomText(Keys[I])));
       auto *VarRef = make<Identifier>(F, F->getVar());
       auto *Bind = make<AssignExpr>(F, AssignOp::Assign, VarRef, KeyLit);
       Out.push_back(make<ExpressionStmt>(F, Bind));
@@ -690,7 +690,7 @@ private:
       return false;
     if (Call->getArgs().size() != 1 || !isPureExpr(Call->getArgs()[0]))
       return false;
-    CodeOut = Arg->Str;
+    CodeOut = Interner::global().str(Arg->Str);
     return true;
   }
 
@@ -799,9 +799,10 @@ private:
           if (It != St.KnownConsts.end() && It->second.K == FactValue::String)
             Name = &It->second;
         }
-      if (Name && Name->K == FactValue::String && isIdentifier(Name->Str)) {
+      if (Name && Name->K == FactValue::String &&
+          isIdentifier(Interner::global().str(Name->Str))) {
         ++Report.PropertiesStaticized;
-        return make<MemberExpr>(M, Base, Name->Str);
+        return make<MemberExpr>(M, Base, std::string(atomText(Name->Str)));
       }
     }
     return make<MemberExpr>(M, Base, emitExpr(M->getIndex(), St));
@@ -881,8 +882,12 @@ private:
 };
 
 std::vector<std::string> Emitter::collectAssignedNames(const Stmt *Body) {
-  // Reuse the determinacy library's syntactic vd(s).
-  return collectAssignedVars(Body);
+  // Reuse the determinacy library's syntactic vd(s); the emitter keys its
+  // constant map on spelled names, so convert the atoms back.
+  std::vector<std::string> Names;
+  for (StringId Id : collectAssignedVars(Body))
+    Names.emplace_back(atomText(Id));
+  return Names;
 }
 
 } // namespace

@@ -1,0 +1,108 @@
+//===- Interner.cpp -------------------------------------------------------==//
+
+#include "support/Interner.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace dda;
+
+namespace {
+
+/// True if \p S is the canonical decimal spelling of a uint32 array index
+/// (no sign, no leading zeros except "0" itself, value <= 2^32 - 2).
+/// Returns the value via \p Out.
+bool parseArrayIndex(std::string_view S, uint32_t &Out) {
+  if (S.empty() || S.size() > 10)
+    return false;
+  if (S.size() > 1 && S[0] == '0')
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint64_t>(C - '0');
+  }
+  if (V > 0xfffffffeull) // 2^32 - 2: the largest valid array index.
+    return false;
+  Out = static_cast<uint32_t>(V);
+  return true;
+}
+
+} // namespace
+
+Interner &Interner::global() {
+  static Interner I;
+  return I;
+}
+
+Interner::Interner() {
+  Atoms.emplace_back(); // Id 0 is invalid.
+  Known.Empty = intern("");
+  Known.Length = intern("length");
+  Known.Prototype = intern("prototype");
+  Known.Constructor = intern("constructor");
+  Known.Undefined = intern("undefined");
+  Known.Null = intern("null");
+  Known.True = intern("true");
+  Known.False = intern("false");
+  Known.Load = intern("load");
+  Known.Ready = intern("ready");
+  Known.Click = intern("click");
+}
+
+StringId Interner::insert(std::string_view S, size_t Hash) {
+  Storage.emplace_back(S);
+  const std::string &Text = Storage.back();
+  uint32_t Raw = static_cast<uint32_t>(Atoms.size());
+  AtomInfo Info;
+  Info.Text = &Text;
+  Info.Hash = Hash;
+  if (!parseArrayIndex(Text, Info.Index))
+    Info.Index = NotAnIndex;
+  Atoms.push_back(Info);
+  Lookup.emplace(std::string_view(Text), Raw);
+  return StringId(Raw);
+}
+
+StringId Interner::intern(std::string_view S) {
+  auto It = Lookup.find(S);
+  if (It != Lookup.end())
+    return StringId(It->second);
+  return insert(S, std::hash<std::string_view>()(S));
+}
+
+StringId Interner::internIndex(uint64_t I) {
+  if (I < 4096) {
+    if (SmallIndexCache.size() <= I)
+      SmallIndexCache.resize(4096);
+    StringId &Slot = SmallIndexCache[I];
+    if (!Slot.valid()) {
+      char Buf[12];
+      int N = std::snprintf(Buf, sizeof(Buf), "%llu",
+                            static_cast<unsigned long long>(I));
+      Slot = intern(std::string_view(Buf, static_cast<size_t>(N)));
+    }
+    return Slot;
+  }
+  char Buf[24];
+  int N = std::snprintf(Buf, sizeof(Buf), "%llu",
+                        static_cast<unsigned long long>(I));
+  return intern(std::string_view(Buf, static_cast<size_t>(N)));
+}
+
+StringId Interner::internNumber(double N) {
+  // Integral doubles in array-index range take the cached path; everything
+  // else goes through the full JavaScript ToString.
+  if (N >= 0 && N < 4294967295.0 && N == std::floor(N) && !std::signbit(N))
+    return internIndex(static_cast<uint64_t>(N));
+  return intern(numberToString(N));
+}
+
+StringId Interner::internChar(char C) {
+  StringId &Slot = CharCache[static_cast<unsigned char>(C)];
+  if (!Slot.valid())
+    Slot = intern(std::string_view(&C, 1));
+  return Slot;
+}

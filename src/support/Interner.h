@@ -1,0 +1,174 @@
+//===- Interner.h - Global string interner (atoms) ---------------*- C++ -*-==//
+///
+/// \file
+/// Atom table shared by the lexer/parser, both interpreters, and every
+/// analysis client. A `StringId` is a dense 32-bit handle to a unique string;
+/// equality of atoms is a single integer compare, maps keyed on atoms hash a
+/// precomputed value instead of re-walking characters, and canonical array
+/// indices ("0", "42", ...) carry their numeric value so the array fast paths
+/// never re-parse digits.
+///
+/// The table is append-only and process-global (the interpreters are
+/// single-threaded; both the concrete and instrumented evaluators must agree
+/// on atom identity for a value to project between them). Id 0 is reserved as
+/// "no atom"; id 1 is always the empty string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SUPPORT_INTERNER_H
+#define DDA_SUPPORT_INTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dda {
+
+/// Handle to an interned string. Two atoms are the same string iff their ids
+/// are equal. Value-initialized ids are invalid (Raw == 0).
+struct StringId {
+  uint32_t Raw = 0;
+
+  constexpr StringId() = default;
+  constexpr explicit StringId(uint32_t Raw) : Raw(Raw) {}
+
+  constexpr bool valid() const { return Raw != 0; }
+  constexpr explicit operator bool() const { return Raw != 0; }
+
+  friend constexpr bool operator==(StringId A, StringId B) {
+    return A.Raw == B.Raw;
+  }
+  friend constexpr bool operator!=(StringId A, StringId B) {
+    return A.Raw != B.Raw;
+  }
+  friend constexpr bool operator<(StringId A, StringId B) {
+    return A.Raw < B.Raw;
+  }
+};
+
+/// The atom table.
+class Interner {
+public:
+  /// Sentinel meaning "not an array index" from arrayIndex().
+  static constexpr uint32_t NotAnIndex = 0xffffffffu;
+
+  /// The process-wide table.
+  static Interner &global();
+
+  /// Interns \p S, returning the canonical atom (allocates only on first
+  /// sight of a string).
+  StringId intern(std::string_view S);
+
+  /// Atom for the canonical decimal spelling of \p I — the fast replacement
+  /// for `intern(std::to_string(I))` on array hot paths. Small indices are
+  /// served from a flat cache.
+  StringId internIndex(uint64_t I);
+
+  /// Atom for the JavaScript ToString of \p N (integral values take the
+  /// internIndex fast path).
+  StringId internNumber(double N);
+
+  /// Atom for the 1-character string \p C (flat cache, no hashing).
+  StringId internChar(char C);
+
+  /// The characters of an atom. The view is stable for the process lifetime.
+  std::string_view view(StringId Id) const {
+    assert(Id.Raw != 0 && Id.Raw < Atoms.size() && "invalid atom");
+    return *Atoms[Id.Raw].Text;
+  }
+
+  /// The atom as a std::string reference (stable storage).
+  const std::string &str(StringId Id) const {
+    assert(Id.Raw != 0 && Id.Raw < Atoms.size() && "invalid atom");
+    return *Atoms[Id.Raw].Text;
+  }
+
+  /// Precomputed hash of the atom's characters.
+  size_t hash(StringId Id) const {
+    assert(Id.Raw != 0 && Id.Raw < Atoms.size() && "invalid atom");
+    return Atoms[Id.Raw].Hash;
+  }
+
+  /// The numeric value if the atom is a canonical array index ("0".."4294967294",
+  /// no leading zeros), else NotAnIndex. Computed once at intern time.
+  uint32_t arrayIndex(StringId Id) const {
+    assert(Id.Raw != 0 && Id.Raw < Atoms.size() && "invalid atom");
+    return Atoms[Id.Raw].Index;
+  }
+
+  bool isArrayIndex(StringId Id) const { return arrayIndex(Id) != NotAnIndex; }
+
+  /// Number of distinct atoms interned so far.
+  size_t size() const { return Atoms.size() - 1; }
+
+  /// Atoms the runtime consults on hot paths, interned once at startup.
+  struct WellKnown {
+    StringId Empty;       ///< "" — also the ToBoolean(false) string.
+    StringId Length;      ///< "length"
+    StringId Prototype;   ///< "prototype"
+    StringId Constructor; ///< "constructor"
+    StringId Undefined;   ///< "undefined"
+    StringId Null;        ///< "null"
+    StringId True;        ///< "true"
+    StringId False;       ///< "false"
+    StringId Load;        ///< "load" (event)
+    StringId Ready;       ///< "ready" (event)
+    StringId Click;       ///< "click" (event)
+  };
+  const WellKnown &wellKnown() const { return Known; }
+
+private:
+  Interner();
+
+  struct AtomInfo {
+    const std::string *Text = nullptr;
+    size_t Hash = 0;
+    uint32_t Index = NotAnIndex;
+  };
+
+  StringId insert(std::string_view S, size_t Hash);
+
+  // Deque gives stable string storage; AtomInfo::Text and the map's keys
+  // point into it.
+  std::deque<std::string> Storage;
+  std::vector<AtomInfo> Atoms; // Indexed by StringId::Raw; [0] is invalid.
+  std::unordered_map<std::string_view, uint32_t> Lookup;
+  // Flat caches so the hottest producers skip the hash map entirely.
+  std::vector<StringId> SmallIndexCache; // internIndex(0..4095)
+  StringId CharCache[256] = {};          // internChar
+  WellKnown Known;
+};
+
+/// Convenience: intern via the global table.
+inline StringId intern(std::string_view S) {
+  return Interner::global().intern(S);
+}
+
+/// Convenience: the characters of a global-table atom.
+inline std::string_view atomText(StringId Id) {
+  return Interner::global().view(Id);
+}
+
+/// Convenience: the global table's well-known atoms.
+inline const Interner::WellKnown &atoms() {
+  return Interner::global().wellKnown();
+}
+
+} // namespace dda
+
+/// Atoms hash by their (dense) id — identity hashing with a multiplicative
+/// mix so consecutive ids spread across buckets.
+template <> struct std::hash<dda::StringId> {
+  size_t operator()(dda::StringId Id) const {
+    uint64_t H = Id.Raw;
+    H *= 0x9e3779b97f4a7c15ull;
+    return static_cast<size_t>(H >> 32);
+  }
+};
+
+#endif // DDA_SUPPORT_INTERNER_H

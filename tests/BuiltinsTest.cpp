@@ -98,16 +98,16 @@ TEST(Builtins, ConversionCtors) {
 }
 
 TEST(Builtins, DomSyntheticValueIsStable) {
-  Value A = domSyntheticValue(1, 5, "title");
-  Value B = domSyntheticValue(1, 5, "title");
-  Value C = domSyntheticValue(2, 5, "title");
-  Value D = domSyntheticValue(1, 6, "title");
-  Value E = domSyntheticValue(1, 5, "other");
+  Value A = domSyntheticValue(1, 5, intern("title"));
+  Value B = domSyntheticValue(1, 5, intern("title"));
+  Value C = domSyntheticValue(2, 5, intern("title"));
+  Value D = domSyntheticValue(1, 6, intern("title"));
+  Value E = domSyntheticValue(1, 5, intern("other"));
   EXPECT_EQ(A.Str, B.Str);
   EXPECT_NE(A.Str, C.Str);
   EXPECT_NE(A.Str, D.Str);
   EXPECT_NE(A.Str, E.Str);
-  EXPECT_EQ(A.Str.rfind("dom", 0), 0u);
+  EXPECT_EQ(A.strView().rfind("dom", 0), 0u);
 }
 
 TEST(Builtins, DomElementRoundTrip) {

@@ -269,7 +269,7 @@ TEST(Determinacy, EvalArgFactRecorded) {
   const FactValue *F = I->facts().evalArg(EvalCall->getID(), Ctxs[0]);
   ASSERT_TRUE(F);
   EXPECT_EQ(F->K, FactValue::String);
-  EXPECT_EQ(F->Str, "42");
+  EXPECT_EQ(atomText(F->Str), "42");
 }
 
 TEST(Determinacy, ConditionFactsTrueFalseIndet) {
@@ -334,7 +334,7 @@ r.setWidth(r.getWidth() + 20);
   for (const auto &[Key, Val] : I->facts().all()) {
     if (Key.Node == GetWrite->getID() && Key.Kind == FactKind::PropName &&
         Val.isDeterminate())
-      Names.push_back(Val.Str);
+      Names.emplace_back(atomText(Val.Str));
   }
   std::sort(Names.begin(), Names.end());
   ASSERT_EQ(Names.size(), 2u);
@@ -430,7 +430,7 @@ showIvyViaJs('pc.sy.banner.duilian.');
   for (const auto &[Key, Val] : I->facts().all())
     if (Key.Node == EvalCall->getID() && Key.Kind == FactKind::EvalArg) {
       ASSERT_TRUE(Val.isDeterminate());
-      ArgStrings.push_back(Val.Str);
+      ArgStrings.emplace_back(atomText(Val.Str));
     }
   std::sort(ArgStrings.begin(), ArgStrings.end());
   ASSERT_EQ(ArgStrings.size(), 2u);
@@ -475,8 +475,8 @@ TEST(Determinacy, OccurrenceContextsDistinguishLoopIterations) {
   const FactValue *A0 = I->facts().callArg(Call->getID(), Ctxs[0], 0);
   const FactValue *A1 = I->facts().callArg(Call->getID(), Ctxs[1], 0);
   ASSERT_TRUE(A0 && A1);
-  EXPECT_EQ(A0->Str, "a");
-  EXPECT_EQ(A1->Str, "b");
+  EXPECT_EQ(atomText(A0->Str), "a");
+  EXPECT_EQ(atomText(A1->Str), "b");
 }
 
 TEST(Determinacy, ForInDeterminateSetIsDeterminate) {
@@ -485,7 +485,7 @@ TEST(Determinacy, ForInDeterminateSetIsDeterminate) {
                     "for (var k in o) { keys += k; }\n");
   auto I = analyze(P);
   TaggedValue Keys = I->globalVariable("keys");
-  EXPECT_EQ(Keys.V.Str, "ab");
+  EXPECT_EQ(Keys.V.strView(), "ab");
   EXPECT_TRUE(Keys.isDet());
 }
 
@@ -618,8 +618,10 @@ TEST(Determinacy, CollectAssignedVarsExcludesNestedFunctions) {
                     "  var f = function() { nested = 9; };"
                     "}");
   const auto *If = cast<IfStmt>(P.Body[0]);
-  std::vector<std::string> Vars = collectAssignedVars(If->getThen());
-  std::vector<std::string> Expected = {"a", "b", "c", "d", "f"};
+  std::vector<StringId> Vars = collectAssignedVars(If->getThen());
+  std::vector<StringId> Expected = {intern("a"), intern("b"), intern("c"),
+                                    intern("d"), intern("f")};
+  std::sort(Expected.begin(), Expected.end());
   EXPECT_EQ(Vars, Expected);
 }
 
@@ -694,7 +696,7 @@ TEST(Determinacy, CounterfactualThrowTaintsCatchTarget) {
                     "}\n");
   auto I = analyze(P);
   TaggedValue S = I->globalVariable("s");
-  EXPECT_EQ(S.V.Str, "no"); // Concretely unchanged.
+  EXPECT_EQ(S.V.strView(), "no"); // Concretely unchanged.
   EXPECT_FALSE(S.isDet());  // But other executions write "e0".
 }
 

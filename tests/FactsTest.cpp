@@ -19,7 +19,7 @@ FactValue num(double N) {
 FactValue str(std::string S) {
   FactValue F;
   F.K = FactValue::String;
-  F.Str = std::move(S);
+  F.Str = intern(S);
   return F;
 }
 

@@ -30,49 +30,77 @@ TEST(Heap, ReferencesStableAcrossGrowth) {
   EXPECT_EQ(&H.get(First), Ptr); // Deque storage: no reallocation moves.
 }
 
+std::vector<StringId> ids(std::initializer_list<const char *> Names) {
+  std::vector<StringId> Out;
+  for (const char *N : Names)
+    Out.push_back(intern(N));
+  return Out;
+}
+
 TEST(Heap, InsertionOrderPreserved) {
   JSObject O;
-  O.set("b", Slot{Value::number(1)});
-  O.set("a", Slot{Value::number(2)});
-  O.set("c", Slot{Value::number(3)});
-  std::vector<std::string> Expected = {"b", "a", "c"};
-  EXPECT_EQ(O.ownKeys(), Expected);
+  O.set(intern("b"), Slot{Value::number(1)});
+  O.set(intern("a"), Slot{Value::number(2)});
+  O.set(intern("c"), Slot{Value::number(3)});
+  EXPECT_EQ(O.ownKeys(), ids({"b", "a", "c"}));
 }
 
 TEST(Heap, OverwriteKeepsOriginalPosition) {
   JSObject O;
-  O.set("b", Slot{Value::number(1)});
-  O.set("a", Slot{Value::number(2)});
-  O.set("b", Slot{Value::number(9)}); // Overwrite.
-  std::vector<std::string> Expected = {"b", "a"};
-  EXPECT_EQ(O.ownKeys(), Expected);
-  EXPECT_DOUBLE_EQ(O.get("b")->V.Num, 9);
+  O.set(intern("b"), Slot{Value::number(1)});
+  O.set(intern("a"), Slot{Value::number(2)});
+  O.set(intern("b"), Slot{Value::number(9)}); // Overwrite.
+  EXPECT_EQ(O.ownKeys(), ids({"b", "a"}));
+  EXPECT_DOUBLE_EQ(O.get(intern("b"))->V.Num, 9);
 }
 
 TEST(Heap, EraseAndReinsert) {
   JSObject O;
-  O.set("x", Slot{Value::number(1)});
-  O.set("y", Slot{Value::number(2)});
-  EXPECT_TRUE(O.erase("x"));
-  EXPECT_FALSE(O.erase("x"));
-  EXPECT_FALSE(O.has("x"));
-  std::vector<std::string> AfterErase = {"y"};
-  EXPECT_EQ(O.ownKeys(), AfterErase);
+  O.set(intern("x"), Slot{Value::number(1)});
+  O.set(intern("y"), Slot{Value::number(2)});
+  EXPECT_TRUE(O.erase(intern("x")));
+  EXPECT_FALSE(O.erase(intern("x")));
+  EXPECT_FALSE(O.has(intern("x")));
+  EXPECT_EQ(O.ownKeys(), ids({"y"}));
   // Reinsertion appends at the end (JS semantics).
-  O.set("x", Slot{Value::number(3)});
-  std::vector<std::string> AfterReinsert = {"y", "x"};
-  EXPECT_EQ(O.ownKeys(), AfterReinsert);
+  O.set(intern("x"), Slot{Value::number(3)});
+  EXPECT_EQ(O.ownKeys(), ids({"y", "x"}));
+}
+
+TEST(Heap, DeleteThenReinsertEnumerationOrder) {
+  // Regression test for ownKeys(): after interleaved deletes and reinserts
+  // the enumeration order must match the live insertion order exactly, with
+  // no stale or duplicated keys.
+  JSObject O;
+  O.set(intern("a"), Slot{Value::number(1)});
+  O.set(intern("b"), Slot{Value::number(2)});
+  O.set(intern("c"), Slot{Value::number(3)});
+  EXPECT_TRUE(O.erase(intern("b")));
+  O.set(intern("d"), Slot{Value::number(4)});
+  O.set(intern("b"), Slot{Value::number(5)}); // Reinsert: moves to the end.
+  EXPECT_TRUE(O.erase(intern("a")));
+  O.set(intern("a"), Slot{Value::number(6)});
+  EXPECT_EQ(O.ownKeys(), ids({"c", "d", "b", "a"}));
+  EXPECT_EQ(O.ownKeys().size(), O.slots().size());
 }
 
 TEST(Heap, MaybeSets) {
   JSObject O;
-  EXPECT_FALSE(O.isMaybeAbsent("p"));
-  EXPECT_FALSE(O.isMaybePresent("p"));
-  O.MaybeAbsent.push_back("p");
-  O.MaybePresent.push_back("q");
-  EXPECT_TRUE(O.isMaybeAbsent("p"));
-  EXPECT_TRUE(O.isMaybePresent("q"));
-  EXPECT_FALSE(O.isMaybeAbsent("q"));
+  EXPECT_FALSE(O.isMaybeAbsent(intern("p")));
+  EXPECT_FALSE(O.isMaybePresent(intern("p")));
+  EXPECT_TRUE(O.insertMaybeAbsent(intern("p")));
+  EXPECT_TRUE(O.insertMaybePresent(intern("q")));
+  EXPECT_TRUE(O.isMaybeAbsent(intern("p")));
+  EXPECT_TRUE(O.isMaybePresent(intern("q")));
+  EXPECT_FALSE(O.isMaybeAbsent(intern("q")));
+  // Re-insertion is a deduplicated no-op.
+  EXPECT_FALSE(O.insertMaybeAbsent(intern("p")));
+  EXPECT_FALSE(O.insertMaybePresent(intern("q")));
+  EXPECT_EQ(O.MaybeAbsent.size(), 1u);
+  EXPECT_EQ(O.MaybePresent.size(), 1u);
+  // Erase removes from the sorted set.
+  O.eraseMaybeAbsent(intern("p"));
+  EXPECT_FALSE(O.isMaybeAbsent(intern("p")));
 }
 
 TEST(Env, LexicalChainLookup) {
@@ -80,25 +108,25 @@ TEST(Env, LexicalChainLookup) {
   EnvRef Global = A.allocate(0);
   EnvRef Inner = A.allocate(Global);
   EnvRef Innermost = A.allocate(Inner);
-  A.get(Global).Vars["x"] = Binding{Value::number(1)};
-  A.get(Inner).Vars["y"] = Binding{Value::number(2)};
+  A.get(Global).Vars[intern("x")] = Binding{Value::number(1)};
+  A.get(Inner).Vars[intern("y")] = Binding{Value::number(2)};
 
-  EXPECT_EQ(A.lookupEnv(Innermost, "x"), Global);
-  EXPECT_EQ(A.lookupEnv(Innermost, "y"), Inner);
-  EXPECT_EQ(A.lookupEnv(Innermost, "z"), 0u);
-  ASSERT_TRUE(A.lookup(Innermost, "x"));
-  EXPECT_DOUBLE_EQ(A.lookup(Innermost, "x")->V.Num, 1);
+  EXPECT_EQ(A.lookupEnv(Innermost, intern("x")), Global);
+  EXPECT_EQ(A.lookupEnv(Innermost, intern("y")), Inner);
+  EXPECT_EQ(A.lookupEnv(Innermost, intern("z")), 0u);
+  ASSERT_TRUE(A.lookup(Innermost, intern("x")));
+  EXPECT_DOUBLE_EQ(A.lookup(Innermost, intern("x"))->V.Num, 1);
 }
 
 TEST(Env, ShadowingResolvesToNearest) {
   EnvArena A;
   EnvRef Outer = A.allocate(0);
   EnvRef Inner = A.allocate(Outer);
-  A.get(Outer).Vars["x"] = Binding{Value::number(1)};
-  A.get(Inner).Vars["x"] = Binding{Value::number(2)};
-  EXPECT_EQ(A.lookupEnv(Inner, "x"), Inner);
-  EXPECT_DOUBLE_EQ(A.lookup(Inner, "x")->V.Num, 2);
-  EXPECT_EQ(A.lookupEnv(Outer, "x"), Outer);
+  A.get(Outer).Vars[intern("x")] = Binding{Value::number(1)};
+  A.get(Inner).Vars[intern("x")] = Binding{Value::number(2)};
+  EXPECT_EQ(A.lookupEnv(Inner, intern("x")), Inner);
+  EXPECT_DOUBLE_EQ(A.lookup(Inner, intern("x"))->V.Num, 2);
+  EXPECT_EQ(A.lookupEnv(Outer, intern("x")), Outer);
 }
 
 TEST(Env, ForEachVisitsAllScopes) {

@@ -1,0 +1,116 @@
+//===- InternerTest.cpp - Atom table unit tests ----------------------------==//
+
+#include "support/Interner.h"
+
+#include <gtest/gtest.h>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+using namespace dda;
+
+namespace {
+
+TEST(Interner, RoundTrip) {
+  Interner &I = Interner::global();
+  StringId A = I.intern("getWidth");
+  EXPECT_TRUE(A.valid());
+  EXPECT_EQ(I.view(A), "getWidth");
+  EXPECT_EQ(I.str(A), "getWidth");
+  // Embedded NULs and non-identifier characters survive.
+  std::string Odd("a\0b", 3);
+  StringId B = I.intern(Odd);
+  EXPECT_EQ(I.view(B), std::string_view(Odd));
+}
+
+TEST(Interner, IdEqualityMatchesStringEquality) {
+  Interner &I = Interner::global();
+  StringId A = I.intern("onclick");
+  StringId B = I.intern(std::string("on") + "click");
+  StringId C = I.intern("onload");
+  EXPECT_EQ(A, B); // Same characters, same atom.
+  EXPECT_NE(A, C);
+  // The id is the identity: hashes agree for equal atoms too.
+  EXPECT_EQ(I.hash(A), I.hash(B));
+  EXPECT_EQ(std::hash<StringId>()(A), std::hash<StringId>()(B));
+}
+
+TEST(Interner, InvalidAndEmpty) {
+  StringId None;
+  EXPECT_FALSE(None.valid());
+  EXPECT_FALSE(static_cast<bool>(None));
+  StringId Empty = intern("");
+  EXPECT_TRUE(Empty.valid());
+  EXPECT_EQ(atomText(Empty), "");
+  EXPECT_EQ(Empty, atoms().Empty);
+}
+
+TEST(Interner, WellKnownAtomsAreCanonical) {
+  EXPECT_EQ(intern("length"), atoms().Length);
+  EXPECT_EQ(intern("prototype"), atoms().Prototype);
+  EXPECT_EQ(intern("undefined"), atoms().Undefined);
+  EXPECT_EQ(intern("load"), atoms().Load);
+}
+
+TEST(Interner, NumericIndexCanonicalization) {
+  Interner &I = Interner::global();
+  // internIndex yields the same atom as interning the decimal spelling.
+  EXPECT_EQ(I.internIndex(0), I.intern("0"));
+  EXPECT_EQ(I.internIndex(42), I.intern("42"));
+  EXPECT_EQ(I.internIndex(4095), I.intern("4095"));   // Cache boundary.
+  EXPECT_EQ(I.internIndex(123456), I.intern("123456")); // Beyond the cache.
+
+  // Canonical indices carry their numeric value.
+  EXPECT_EQ(I.arrayIndex(I.intern("0")), 0u);
+  EXPECT_EQ(I.arrayIndex(I.intern("7")), 7u);
+  EXPECT_EQ(I.arrayIndex(I.intern("4294967294")), 4294967294u);
+  EXPECT_TRUE(I.isArrayIndex(I.intern("31")));
+
+  // Non-canonical spellings are not indices: leading zeros, signs, floats,
+  // out-of-range, and plain identifiers.
+  EXPECT_EQ(I.arrayIndex(I.intern("01")), Interner::NotAnIndex);
+  EXPECT_EQ(I.arrayIndex(I.intern("-1")), Interner::NotAnIndex);
+  EXPECT_EQ(I.arrayIndex(I.intern("1.5")), Interner::NotAnIndex);
+  EXPECT_EQ(I.arrayIndex(I.intern("4294967295")), Interner::NotAnIndex);
+  EXPECT_EQ(I.arrayIndex(I.intern("length")), Interner::NotAnIndex);
+  EXPECT_EQ(I.arrayIndex(atoms().Empty), Interner::NotAnIndex);
+}
+
+TEST(Interner, NumberAndCharInterning) {
+  Interner &I = Interner::global();
+  EXPECT_EQ(I.internNumber(3.0), I.intern("3"));
+  EXPECT_EQ(I.internNumber(-2.0), I.intern("-2"));
+  EXPECT_EQ(I.internNumber(0.5), I.intern("0.5"));
+  EXPECT_EQ(I.internChar('x'), I.intern("x"));
+  EXPECT_EQ(I.internChar('0'), I.intern("0"));
+  EXPECT_EQ(I.arrayIndex(I.internChar('3')), 3u);
+}
+
+TEST(Interner, StressManyAtoms) {
+  // 100k distinct atoms: ids stay unique, views stay stable and correct
+  // (deque storage must not invalidate earlier strings as the table grows).
+  Interner &I = Interner::global();
+  const size_t N = 100000;
+  std::vector<StringId> Ids;
+  Ids.reserve(N);
+  std::vector<std::string_view> Views;
+  Views.reserve(N);
+  for (size_t K = 0; K < N; ++K) {
+    StringId Id = I.intern("stress_atom_" + std::to_string(K));
+    Ids.push_back(Id);
+    Views.push_back(I.view(Id));
+  }
+  std::unordered_set<uint32_t> Unique;
+  for (StringId Id : Ids)
+    Unique.insert(Id.Raw);
+  EXPECT_EQ(Unique.size(), N);
+  // Re-interning returns the identical id; stored views were not moved.
+  for (size_t K = 0; K < N; K += 997) {
+    std::string S = "stress_atom_" + std::to_string(K);
+    EXPECT_EQ(I.intern(S), Ids[K]);
+    EXPECT_EQ(Views[K], S);
+    EXPECT_EQ(I.view(Ids[K]).data(), Views[K].data());
+  }
+}
+
+} // namespace

@@ -449,7 +449,7 @@ TEST(Interp, GlobalVariableHook) {
   Interpreter I(P);
   ASSERT_TRUE(I.run());
   EXPECT_DOUBLE_EQ(I.globalVariable("answer").Num, 42);
-  EXPECT_EQ(I.globalVariable("s").Str, "x");
+  EXPECT_EQ(I.globalVariable("s").strView(), "x");
   EXPECT_TRUE(I.globalVariable("missing").isUndefined());
 }
 

@@ -61,9 +61,9 @@ TEST(ToNumber, Coercions) {
 TEST(ToString, ArrayJoinsElements) {
   Heap H;
   ObjectRef Arr = H.allocate(ObjectClass::Array);
-  H.get(Arr).set("0", Slot{Value::number(1)});
-  H.get(Arr).set("1", Slot{Value::string("x")});
-  H.get(Arr).set("length", Slot{Value::number(2)});
+  H.get(Arr).set(intern("0"), Slot{Value::number(1)});
+  H.get(Arr).set(intern("1"), Slot{Value::string("x")});
+  H.get(Arr).set(atoms().Length, Slot{Value::number(2)});
   EXPECT_EQ(toStringValue(Value::object(Arr), H), "1,x");
 }
 
@@ -87,9 +87,9 @@ TEST(BinaryOps, AddConcatenatesWithStrings) {
   Heap H;
   Value R = applyBinaryOp(BinaryOp::Add, Value::string("get"),
                           Value::string("Width"), H);
-  EXPECT_EQ(R.Str, "getWidth");
+  EXPECT_EQ(R.strView(), "getWidth");
   R = applyBinaryOp(BinaryOp::Add, Value::string("n="), Value::number(3), H);
-  EXPECT_EQ(R.Str, "n=3");
+  EXPECT_EQ(R.strView(), "n=3");
   R = applyBinaryOp(BinaryOp::Add, Value::number(1), Value::number(2), H);
   EXPECT_DOUBLE_EQ(R.Num, 3);
 }

@@ -322,7 +322,8 @@ TEST_P(SoundnessTest, DeterminateGlobalsHoldInAllExecutions) {
         const JSObject &IO = I.heap().get(TV.V.Obj);
         if (IO.Class != ObjectClass::Plain && IO.Class != ObjectClass::Array)
           continue;
-        for (const std::string &Key : IO.ownKeys()) {
+        for (StringId KeyId : IO.ownKeys()) {
+          std::string Key(atomText(KeyId));
           TaggedValue PropTV = I.taggedProperty(TV, Key);
           if (!PropTV.isDet())
             continue;

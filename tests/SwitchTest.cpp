@@ -137,7 +137,7 @@ TEST(Switch, DeterminateSelectionFactAndDeterminacy) {
   InstrumentedInterpreter I(P, AnalysisOptions());
   ASSERT_TRUE(I.run()) << I.errorMessage();
   TaggedValue Out = I.globalVariable("out");
-  EXPECT_EQ(Out.V.Str, "B");
+  EXPECT_EQ(Out.V.strView(), "B");
   EXPECT_TRUE(Out.isDet()) << "determinate dispatch keeps writes determinate";
 }
 
