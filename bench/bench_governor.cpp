@@ -1,0 +1,149 @@
+//===- bench_governor.cpp - Resource-governor checkpoint overhead -----------==//
+///
+/// The governor sits on the interpreter's per-step hot path, so its
+/// checkpoints must be near-free. This bench measures them at two levels:
+///
+///   1. Checkpoint microcosts: tickStep() unarmed (the common case: an
+///      increment, a compare, a not-taken branch), tickStep() armed (a
+///      deadline is set, so the strided slow path runs), and noteHeapCell().
+///
+///   2. End-to-end interpreter throughput on the same workloads as
+///      bench_overhead, with the governor in its default configuration and
+///      with every budget armed. Comparing BENCH_overhead.json before/after
+///      the governor landed (recorded in BENCH_governor.json) bounds the
+///      checkpointing overhead; the budget is <= 2%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "determinacy/Determinacy.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "support/ResourceGovernor.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dda;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Checkpoint microcosts
+//===----------------------------------------------------------------------===//
+
+void BM_LegacyStepCheck(benchmark::State &State) {
+  // What the interpreters did before the governor: a bare counter
+  // increment and limit compare per step. The difference between this and
+  // BM_TickStep_Unarmed is the true per-step cost the governor added.
+  uint64_t Steps = 0;
+  const uint64_t MaxSteps = 50'000'000'000ULL;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(++Steps > MaxSteps);
+}
+
+void BM_TickStep_Unarmed(benchmark::State &State) {
+  // Default limits: only the step budget is active, nothing arms the slow
+  // path. This is the cost paid on every interpreter small-step.
+  ResourceGovernor G;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(G.tickStep());
+}
+
+void BM_TickStep_Armed(benchmark::State &State) {
+  // A wall-clock deadline arms the slow path on every tick; the clock
+  // itself is still only sampled every kDeadlineStride steps.
+  GovernorLimits L;
+  L.DeadlineMs = 3'600'000; // One hour: never actually trips.
+  ResourceGovernor G(L);
+  G.startClock();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(G.tickStep());
+}
+
+void BM_NoteHeapCell(benchmark::State &State) {
+  GovernorLimits L;
+  L.MaxHeapCells = 0; // Unlimited: the never-trips fast path.
+  ResourceGovernor G(L);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(G.noteHeapCell());
+}
+
+BENCHMARK(BM_LegacyStepCheck);
+BENCHMARK(BM_TickStep_Unarmed);
+BENCHMARK(BM_TickStep_Armed);
+BENCHMARK(BM_NoteHeapCell);
+
+//===----------------------------------------------------------------------===//
+// End-to-end interpreter throughput, default vs fully-armed governor
+//===----------------------------------------------------------------------===//
+
+const char *ComputeLoop = R"JS(
+var acc = 0;
+for (var i = 0; i < 3000; i++) {
+  acc = acc + i % 7;
+}
+)JS";
+
+const char *HeapChurn = R"JS(
+var objs = [];
+for (var i = 0; i < 400; i++) {
+  var o = {idx: i, name: "o" + i};
+  o.double = i * 2;
+  objs[i] = o;
+}
+var total = 0;
+for (var j = 0; j < 400; j++) {
+  total += objs[j].double;
+}
+)JS";
+
+void runConcrete(benchmark::State &State, const char *Source,
+                 const InterpOptions &Opts) {
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    Program P = parseProgram(Source, Diags);
+    Interpreter I(P, Opts);
+    benchmark::DoNotOptimize(I.run());
+  }
+}
+
+InterpOptions armedOptions() {
+  // Every budget set (generously: none ever trips) so the governor runs its
+  // slow path — the worst case a user can configure.
+  InterpOptions Opts;
+  Opts.DeadlineMs = 3'600'000;
+  Opts.MaxHeapCells = 1'000'000'000;
+  Opts.MaxEvalDepth = 64;
+  return Opts;
+}
+
+void BM_Concrete_ComputeLoop_Default(benchmark::State &S) {
+  runConcrete(S, ComputeLoop, InterpOptions());
+}
+void BM_Concrete_ComputeLoop_Armed(benchmark::State &S) {
+  runConcrete(S, ComputeLoop, armedOptions());
+}
+void BM_Concrete_HeapChurn_Default(benchmark::State &S) {
+  runConcrete(S, HeapChurn, InterpOptions());
+}
+void BM_Concrete_HeapChurn_Armed(benchmark::State &S) {
+  runConcrete(S, HeapChurn, armedOptions());
+}
+
+void BM_Instrumented_ComputeLoop_Default(benchmark::State &S) {
+  for (auto _ : S) {
+    DiagnosticEngine Diags;
+    Program P = parseProgram(ComputeLoop, Diags);
+    AnalysisResult R = runDeterminacyAnalysis(P, AnalysisOptions());
+    benchmark::DoNotOptimize(R.Stats.StepsUsed);
+  }
+}
+
+BENCHMARK(BM_Concrete_ComputeLoop_Default);
+BENCHMARK(BM_Concrete_ComputeLoop_Armed);
+BENCHMARK(BM_Concrete_HeapChurn_Default);
+BENCHMARK(BM_Concrete_HeapChurn_Armed);
+BENCHMARK(BM_Instrumented_ComputeLoop_Default);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -14,7 +14,7 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 OUT_DIR="${2:-$REPO_ROOT}"
 
-GBENCH_BINARIES=(bench_overhead bench_flush bench_figure2 bench_figure3
+GBENCH_BINARIES=(bench_overhead bench_governor bench_flush bench_figure2 bench_figure3
                  bench_figure4)
 
 if [ ! -d "$BUILD_DIR/bench" ]; then

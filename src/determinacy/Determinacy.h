@@ -24,18 +24,34 @@
 #include "ast/ASTContext.h"
 #include "determinacy/Context.h"
 #include "determinacy/Facts.h"
+#include "support/ResourceGovernor.h"
 
 #include <string>
 #include <unordered_set>
 
 namespace dda {
 
+class FaultInjector;
+
 /// Configuration of an instrumented run.
 struct AnalysisOptions {
   uint64_t RandomSeed = 1; ///< Concrete seed for Math.random.
   uint64_t DomSeed = 1;    ///< Concrete seed for synthetic DOM content.
   uint64_t MaxSteps = 50'000'000;
+  uint64_t DeadlineMs = 0;   ///< Wall-clock budget for the run; 0 = none.
+  uint64_t MaxHeapCells = 0; ///< Heap-cell budget; 0 = unlimited.
   unsigned MaxCallDepth = 600;
+  unsigned MaxEvalDepth = 64; ///< Nested eval budget; 0 = unlimited.
+
+  /// Total counterfactual-execution fuel for the whole run; exhaustion
+  /// degrades each further indeterminate-false branch via ĈNTRABORT.
+  /// 0 = unlimited.
+  uint64_t CounterfactualFuel = 0;
+
+  /// Optional deterministic fault injector (not owned; may be null). Used
+  /// by tests and `ddajs --inject-fault` to trip any budget at a chosen
+  /// checkpoint.
+  FaultInjector *Injector = nullptr;
 
   /// Paper's `k`: maximum nesting depth of counterfactual executions; deeper
   /// nests short-circuit via the ĈNTRABORT rule.
@@ -63,6 +79,17 @@ struct AnalysisOptions {
   /// Record an Expression fact for every expression evaluation (heavier;
   /// used by tests and the quickstart example).
   bool RecordAllExpressions = false;
+
+  GovernorLimits governorLimits() const {
+    GovernorLimits L;
+    L.MaxSteps = MaxSteps;
+    L.DeadlineMs = DeadlineMs;
+    L.MaxHeapCells = MaxHeapCells;
+    L.MaxCallDepth = MaxCallDepth;
+    L.CfFuel = CounterfactualFuel;
+    L.MaxEvalDepth = MaxEvalDepth;
+    return L;
+  }
 };
 
 /// Counters describing what the instrumented run did.
@@ -76,10 +103,24 @@ struct AnalysisStats {
 };
 
 /// Everything an instrumented run produces.
+///
+/// A run that trips a resource budget still returns `Ok = true` with
+/// *partial-but-sound* facts: the analysis degrades through the ĈNTRABORT
+/// machinery (abort in-flight counterfactuals, flush the heap, taint the
+/// variable domain) instead of failing, and `Degradation` records what
+/// happened. `Ok = false` is reserved for conditions that invalidate the
+/// run entirely: parse/internal errors or an uncaught program exception.
 struct AnalysisResult {
   bool Ok = false;
   std::string Error;
   std::string Output; ///< Console output of the (real) execution.
+
+  /// TrapKind::None for a clean in-budget run; a resource trap kind when
+  /// the run was cut short but soundly degraded; InternalError when Ok is
+  /// false because of an interpreter bug.
+  TrapKind Trap = TrapKind::None;
+  /// Structured account of budget trips and the weakenings they caused.
+  DegradationReport Degradation;
 
   FactDB Facts;
   ContextTable Contexts;

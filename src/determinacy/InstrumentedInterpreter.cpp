@@ -4,6 +4,7 @@
 
 #include "interp/Ops.h"
 #include "parser/Parser.h"
+#include "support/FaultInjector.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -191,9 +192,13 @@ std::vector<StringId> dda::collectAssignedVars(const Stmt *S) {
 
 InstrumentedInterpreter::InstrumentedInterpreter(Program &P,
                                                  const AnalysisOptions &Opts)
-    : Prog(P), Opts(Opts), RandomRng(Opts.RandomSeed), DomRng(Opts.DomSeed) {
+    : Prog(P), Opts(Opts), Gov(Opts.governorLimits()),
+      RandomRng(Opts.RandomSeed), DomRng(Opts.DomSeed) {
+  Gov.setInjector(Opts.Injector);
   Frames.push_back(Frame());
   installGlobals();
+  // Builtin setup above is free; only program-driven allocations count.
+  TheHeap.setGovernor(&Gov);
 }
 
 InstrumentedInterpreter::~InstrumentedInterpreter() = default;
@@ -703,8 +708,18 @@ void InstrumentedInterpreter::noteCounterfactualEscape(IComp::Kind K,
 IComp InstrumentedInterpreter::counterfactualBranch(
     const std::vector<StringId> &AbortVd,
     const std::function<IComp()> &Exec) {
-  if (!Opts.CounterfactualEnabled ||
-      CfDepth >= Opts.CounterfactualDepth) {
+  bool Abort =
+      !Opts.CounterfactualEnabled || CfDepth >= Opts.CounterfactualDepth;
+  // Fuel is only spent on branches we would otherwise explore; exhaustion
+  // degrades *locally* through the same ĈNTRABORT path as deep nesting —
+  // the run continues, soundly, with a weaker post-state.
+  if (!Abort && !Gov.spendCfFuel()) {
+    Abort = true;
+    Degradation.addEvent(TrapKind::CfFuelExhausted, "cntr-abort",
+                         "fuel spent=" + std::to_string(Gov.cfFuelUsed()) +
+                             " vd-size=" + std::to_string(AbortVd.size()));
+  }
+  if (Abort) {
     cntrAbort(AbortVd);
     return IComp::normal();
   }
@@ -822,11 +837,40 @@ void InstrumentedInterpreter::recordFactValue(FactKind Kind, NodeID Node,
 }
 
 bool InstrumentedInterpreter::tick(IComp &C) {
-  if (++Steps > Opts.MaxSteps) {
-    C = IComp::fatal("step limit exceeded");
+  if (!Gov.tickStep()) {
+    C = trapCompletion();
     return false;
   }
   return true;
+}
+
+/// The step-limit message text is load-bearing: callers historically
+/// matched on "step limit".
+IComp InstrumentedInterpreter::trapCompletion() {
+  TrapKind K = Gov.trapKind();
+  std::string Msg;
+  switch (K) {
+  case TrapKind::StepLimit:
+    Msg = "step limit exceeded";
+    break;
+  case TrapKind::Deadline:
+    Msg = "deadline exceeded";
+    break;
+  case TrapKind::HeapLimit:
+    Msg = "heap cell limit exceeded";
+    break;
+  case TrapKind::CallDepthLimit:
+    Msg = "call depth limit exceeded";
+    break;
+  case TrapKind::EvalDepthLimit:
+    Msg = "eval depth limit exceeded";
+    break;
+  default:
+    return IComp::fatal("governor trap without a tripped budget");
+  }
+  if (Gov.trip().Injected)
+    Msg += " (injected)";
+  return IComp::trap(K, std::move(Msg));
 }
 
 IComp InstrumentedInterpreter::throwString(const std::string &Message) {
@@ -1995,9 +2039,16 @@ IRes InstrumentedInterpreter::callClosure(ObjectRef FnObj, Det CalleeDet,
                                           const TaggedValue &ThisV,
                                           const std::vector<TaggedValue> &Args,
                                           ContextID ChildCtx) {
-  if (CallDepth >= Opts.MaxCallDepth)
+  switch (Gov.enterCall()) {
+  case ResourceGovernor::CallGate::Ok:
+    break;
+  case ResourceGovernor::CallGate::Overflow:
+    // Natural overflow stays a catchable JS exception, as before.
     return IRes::abruptly(
         throwString("RangeError: maximum call depth exceeded"));
+  case ResourceGovernor::CallGate::Trip:
+    return IRes::abruptly(trapCompletion());
+  }
 
   const JSObject &O = TheHeap.get(FnObj);
   const FunctionExpr *Fn = O.Fn;
@@ -2013,9 +2064,8 @@ IRes InstrumentedInterpreter::callClosure(ObjectRef FnObj, Det CalleeDet,
   EnvRef SavedEnv = CurrentEnv;
   CurrentEnv = CallEnv;
   Frames.push_back(Frame{ChildCtx, {}, ThisV, std::nullopt});
-  ++CallDepth;
   IComp C = execBlockBody(Body->getBody());
-  --CallDepth;
+  Gov.exitCall();
   // A counterfactually explored `return` escaped somewhere in this
   // activation: other executions leave early, so everything written since
   // then is weakened and the return value cannot be determinate.
@@ -2122,6 +2172,13 @@ IRes InstrumentedInterpreter::evalEval(const CallExpr *E,
   if (!Arg.V.isString())
     return IRes::value(Arg);
 
+  if (!Gov.enterEval())
+    return IRes::abruptly(trapCompletion());
+  struct EvalScope {
+    ResourceGovernor &G;
+    ~EvalScope() { G.exitEval(); }
+  } Scope{Gov};
+
   DiagnosticEngine Diags;
   std::vector<Stmt *> Body = parseIntoContext(
       Interner::global().str(Arg.V.Str), *Prog.Context, Diags);
@@ -2165,18 +2222,47 @@ IRes InstrumentedInterpreter::evalEval(const CallExpr *E,
 // Driver
 //===----------------------------------------------------------------------===//
 
+void InstrumentedInterpreter::degradeAfterTrap(const IComp &C) {
+  Trap = C.Trap;
+  Degradation.Trap = C.Trap;
+  Degradation.Trip = Gov.trip();
+  // Exactly the ĈNTRABORT recipe, applied to the whole remaining run: the
+  // unexecuted suffix of the program may write anything, so open every
+  // record (epoch bump) and weaken every non-immune binding. Everything
+  // recorded in the FactDB *before* the trip described fully-executed
+  // occurrences and stays sound; the final-state projection becomes
+  // conservative (all indeterminate).
+  flushHeap();
+  Degradation.addEvent(C.Trap, "heap-flush", "epoch bumped, records opened");
+  taintAllEnvironments();
+  Degradation.addEvent(C.Trap, "env-taint",
+                       "all non-immune bindings weakened");
+  Degradation.addEvent(C.Trap, "abandon-run",
+                       toStringValue(C.V.V, TheHeap));
+  Degradation.StepsUsed = Gov.stepsUsed();
+  Degradation.HeapCellsUsed = Gov.heapCellsUsed();
+  Stats.StepsUsed = Gov.stepsUsed();
+}
+
 bool InstrumentedInterpreter::run() {
+  Gov.startClock();
   CurrentEnv = GlobalEnv;
   Frames.back().ThisV = TaggedValue(Value::object(WindowObj));
   hoist(Prog.Body, GlobalEnv);
   IComp C = execBlockBody(Prog.Body);
-  Stats.StepsUsed = Steps;
+  Stats.StepsUsed = Gov.stepsUsed();
   if (C.K == IComp::Throw) {
     Error = "uncaught exception: " + toStringValue(C.V.V, TheHeap);
     return false;
   }
   if (C.K == IComp::Fatal) {
+    if (isResourceTrap(C.Trap)) {
+      // Degrade, don't die: keep the partial-but-sound facts.
+      degradeAfterTrap(C);
+      return true;
+    }
     Error = toStringValue(C.V.V, TheHeap);
+    Trap = C.Trap;
     return false;
   }
 
@@ -2213,17 +2299,24 @@ bool InstrumentedInterpreter::run() {
       if (R.C.K == IComp::Throw) {
         Error = "uncaught exception in event handler: " +
                 toStringValue(R.C.V.V, TheHeap);
-        Stats.StepsUsed = Steps;
+        Stats.StepsUsed = Gov.stepsUsed();
         return false;
       }
       if (R.C.K == IComp::Fatal) {
+        if (isResourceTrap(R.C.Trap)) {
+          degradeAfterTrap(R.C);
+          return true;
+        }
         Error = toStringValue(R.C.V.V, TheHeap);
-        Stats.StepsUsed = Steps;
+        Trap = R.C.Trap;
+        Stats.StepsUsed = Gov.stepsUsed();
         return false;
       }
     }
   }
-  Stats.StepsUsed = Steps;
+  Stats.StepsUsed = Gov.stepsUsed();
+  Degradation.StepsUsed = Gov.stepsUsed();
+  Degradation.HeapCellsUsed = Gov.heapCellsUsed();
   return true;
 }
 
@@ -2284,6 +2377,8 @@ AnalysisResult assembleResult(InstrumentedInterpreter &I, bool Ok) {
   R.Ok = Ok;
   R.Error = I.errorMessage();
   R.Output = I.outputText();
+  R.Trap = I.trapKind();
+  R.Degradation = I.degradation();
   R.Facts = std::move(I.facts());
   R.Contexts = std::move(I.contexts());
   R.Stats = I.stats();
@@ -2333,6 +2428,19 @@ AnalysisResult dda::runDeterminacyAnalysisMultiSeed(
     Merged.Stats.JournalEntries += R.Stats.JournalEntries;
     Merged.Stats.StepsUsed += R.Stats.StepsUsed;
     Merged.Stats.FlushLimitHit |= R.Stats.FlushLimitHit;
+    // Degradation merges pessimistically: remember the first trap, fold in
+    // every run's weakening events.
+    if (Merged.Trap == TrapKind::None && R.Trap != TrapKind::None) {
+      Merged.Trap = R.Trap;
+      Merged.Degradation.Trap = R.Degradation.Trap;
+      Merged.Degradation.Trip = R.Degradation.Trip;
+    }
+    for (const DegradationEvent &E : R.Degradation.Events)
+      Merged.Degradation.addEvent(E.Cause, E.Action, E.Detail);
+    Merged.Degradation.EventsTotal +=
+        R.Degradation.EventsTotal - R.Degradation.Events.size();
+    Merged.Degradation.StepsUsed += R.Degradation.StepsUsed;
+    Merged.Degradation.HeapCellsUsed += R.Degradation.HeapCellsUsed;
     Merged.Ok = Merged.Ok && R.Ok;
   }
   return Merged;

@@ -52,13 +52,23 @@ struct IComp {
       Normal;
   TaggedValue V;
   bool IndetControl = false;
+  /// Set iff K == Fatal: distinguishes resource-budget trips (recoverable;
+  /// the analysis degrades soundly) from internal errors (genuine bugs).
+  TrapKind Trap = TrapKind::None;
 
   bool isAbrupt() const { return K != Normal; }
   static IComp normal() { return IComp(); }
   static IComp ret(TaggedValue V) { return {Return, std::move(V), false}; }
   static IComp thrown(TaggedValue V) { return {Throw, std::move(V), false}; }
+  /// An interpreter bug (malformed AST, broken invariant).
   static IComp fatal(std::string Message) {
-    return {Fatal, TaggedValue(Value::string(std::move(Message))), false};
+    return {Fatal, TaggedValue(Value::string(std::move(Message))), false,
+            TrapKind::InternalError};
+  }
+  /// A typed resource trap; carries a message for human output.
+  static IComp trap(TrapKind Kind, std::string Message) {
+    return {Fatal, TaggedValue(Value::string(std::move(Message))), false,
+            Kind};
   }
 };
 
@@ -101,6 +111,22 @@ public:
   TaggedValue taggedProperty(const TaggedValue &Base, const std::string &Name);
   /// Current global epoch (test hook).
   uint32_t currentEpoch() const { return Epoch; }
+
+  /// Why run() stopped early: TrapKind::None for a clean run, a resource
+  /// trap when a budget tripped (run() still returns true after degrading
+  /// soundly), InternalError for genuine bugs (run() returns false).
+  TrapKind trapKind() const { return Trap; }
+  /// Structured account of budget trips and sound weakenings (after run()).
+  const DegradationReport &degradation() const { return Degradation; }
+  const ResourceGovernor &governor() const { return Gov; }
+
+  /// Number of live journal entries (test hook: journal-undo integrity).
+  size_t journalSize() const { return J.size(); }
+  /// Reverts *every* journaled write back to the pre-run state (test hook:
+  /// after this, no user-visible binding or property mutation survives —
+  /// FuzzTest uses it to prove undo integrity after mid-counterfactual
+  /// aborts).
+  void unwindJournalForTest() { undoSince(0); }
 
   // NativeHost implementation.
   Heap &heap() override { return TheHeap; }
@@ -234,6 +260,11 @@ private:
   void recordFactValue(FactKind Kind, NodeID Node, FactValue FV,
                        uint16_t Index = 0);
   bool tick(IComp &C);
+  /// Renders the governor's latched trip as a typed trap completion.
+  IComp trapCompletion();
+  /// Sound degradation after a resource trap unwound to the driver: flush
+  /// the heap, taint the variable domain, and fill the DegradationReport.
+  void degradeAfterTrap(const IComp &C);
   IComp throwString(const std::string &Message);
   Det domDet() const {
     return Opts.DeterminateDom ? Det::Determinate : Det::Indeterminate;
@@ -257,6 +288,7 @@ private:
 
   Program &Prog;
   AnalysisOptions Opts;
+  ResourceGovernor Gov;
   Heap TheHeap;
   EnvArena Envs;
   RNG RandomRng;
@@ -272,9 +304,9 @@ private:
   EnvRef GlobalEnv = 0;
   EnvRef CurrentEnv = 0;
   std::vector<Frame> Frames;
-  unsigned CallDepth = 0;
-  uint64_t Steps = 0;
   uint32_t Epoch = 0;
+  TrapKind Trap = TrapKind::None;
+  DegradationReport Degradation;
 
   unsigned CfDepth = 0;
   bool CfAbortRequested = false;

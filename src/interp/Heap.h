@@ -23,6 +23,7 @@
 
 #include "ast/AST.h"
 #include "interp/Value.h"
+#include "support/ResourceGovernor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -186,7 +187,16 @@ class Heap {
 public:
   Heap() { Objects.emplace_back(); } // Index 0 is the invalid object.
 
+  /// Attaches a budget governor (not owned; may be null). Interpreters set
+  /// this *after* installing builtins so that only program-driven
+  /// allocations count against the heap-cell budget. Allocation itself
+  /// never fails: an over-budget cell latches a trip in the governor, which
+  /// the interpreter observes at its next step checkpoint.
+  void setGovernor(ResourceGovernor *G) { Gov = G; }
+
   ObjectRef allocate(ObjectClass Class, NodeID AllocSite = 0) {
+    if (Gov)
+      Gov->noteHeapCell();
     Objects.emplace_back();
     JSObject &O = Objects.back();
     O.Class = Class;
@@ -217,6 +227,7 @@ private:
   // Deque: object references handed out as JSObject& stay valid across
   // later allocations.
   std::deque<JSObject> Objects;
+  ResourceGovernor *Gov = nullptr;
 };
 
 } // namespace dda

@@ -5,6 +5,7 @@
 #include "ast/ASTPrinter.h"
 #include "interp/Ops.h"
 #include "parser/Parser.h"
+#include "support/FaultInjector.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -13,9 +14,12 @@
 using namespace dda;
 
 Interpreter::Interpreter(Program &P, InterpOptions Options)
-    : Prog(P), Opts(Options), RandomRng(Options.RandomSeed),
-      DomRng(Options.DomSeed) {
+    : Prog(P), Opts(Options), Gov(Options.governorLimits()),
+      RandomRng(Options.RandomSeed), DomRng(Options.DomSeed) {
+  Gov.setInjector(Opts.Injector);
   installGlobals();
+  // Builtin setup above is free; only program-driven allocations count.
+  TheHeap.setGovernor(&Gov);
 }
 
 Interpreter::~Interpreter() = default;
@@ -226,6 +230,7 @@ Det Interpreter::recordSetDeterminacy(ObjectRef) { return Det::Determinate; }
 //===----------------------------------------------------------------------===//
 
 bool Interpreter::run() {
+  Gov.startClock();
   CurrentEnv = GlobalEnv;
   CurrentThis = Value::object(WindowObj);
   hoist(Prog.Body, GlobalEnv);
@@ -236,6 +241,7 @@ bool Interpreter::run() {
   }
   if (C.K == Completion::Fatal) {
     Error = toStringValue(C.V, TheHeap);
+    Trap = C.Trap;
     return false;
   }
 
@@ -268,6 +274,7 @@ bool Interpreter::run() {
       }
       if (R.C.K == Completion::Fatal) {
         Error = toStringValue(R.C.V, TheHeap);
+        Trap = R.C.Trap;
         return false;
       }
     }
@@ -309,11 +316,41 @@ Value Interpreter::property(const Value &Base, const std::string &Name) {
 }
 
 bool Interpreter::tick(Completion &C) {
-  if (++Steps > Opts.MaxSteps) {
-    C = Completion::fatal("step limit exceeded");
+  if (!Gov.tickStep()) {
+    C = trapCompletion();
     return false;
   }
   return true;
+}
+
+/// Renders the governor's latched trip as a typed trap completion. The
+/// step-limit message text is load-bearing: callers historically matched
+/// on "step limit".
+Completion Interpreter::trapCompletion() {
+  TrapKind K = Gov.trapKind();
+  std::string Msg;
+  switch (K) {
+  case TrapKind::StepLimit:
+    Msg = "step limit exceeded";
+    break;
+  case TrapKind::Deadline:
+    Msg = "deadline exceeded";
+    break;
+  case TrapKind::HeapLimit:
+    Msg = "heap cell limit exceeded";
+    break;
+  case TrapKind::CallDepthLimit:
+    Msg = "call depth limit exceeded";
+    break;
+  case TrapKind::EvalDepthLimit:
+    Msg = "eval depth limit exceeded";
+    break;
+  default:
+    return Completion::fatal("governor trap without a tripped budget");
+  }
+  if (Gov.trip().Injected)
+    Msg += " (injected)";
+  return Completion::trap(K, std::move(Msg));
 }
 
 Completion Interpreter::throwTypeError(const std::string &Message) {
@@ -1064,18 +1101,23 @@ EvalResult Interpreter::evalEval(const CallExpr *E,
   (void)E;
   if (Args.empty() || !Args[0].isString())
     return EvalResult::value(Args.empty() ? Value::undefined() : Args[0]);
+  if (!Gov.enterEval())
+    return EvalResult::abruptly(trapCompletion());
   DiagnosticEngine Diags;
   std::vector<Stmt *> Body = parseIntoContext(
       Interner::global().str(Args[0].Str), *Prog.Context, Diags);
-  if (Diags.hasErrors())
+  if (Diags.hasErrors()) {
+    Gov.exitEval();
     return EvalResult::abruptly(Completion::thrown(
         Value::string("SyntaxError: " + Diags.diagnostics()[0].Message)));
+  }
   hoist(Body, CurrentEnv);
   Value Saved = LastStmtValue;
   LastStmtValue = Value::undefined();
   Completion C = execBlockBody(Body);
   Value Result = LastStmtValue;
   LastStmtValue = Saved;
+  Gov.exitEval();
   if (C.K == Completion::Return)
     return EvalResult::abruptly(
         Completion::thrown(Value::string("SyntaxError: illegal return")));
@@ -1151,9 +1193,16 @@ EvalResult Interpreter::callValue(const Value &Callee, const Value &ThisV,
 
 EvalResult Interpreter::callClosure(ObjectRef FnObj, const Value &ThisV,
                                     const std::vector<Value> &Args) {
-  if (CallDepth >= Opts.MaxCallDepth)
+  switch (Gov.enterCall()) {
+  case ResourceGovernor::CallGate::Ok:
+    break;
+  case ResourceGovernor::CallGate::Overflow:
+    // Natural overflow stays a catchable JS exception, as before.
     return EvalResult::abruptly(Completion::thrown(
         Value::string("RangeError: maximum call depth exceeded")));
+  case ResourceGovernor::CallGate::Trip:
+    return EvalResult::abruptly(trapCompletion());
+  }
 
   const JSObject &O = TheHeap.get(FnObj);
   const FunctionExpr *Fn = O.Fn;
@@ -1172,9 +1221,8 @@ EvalResult Interpreter::callClosure(ObjectRef FnObj, const Value &ThisV,
   Value SavedThis = CurrentThis;
   CurrentEnv = CallEnv;
   CurrentThis = ThisV;
-  ++CallDepth;
   Completion C = execBlockBody(Body->getBody());
-  --CallDepth;
+  Gov.exitCall();
   CurrentEnv = SavedEnv;
   CurrentThis = SavedThis;
 

@@ -20,6 +20,7 @@
 #include "interp/Value.h"
 #include "support/Diagnostics.h"
 #include "support/RNG.h"
+#include "support/ResourceGovernor.h"
 
 #include <string>
 #include <unordered_map>
@@ -27,30 +28,58 @@
 
 namespace dda {
 
+class FaultInjector;
+
 /// Tunables for a concrete run.
 struct InterpOptions {
   uint64_t RandomSeed = 1; ///< Seed for Math.random (program input).
   uint64_t DomSeed = 1;    ///< Seed for synthetic DOM content (environment).
   uint64_t MaxSteps = 50'000'000;
+  uint64_t DeadlineMs = 0;   ///< Wall-clock budget; 0 = none.
+  uint64_t MaxHeapCells = 0; ///< Heap-cell budget; 0 = unlimited.
   unsigned MaxCallDepth = 600;
+  unsigned MaxEvalDepth = 64; ///< Nested eval budget; 0 = unlimited.
   bool RunEventHandlers = true;
   /// Permute event-handler firing order using DomSeed (events "can fire in
   /// any order", Section 4).
   bool ShuffleEventHandlers = true;
+  /// Optional deterministic fault injector (not owned; may be null).
+  FaultInjector *Injector = nullptr;
+
+  GovernorLimits governorLimits() const {
+    GovernorLimits L;
+    L.MaxSteps = MaxSteps;
+    L.DeadlineMs = DeadlineMs;
+    L.MaxHeapCells = MaxHeapCells;
+    L.MaxCallDepth = MaxCallDepth;
+    L.MaxEvalDepth = MaxEvalDepth;
+    return L;
+  }
 };
 
 /// How a statement or expression finished.
+///
+/// `Fatal` means the run cannot continue; `Trap` distinguishes *why*: a
+/// resource-budget trip (TrapKind::StepLimit, Deadline, ...) is an expected,
+/// recoverable condition callers may degrade on, while
+/// TrapKind::InternalError marks a genuine interpreter invariant violation.
 struct Completion {
   enum Kind : uint8_t { Normal, Return, Break, Continue, Throw, Fatal } K =
       Normal;
   Value V; ///< Return value / thrown value; Fatal carries a message string.
+  TrapKind Trap = TrapKind::None; ///< Set iff K == Fatal.
 
   bool isAbrupt() const { return K != Normal; }
   static Completion normal() { return Completion(); }
   static Completion ret(Value V) { return {Return, std::move(V)}; }
   static Completion thrown(Value V) { return {Throw, std::move(V)}; }
+  /// An interpreter bug (malformed AST, broken invariant).
   static Completion fatal(std::string Message) {
-    return {Fatal, Value::string(std::move(Message))};
+    return {Fatal, Value::string(std::move(Message)), TrapKind::InternalError};
+  }
+  /// A typed trap (resource trip); carries a message for human output.
+  static Completion trap(TrapKind Kind, std::string Message) {
+    return {Fatal, Value::string(std::move(Message)), Kind};
   }
 };
 
@@ -77,7 +106,12 @@ public:
 
   const std::string &outputText() const { return Output; }
   const std::string &errorMessage() const { return Error; }
-  uint64_t stepsUsed() const { return Steps; }
+  uint64_t stepsUsed() const { return Gov.stepsUsed(); }
+
+  /// Why run() failed: a typed resource trap, an internal error, or
+  /// TrapKind::None (success or ordinary uncaught exception).
+  TrapKind trapKind() const { return Trap; }
+  const ResourceGovernor &governor() const { return Gov; }
 
   /// Reads a global variable (test hook).
   Value globalVariable(const std::string &Name);
@@ -132,10 +166,12 @@ private:
                          const std::vector<Value> &Args);
   StringId propertyKey(const Value &V);
   bool tick(Completion &C);
+  Completion trapCompletion();
   Completion throwTypeError(const std::string &Message);
 
   Program &Prog;
   InterpOptions Opts;
+  ResourceGovernor Gov;
   Heap TheHeap;
   EnvArena Envs;
   RNG RandomRng;
@@ -144,8 +180,7 @@ private:
   EnvRef GlobalEnv = 0;
   EnvRef CurrentEnv = 0;
   Value CurrentThis;
-  unsigned CallDepth = 0;
-  uint64_t Steps = 0;
+  TrapKind Trap = TrapKind::None;
 
   // Shared prototype / builtin objects.
   ObjectRef ObjectProto = 0;

@@ -27,10 +27,26 @@ bool Parser::accept(TokenKind Kind) {
 bool Parser::expect(TokenKind Kind, const char *Where) {
   if (accept(Kind))
     return true;
-  Diags.error(Current.Loc, std::string("expected ") + tokenKindName(Kind) +
-                               " " + Where + ", found " +
-                               tokenKindName(Current.Kind));
+  if (!DepthFailed)
+    Diags.error(Current.Loc, std::string("expected ") + tokenKindName(Kind) +
+                                 " " + Where + ", found " +
+                                 tokenKindName(Current.Kind));
   return false;
+}
+
+bool Parser::atDepthLimit(SourceLoc Loc) {
+  if (Depth < MaxDepth)
+    return false;
+  if (!DepthFailed) {
+    DepthFailed = true;
+    Diags.error(Loc, "nesting too deep (exceeds " + std::to_string(MaxDepth) +
+                         " levels)");
+    // Abandon the rest of the buffer: every pending frame sees EOF and
+    // returns without recursing deeper.
+    while (!at(TokenKind::Eof))
+      take();
+  }
+  return true;
 }
 
 void Parser::expectSemi() {
@@ -65,6 +81,9 @@ std::vector<Stmt *> Parser::parseTopLevel() {
 
 Stmt *Parser::parseStatement() {
   SourceLoc Loc = Current.Loc;
+  if (atDepthLimit(Loc))
+    return Context.create<EmptyStmt>(SourceRange(Loc, Loc));
+  DepthScope Scope(*this);
   switch (Current.Kind) {
   case TokenKind::LBrace:
     return parseBlock();
@@ -385,6 +404,9 @@ Expr *Parser::errorExpr(SourceLoc Loc) {
 
 Expr *Parser::parseAssignment() {
   SourceLoc Loc = Current.Loc;
+  if (atDepthLimit(Loc))
+    return errorExpr(Loc);
+  DepthScope Scope(*this);
   Expr *Target = parseConditional();
   AssignOp Op;
   switch (Current.Kind) {
@@ -533,6 +555,9 @@ Expr *Parser::parseMultiplicative() {
 
 Expr *Parser::parseUnary() {
   SourceLoc Loc = Current.Loc;
+  if (atDepthLimit(Loc))
+    return errorExpr(Loc);
+  DepthScope Scope(*this);
   UnaryOp Op;
   switch (Current.Kind) {
   case TokenKind::Not:
@@ -631,6 +656,9 @@ Expr *Parser::parseCallsAndMembers(Expr *Base) {
 
 Expr *Parser::parseNew() {
   SourceLoc Loc = Current.Loc;
+  if (atDepthLimit(Loc))
+    return errorExpr(Loc);
+  DepthScope Scope(*this);
   expect(TokenKind::KwNew, "");
   // Parse the constructor expression: a primary followed by member accesses
   // (but not calls; the first argument list belongs to `new`).
@@ -743,8 +771,9 @@ Expr *Parser::parsePrimary() {
     return Context.create<ObjectLiteral>(rangeFrom(Loc), std::move(Props));
   }
   default:
-    Diags.error(Loc, std::string("unexpected ") + tokenKindName(Current.Kind) +
-                         " in expression");
+    if (!DepthFailed)
+      Diags.error(Loc, std::string("unexpected ") +
+                           tokenKindName(Current.Kind) + " in expression");
     take();
     return errorExpr(Loc);
   }

@@ -41,6 +41,17 @@ public:
 
   std::vector<Stmt *> parseTopLevel();
 
+  /// Maximum recursive-descent nesting depth (statements, expressions,
+  /// `new` chains). Each source-level nesting level costs a dozen native
+  /// frames, so this bound keeps a hostile ~100k-deep input from
+  /// overflowing the native stack (it becomes one structured diagnostic
+  /// instead). Generous for real programs, conservative for sanitizer
+  /// builds with fat frames.
+  static constexpr unsigned kMaxNestingDepth = 256;
+
+  /// Overrides the nesting limit (white-box tests).
+  void setMaxNestingDepth(unsigned Limit) { MaxDepth = Limit; }
+
 private:
   // Token plumbing.
   const Token &peek() const { return Current; }
@@ -83,6 +94,17 @@ private:
 
   Expr *errorExpr(SourceLoc Loc);
 
+  /// Depth-guard check at every recursion entry point. On the first trip it
+  /// reports one structured diagnostic and abandons the rest of the buffer
+  /// (skips to EOF) so the unwind terminates promptly; callers return an
+  /// error node without recursing further.
+  bool atDepthLimit(SourceLoc Loc);
+  struct DepthScope {
+    Parser &P;
+    explicit DepthScope(Parser &P) : P(P) { ++P.Depth; }
+    ~DepthScope() { --P.Depth; }
+  };
+
   ASTContext &Context;
   DiagnosticEngine &Diags;
   Lexer Lex;
@@ -91,6 +113,11 @@ private:
   /// True while parsing a `for (...)` header, where a top-level `in` must not
   /// be consumed as a binary operator.
   bool NoIn = false;
+  unsigned Depth = 0;
+  unsigned MaxDepth = kMaxNestingDepth;
+  /// Set once the depth limit has been reported; suppresses the cascade of
+  /// secondary "expected X" diagnostics while the recursion unwinds.
+  bool DepthFailed = false;
 };
 
 } // namespace dda

@@ -1,0 +1,59 @@
+//===- FaultInjector.cpp - Deterministic budget-trip injection -------------==//
+
+#include "support/FaultInjector.h"
+
+#include <cstdlib>
+
+namespace dda {
+
+static std::optional<Budget> budgetFromName(const std::string &Name) {
+  for (Budget B : {Budget::Steps, Budget::Deadline, Budget::HeapCells,
+                   Budget::CallDepth, Budget::CfFuel, Budget::EvalDepth})
+    if (Name == budgetName(B))
+      return B;
+  return std::nullopt;
+}
+
+std::optional<FaultInjector> FaultInjector::parse(const std::string &Spec,
+                                                  std::string *ErrorOut) {
+  auto fail = [&](const std::string &Why) -> std::optional<FaultInjector> {
+    if (ErrorOut)
+      *ErrorOut = "invalid fault spec '" + Spec + "': " + Why +
+                  " (expected class:N with class one of steps, deadline, "
+                  "heap, depth, cf-fuel, eval-depth)";
+    return std::nullopt;
+  };
+
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 || Colon + 1 == Spec.size())
+    return fail("missing ':'");
+  std::optional<Budget> B = budgetFromName(Spec.substr(0, Colon));
+  if (!B)
+    return fail("unknown checkpoint class");
+  const std::string NumStr = Spec.substr(Colon + 1);
+  uint64_t N = 0;
+  for (char C : NumStr) {
+    if (C < '0' || C > '9')
+      return fail("N is not a positive integer");
+    uint64_t Next = N * 10 + (uint64_t)(C - '0');
+    if (Next < N)
+      return fail("N overflows");
+    N = Next;
+  }
+  if (N == 0)
+    return fail("N must be >= 1");
+  return FaultInjector(*B, N);
+}
+
+std::optional<FaultInjector> FaultInjector::fromEnvironment() {
+  const char *Spec = std::getenv("DDA_INJECT_FAULT");
+  if (!Spec || !*Spec)
+    return std::nullopt;
+  return parse(Spec);
+}
+
+std::string FaultInjector::str() const {
+  return std::string(budgetName(Target)) + ":" + std::to_string(At);
+}
+
+} // namespace dda

@@ -1,0 +1,86 @@
+//===- FaultInjector.h - Deterministic budget-trip injection -----*- C++ -*-==//
+///
+/// \file
+/// Trips a chosen governor budget at the Nth checkpoint of its class, so
+/// every degradation path in the analysis is reachable from tests with a
+/// one-line spec instead of a pathological input.
+///
+/// A spec is `class:N` where `class` is one of the budget names
+/// (`steps`, `deadline`, `heap`, `depth`, `cf-fuel`, `eval-depth`) and `N`
+/// is the 1-based ordinal of the checkpoint to trip at. Examples:
+///
+///   steps:1000     trip the step budget at the 1000th tick
+///   heap:7         trip the heap budget at the 7th allocation
+///   cf-fuel:2      exhaust counterfactual fuel at the 2nd counterfactual
+///
+/// Checkpoint counters are per-injector (and injectors are per-run), so a
+/// given (program, seed, spec) triple always trips at the same point —
+/// injection is fully deterministic and reproducible. The spec can also be
+/// supplied via the `DDA_INJECT_FAULT` environment variable, which `ddajs`
+/// consults when no `--inject-fault` flag is given.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SUPPORT_FAULTINJECTOR_H
+#define DDA_SUPPORT_FAULTINJECTOR_H
+
+#include "support/ResourceGovernor.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dda {
+
+/// Deterministic single-fault injector. Counts checkpoints per budget class
+/// and reports "trip now" exactly once, at the configured ordinal.
+class FaultInjector {
+public:
+  FaultInjector() = default;
+  FaultInjector(Budget Target, uint64_t AtCheckpoint)
+      : Target(Target), At(AtCheckpoint), Armed(AtCheckpoint != 0) {}
+
+  /// Parses a `class:N` spec. Returns std::nullopt (and fills *ErrorOut if
+  /// given) on malformed specs.
+  static std::optional<FaultInjector> parse(const std::string &Spec,
+                                            std::string *ErrorOut = nullptr);
+
+  /// Reads `DDA_INJECT_FAULT` from the environment; std::nullopt when unset
+  /// or malformed (malformed env specs are ignored, not fatal).
+  static std::optional<FaultInjector> fromEnvironment();
+
+  /// Called by the governor at each checkpoint of class \p B. Returns true
+  /// exactly when this checkpoint is the configured trip point.
+  bool shouldTrip(Budget B) {
+    if (!Armed || B != Target)
+      return false;
+    if (++Count[(size_t)B] != At)
+      return false;
+    Armed = false; // Single-shot.
+    return true;
+  }
+
+  bool armed() const { return Armed; }
+  Budget target() const { return Target; }
+  uint64_t atCheckpoint() const { return At; }
+
+  /// Re-arms and zeroes the checkpoint counters (for reuse across runs).
+  void reset() {
+    for (auto &C : Count)
+      C = 0;
+    Armed = At != 0;
+  }
+
+  /// Renders the spec back as `class:N`.
+  std::string str() const;
+
+private:
+  Budget Target = Budget::Steps;
+  uint64_t At = 0;
+  bool Armed = false;
+  uint64_t Count[6] = {};
+};
+
+} // namespace dda
+
+#endif // DDA_SUPPORT_FAULTINJECTOR_H

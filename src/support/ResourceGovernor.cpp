@@ -1,0 +1,195 @@
+//===- ResourceGovernor.cpp - Unified analysis budgets ---------------------==//
+
+#include "support/ResourceGovernor.h"
+
+#include "support/FaultInjector.h"
+
+#include <sstream>
+
+namespace dda {
+
+const char *budgetName(Budget B) {
+  switch (B) {
+  case Budget::Steps:
+    return "steps";
+  case Budget::Deadline:
+    return "deadline";
+  case Budget::HeapCells:
+    return "heap";
+  case Budget::CallDepth:
+    return "depth";
+  case Budget::CfFuel:
+    return "cf-fuel";
+  case Budget::EvalDepth:
+    return "eval-depth";
+  }
+  return "?";
+}
+
+const char *trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::None:
+    return "none";
+  case TrapKind::InternalError:
+    return "internal-error";
+  case TrapKind::StepLimit:
+    return "step-limit";
+  case TrapKind::Deadline:
+    return "deadline";
+  case TrapKind::HeapLimit:
+    return "heap-limit";
+  case TrapKind::CallDepthLimit:
+    return "call-depth-limit";
+  case TrapKind::CfFuelExhausted:
+    return "cf-fuel-exhausted";
+  case TrapKind::EvalDepthLimit:
+    return "eval-depth-limit";
+  }
+  return "?";
+}
+
+TrapKind trapForBudget(Budget B) {
+  switch (B) {
+  case Budget::Steps:
+    return TrapKind::StepLimit;
+  case Budget::Deadline:
+    return TrapKind::Deadline;
+  case Budget::HeapCells:
+    return TrapKind::HeapLimit;
+  case Budget::CallDepth:
+    return TrapKind::CallDepthLimit;
+  case Budget::CfFuel:
+    return TrapKind::CfFuelExhausted;
+  case Budget::EvalDepth:
+    return TrapKind::EvalDepthLimit;
+  }
+  return TrapKind::InternalError;
+}
+
+void DegradationReport::addEvent(TrapKind Cause, std::string Action,
+                                 std::string Detail) {
+  ++EventsTotal;
+  if (Events.size() < kMaxEvents)
+    Events.push_back({Cause, std::move(Action), std::move(Detail)});
+}
+
+std::string DegradationReport::str() const {
+  std::ostringstream OS;
+  if (Trap == TrapKind::None) {
+    OS << "degradation: none fatal";
+  } else {
+    OS << "degradation: trap=" << trapKindName(Trap) << " budget="
+       << budgetName(Trip.Which) << " used=" << Trip.Used;
+    if (Trip.Limit != 0)
+      OS << " limit=" << Trip.Limit;
+    OS << " checkpoint=" << Trip.Checkpoint;
+    if (Trip.Injected)
+      OS << " (injected)";
+  }
+  OS << "; steps=" << StepsUsed << " heap-cells=" << HeapCellsUsed << "\n";
+  for (const DegradationEvent &E : Events)
+    OS << "  - [" << trapKindName(E.Cause) << "] " << E.Action
+       << (E.Detail.empty() ? "" : ": " + E.Detail) << "\n";
+  if (EventsTotal > Events.size())
+    OS << "  ... " << (EventsTotal - Events.size()) << " more event(s)\n";
+  return OS.str();
+}
+
+ResourceGovernor::ResourceGovernor(const GovernorLimits &L) : Limits(L) {
+  recomputeArmed();
+}
+
+void ResourceGovernor::recomputeArmed() {
+  Armed = Limits.DeadlineMs != 0 || (Injector && Injector->armed()) ||
+          HeapTripLatched;
+}
+
+bool ResourceGovernor::tripNow(Budget B, uint64_t Used, uint64_t Limit,
+                               uint64_t Checkpoint, bool Injected) {
+  if (!Tripped) {
+    Tripped = true;
+    Trip = {B, Used, Limit, Checkpoint, Injected};
+  }
+  return false;
+}
+
+bool ResourceGovernor::slowTick() {
+  // The injector was checked cheaply via Armed; re-derive it here so the
+  // hot path stays one flag test.
+  recomputeArmed();
+  if (HeapTripLatched)
+    return tripNow(Budget::HeapCells, HeapCells, Limits.MaxHeapCells,
+                   HeapCells, HeapTripInjected);
+  if (Injector && Injector->shouldTrip(Budget::Steps)) {
+    recomputeArmed();
+    return tripNow(Budget::Steps, Steps, Limits.MaxSteps, Steps, true);
+  }
+  if (Limits.DeadlineMs != 0 && (Steps % kDeadlineStride) == 0) {
+    if (elapsedMs() > Limits.DeadlineMs)
+      return tripNow(Budget::Deadline, elapsedMs(), Limits.DeadlineMs, Steps,
+                     false);
+  }
+  if (Injector && Injector->shouldTrip(Budget::Deadline)) {
+    recomputeArmed();
+    return tripNow(Budget::Deadline, elapsedMs(), Limits.DeadlineMs, Steps,
+                   true);
+  }
+  return true;
+}
+
+bool ResourceGovernor::noteHeapCell() {
+  ++HeapCells;
+  bool Injected = Injector && Injector->shouldTrip(Budget::HeapCells);
+  bool Over = Limits.MaxHeapCells != 0 && HeapCells > Limits.MaxHeapCells;
+  if (Injected || Over) {
+    HeapTripLatched = true;
+    HeapTripInjected = Injected && !Over;
+    Armed = true;
+    return false;
+  }
+  return true;
+}
+
+ResourceGovernor::CallGate ResourceGovernor::enterCall() {
+  ++CallsEntered;
+  if (Injector && Injector->shouldTrip(Budget::CallDepth)) {
+    recomputeArmed();
+    tripNow(Budget::CallDepth, CallDepth, Limits.MaxCallDepth, CallsEntered,
+            true);
+    return CallGate::Trip;
+  }
+  if (Limits.MaxCallDepth != 0 && CallDepth >= Limits.MaxCallDepth)
+    return CallGate::Overflow;
+  ++CallDepth;
+  return CallGate::Ok;
+}
+
+bool ResourceGovernor::enterEval() {
+  ++EvalsEntered;
+  if (Injector && Injector->shouldTrip(Budget::EvalDepth)) {
+    recomputeArmed();
+    tripNow(Budget::EvalDepth, EvalDepth, Limits.MaxEvalDepth, EvalsEntered,
+            true);
+    return false;
+  }
+  if (Limits.MaxEvalDepth != 0 && EvalDepth >= Limits.MaxEvalDepth) {
+    tripNow(Budget::EvalDepth, EvalDepth, Limits.MaxEvalDepth, EvalsEntered,
+            false);
+    return false;
+  }
+  ++EvalDepth;
+  return true;
+}
+
+bool ResourceGovernor::spendCfFuel() {
+  ++CfFuelUsed;
+  if (Injector && Injector->shouldTrip(Budget::CfFuel)) {
+    recomputeArmed();
+    return false;
+  }
+  if (Limits.CfFuel != 0 && CfFuelUsed > Limits.CfFuel)
+    return false;
+  return true;
+}
+
+} // namespace dda

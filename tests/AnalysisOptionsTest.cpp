@@ -60,13 +60,23 @@ TEST(Options, FlushLimitFreezesFactsButExecutionContinues) {
   EXPECT_EQ(R.Facts.query({Late->getID(), 0, FactKind::Assign, 0}), nullptr);
 }
 
-TEST(Options, MaxStepsAbortsInstrumentedRun) {
-  Program P = parse("while (true) { }");
+TEST(Options, MaxStepsDegradesInstrumentedRunSoundly) {
+  // A tripped step budget no longer kills the run: the analysis degrades
+  // through the ĈNTRABORT machinery and returns partial-but-sound facts
+  // plus a structured degradation report.
+  Program P = parse("var k = 5; while (true) { }");
   AnalysisOptions Opts;
   Opts.MaxSteps = 5'000;
   AnalysisResult R = runDeterminacyAnalysis(P, Opts);
-  EXPECT_FALSE(R.Ok);
-  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Trap, TrapKind::StepLimit);
+  EXPECT_TRUE(R.Degradation.degraded());
+  EXPECT_EQ(R.Degradation.Trip.Which, Budget::Steps);
+  EXPECT_FALSE(R.Degradation.Trip.Injected);
+  EXPECT_GE(R.Degradation.StepsUsed, 5'000u);
+  EXPECT_NE(R.Degradation.str().find("step limit"), std::string::npos);
+  // Facts recorded before the trip survive.
+  EXPECT_GT(R.Facts.size(), 0u);
 }
 
 TEST(Options, CounterfactualDepthZeroEqualsDisabled) {

@@ -1,0 +1,446 @@
+//===- GovernorTest.cpp - ResourceGovernor + FaultInjector tests ------------==//
+//
+// Unit tests for the checkpointed budget authority and the deterministic
+// fault injector, plus integration tests showing that budget trips degrade
+// the instrumented analysis soundly instead of killing it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+#include "support/ResourceGovernor.h"
+
+#include "determinacy/InstrumentedInterpreter.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace dda;
+
+namespace {
+
+Program parse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Names and mappings
+//===----------------------------------------------------------------------===//
+
+TEST(Governor, BudgetNamesAndTrapMappings) {
+  EXPECT_STREQ(budgetName(Budget::Steps), "steps");
+  EXPECT_STREQ(budgetName(Budget::Deadline), "deadline");
+  EXPECT_STREQ(budgetName(Budget::HeapCells), "heap");
+  EXPECT_STREQ(budgetName(Budget::CallDepth), "depth");
+  EXPECT_STREQ(budgetName(Budget::CfFuel), "cf-fuel");
+  EXPECT_STREQ(budgetName(Budget::EvalDepth), "eval-depth");
+
+  EXPECT_EQ(trapForBudget(Budget::Steps), TrapKind::StepLimit);
+  EXPECT_EQ(trapForBudget(Budget::Deadline), TrapKind::Deadline);
+  EXPECT_EQ(trapForBudget(Budget::HeapCells), TrapKind::HeapLimit);
+  EXPECT_EQ(trapForBudget(Budget::CallDepth), TrapKind::CallDepthLimit);
+  EXPECT_EQ(trapForBudget(Budget::CfFuel), TrapKind::CfFuelExhausted);
+  EXPECT_EQ(trapForBudget(Budget::EvalDepth), TrapKind::EvalDepthLimit);
+
+  EXPECT_FALSE(isResourceTrap(TrapKind::None));
+  EXPECT_FALSE(isResourceTrap(TrapKind::InternalError));
+  EXPECT_TRUE(isResourceTrap(TrapKind::StepLimit));
+  EXPECT_TRUE(isResourceTrap(TrapKind::Deadline));
+  EXPECT_TRUE(isResourceTrap(TrapKind::HeapLimit));
+  EXPECT_TRUE(isResourceTrap(TrapKind::EvalDepthLimit));
+}
+
+//===----------------------------------------------------------------------===//
+// FaultInjector
+//===----------------------------------------------------------------------===//
+
+TEST(FaultInjectorTest, ParsesValidSpecs) {
+  auto FI = FaultInjector::parse("steps:1000");
+  ASSERT_TRUE(FI.has_value());
+  EXPECT_EQ(FI->target(), Budget::Steps);
+  EXPECT_EQ(FI->atCheckpoint(), 1000u);
+  EXPECT_TRUE(FI->armed());
+  EXPECT_EQ(FI->str(), "steps:1000");
+
+  EXPECT_EQ(FaultInjector::parse("heap:7")->target(), Budget::HeapCells);
+  EXPECT_EQ(FaultInjector::parse("deadline:1")->target(), Budget::Deadline);
+  EXPECT_EQ(FaultInjector::parse("depth:3")->target(), Budget::CallDepth);
+  EXPECT_EQ(FaultInjector::parse("cf-fuel:2")->target(), Budget::CfFuel);
+  EXPECT_EQ(FaultInjector::parse("eval-depth:1")->target(),
+            Budget::EvalDepth);
+}
+
+TEST(FaultInjectorTest, RejectsMalformedSpecs) {
+  std::string Err;
+  EXPECT_FALSE(FaultInjector::parse("", &Err).has_value());
+  EXPECT_FALSE(FaultInjector::parse("steps", &Err).has_value());
+  EXPECT_FALSE(FaultInjector::parse("steps:", &Err).has_value());
+  EXPECT_FALSE(FaultInjector::parse(":5", &Err).has_value());
+  EXPECT_FALSE(FaultInjector::parse("steps:0", &Err).has_value());
+  EXPECT_FALSE(FaultInjector::parse("steps:abc", &Err).has_value());
+  EXPECT_FALSE(FaultInjector::parse("bogus:1", &Err).has_value());
+  EXPECT_FALSE(Err.empty());
+  // Error message names the valid classes so the CLI is self-describing.
+  EXPECT_NE(Err.find("steps"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, TripsExactlyOnceAtTheConfiguredOrdinal) {
+  FaultInjector FI(Budget::Steps, 3);
+  EXPECT_FALSE(FI.shouldTrip(Budget::Steps));     // 1
+  EXPECT_FALSE(FI.shouldTrip(Budget::HeapCells)); // other class: not counted
+  EXPECT_FALSE(FI.shouldTrip(Budget::Steps));     // 2
+  EXPECT_TRUE(FI.shouldTrip(Budget::Steps));      // 3: fire
+  EXPECT_FALSE(FI.armed());
+  EXPECT_FALSE(FI.shouldTrip(Budget::Steps)); // single-shot
+}
+
+TEST(FaultInjectorTest, ResetReArms) {
+  FaultInjector FI(Budget::HeapCells, 2);
+  EXPECT_FALSE(FI.shouldTrip(Budget::HeapCells));
+  EXPECT_TRUE(FI.shouldTrip(Budget::HeapCells));
+  FI.reset();
+  EXPECT_TRUE(FI.armed());
+  EXPECT_FALSE(FI.shouldTrip(Budget::HeapCells));
+  EXPECT_TRUE(FI.shouldTrip(Budget::HeapCells));
+}
+
+TEST(FaultInjectorTest, ReadsSpecFromEnvironment) {
+  ::setenv("DDA_INJECT_FAULT", "heap:42", 1);
+  auto FI = FaultInjector::fromEnvironment();
+  ASSERT_TRUE(FI.has_value());
+  EXPECT_EQ(FI->target(), Budget::HeapCells);
+  EXPECT_EQ(FI->atCheckpoint(), 42u);
+
+  ::setenv("DDA_INJECT_FAULT", "not-a-spec", 1);
+  EXPECT_FALSE(FaultInjector::fromEnvironment().has_value());
+
+  ::unsetenv("DDA_INJECT_FAULT");
+  EXPECT_FALSE(FaultInjector::fromEnvironment().has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// ResourceGovernor unit behaviour
+//===----------------------------------------------------------------------===//
+
+TEST(Governor, StepLimitTripsAtTheLimit) {
+  GovernorLimits L;
+  L.MaxSteps = 5;
+  ResourceGovernor G(L);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_TRUE(G.tickStep());
+  EXPECT_FALSE(G.tickStep());
+  EXPECT_TRUE(G.tripped());
+  EXPECT_EQ(G.trip().Which, Budget::Steps);
+  EXPECT_EQ(G.trip().Limit, 5u);
+  EXPECT_FALSE(G.trip().Injected);
+  EXPECT_EQ(G.trapKind(), TrapKind::StepLimit);
+}
+
+TEST(Governor, ZeroMeansUnlimitedSteps) {
+  GovernorLimits L;
+  L.MaxSteps = 0;
+  ResourceGovernor G(L);
+  for (int i = 0; i < 100'000; ++i)
+    ASSERT_TRUE(G.tickStep());
+  EXPECT_FALSE(G.tripped());
+}
+
+TEST(Governor, HeapTripLatchesAndIsObservedByNextTick) {
+  GovernorLimits L;
+  L.MaxHeapCells = 2;
+  ResourceGovernor G(L);
+  EXPECT_TRUE(G.tickStep());
+  EXPECT_TRUE(G.noteHeapCell());  // 1
+  EXPECT_TRUE(G.noteHeapCell());  // 2: at limit, still ok
+  EXPECT_FALSE(G.noteHeapCell()); // 3: over — latched, allocation succeeded
+  // The trip only becomes a run-ending trap at the next step checkpoint.
+  EXPECT_FALSE(G.tickStep());
+  EXPECT_EQ(G.trapKind(), TrapKind::HeapLimit);
+  EXPECT_EQ(G.trip().Which, Budget::HeapCells);
+  EXPECT_EQ(G.heapCellsUsed(), 3u);
+}
+
+TEST(Governor, InjectedHeapTripNeedsNoLimit) {
+  ResourceGovernor G; // default limits: MaxHeapCells = 0 (unlimited)
+  FaultInjector FI(Budget::HeapCells, 2);
+  G.setInjector(&FI);
+  EXPECT_TRUE(G.noteHeapCell());
+  EXPECT_FALSE(G.noteHeapCell()); // injector fires at 2nd allocation
+  EXPECT_FALSE(G.tickStep());
+  EXPECT_TRUE(G.trip().Injected);
+  EXPECT_EQ(G.trapKind(), TrapKind::HeapLimit);
+}
+
+TEST(Governor, CallGateDistinguishesOverflowFromInjectedTrip) {
+  GovernorLimits L;
+  L.MaxCallDepth = 2;
+  ResourceGovernor G(L);
+  EXPECT_EQ(G.enterCall(), ResourceGovernor::CallGate::Ok);
+  EXPECT_EQ(G.enterCall(), ResourceGovernor::CallGate::Ok);
+  // Natural overflow: catchable, not a trap; the governor does not latch.
+  EXPECT_EQ(G.enterCall(), ResourceGovernor::CallGate::Overflow);
+  EXPECT_FALSE(G.tripped());
+  G.exitCall();
+  G.exitCall();
+
+  ResourceGovernor G2;
+  FaultInjector FI(Budget::CallDepth, 2);
+  G2.setInjector(&FI);
+  EXPECT_EQ(G2.enterCall(), ResourceGovernor::CallGate::Ok);
+  EXPECT_EQ(G2.enterCall(), ResourceGovernor::CallGate::Trip);
+  EXPECT_TRUE(G2.tripped());
+  EXPECT_TRUE(G2.trip().Injected);
+  EXPECT_EQ(G2.trapKind(), TrapKind::CallDepthLimit);
+}
+
+TEST(Governor, EvalDepthTrips) {
+  GovernorLimits L;
+  L.MaxEvalDepth = 2;
+  ResourceGovernor G(L);
+  EXPECT_TRUE(G.enterEval());
+  EXPECT_TRUE(G.enterEval());
+  EXPECT_FALSE(G.enterEval()); // third nested eval exceeds the budget
+  EXPECT_EQ(G.trapKind(), TrapKind::EvalDepthLimit);
+}
+
+TEST(Governor, CfFuelExhaustionDoesNotTripTheRun) {
+  GovernorLimits L;
+  L.CfFuel = 2;
+  ResourceGovernor G(L);
+  EXPECT_TRUE(G.spendCfFuel());
+  EXPECT_TRUE(G.spendCfFuel());
+  EXPECT_FALSE(G.spendCfFuel()); // fuel gone: degrade locally...
+  EXPECT_FALSE(G.tripped());     // ...but the run keeps going
+  EXPECT_TRUE(G.tickStep());
+}
+
+TEST(Governor, InjectedDeadlineTripsWithoutWaiting) {
+  ResourceGovernor G;
+  FaultInjector FI(Budget::Deadline, 3);
+  G.setInjector(&FI);
+  G.startClock();
+  EXPECT_TRUE(G.tickStep());
+  EXPECT_TRUE(G.tickStep());
+  EXPECT_FALSE(G.tickStep()); // 3rd armed tick = 3rd deadline checkpoint
+  EXPECT_EQ(G.trapKind(), TrapKind::Deadline);
+  EXPECT_TRUE(G.trip().Injected);
+}
+
+TEST(Governor, FirstTripWins) {
+  GovernorLimits L;
+  L.MaxSteps = 3;
+  L.MaxHeapCells = 1;
+  ResourceGovernor G(L);
+  G.noteHeapCell();
+  EXPECT_FALSE(G.noteHeapCell()); // heap latched first
+  EXPECT_FALSE(G.tickStep());    // observes the heap trip
+  EXPECT_EQ(G.trip().Which, Budget::HeapCells);
+  // Later step-limit crossings must not overwrite the original cause.
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(G.tickStep());
+  EXPECT_EQ(G.trip().Which, Budget::HeapCells);
+}
+
+//===----------------------------------------------------------------------===//
+// DegradationReport
+//===----------------------------------------------------------------------===//
+
+TEST(Governor, DegradationReportCapsEventsButCountsAll) {
+  DegradationReport R;
+  for (size_t i = 0; i < DegradationReport::kMaxEvents + 10; ++i)
+    R.addEvent(TrapKind::CfFuelExhausted, "cntr-abort", "x");
+  EXPECT_EQ(R.Events.size(), DegradationReport::kMaxEvents);
+  EXPECT_EQ(R.EventsTotal, DegradationReport::kMaxEvents + 10);
+  EXPECT_TRUE(R.degraded());
+  EXPECT_NE(R.str().find("cntr-abort"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete interpreter integration
+//===----------------------------------------------------------------------===//
+
+TEST(GovernorInterp, ConcreteRunReportsTypedTrap) {
+  Program P = parse("while (true) { }");
+  InterpOptions Opts;
+  Opts.MaxSteps = 2'000;
+  Interpreter I(P, Opts);
+  EXPECT_FALSE(I.run());
+  EXPECT_EQ(I.trapKind(), TrapKind::StepLimit);
+  EXPECT_NE(I.errorMessage().find("step limit"), std::string::npos);
+}
+
+TEST(GovernorInterp, InjectedHeapFaultIsDeterministic) {
+  const char *Source = "var a = []; for (var i = 0; i < 50; i++) a[i] = {};";
+  uint64_t FirstSteps = 0;
+  for (int Round = 0; Round < 2; ++Round) {
+    Program P = parse(Source);
+    InterpOptions Opts;
+    FaultInjector FI(Budget::HeapCells, 10);
+    Opts.Injector = &FI;
+    Interpreter I(P, Opts);
+    EXPECT_FALSE(I.run());
+    EXPECT_EQ(I.trapKind(), TrapKind::HeapLimit);
+    EXPECT_NE(I.errorMessage().find("(injected)"), std::string::npos);
+    if (Round == 0)
+      FirstSteps = I.stepsUsed();
+    else
+      EXPECT_EQ(I.stepsUsed(), FirstSteps); // same trip point every run
+  }
+}
+
+TEST(GovernorInterp, NaturalCallOverflowStaysCatchable) {
+  Program P = parse("var msg = \"\";\n"
+                    "function f() { f(); }\n"
+                    "try { f(); } catch (e) { msg = e; }\n"
+                    "print(msg);");
+  InterpOptions Opts;
+  Opts.MaxCallDepth = 30;
+  Interpreter I(P, Opts);
+  ASSERT_TRUE(I.run());
+  EXPECT_EQ(I.trapKind(), TrapKind::None);
+  EXPECT_NE(I.outputText().find("maximum call depth"), std::string::npos);
+}
+
+TEST(GovernorInterp, InjectedCallTrapIsNotCatchable) {
+  Program P = parse("function f() { f(); }\n"
+                    "try { f(); } catch (e) { print(\"caught\"); }");
+  InterpOptions Opts;
+  FaultInjector FI(Budget::CallDepth, 5);
+  Opts.Injector = &FI;
+  Interpreter I(P, Opts);
+  EXPECT_FALSE(I.run());
+  EXPECT_EQ(I.trapKind(), TrapKind::CallDepthLimit);
+  EXPECT_EQ(I.outputText().find("caught"), std::string::npos);
+}
+
+TEST(GovernorInterp, EvalOfDeeplyNestedSourceThrowsSyntaxError) {
+  // The parser depth guard must also protect the eval re-parse path: a
+  // hostile deeply-nested string becomes a catchable SyntaxError, not a
+  // native stack overflow.
+  std::string Deep = "var msg = \"\";\n"
+                     "var src = \"";
+  for (int i = 0; i < 100'000; ++i)
+    Deep += "(";
+  Deep += "1";
+  for (int i = 0; i < 100'000; ++i)
+    Deep += ")";
+  Deep += "\";\n"
+          "try { eval(src); } catch (e) { msg = e; }\n"
+          "print(msg);";
+  Program P = parse(Deep);
+  Interpreter I(P, InterpOptions());
+  ASSERT_TRUE(I.run()) << I.errorMessage();
+  EXPECT_NE(I.outputText().find("SyntaxError"), std::string::npos);
+  EXPECT_NE(I.outputText().find("nesting too deep"), std::string::npos);
+}
+
+TEST(GovernorInterp, EvalDepthLimitStopsRunawayEvalRecursion) {
+  // eval that re-enters eval forever: without the eval-depth budget this
+  // would exhaust the native stack.
+  Program P = parse("var src = \"eval(src)\"; eval(src);");
+  InterpOptions Opts;
+  Opts.MaxEvalDepth = 8;
+  Interpreter I(P, Opts);
+  EXPECT_FALSE(I.run());
+  EXPECT_EQ(I.trapKind(), TrapKind::EvalDepthLimit);
+  EXPECT_NE(I.errorMessage().find("eval depth"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Instrumented analysis integration: degrade, never die
+//===----------------------------------------------------------------------===//
+
+TEST(GovernorAnalysis, InjectedStepTripDegradesSoundly) {
+  // Facts recorded before the trip survive; the report names the cause.
+  Program P = parse("var k = 5;\n"
+                    "var n = 0;\n"
+                    "while (true) { n = n + 1; }");
+  AnalysisOptions Opts;
+  FaultInjector FI(Budget::Steps, 500);
+  Opts.Injector = &FI;
+  AnalysisResult R = runDeterminacyAnalysis(P, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Trap, TrapKind::StepLimit);
+  EXPECT_TRUE(R.Degradation.Trip.Injected);
+  EXPECT_EQ(R.Degradation.Trip.Checkpoint, 500u);
+  EXPECT_TRUE(R.Degradation.degraded());
+  EXPECT_GT(R.Facts.size(), 0u);
+}
+
+TEST(GovernorAnalysis, HeapBudgetTripDegradesSoundly) {
+  Program P = parse("var k = 1;\n"
+                    "var a = [];\n"
+                    "for (var i = 0; i < 10000; i++) { a[i] = { v: i }; }");
+  AnalysisOptions Opts;
+  Opts.MaxHeapCells = 200;
+  AnalysisResult R = runDeterminacyAnalysis(P, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Trap, TrapKind::HeapLimit);
+  EXPECT_FALSE(R.Degradation.Trip.Injected);
+  EXPECT_GE(R.Degradation.HeapCellsUsed, 200u);
+}
+
+TEST(GovernorAnalysis, CfFuelExhaustionDegradesLocallyRunCompletes) {
+  // Plenty of indeterminate branches; with one unit of fuel the first
+  // counterfactual runs and the rest fall back to ĈNTRABORT. The run itself
+  // must complete without a trap.
+  const char *Source =
+      "var a = 0;\n"
+      "for (var i = 0; i < 6; i++) {\n"
+      "  if (Math.random() > 2) { a = a + 1; }\n"
+      "}\n"
+      "print(\"done\");";
+  Program P = parse(Source);
+  AnalysisOptions Opts;
+  Opts.CounterfactualFuel = 1;
+  AnalysisResult R = runDeterminacyAnalysis(P, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Trap, TrapKind::None);
+  EXPECT_NE(R.Output.find("done"), std::string::npos);
+  EXPECT_EQ(R.Stats.Counterfactuals, 1u);
+  EXPECT_GT(R.Stats.CounterfactualAborts, 0u);
+  // The degradations were recorded even though the run completed.
+  EXPECT_TRUE(R.Degradation.degraded());
+  EXPECT_GT(R.Degradation.EventsTotal, 0u);
+  EXPECT_EQ(R.Degradation.Trap, TrapKind::None);
+}
+
+TEST(GovernorAnalysis, DegradedRunOutputMatchesConcretePrefix) {
+  // Everything the degraded instrumented run printed must be a prefix of
+  // what the unbudgeted concrete execution prints: degradation may cut the
+  // run short but must not change what already happened.
+  const char *Source = "for (var i = 0; i < 200; i++) { print(i); }";
+  Program PC = parse(Source);
+  Interpreter C(PC, InterpOptions());
+  ASSERT_TRUE(C.run());
+
+  Program PA = parse(Source);
+  AnalysisOptions Opts;
+  FaultInjector FI(Budget::Steps, 2'000);
+  Opts.Injector = &FI;
+  AnalysisResult R = runDeterminacyAnalysis(PA, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Trap, TrapKind::StepLimit);
+  EXPECT_FALSE(R.Output.empty());
+  EXPECT_EQ(C.outputText().compare(0, R.Output.size(), R.Output), 0)
+      << "degraded output is not a prefix of the concrete output";
+}
+
+TEST(GovernorAnalysis, MultiSeedMergeKeepsFirstTrap) {
+  Program P = parse("var k = 2; while (true) { }");
+  AnalysisOptions Opts;
+  Opts.MaxSteps = 3'000;
+  AnalysisResult R = runDeterminacyAnalysisMultiSeed(P, Opts, {1, 2, 3});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Trap, TrapKind::StepLimit);
+  EXPECT_TRUE(R.Degradation.degraded());
+  // Steps accumulate across the merged runs.
+  EXPECT_GE(R.Degradation.StepsUsed, 3 * 3'000u);
+}
+
+} // namespace

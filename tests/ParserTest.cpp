@@ -250,4 +250,89 @@ showIvyViaJs('pc.sy.banner.duilian.');
   EXPECT_EQ(P.Body.size(), 4u);
 }
 
+//===----------------------------------------------------------------------===//
+// Recursion-depth guard: hostile deeply-nested input must become one
+// structured diagnostic, never a native stack overflow.
+//===----------------------------------------------------------------------===//
+
+std::string repeated(const std::string &Piece, size_t N) {
+  std::string S;
+  S.reserve(Piece.size() * N);
+  for (size_t i = 0; i < N; ++i)
+    S += Piece;
+  return S;
+}
+
+/// Parses expecting failure; returns the joined diagnostics.
+std::string parseExpectingDepthError(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  (void)P;
+  EXPECT_TRUE(Diags.hasErrors());
+  return Diags.str();
+}
+
+TEST(ParserDepth, DeeplyNestedParensAreRejectedNotCrash) {
+  // ~100k levels of '(' — far past any plausible native stack. Must yield
+  // exactly one structured diagnostic.
+  std::string Source =
+      "var x = " + repeated("(", 100'000) + "1" + repeated(")", 100'000) + ";";
+  DiagnosticEngine Diags;
+  parseProgram(Source, Diags);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.diagnostics().size(), 1u) << Diags.str();
+  EXPECT_NE(Diags.str().find("nesting too deep"), std::string::npos);
+}
+
+TEST(ParserDepth, DeeplyNestedBlocksAreRejectedNotCrash) {
+  std::string Source =
+      repeated("{", 100'000) + "x = 1;" + repeated("}", 100'000);
+  EXPECT_NE(parseExpectingDepthError(Source).find("nesting too deep"),
+            std::string::npos);
+}
+
+TEST(ParserDepth, DeeplyNestedIfStatementsAreRejectedNotCrash) {
+  std::string Source = repeated("if (1) ", 100'000) + "x = 1;";
+  EXPECT_NE(parseExpectingDepthError(Source).find("nesting too deep"),
+            std::string::npos);
+}
+
+TEST(ParserDepth, DeepNewChainsAreRejectedNotCrash) {
+  std::string Source = "var x = " + repeated("new ", 100'000) + "F();";
+  EXPECT_NE(parseExpectingDepthError(Source).find("nesting too deep"),
+            std::string::npos);
+}
+
+TEST(ParserDepth, DeepUnaryChainsAreRejectedNotCrash) {
+  std::string Source = "var x = " + repeated("!", 100'000) + "y;";
+  EXPECT_NE(parseExpectingDepthError(Source).find("nesting too deep"),
+            std::string::npos);
+}
+
+TEST(ParserDepth, LimitIsConfigurableForWhiteBoxTests) {
+  // Depth 40 nesting fails under a limit of 8 and parses under the default.
+  std::string Source = "var x = " + repeated("(", 40) + "1" +
+                       repeated(")", 40) + ";";
+  ASTContext Context;
+  DiagnosticEngine Diags;
+  Parser P(Source, Context, Diags);
+  P.setMaxNestingDepth(8);
+  P.parseTopLevel();
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("nesting too deep"), std::string::npos);
+
+  DiagnosticEngine Diags2;
+  parseProgram(Source, Diags2);
+  EXPECT_FALSE(Diags2.hasErrors()) << Diags2.str();
+}
+
+TEST(ParserDepth, ReasonableNestingStillParses) {
+  // 100 levels — deeper than real code, comfortably inside the limit.
+  std::string Source = "var x = " + repeated("(", 100) + "1" +
+                       repeated(")", 100) + ";";
+  DiagnosticEngine Diags;
+  parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+}
+
 } // namespace

@@ -23,6 +23,7 @@
 #include "interp/Interpreter.h"
 #include "interp/Ops.h"
 #include "parser/Parser.h"
+#include "support/FaultInjector.h"
 
 #include <gtest/gtest.h>
 
@@ -330,6 +331,56 @@ TEST_P(SoundnessTest, DeterminateGlobalsHoldInAllExecutions) {
           Value PropCV = C.property(CV, Key);
           expectValueMatches(PropTV, I.heap(), PropCV, C.heap(),
                              S.Name + ("::" + G + "." + Key), Seed, DomSeed);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SoundnessTest, DeterminateFactsSurviveInjectedFaults) {
+  // The degradation half of the governor's contract: trip *every* budget
+  // class at several checkpoints; the analysis must neither crash nor hang,
+  // and whatever it still tags determinate must hold in every concrete
+  // execution. (A run that trips mid-flight taints its variable domain, so
+  // most final-state facts disappear — but any that remain must be sound.)
+  const Scenario &S = GetParam();
+  const Budget Classes[] = {Budget::Steps,     Budget::Deadline,
+                            Budget::HeapCells, Budget::CallDepth,
+                            Budget::CfFuel,    Budget::EvalDepth};
+  for (Budget B : Classes) {
+    for (uint64_t At : {1u, 5u, 60u}) {
+      std::string Label =
+          std::string(S.Name) + " inject " + budgetName(B) + ":" +
+          std::to_string(At);
+      DiagnosticEngine Diags;
+      Program IP = parseProgram(S.Source, Diags);
+      ASSERT_FALSE(Diags.hasErrors()) << Diags.str();
+      AnalysisOptions AOpts;
+      FaultInjector FI(B, At);
+      AOpts.Injector = &FI;
+      InstrumentedInterpreter I(IP, AOpts);
+      ASSERT_TRUE(I.run()) << Label << ": " << I.errorMessage();
+      if (I.trapKind() != TrapKind::None) {
+        EXPECT_TRUE(isResourceTrap(I.trapKind())) << Label;
+        EXPECT_TRUE(I.degradation().Trip.Injected) << Label;
+        EXPECT_EQ(I.degradation().Trip.Which, B) << Label;
+      }
+
+      for (uint64_t Seed : {1, 7, 1234}) {
+        DiagnosticEngine D2;
+        Program CP = parseProgram(S.Source, D2);
+        ASSERT_FALSE(D2.hasErrors());
+        InterpOptions COpts;
+        COpts.RandomSeed = Seed;
+        Interpreter C(CP, COpts);
+        ASSERT_TRUE(C.run()) << Label << ": " << C.errorMessage();
+        for (const std::string &G : I.userGlobalNames()) {
+          TaggedValue TV = I.globalVariable(G);
+          if (!TV.isDet())
+            continue;
+          Value CV = C.globalVariable(G);
+          expectValueMatches(TV, I.heap(), CV, C.heap(), Label + "::" + G,
+                             Seed, 1);
         }
       }
     }

@@ -20,11 +20,14 @@
 #include "parser/Parser.h"
 #include "pointsto/PointsTo.h"
 #include "specialize/Specializer.h"
+#include "support/FaultInjector.h"
+#include "support/ResourceGovernor.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,6 +35,23 @@
 using namespace dda;
 
 namespace {
+
+// Exit codes: 0 success, 1 program error (bad file / parse error / uncaught
+// exception), 2 usage, 3 resource-budget trip (results, if printed, are
+// partial but sound), 4 internal interpreter error (a bug — please report).
+enum ExitCode : int {
+  ExitOk = 0,
+  ExitProgramError = 1,
+  ExitUsage = 2,
+  ExitResourceTrip = 3,
+  ExitInternalError = 4,
+};
+
+int exitCodeForTrap(TrapKind K) {
+  if (K == TrapKind::None)
+    return ExitProgramError; // Failure without a trap: program-level error.
+  return isResourceTrap(K) ? ExitResourceTrip : ExitInternalError;
+}
 
 int usage() {
   std::fprintf(
@@ -47,11 +67,25 @@ int usage() {
       "  pointsto    static call-graph summary\n"
       "\n"
       "options:\n"
-      "  --seed N      Math.random seed (default 1)\n"
-      "  --dom-seed N  synthetic-DOM seed (default 1)\n"
-      "  --seeds N     analyze: merge N random-seed runs\n"
-      "  --detdom      assume determinate DOM (unsound; paper Section 5.1)\n");
-  return 2;
+      "  --seed N           Math.random seed (default 1)\n"
+      "  --dom-seed N       synthetic-DOM seed (default 1)\n"
+      "  --seeds N          analyze: merge N random-seed runs\n"
+      "  --detdom           assume determinate DOM (unsound; paper 5.1)\n"
+      "\n"
+      "resource governor (degrade soundly instead of failing):\n"
+      "  --max-steps N      interpreter step budget (default 50000000)\n"
+      "  --deadline-ms N    wall-clock budget in milliseconds (0 = none)\n"
+      "  --max-heap N       heap-cell budget (0 = unlimited)\n"
+      "  --max-call-depth N call-depth limit (default 600)\n"
+      "  --max-eval-depth N nested-eval limit (default 64)\n"
+      "  --cf-fuel N        counterfactual-execution fuel (0 = unlimited)\n"
+      "  --inject-fault S   trip budget S=class:N at the Nth checkpoint\n"
+      "                     (classes: steps deadline heap depth cf-fuel\n"
+      "                     eval-depth; also via DDA_INJECT_FAULT env)\n"
+      "\n"
+      "exit codes: 0 ok, 1 program error, 2 usage, 3 budget trip (partial\n"
+      "but sound results), 4 internal error\n");
+  return ExitUsage;
 }
 
 struct Options {
@@ -61,6 +95,13 @@ struct Options {
   uint64_t DomSeed = 1;
   unsigned Seeds = 1;
   bool DetDom = false;
+  uint64_t MaxSteps = 50'000'000;
+  uint64_t DeadlineMs = 0;
+  uint64_t MaxHeapCells = 0;
+  unsigned MaxCallDepth = 600;
+  unsigned MaxEvalDepth = 64;
+  uint64_t CfFuel = 0;
+  std::optional<FaultInjector> Injector;
 };
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
@@ -90,11 +131,53 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.Seeds = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--max-steps") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MaxSteps = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--deadline-ms") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.DeadlineMs = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--max-heap") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MaxHeapCells = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--max-call-depth") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MaxCallDepth = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--max-eval-depth") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MaxEvalDepth = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--cf-fuel") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CfFuel = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--inject-fault") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::string Error;
+      Opts.Injector = FaultInjector::parse(V, &Error);
+      if (!Opts.Injector) {
+        std::fprintf(stderr, "ddajs: %s\n", Error.c_str());
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
       return false;
     }
   }
+  if (!Opts.Injector)
+    Opts.Injector = FaultInjector::fromEnvironment();
   return true;
 }
 
@@ -120,11 +203,18 @@ bool parseSource(const std::string &Source, Program &P) {
   return true;
 }
 
-AnalysisResult analyze(Program &P, const Options &Opts) {
+AnalysisResult analyze(Program &P, Options &Opts) {
   AnalysisOptions AOpts;
   AOpts.RandomSeed = Opts.Seed;
   AOpts.DomSeed = Opts.DomSeed;
   AOpts.DeterminateDom = Opts.DetDom;
+  AOpts.MaxSteps = Opts.MaxSteps;
+  AOpts.DeadlineMs = Opts.DeadlineMs;
+  AOpts.MaxHeapCells = Opts.MaxHeapCells;
+  AOpts.MaxCallDepth = Opts.MaxCallDepth;
+  AOpts.MaxEvalDepth = Opts.MaxEvalDepth;
+  AOpts.CounterfactualFuel = Opts.CfFuel;
+  AOpts.Injector = Opts.Injector ? &*Opts.Injector : nullptr;
   if (Opts.Seeds <= 1)
     return runDeterminacyAnalysis(P, AOpts);
   std::vector<uint64_t> Seeds;
@@ -133,31 +223,47 @@ AnalysisResult analyze(Program &P, const Options &Opts) {
   return runDeterminacyAnalysisMultiSeed(P, AOpts, Seeds);
 }
 
-int cmdRun(const std::string &Source, const Options &Opts) {
+/// Prints the degradation report (if any) and returns the exit code for an
+/// analysis that completed: 0 for a clean run, 3 when a budget tripped and
+/// the printed results are partial but sound.
+int finishAnalysis(const AnalysisResult &R) {
+  if (R.Trap == TrapKind::None && !R.Degradation.degraded())
+    return ExitOk;
+  std::fprintf(stderr, "ddajs: %s", R.Degradation.str().c_str());
+  return R.Trap == TrapKind::None ? ExitOk : ExitResourceTrip;
+}
+
+int cmdRun(const std::string &Source, Options &Opts) {
   Program P;
   if (!parseSource(Source, P))
-    return 1;
+    return ExitProgramError;
   InterpOptions IOpts;
   IOpts.RandomSeed = Opts.Seed;
   IOpts.DomSeed = Opts.DomSeed;
+  IOpts.MaxSteps = Opts.MaxSteps;
+  IOpts.DeadlineMs = Opts.DeadlineMs;
+  IOpts.MaxHeapCells = Opts.MaxHeapCells;
+  IOpts.MaxCallDepth = Opts.MaxCallDepth;
+  IOpts.MaxEvalDepth = Opts.MaxEvalDepth;
+  IOpts.Injector = Opts.Injector ? &*Opts.Injector : nullptr;
   Interpreter I(P, IOpts);
   bool Ok = I.run();
   std::fputs(I.outputText().c_str(), stdout);
   if (!Ok) {
     std::fprintf(stderr, "ddajs: %s\n", I.errorMessage().c_str());
-    return 1;
+    return exitCodeForTrap(I.trapKind());
   }
-  return 0;
+  return ExitOk;
 }
 
-int cmdAnalyze(const std::string &Source, const Options &Opts) {
+int cmdAnalyze(const std::string &Source, Options &Opts) {
   Program P;
   if (!parseSource(Source, P))
-    return 1;
+    return ExitProgramError;
   AnalysisResult R = analyze(P, Opts);
   if (!R.Ok) {
     std::fprintf(stderr, "ddajs: %s\n", R.Error.c_str());
-    return 1;
+    return exitCodeForTrap(R.Trap);
   }
   std::fputs(R.Facts.dump(R.Contexts).c_str(), stdout);
   std::fprintf(stderr,
@@ -166,17 +272,17 @@ int cmdAnalyze(const std::string &Source, const Options &Opts) {
                R.Facts.size(), R.Facts.countDeterminate(),
                static_cast<unsigned long long>(R.Stats.HeapFlushes),
                static_cast<unsigned long long>(R.Stats.Counterfactuals));
-  return 0;
+  return finishAnalysis(R);
 }
 
-int cmdSpecialize(const std::string &Source, const Options &Opts) {
+int cmdSpecialize(const std::string &Source, Options &Opts) {
   Program P;
   if (!parseSource(Source, P))
-    return 1;
+    return ExitProgramError;
   AnalysisResult R = analyze(P, Opts);
   if (!R.Ok) {
     std::fprintf(stderr, "ddajs: %s\n", R.Error.c_str());
-    return 1;
+    return exitCodeForTrap(R.Trap);
   }
   SpecializeResult S = specializeProgram(P, R);
   std::fputs(printProgram(S.Residual).c_str(), stdout);
@@ -186,17 +292,17 @@ int cmdSpecialize(const std::string &Source, const Options &Opts) {
                S.Report.BranchesPruned, S.Report.PropertiesStaticized,
                S.Report.LoopsUnrolled, S.Report.EvalsSpliced,
                S.Report.FunctionClones);
-  return 0;
+  return finishAnalysis(R);
 }
 
-int cmdDeadCode(const std::string &Source, const Options &Opts) {
+int cmdDeadCode(const std::string &Source, Options &Opts) {
   Program P;
   if (!parseSource(Source, P))
-    return 1;
+    return ExitProgramError;
   AnalysisResult R = analyze(P, Opts);
   if (!R.Ok) {
     std::fprintf(stderr, "ddajs: %s\n", R.Error.c_str());
-    return 1;
+    return exitCodeForTrap(R.Trap);
   }
   DeadCodeResult D = findDeadCode(P, R);
   for (const DeadRegion &Region : D.Regions)
@@ -204,7 +310,7 @@ int cmdDeadCode(const std::string &Source, const Options &Opts) {
                 Region.Line, Region.CondValue ? "true" : "false");
   std::printf("%zu/%zu statements dead (%.0f%%)\n", D.DeadStatements,
               D.TotalStatements, 100 * D.deadFraction());
-  return 0;
+  return finishAnalysis(R);
 }
 
 int cmdEvalElim(const std::string &Source, const Options &Opts) {
