@@ -17,10 +17,15 @@
 #include "pointsto/PointsTo.h"
 #include "specialize/Specializer.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 using namespace dda;
 
@@ -84,21 +89,101 @@ Cell runConfig(const std::string &Source, bool Specialize, bool DetDom) {
   return C;
 }
 
+/// The 12 table cells (4 versions x 3 configs) are independent — each
+/// runConfig parses its own Program — so they fan out across a pool.
+/// Cells land in a slot keyed by (version, config); the rendered table is
+/// identical for every jobs value.
+std::vector<Cell> runAllCells(unsigned Jobs) {
+  std::vector<Cell> Cells(12);
+  ThreadPool::parallelFor(Jobs, Cells.size(), [&](size_t I) {
+    int Minor = static_cast<int>(I / 3);
+    int Config = static_cast<int>(I % 3);
+    std::string Source = workloads::miniquery(Minor);
+    Cells[I] = runConfig(Source, /*Specialize=*/Config > 0,
+                         /*DetDom=*/Config == 2);
+  });
+  return Cells;
+}
+
+int runJobsSweep(const char *JsonPath) {
+  std::printf("Table 1 cell fan-out sweep: 12 cells, jobs 1/2/4/8 "
+              "(host has %u hardware threads)\n\n",
+              ThreadPool::hardwareWorkers());
+  TextTable T({"jobs", "wall ms", "speedup"});
+  double BaselineMs = 0;
+  struct Row {
+    unsigned Jobs;
+    double WallMs;
+    double Speedup;
+  };
+  std::vector<Row> Rows;
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    auto Start = std::chrono::steady_clock::now();
+    runAllCells(Jobs);
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+    if (Jobs == 1)
+      BaselineMs = Ms;
+    Rows.push_back({Jobs, Ms, BaselineMs / Ms});
+    char MsBuf[32], SpBuf[32];
+    std::snprintf(MsBuf, sizeof(MsBuf), "%.1f", Ms);
+    std::snprintf(SpBuf, sizeof(SpBuf), "%.2fx", BaselineMs / Ms);
+    T.addRow({std::to_string(Jobs), MsBuf, SpBuf});
+  }
+  std::printf("%s\n", T.str().c_str());
+
+  if (JsonPath) {
+    FILE *F = std::fopen(JsonPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath);
+      return 1;
+    }
+    std::fprintf(F,
+                 "{\n  \"bench\": \"table1_jobs_sweep\",\n  \"cells\": 12,\n"
+                 "  \"host_cpus\": %u,\n  \"runs\": [\n",
+                 ThreadPool::hardwareWorkers());
+    for (size_t I = 0; I < Rows.size(); ++I)
+      std::fprintf(F,
+                   "    {\"jobs\": %u, \"wall_ms\": %.3f, \"speedup\": "
+                   "%.3f}%s\n",
+                   Rows[I].Jobs, Rows[I].WallMs, Rows[I].Speedup,
+                   I + 1 < Rows.size() ? "," : "");
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+  }
+  return 0;
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  unsigned Jobs = 1;
+  const char *JsonPath = nullptr;
+  bool JobsSweep = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc)
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else if (!std::strcmp(Argv[I], "--jobs-sweep"))
+      JobsSweep = true;
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+  }
+  if (JobsSweep)
+    return runJobsSweep(JsonPath);
+
   std::printf("Table 1: pointer-analysis scalability on miniquery versions\n");
   std::printf("(stand-in for jQuery 1.0-1.3; budget = %llu propagation "
               "steps ~ the paper's 10-minute timeout)\n\n",
               static_cast<unsigned long long>(TimeoutBudget));
 
+  std::vector<Cell> Cells = runAllCells(Jobs);
   TextTable T({"Version", "Baseline", "Spec", "Spec+DetDOM",
                "base steps", "spec steps", "detdom steps"});
   for (int Minor = 0; Minor <= 3; ++Minor) {
-    std::string Source = workloads::miniquery(Minor);
-    Cell Base = runConfig(Source, /*Specialize=*/false, false);
-    Cell Spec = runConfig(Source, /*Specialize=*/true, false);
-    Cell Det = runConfig(Source, /*Specialize=*/true, true);
+    const Cell &Base = Cells[Minor * 3 + 0];
+    const Cell &Spec = Cells[Minor * 3 + 1];
+    const Cell &Det = Cells[Minor * 3 + 2];
     T.addRow({"1." + std::to_string(Minor), Base.str(false),
               Spec.str(true), Det.str(true), std::to_string(Base.Steps),
               std::to_string(Spec.Steps), std::to_string(Det.Steps)});

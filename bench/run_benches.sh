@@ -35,4 +35,48 @@ for NAME in "${GBENCH_BINARIES[@]}"; do
          --benchmark_out_format=json >/dev/null
 done
 
+# Parallel fan-out sweeps (jobs 1/2/4/8). Each bench writes a JSON fragment;
+# the two fragments are merged into one BENCH_parallel.json report.
+PARALLEL_TMP="$(mktemp -d)"
+trap 'rm -rf "$PARALLEL_TMP"' EXIT
+PARALLEL_FRAGS=()
+for NAME in bench_multiseed bench_table1; do
+  BIN="$BUILD_DIR/bench/$NAME"
+  if [ ! -x "$BIN" ]; then
+    echo "skip: $NAME --jobs-sweep (not built)" >&2
+    continue
+  fi
+  FRAG="$PARALLEL_TMP/${NAME}.json"
+  echo "== $NAME --jobs-sweep"
+  "$BIN" --jobs-sweep --json "$FRAG" >/dev/null
+  PARALLEL_FRAGS+=("$FRAG")
+done
+
+if [ "${#PARALLEL_FRAGS[@]}" -gt 0 ]; then
+  OUT="$OUT_DIR/BENCH_parallel.json"
+  echo "== parallel sweeps -> $OUT"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$OUT" "${PARALLEL_FRAGS[@]}" <<'PY'
+import json, sys
+out, *frags = sys.argv[1:]
+sweeps = [json.load(open(f)) for f in frags]
+with open(out, "w") as f:
+    json.dump({"sweeps": sweeps}, f, indent=2)
+    f.write("\n")
+PY
+  else
+    # No python3: concatenate the fragments into a JSON array by hand.
+    {
+      echo '{"sweeps": ['
+      SEP=""
+      for FRAG in "${PARALLEL_FRAGS[@]}"; do
+        printf '%s' "$SEP"
+        cat "$FRAG"
+        SEP=","
+      done
+      echo ']}'
+    } > "$OUT"
+  fi
+fi
+
 echo "done: $(ls "$OUT_DIR"/BENCH_*.json 2>/dev/null | wc -l) reports in $OUT_DIR"

@@ -24,6 +24,12 @@ namespace dda {
 class ASTContext {
 public:
   ASTContext() = default;
+  /// Overlay context whose NodeIDs continue from \p FirstID. The parallel
+  /// analysis engine gives each worker one of these (based at the shared
+  /// program's nextID) to receive runtime-eval'd nodes, so concurrent seeds
+  /// never mutate the shared program and each seed's eval'd code gets the
+  /// same NodeIDs regardless of thread count.
+  explicit ASTContext(NodeID FirstID) : NextID(FirstID) {}
   ASTContext(const ASTContext &) = delete;
   ASTContext &operator=(const ASTContext &) = delete;
 

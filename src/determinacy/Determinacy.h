@@ -50,8 +50,17 @@ struct AnalysisOptions {
 
   /// Optional deterministic fault injector (not owned; may be null). Used
   /// by tests and `ddajs --inject-fault` to trip any budget at a chosen
-  /// checkpoint.
+  /// checkpoint. The parallel engine clones it per task, so each worker's
+  /// checkpoint counters — and its trip — are its own.
   FaultInjector *Injector = nullptr;
+
+  /// Arena receiving AST nodes parsed at runtime by `eval` (not owned; may
+  /// be null). When null they splice into the program's own context — the
+  /// single-run default. The parallel engine points each worker at a
+  /// private overlay context based at the program's nextID, so concurrent
+  /// seeds never mutate the shared AST and eval'd code gets deterministic
+  /// NodeIDs regardless of thread count.
+  ASTContext *EvalContext = nullptr;
 
   /// Paper's `k`: maximum nesting depth of counterfactual executions; deeper
   /// nests short-circuit via the ĈNTRABORT rule.

@@ -2,6 +2,7 @@
 
 #include "determinacy/InstrumentedInterpreter.h"
 
+#include "determinacy/ParallelAnalysis.h"
 #include "interp/Ops.h"
 #include "parser/Parser.h"
 #include "support/FaultInjector.h"
@@ -2180,8 +2181,9 @@ IRes InstrumentedInterpreter::evalEval(const CallExpr *E,
   } Scope{Gov};
 
   DiagnosticEngine Diags;
-  std::vector<Stmt *> Body = parseIntoContext(
-      Interner::global().str(Arg.V.Str), *Prog.Context, Diags);
+  ASTContext &EvalCtx = Opts.EvalContext ? *Opts.EvalContext : *Prog.Context;
+  std::vector<Stmt *> Body =
+      parseIntoContext(Interner::global().str(Arg.V.Str), EvalCtx, Diags);
   if (Diags.hasErrors()) {
     IComp C = throwString("SyntaxError: " + Diags.diagnostics()[0].Message);
     C.IndetControl = Arg.D == Det::Indeterminate;
@@ -2361,17 +2363,6 @@ InstrumentedInterpreter::taggedProperty(const TaggedValue &Base,
 
 namespace {
 
-/// Re-interns a context chain from one table into another (used when merging
-/// fact databases from separate runs).
-ContextID remapContext(const ContextTable &From, ContextID ID,
-                       ContextTable &To) {
-  if (ID == ContextTable::Root)
-    return ContextTable::Root;
-  const ContextEntry &E = From.entry(ID);
-  ContextID Parent = remapContext(From, E.Parent, To);
-  return To.intern(Parent, E.Site, E.Occurrence, E.Line);
-}
-
 AnalysisResult assembleResult(InstrumentedInterpreter &I, bool Ok) {
   AnalysisResult R;
   R.Ok = Ok;
@@ -2399,49 +2390,7 @@ AnalysisResult dda::runDeterminacyAnalysis(Program &P,
 AnalysisResult dda::runDeterminacyAnalysisMultiSeed(
     Program &P, const AnalysisOptions &Opts,
     const std::vector<uint64_t> &Seeds) {
-  AnalysisResult Merged;
-  bool First = true;
-  for (uint64_t Seed : Seeds) {
-    AnalysisOptions O = Opts;
-    O.RandomSeed = Seed;
-    AnalysisResult R = runDeterminacyAnalysis(P, O);
-    if (First) {
-      Merged = std::move(R);
-      First = false;
-      continue;
-    }
-    // Remap the new run's contexts into the merged table, then merge facts
-    // point-wise (all facts are sound, so the union -- with value-equality
-    // merging -- is sound too).
-    for (const auto &[Key, Value] : R.Facts.all()) {
-      FactKey Remapped = Key;
-      Remapped.Ctx = remapContext(R.Contexts, Key.Ctx, Merged.Contexts);
-      Merged.Facts.record(Remapped, Value);
-    }
-    Merged.ExecutedCalls.insert(R.ExecutedCalls.begin(),
-                                R.ExecutedCalls.end());
-    Merged.ExecutedStmts.insert(R.ExecutedStmts.begin(),
-                                R.ExecutedStmts.end());
-    Merged.Stats.HeapFlushes += R.Stats.HeapFlushes;
-    Merged.Stats.Counterfactuals += R.Stats.Counterfactuals;
-    Merged.Stats.CounterfactualAborts += R.Stats.CounterfactualAborts;
-    Merged.Stats.JournalEntries += R.Stats.JournalEntries;
-    Merged.Stats.StepsUsed += R.Stats.StepsUsed;
-    Merged.Stats.FlushLimitHit |= R.Stats.FlushLimitHit;
-    // Degradation merges pessimistically: remember the first trap, fold in
-    // every run's weakening events.
-    if (Merged.Trap == TrapKind::None && R.Trap != TrapKind::None) {
-      Merged.Trap = R.Trap;
-      Merged.Degradation.Trap = R.Degradation.Trap;
-      Merged.Degradation.Trip = R.Degradation.Trip;
-    }
-    for (const DegradationEvent &E : R.Degradation.Events)
-      Merged.Degradation.addEvent(E.Cause, E.Action, E.Detail);
-    Merged.Degradation.EventsTotal +=
-        R.Degradation.EventsTotal - R.Degradation.Events.size();
-    Merged.Degradation.StepsUsed += R.Degradation.StepsUsed;
-    Merged.Degradation.HeapCellsUsed += R.Degradation.HeapCellsUsed;
-    Merged.Ok = Merged.Ok && R.Ok;
-  }
-  return Merged;
+  // One code path for every thread count: the serial case is the parallel
+  // engine's inline Jobs == 1 mode (see ParallelAnalysis.cpp).
+  return runDeterminacyAnalysisParallel(P, Opts, Seeds, 1);
 }

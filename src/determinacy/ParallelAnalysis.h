@@ -1,0 +1,70 @@
+//===- ParallelAnalysis.h - Thread-pool seed/program fan-out -----*- C++ -*-==//
+///
+/// \file
+/// The parallel analysis engine. Every seeded run of the determinacy
+/// analysis is completely independent (paper Section 7: running the
+/// analysis on more inputs yields strictly more sound facts), so the engine
+/// fans seeds — and, in batch mode, whole programs — across a fixed worker
+/// pool and reduces the per-run results through the existing merge lattice
+/// in a fixed seed order. The merged result is therefore **identical for
+/// every thread count**, including Jobs == 1, which runs inline with no
+/// pool at all.
+///
+/// Per-worker ownership (see DESIGN.md "Threading model"):
+///  * the program AST is shared immutable; nodes parsed at runtime by
+///    `eval` go into a per-task overlay ASTContext based at the program's
+///    nextID, so every seed sees the same NodeIDs for its eval'd code;
+///  * each task owns its Heap/Environment arenas, RNG tapes, journal,
+///    governor (budgets are per task: a runaway seed degrades alone), and
+///    — when fault injection is configured — a private clone of the
+///    FaultInjector with its own checkpoint counters;
+///  * the process-global Interner is safe for concurrent interning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_DETERMINACY_PARALLELANALYSIS_H
+#define DDA_DETERMINACY_PARALLELANALYSIS_H
+
+#include "determinacy/Determinacy.h"
+
+#include <vector>
+
+namespace dda {
+
+/// Folds \p From into \p Into: remaps contexts into the merged table,
+/// merges facts point-wise by value equality (all facts are sound, so the
+/// union is sound too), accumulates coverage and statistics, and merges
+/// degradation pessimistically (first trap wins, all weakening events are
+/// kept). Deterministic given the call order; the engine always folds in
+/// seed order.
+void mergeAnalysisResults(AnalysisResult &Into, AnalysisResult &&From);
+
+/// Runs one seeded analysis exactly as a parallel worker would: private
+/// eval-overlay context based at \p P's current nextID and a private clone
+/// of any configured fault injector. Exposed so tests can compare a single
+/// task against the merged fan-out.
+AnalysisResult runDeterminacyAnalysisTask(Program &P,
+                                          const AnalysisOptions &Opts,
+                                          uint64_t Seed);
+
+/// Fans \p Seeds across \p Jobs workers (0 = one per hardware thread;
+/// <= 1 = inline on the calling thread) and merges the per-seed results in
+/// seed order. `runDeterminacyAnalysisMultiSeed` is this with Jobs == 1.
+AnalysisResult runDeterminacyAnalysisParallel(Program &P,
+                                              const AnalysisOptions &Opts,
+                                              const std::vector<uint64_t> &Seeds,
+                                              unsigned Jobs);
+
+/// Batch mode: analyzes every program under every seed, with all
+/// (program, seed) tasks sharing one pool so stragglers in one program
+/// overlap with work on the others. Result[i] is the seed-merged result for
+/// Programs[i], identical to running runDeterminacyAnalysisParallel on it
+/// alone. An empty \p Seeds list means {Opts.RandomSeed}.
+std::vector<AnalysisResult>
+runDeterminacyAnalysisBatch(std::vector<Program> &Programs,
+                            const AnalysisOptions &Opts,
+                            const std::vector<uint64_t> &Seeds, unsigned Jobs);
+
+} // namespace dda
+
+#endif // DDA_DETERMINACY_PARALLELANALYSIS_H

@@ -5,6 +5,7 @@
 #include "support/StringUtils.h"
 
 #include <cmath>
+#include <mutex>
 
 using namespace dda;
 
@@ -33,12 +34,14 @@ bool parseArrayIndex(std::string_view S, uint32_t &Out) {
 } // namespace
 
 Interner &Interner::global() {
+  // Meyers singleton: C++11 guarantees race-free construction even when the
+  // first callers are already on worker threads, and the constructor seeds
+  // the well-known atoms before global() ever returns.
   static Interner I;
   return I;
 }
 
 Interner::Interner() {
-  Atoms.emplace_back(); // Id 0 is invalid.
   Known.Empty = intern("");
   Known.Length = intern("length");
   Known.Prototype = intern("prototype");
@@ -52,39 +55,105 @@ Interner::Interner() {
   Known.Click = intern("click");
 }
 
-StringId Interner::insert(std::string_view S, size_t Hash) {
-  Storage.emplace_back(S);
-  const std::string &Text = Storage.back();
-  uint32_t Raw = static_cast<uint32_t>(Atoms.size());
-  AtomInfo Info;
+Interner::~Interner() {
+  for (auto &Slot : Chunks)
+    delete[] Slot.load(std::memory_order_relaxed);
+}
+
+Interner::AtomInfo *Interner::chunkFor(uint32_t Raw) {
+  std::atomic<AtomInfo *> &Slot = Chunks[Raw >> kChunkShift];
+  AtomInfo *Chunk = Slot.load(std::memory_order_acquire);
+  if (Chunk)
+    return Chunk;
+  // Shards racing into a fresh chunk CAS-install it; the loser frees its
+  // allocation and adopts the winner's.
+  AtomInfo *Fresh = new AtomInfo[kChunkSize]();
+  if (Slot.compare_exchange_strong(Chunk, Fresh, std::memory_order_acq_rel,
+                                   std::memory_order_acquire))
+    return Fresh;
+  delete[] Fresh;
+  return Chunk;
+}
+
+StringId Interner::insertLocked(Shard &Sh, std::string_view S, size_t Hash) {
+  Sh.Storage.emplace_back(S);
+  const std::string &Text = Sh.Storage.back();
+  uint32_t Raw = AtomCount.fetch_add(1, std::memory_order_acq_rel);
+  assert(Raw < kMaxChunks * static_cast<uint64_t>(kChunkSize) &&
+         "atom table full");
+  AtomInfo &Info = chunkFor(Raw)[Raw & (kChunkSize - 1)];
   Info.Text = &Text;
   Info.Hash = Hash;
   if (!parseArrayIndex(Text, Info.Index))
     Info.Index = NotAnIndex;
-  Atoms.push_back(Info);
-  Lookup.emplace(std::string_view(Text), Raw);
+  // Publishing the id in the shard map (under the exclusive lock) is the
+  // release point: any thread that finds the id here — or receives it over
+  // another happens-before edge — sees the AtomInfo writes above.
+  Sh.Lookup.emplace(std::string_view(Text), Raw);
   return StringId(Raw);
 }
 
+namespace {
+
+/// Per-thread direct-mapped cache in front of the shard locks. Atoms are
+/// immutable and never move, so a cached (hash, id) pair stays valid for
+/// the process lifetime and needs no synchronization — a hit costs one
+/// probe and one character compare, matching the single-threaded table this
+/// replaced. (There is exactly one Interner — the constructor is private —
+/// so entries cannot alias another table's ids.)
+struct TLCacheEntry {
+  size_t Hash = 0;
+  uint32_t Id = 0;
+};
+constexpr size_t kTLCacheSize = 8192; // 96 KiB per thread.
+thread_local std::array<TLCacheEntry, kTLCacheSize> TLCache = {};
+
+} // namespace
+
 StringId Interner::intern(std::string_view S) {
-  auto It = Lookup.find(S);
-  if (It != Lookup.end())
+  size_t H = std::hash<std::string_view>()(S);
+  TLCacheEntry &Cached = TLCache[H & (kTLCacheSize - 1)];
+  if (Cached.Id != 0 && Cached.Hash == H) {
+    StringId Id(Cached.Id);
+    if (view(Id) == S)
+      return Id;
+  }
+  StringId Id = internSlow(S, H);
+  Cached.Hash = H;
+  Cached.Id = Id.Raw;
+  return Id;
+}
+
+StringId Interner::internSlow(std::string_view S, size_t H) {
+  // Pick the stripe from high hash bits; the map re-uses the low ones for
+  // its buckets, so this keeps shard choice and bucket choice independent.
+  Shard &Sh = Shards[(H >> 17) & (kShards - 1)];
+  {
+    std::shared_lock<std::shared_mutex> Lock(Sh.Mu);
+    auto It = Sh.Lookup.find(S);
+    if (It != Sh.Lookup.end())
+      return StringId(It->second);
+  }
+  std::unique_lock<std::shared_mutex> Lock(Sh.Mu);
+  auto It = Sh.Lookup.find(S);
+  if (It != Sh.Lookup.end())
     return StringId(It->second);
-  return insert(S, std::hash<std::string_view>()(S));
+  return insertLocked(Sh, S, H);
 }
 
 StringId Interner::internIndex(uint64_t I) {
-  if (I < 4096) {
-    if (SmallIndexCache.size() <= I)
-      SmallIndexCache.resize(4096);
-    StringId &Slot = SmallIndexCache[I];
-    if (!Slot.valid()) {
-      char Buf[12];
-      int N = std::snprintf(Buf, sizeof(Buf), "%llu",
-                            static_cast<unsigned long long>(I));
-      Slot = intern(std::string_view(Buf, static_cast<size_t>(N)));
-    }
-    return Slot;
+  if (I < kSmallIndexCacheSize) {
+    std::atomic<uint32_t> &Slot = SmallIndexCache[I];
+    uint32_t Cached = Slot.load(std::memory_order_acquire);
+    if (Cached)
+      return StringId(Cached);
+    char Buf[12];
+    int N = std::snprintf(Buf, sizeof(Buf), "%llu",
+                          static_cast<unsigned long long>(I));
+    StringId Id = intern(std::string_view(Buf, static_cast<size_t>(N)));
+    // Competing fillers computed the same atom; the store is idempotent.
+    Slot.store(Id.Raw, std::memory_order_release);
+    return Id;
   }
   char Buf[24];
   int N = std::snprintf(Buf, sizeof(Buf), "%llu",
@@ -101,8 +170,11 @@ StringId Interner::internNumber(double N) {
 }
 
 StringId Interner::internChar(char C) {
-  StringId &Slot = CharCache[static_cast<unsigned char>(C)];
-  if (!Slot.valid())
-    Slot = intern(std::string_view(&C, 1));
-  return Slot;
+  std::atomic<uint32_t> &Slot = CharCache[static_cast<unsigned char>(C)];
+  uint32_t Cached = Slot.load(std::memory_order_acquire);
+  if (Cached)
+    return StringId(Cached);
+  StringId Id = intern(std::string_view(&C, 1));
+  Slot.store(Id.Raw, std::memory_order_release);
+  return Id;
 }

@@ -8,24 +8,44 @@
 /// indices ("0", "42", ...) carry their numeric value so the array fast paths
 /// never re-parse digits.
 ///
-/// The table is append-only and process-global (the interpreters are
-/// single-threaded; both the concrete and instrumented evaluators must agree
-/// on atom identity for a value to project between them). Id 0 is reserved as
-/// "no atom"; id 1 is always the empty string.
+/// The table is append-only, process-global, and safe for concurrent use by
+/// the parallel analysis engine (every worker must agree on atom identity
+/// for facts to merge across seeds):
+///
+///  * `view`/`str`/`hash`/`arrayIndex` are lock-free — atoms live in
+///    fixed-size chunks that are published once and never move, so the hot
+///    read path PR 1 bought stays a couple of loads;
+///  * `intern` consults a per-thread direct-mapped cache first (atoms are
+///    immutable, so hits need no locks at all), then shards its lookup over
+///    64 stripes, taking a shared lock for the already-interned case and an
+///    exclusive shard lock only when appending a new atom;
+///  * the flat `internIndex`/`internChar` caches are atomics with
+///    release/acquire publication, so a cache hit stays a single load.
+///
+/// A `StringId` may only be read by a thread that obtained it through a
+/// happens-before edge from the interning thread (the shard lock, the flat
+/// caches, or task handoff through the thread pool all provide one).
+///
+/// Id 0 is reserved as "no atom"; id 1 is always the empty string. The
+/// global table is a Meyers singleton: construction (including the
+/// pre-seeded well-known atoms) is race-free even if the first callers are
+/// already concurrent.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef DDA_SUPPORT_INTERNER_H
 #define DDA_SUPPORT_INTERNER_H
 
+#include <array>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace dda {
 
@@ -61,7 +81,7 @@ public:
   static Interner &global();
 
   /// Interns \p S, returning the canonical atom (allocates only on first
-  /// sight of a string).
+  /// sight of a string). Safe to call from any number of threads.
   StringId intern(std::string_view S);
 
   /// Atom for the canonical decimal spelling of \p I — the fast replacement
@@ -77,36 +97,27 @@ public:
   StringId internChar(char C);
 
   /// The characters of an atom. The view is stable for the process lifetime.
-  std::string_view view(StringId Id) const {
-    assert(Id.Raw != 0 && Id.Raw < Atoms.size() && "invalid atom");
-    return *Atoms[Id.Raw].Text;
-  }
+  std::string_view view(StringId Id) const { return *info(Id).Text; }
 
   /// The atom as a std::string reference (stable storage).
-  const std::string &str(StringId Id) const {
-    assert(Id.Raw != 0 && Id.Raw < Atoms.size() && "invalid atom");
-    return *Atoms[Id.Raw].Text;
-  }
+  const std::string &str(StringId Id) const { return *info(Id).Text; }
 
   /// Precomputed hash of the atom's characters.
-  size_t hash(StringId Id) const {
-    assert(Id.Raw != 0 && Id.Raw < Atoms.size() && "invalid atom");
-    return Atoms[Id.Raw].Hash;
-  }
+  size_t hash(StringId Id) const { return info(Id).Hash; }
 
   /// The numeric value if the atom is a canonical array index ("0".."4294967294",
   /// no leading zeros), else NotAnIndex. Computed once at intern time.
-  uint32_t arrayIndex(StringId Id) const {
-    assert(Id.Raw != 0 && Id.Raw < Atoms.size() && "invalid atom");
-    return Atoms[Id.Raw].Index;
-  }
+  uint32_t arrayIndex(StringId Id) const { return info(Id).Index; }
 
   bool isArrayIndex(StringId Id) const { return arrayIndex(Id) != NotAnIndex; }
 
   /// Number of distinct atoms interned so far.
-  size_t size() const { return Atoms.size() - 1; }
+  size_t size() const {
+    return AtomCount.load(std::memory_order_acquire) - 1;
+  }
 
-  /// Atoms the runtime consults on hot paths, interned once at startup.
+  /// Atoms the runtime consults on hot paths, interned once at startup
+  /// (before any worker thread can observe the table).
   struct WellKnown {
     StringId Empty;       ///< "" — also the ToBoolean(false) string.
     StringId Length;      ///< "length"
@@ -124,6 +135,9 @@ public:
 
 private:
   Interner();
+  ~Interner();
+  Interner(const Interner &) = delete;
+  Interner &operator=(const Interner &) = delete;
 
   struct AtomInfo {
     const std::string *Text = nullptr;
@@ -131,16 +145,51 @@ private:
     uint32_t Index = NotAnIndex;
   };
 
-  StringId insert(std::string_view S, size_t Hash);
+  // Atoms live in fixed-size chunks that are allocated once and never move,
+  // so readers index them without synchronization beyond the publishing
+  // acquire load of the chunk pointer.
+  static constexpr unsigned kChunkShift = 16;
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift; // atoms per chunk
+  static constexpr uint32_t kMaxChunks = 4096;              // 2^28 atoms
+  static constexpr size_t kShards = 64;
+  static constexpr size_t kSmallIndexCacheSize = 4096;
 
-  // Deque gives stable string storage; AtomInfo::Text and the map's keys
-  // point into it.
-  std::deque<std::string> Storage;
-  std::vector<AtomInfo> Atoms; // Indexed by StringId::Raw; [0] is invalid.
-  std::unordered_map<std::string_view, uint32_t> Lookup;
-  // Flat caches so the hottest producers skip the hash map entirely.
-  std::vector<StringId> SmallIndexCache; // internIndex(0..4095)
-  StringId CharCache[256] = {};          // internChar
+  /// One lookup stripe: new-atom appends take the exclusive lock, the
+  /// already-interned fast path only a shared one. Storage gives the atoms
+  /// of this shard stable character storage.
+  struct Shard {
+    std::shared_mutex Mu;
+    std::unordered_map<std::string_view, uint32_t> Lookup;
+    std::deque<std::string> Storage;
+  };
+
+  const AtomInfo &info(StringId Id) const {
+    assert(Id.Raw != 0 &&
+           Id.Raw < AtomCount.load(std::memory_order_relaxed) &&
+           "invalid atom");
+    const AtomInfo *Chunk =
+        Chunks[Id.Raw >> kChunkShift].load(std::memory_order_acquire);
+    return Chunk[Id.Raw & (kChunkSize - 1)];
+  }
+
+  /// The chunk that holds atom \p Raw, allocating (and CAS-publishing) it on
+  /// first use.
+  AtomInfo *chunkFor(uint32_t Raw);
+
+  /// The locked path behind intern()'s thread-local cache: shared-lock
+  /// probe, then exclusive-lock recheck + append.
+  StringId internSlow(std::string_view S, size_t Hash);
+
+  /// Appends a new atom; the caller must hold \p Sh's exclusive lock and
+  /// have verified the string is absent.
+  StringId insertLocked(Shard &Sh, std::string_view S, size_t Hash);
+
+  std::array<std::atomic<AtomInfo *>, kMaxChunks> Chunks = {};
+  std::atomic<uint32_t> AtomCount{1}; // Id 0 is invalid.
+  std::array<Shard, kShards> Shards;
+  // Flat caches so the hottest producers skip the shard locks entirely.
+  std::array<std::atomic<uint32_t>, kSmallIndexCacheSize> SmallIndexCache = {};
+  std::array<std::atomic<uint32_t>, 256> CharCache = {};
   WellKnown Known;
 };
 

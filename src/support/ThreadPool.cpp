@@ -1,0 +1,99 @@
+//===- ThreadPool.cpp -----------------------------------------------------==//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+
+using namespace dda;
+
+unsigned ThreadPool::hardwareWorkers() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  if (Workers == 0)
+    Workers = hardwareWorkers();
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    // Let queued work drain first so ~ThreadPool is a silent wait() (any
+    // unobserved exception is dropped — destructors must not throw).
+    Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+    Stopping = true;
+  }
+  HasWork.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Task));
+  }
+  HasWork.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+  if (FirstError) {
+    std::exception_ptr E = FirstError;
+    FirstError = nullptr;
+    std::rethrow_exception(E);
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  while (true) {
+    HasWork.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+    if (Queue.empty())
+      return; // Stopping and drained.
+    std::function<void()> Task = std::move(Queue.front());
+    Queue.pop_front();
+    ++Running;
+    Lock.unlock();
+    std::exception_ptr Error;
+    try {
+      Task();
+    } catch (...) {
+      Error = std::current_exception();
+    }
+    Lock.lock();
+    if (Error && !FirstError)
+      FirstError = Error;
+    --Running;
+    if (Queue.empty() && Running == 0)
+      Idle.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(unsigned Jobs, size_t N,
+                             const std::function<void(size_t)> &Fn) {
+  if (Jobs == 0)
+    Jobs = hardwareWorkers();
+  if (static_cast<size_t>(Jobs) > N)
+    Jobs = static_cast<unsigned>(N);
+  if (Jobs <= 1) {
+    // Inline serial path: identical to a plain loop, exceptions included.
+    for (size_t I = 0; I < N; ++I)
+      Fn(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  ThreadPool Pool(Jobs);
+  for (unsigned W = 0; W < Jobs; ++W)
+    Pool.submit([&] {
+      for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+           I = Next.fetch_add(1, std::memory_order_relaxed))
+        Fn(I);
+    });
+  Pool.wait();
+}

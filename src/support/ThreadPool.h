@@ -1,0 +1,86 @@
+//===- ThreadPool.h - Fixed worker pool for the parallel engine --*- C++ -*-==//
+///
+/// \file
+/// A small fixed-size worker pool used by the parallel analysis engine to
+/// fan independent seed/program tasks across cores. Design points:
+///
+///  * tasks are coarse (a whole instrumented run each), so a single shared
+///    queue under a mutex is the right shape — contention is per-task, not
+///    per-step;
+///  * `parallelFor` hands workers a shared atomic index cursor instead of
+///    pre-splitting ranges, so a runaway task (one seed hitting its budget
+///    and degrading) never stalls the other workers' progress;
+///  * exceptions thrown by tasks are captured and the *first* one is
+///    rethrown from wait()/parallelFor after every task has settled —
+///    sibling tasks run to completion, matching the engine's "one runaway
+///    seed degrades alone" policy;
+///  * `parallelFor` with Jobs <= 1 (or a single task) runs inline on the
+///    calling thread — no pool, no queue, no synchronization — so the
+///    single-threaded path is byte-for-byte the serial code path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SUPPORT_THREADPOOL_H
+#define DDA_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dda {
+
+/// Fixed worker pool with a shared task queue and first-exception
+/// propagation.
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads; 0 means hardwareWorkers().
+  explicit ThreadPool(unsigned Workers = 0);
+
+  /// Drains the queue, joins all workers. Pending task exceptions that
+  /// wait() never observed are dropped (destructors must not throw).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Enqueues one task for execution on some worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task raised (if any).
+  void wait();
+
+  /// Runs `Fn(0) .. Fn(N-1)` across \p Jobs workers (0 = hardwareWorkers())
+  /// and waits for completion. Workers claim indices from a shared cursor,
+  /// so long and short tasks load-balance naturally. Jobs <= 1 or N <= 1
+  /// executes inline on the calling thread. The first task exception is
+  /// rethrown after all claimed tasks settle.
+  static void parallelFor(unsigned Jobs, size_t N,
+                          const std::function<void(size_t)> &Fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardwareWorkers();
+
+private:
+  void workerLoop();
+
+  std::mutex Mu;
+  std::condition_variable HasWork; ///< Signaled on submit and shutdown.
+  std::condition_variable Idle;    ///< Signaled when the pool drains.
+  std::deque<std::function<void()>> Queue;
+  size_t Running = 0; ///< Tasks currently executing on a worker.
+  bool Stopping = false;
+  std::exception_ptr FirstError;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace dda
+
+#endif // DDA_SUPPORT_THREADPOOL_H

@@ -10,6 +10,7 @@
 #include "support/ResourceGovernor.h"
 
 #include "determinacy/InstrumentedInterpreter.h"
+#include "determinacy/ParallelAnalysis.h"
 #include "interp/Interpreter.h"
 #include "parser/Parser.h"
 
@@ -441,6 +442,39 @@ TEST(GovernorAnalysis, MultiSeedMergeKeepsFirstTrap) {
   EXPECT_TRUE(R.Degradation.degraded());
   // Steps accumulate across the merged runs.
   EXPECT_GE(R.Degradation.StepsUsed, 3 * 3'000u);
+}
+
+TEST(GovernorAnalysis, InjectedFaultTripsEveryParallelTask) {
+  // The parallel engine clones the injector per task, so every seed trips
+  // its own fault at its own checkpoint count — the merged report carries
+  // one abandon-run degradation per seed, and is identical whether the
+  // tasks ran inline or on a pool.
+  auto runWithJobs = [](unsigned Jobs) {
+    Program P = parse("var total = 0;\n"
+                      "for (var i = 0; i < 50; i++) { total = total + i; }");
+    AnalysisOptions Opts;
+    FaultInjector Injector = FaultInjector::parse("steps:5", nullptr).value();
+    Opts.Injector = &Injector;
+    return runDeterminacyAnalysisParallel(P, Opts, {1, 2, 3}, Jobs);
+  };
+  AnalysisResult Serial = runWithJobs(1);
+  AnalysisResult Parallel = runWithJobs(3);
+
+  for (const AnalysisResult *R : {&Serial, &Parallel}) {
+    ASSERT_TRUE(R->Ok) << R->Error;
+    EXPECT_EQ(R->Trap, TrapKind::StepLimit);
+    // One abandon-run per seed: each task tripped alone, none inherited a
+    // sibling's checkpoint count.
+    uint64_t Abandons = 0;
+    for (const DegradationEvent &E : R->Degradation.Events)
+      if (E.Action == "abandon-run")
+        ++Abandons;
+    EXPECT_EQ(Abandons, 3u);
+  }
+  EXPECT_EQ(Serial.Degradation.EventsTotal, Parallel.Degradation.EventsTotal);
+  EXPECT_EQ(Serial.Degradation.StepsUsed, Parallel.Degradation.StepsUsed);
+  EXPECT_EQ(Serial.Facts.dump(Serial.Contexts),
+            Parallel.Facts.dump(Parallel.Contexts));
 }
 
 } // namespace

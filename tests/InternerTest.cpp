@@ -3,7 +3,10 @@
 #include "support/Interner.h"
 
 #include <gtest/gtest.h>
+#include <atomic>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -111,6 +114,75 @@ TEST(Interner, StressManyAtoms) {
     EXPECT_EQ(Views[K], S);
     EXPECT_EQ(I.view(Ids[K]).data(), Views[K].data());
   }
+}
+
+TEST(Interner, ConcurrentInternAndView) {
+  // 8 threads hammer the global table with overlapping shared strings,
+  // thread-disjoint strings, numeric indices, and single chars, reading back
+  // every atom as it is created. After the join (the synchronization edge
+  // that publishes every id) all threads must agree: one id per distinct
+  // string, views that round-trip, and correct numeric-index decoding.
+  Interner &I = Interner::global();
+  constexpr unsigned NumThreads = 8;
+  constexpr size_t SharedAtoms = 2000;
+  constexpr size_t PrivateAtoms = 2000;
+
+  struct ThreadLog {
+    std::vector<std::pair<std::string, StringId>> Interned;
+  };
+  std::vector<ThreadLog> Logs(NumThreads);
+  std::atomic<unsigned> Ready{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      // Spin until every thread is constructed so the interleaving is real.
+      Ready.fetch_add(1);
+      while (Ready.load() < NumThreads) {
+      }
+      ThreadLog &Log = Logs[T];
+      for (size_t K = 0; K < SharedAtoms; ++K) {
+        // Every thread races to intern the same string...
+        std::string Shared = "cc_shared_" + std::to_string(K);
+        StringId Id = I.intern(Shared);
+        if (I.view(Id) != Shared)
+          std::abort(); // EXPECT_* is not thread-safe; abort loudly instead.
+        Log.Interned.emplace_back(Shared, Id);
+        // ...interleaved with strings only this thread creates.
+        if (K < PrivateAtoms) {
+          std::string Priv =
+              "cc_private_" + std::to_string(T) + "_" + std::to_string(K);
+          StringId P = I.intern(Priv);
+          if (I.view(P) != Priv)
+            std::abort();
+          Log.Interned.emplace_back(Priv, P);
+        }
+        // Numeric-index and char caches race too.
+        uint32_t Idx = static_cast<uint32_t>(K % 6000);
+        StringId N = I.internIndex(Idx);
+        if (I.arrayIndex(N) != Idx)
+          std::abort();
+        StringId C = I.internChar(static_cast<char>('a' + (K % 26)));
+        if (I.view(C).size() != 1)
+          std::abort();
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+
+  // Post-join agreement: the same string always produced the same id, and
+  // re-interning serially returns it again.
+  std::unordered_map<std::string, StringId> Canon;
+  for (const ThreadLog &Log : Logs) {
+    for (const auto &[Text, Id] : Log.Interned) {
+      auto [It, Inserted] = Canon.emplace(Text, Id);
+      (void)Inserted;
+      EXPECT_EQ(It->second, Id) << "two ids for \"" << Text << "\"";
+      EXPECT_EQ(I.intern(Text), Id);
+      EXPECT_EQ(I.view(Id), Text);
+    }
+  }
+  EXPECT_EQ(Canon.size(), SharedAtoms + NumThreads * PrivateAtoms);
 }
 
 } // namespace

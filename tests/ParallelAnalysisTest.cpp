@@ -1,0 +1,228 @@
+//===- ParallelAnalysisTest.cpp - Parallel engine determinism tests --------==//
+///
+/// The parallel engine's contract: the merged analysis result is
+/// byte-identical for every thread count. These tests fingerprint every
+/// user-observable piece of an AnalysisResult (facts, contexts, coverage,
+/// statistics, degradation) and compare jobs=1 against jobs=8 across the
+/// paper figures, fuzz-generated programs, and seed-dependent eval — the
+/// case that exercises the per-task AST overlay. ThreadPool itself is
+/// covered at the bottom.
+///
+//===----------------------------------------------------------------------===//
+
+#include "determinacy/ParallelAnalysis.h"
+#include "parser/Parser.h"
+#include "support/FaultInjector.h"
+#include "support/ThreadPool.h"
+#include "workloads/ProgramGenerator.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace dda;
+
+namespace {
+
+std::string sortedIds(const std::unordered_set<NodeID> &S) {
+  std::vector<NodeID> V(S.begin(), S.end());
+  std::sort(V.begin(), V.end());
+  std::string Out;
+  for (NodeID Id : V)
+    Out += std::to_string(Id) + ",";
+  return Out;
+}
+
+/// Renders everything a client can observe from an AnalysisResult. Two
+/// results with equal fingerprints are interchangeable.
+std::string fingerprint(const AnalysisResult &R) {
+  std::string Out;
+  Out += "ok=" + std::to_string(R.Ok);
+  Out += " trap=" + std::string(trapKindName(R.Trap));
+  Out += " error=" + R.Error;
+  Out += "\noutput=" + R.Output;
+  Out += "\nfacts:\n" + R.Facts.dump(R.Contexts);
+  Out += "calls=" + sortedIds(R.ExecutedCalls);
+  Out += "\nstmts=" + sortedIds(R.ExecutedStmts);
+  Out += "\nflushes=" + std::to_string(R.Stats.HeapFlushes);
+  Out += " cntr=" + std::to_string(R.Stats.Counterfactuals);
+  Out += " aborts=" + std::to_string(R.Stats.CounterfactualAborts);
+  Out += " journal=" + std::to_string(R.Stats.JournalEntries);
+  Out += " steps=" + std::to_string(R.Stats.StepsUsed);
+  Out += " flushlimit=" + std::to_string(R.Stats.FlushLimitHit);
+  Out += "\ndegradation=" + R.Degradation.str();
+  Out += " eventsTotal=" + std::to_string(R.Degradation.EventsTotal);
+  return Out;
+}
+
+/// Analyzes \p Source with the given seeds at two thread counts and expects
+/// identical fingerprints. Parses a fresh Program per engine call, exactly
+/// as separate processes would.
+void expectThreadCountInvariant(const std::string &Source,
+                                const std::vector<uint64_t> &Seeds,
+                                const AnalysisOptions &Opts = {}) {
+  DiagnosticEngine D1, D8;
+  Program P1 = parseProgram(Source, D1);
+  Program P8 = parseProgram(Source, D8);
+  ASSERT_FALSE(D1.hasErrors()) << D1.str();
+  AnalysisResult R1 = runDeterminacyAnalysisParallel(P1, Opts, Seeds, 1);
+  AnalysisResult R8 = runDeterminacyAnalysisParallel(P8, Opts, Seeds, 8);
+  EXPECT_EQ(fingerprint(R1), fingerprint(R8));
+}
+
+TEST(ParallelAnalysis, PaperFiguresAreThreadCountInvariant) {
+  std::vector<uint64_t> Seeds = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  for (const char *Source :
+       {workloads::figure1(), workloads::figure2(), workloads::figure3(),
+        workloads::figure4()})
+    expectThreadCountInvariant(Source, Seeds);
+}
+
+TEST(ParallelAnalysis, FuzzCorpusIsThreadCountInvariant) {
+  std::vector<uint64_t> Seeds = {11, 22, 33, 44, 55, 66};
+  for (uint64_t ProgramSeed : {3u, 17u, 51u, 90u})
+    expectThreadCountInvariant(workloads::generateProgram(ProgramSeed), Seeds);
+}
+
+TEST(ParallelAnalysis, SeedDependentEvalIsThreadCountInvariant) {
+  // The eval'd source differs per seed, so each task parses different code
+  // at runtime — into its private overlay context. NodeIDs for the eval'd
+  // fragments must come out the same whether tasks run inline or on 8
+  // threads racing to parse.
+  const char *Source = R"JS(
+    var n = Math.floor(Math.random() * 2);
+    eval("v" + n + " = 1;");
+    var m = Math.floor(Math.random() * 3);
+    eval("function f" + m + "() { return " + m + "; } tag = f" + m + "();");
+    print(n + m);
+  )JS";
+  expectThreadCountInvariant(Source, {1, 2, 3, 4, 5, 6, 7, 8});
+}
+
+TEST(ParallelAnalysis, MiniqueryMergeIsThreadCountInvariant) {
+  expectThreadCountInvariant(workloads::miniquery(1), {1, 2, 3, 4});
+}
+
+TEST(ParallelAnalysis, SingleSeedMatchesSerialAnalysis) {
+  // One seed, one job: the parallel entry point must be the serial analysis
+  // exactly (the ddajs fast path relies on this).
+  const char *Source = workloads::figure2();
+  DiagnosticEngine D1, D2;
+  Program PSerial = parseProgram(Source, D1);
+  Program PPar = parseProgram(Source, D2);
+  AnalysisOptions Opts;
+  Opts.RandomSeed = 7;
+  AnalysisResult Serial = runDeterminacyAnalysis(PSerial, Opts);
+  AnalysisResult Par = runDeterminacyAnalysisParallel(PPar, Opts, {7}, 1);
+  EXPECT_EQ(fingerprint(Serial), fingerprint(Par));
+}
+
+TEST(ParallelAnalysis, TaskEntryMatchesFanOutOfOne) {
+  const char *Source = workloads::figure3();
+  DiagnosticEngine D1, D2;
+  Program PA = parseProgram(Source, D1);
+  Program PB = parseProgram(Source, D2);
+  AnalysisResult A = runDeterminacyAnalysisTask(PA, AnalysisOptions(), 5);
+  AnalysisResult B =
+      runDeterminacyAnalysisParallel(PB, AnalysisOptions(), {5}, 4);
+  EXPECT_EQ(fingerprint(A), fingerprint(B));
+}
+
+TEST(ParallelAnalysis, EmptySeedListYieldsEmptyResult) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram("var x = 1;", Diags);
+  AnalysisResult R =
+      runDeterminacyAnalysisParallel(P, AnalysisOptions(), {}, 4);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Facts.size(), 0u);
+}
+
+TEST(ParallelAnalysis, BatchMatchesPerProgramRuns) {
+  std::vector<const char *> Sources = {workloads::figure1(),
+                                       workloads::figure2(),
+                                       workloads::figure4()};
+  std::vector<uint64_t> Seeds = {1, 2, 3};
+
+  std::vector<Program> Batch;
+  std::vector<std::string> Expected;
+  for (const char *Source : Sources) {
+    DiagnosticEngine DA, DB;
+    Batch.push_back(parseProgram(Source, DA));
+    Program Solo = parseProgram(Source, DB);
+    Expected.push_back(fingerprint(
+        runDeterminacyAnalysisParallel(Solo, AnalysisOptions(), Seeds, 1)));
+  }
+  std::vector<AnalysisResult> Results =
+      runDeterminacyAnalysisBatch(Batch, AnalysisOptions(), Seeds, 4);
+  ASSERT_EQ(Results.size(), Sources.size());
+  for (size_t I = 0; I < Results.size(); ++I)
+    EXPECT_EQ(fingerprint(Results[I]), Expected[I]) << "program " << I;
+}
+
+TEST(ParallelAnalysis, BatchDefaultsSeedsToOptsSeed) {
+  DiagnosticEngine DA, DB;
+  std::vector<Program> Batch;
+  Batch.push_back(parseProgram(workloads::figure2(), DA));
+  Program Solo = parseProgram(workloads::figure2(), DB);
+  AnalysisOptions Opts;
+  Opts.RandomSeed = 42;
+  std::vector<AnalysisResult> Results =
+      runDeterminacyAnalysisBatch(Batch, Opts, {}, 2);
+  ASSERT_EQ(Results.size(), 1u);
+  EXPECT_EQ(fingerprint(Results[0]),
+            fingerprint(runDeterminacyAnalysis(Solo, Opts)));
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexOnce) {
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    constexpr size_t N = 1000;
+    std::vector<std::atomic<int>> Hits(N);
+    ThreadPool::parallelFor(Jobs, N,
+                            [&](size_t I) { Hits[I].fetch_add(1); });
+    for (size_t I = 0; I < N; ++I)
+      ASSERT_EQ(Hits[I].load(), 1) << "index " << I << " jobs " << Jobs;
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  EXPECT_THROW(ThreadPool::parallelFor(4, 100,
+                                       [&](size_t I) {
+                                         if (I == 37)
+                                           throw std::runtime_error("boom");
+                                       }),
+               std::runtime_error);
+  // Jobs <= 1 runs inline; exceptions surface directly too.
+  EXPECT_THROW(ThreadPool::parallelFor(
+                   1, 10, [&](size_t) { throw std::runtime_error("inline"); }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAndWaitDrainsQueue) {
+  ThreadPool Pool(3);
+  std::atomic<int> Sum{0};
+  for (int I = 1; I <= 100; ++I)
+    Pool.submit([&Sum, I] { Sum.fetch_add(I); });
+  Pool.wait();
+  EXPECT_EQ(Sum.load(), 5050);
+  // The pool is reusable after a wait.
+  Pool.submit([&Sum] { Sum.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Sum.load(), 5051);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstError) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("first"); });
+  EXPECT_THROW(Pool.wait(), std::runtime_error);
+  // A pool that has thrown still drains subsequent work.
+  std::atomic<bool> Ran{false};
+  Pool.submit([&] { Ran = true; });
+  Pool.wait();
+  EXPECT_TRUE(Ran.load());
+}
+
+} // namespace

@@ -5,6 +5,8 @@
 ///
 ///   ddajs run <file> [--seed N] [--dom-seed N]     execute a program
 ///   ddajs analyze <file> [--detdom] [--seeds N]    dump determinacy facts
+///   ddajs analyze <file> --seeds a,b,c --jobs 4    parallel multi-seed merge
+///   ddajs analyze --batch dir/ --jobs 8            analyze every dir/*.js
 ///   ddajs specialize <file> [--detdom]             print the residual program
 ///   ddajs deadcode <file> [--detdom]               report dead branches
 ///   ddajs evalelim <file> [--detdom]               eval-elimination report
@@ -15,6 +17,7 @@
 #include "ast/ASTPrinter.h"
 #include "deadcode/DeadCode.h"
 #include "determinacy/Determinacy.h"
+#include "determinacy/ParallelAnalysis.h"
 #include "evalelim/EvalElim.h"
 #include "interp/Interpreter.h"
 #include "parser/Parser.h"
@@ -23,9 +26,11 @@
 #include "support/FaultInjector.h"
 #include "support/ResourceGovernor.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -69,7 +74,13 @@ int usage() {
       "options:\n"
       "  --seed N           Math.random seed (default 1)\n"
       "  --dom-seed N       synthetic-DOM seed (default 1)\n"
-      "  --seeds N          analyze: merge N random-seed runs\n"
+      "  --seeds N|a,b,c    analyze: merge N consecutive seed runs, or an\n"
+      "                     explicit comma-separated seed list\n"
+      "  --jobs N           analyze: fan seeds/programs across N worker\n"
+      "                     threads (0 = one per core; merged facts are\n"
+      "                     identical for every N)\n"
+      "  --batch DIR        analyze: process every DIR/*.js concurrently;\n"
+      "                     exit code is the worst per-file code\n"
       "  --detdom           assume determinate DOM (unsound; paper 5.1)\n"
       "\n"
       "resource governor (degrade soundly instead of failing):\n"
@@ -91,9 +102,12 @@ int usage() {
 struct Options {
   std::string Command;
   std::string File;
+  std::string BatchDir; ///< --batch: analyze every *.js in this directory.
   uint64_t Seed = 1;
   uint64_t DomSeed = 1;
   unsigned Seeds = 1;
+  std::vector<uint64_t> SeedList; ///< --seeds a,b,c (overrides Seeds).
+  unsigned Jobs = 1;              ///< --jobs: 0 = one per hardware thread.
   bool DetDom = false;
   uint64_t MaxSteps = 50'000'000;
   uint64_t DeadlineMs = 0;
@@ -104,17 +118,43 @@ struct Options {
   std::optional<FaultInjector> Injector;
 };
 
+/// Parses `a,b,c` into seed values; returns false on malformed lists.
+bool parseSeedList(const char *Spec, std::vector<uint64_t> &Out) {
+  std::string S = Spec;
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t Comma = S.find(',', Pos);
+    std::string Tok = S.substr(Pos, Comma == std::string::npos ? std::string::npos
+                                                               : Comma - Pos);
+    if (Tok.empty())
+      return false;
+    char *End = nullptr;
+    uint64_t V = std::strtoull(Tok.c_str(), &End, 10);
+    if (End == Tok.c_str() || *End != '\0')
+      return false;
+    Out.push_back(V);
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return !Out.empty();
+}
+
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
   if (Argc < 3)
     return false;
   Opts.Command = Argv[1];
-  Opts.File = Argv[2];
-  for (int I = 3; I < Argc; ++I) {
+  for (int I = 2; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> const char * {
       return I + 1 < Argc ? Argv[++I] : nullptr;
     };
-    if (Arg == "--detdom") {
+    if (Arg.rfind("--", 0) != 0) {
+      // First bare argument is the input file.
+      if (!Opts.File.empty())
+        return false;
+      Opts.File = Arg;
+    } else if (Arg == "--detdom") {
       Opts.DetDom = true;
     } else if (Arg == "--seed") {
       const char *V = Next();
@@ -130,7 +170,23 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       const char *V = Next();
       if (!V)
         return false;
-      Opts.Seeds = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (std::strchr(V, ',')) {
+        if (!parseSeedList(V, Opts.SeedList))
+          return false;
+        Opts.Seeds = static_cast<unsigned>(Opts.SeedList.size());
+      } else {
+        Opts.Seeds = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      }
+    } else if (Arg == "--jobs") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--batch") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.BatchDir = V;
     } else if (Arg == "--max-steps") {
       const char *V = Next();
       if (!V)
@@ -178,6 +234,14 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   }
   if (!Opts.Injector)
     Opts.Injector = FaultInjector::fromEnvironment();
+  // Batch mode supplies its own file list; every other invocation needs a
+  // single input file.
+  if (Opts.BatchDir.empty() == Opts.File.empty())
+    return false;
+  if (!Opts.BatchDir.empty() && Opts.Command != "analyze") {
+    std::fprintf(stderr, "ddajs: --batch only supports the analyze command\n");
+    return false;
+  }
   return true;
 }
 
@@ -203,7 +267,7 @@ bool parseSource(const std::string &Source, Program &P) {
   return true;
 }
 
-AnalysisResult analyze(Program &P, Options &Opts) {
+AnalysisOptions analysisOptions(Options &Opts) {
   AnalysisOptions AOpts;
   AOpts.RandomSeed = Opts.Seed;
   AOpts.DomSeed = Opts.DomSeed;
@@ -215,12 +279,24 @@ AnalysisResult analyze(Program &P, Options &Opts) {
   AOpts.MaxEvalDepth = Opts.MaxEvalDepth;
   AOpts.CounterfactualFuel = Opts.CfFuel;
   AOpts.Injector = Opts.Injector ? &*Opts.Injector : nullptr;
-  if (Opts.Seeds <= 1)
-    return runDeterminacyAnalysis(P, AOpts);
+  return AOpts;
+}
+
+std::vector<uint64_t> seedList(const Options &Opts) {
+  if (!Opts.SeedList.empty())
+    return Opts.SeedList;
   std::vector<uint64_t> Seeds;
-  for (unsigned I = 0; I < Opts.Seeds; ++I)
+  for (unsigned I = 0; I < std::max(1u, Opts.Seeds); ++I)
     Seeds.push_back(Opts.Seed + I);
-  return runDeterminacyAnalysisMultiSeed(P, AOpts, Seeds);
+  return Seeds;
+}
+
+AnalysisResult analyze(Program &P, Options &Opts) {
+  AnalysisOptions AOpts = analysisOptions(Opts);
+  std::vector<uint64_t> Seeds = seedList(Opts);
+  if (Seeds.size() == 1 && Opts.Jobs == 1)
+    return runDeterminacyAnalysis(P, AOpts);
+  return runDeterminacyAnalysisParallel(P, AOpts, Seeds, Opts.Jobs);
 }
 
 /// Prints the degradation report (if any) and returns the exit code for an
@@ -273,6 +349,64 @@ int cmdAnalyze(const std::string &Source, Options &Opts) {
                static_cast<unsigned long long>(R.Stats.HeapFlushes),
                static_cast<unsigned long long>(R.Stats.Counterfactuals));
   return finishAnalysis(R);
+}
+
+/// --batch DIR: analyzes every DIR/*.js (sorted by name) with all
+/// (program, seed) tasks sharing one worker pool. Prints one summary line
+/// per file and returns the worst per-file exit code.
+int cmdBatch(Options &Opts) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  std::vector<std::string> Files;
+  for (const auto &Entry : fs::directory_iterator(Opts.BatchDir, EC)) {
+    if (Entry.is_regular_file() && Entry.path().extension() == ".js")
+      Files.push_back(Entry.path().string());
+  }
+  if (EC) {
+    std::fprintf(stderr, "ddajs: cannot read %s: %s\n", Opts.BatchDir.c_str(),
+                 EC.message().c_str());
+    return ExitProgramError;
+  }
+  std::sort(Files.begin(), Files.end());
+  if (Files.empty()) {
+    std::fprintf(stderr, "ddajs: no .js files in %s\n", Opts.BatchDir.c_str());
+    return ExitProgramError;
+  }
+
+  int Worst = ExitOk;
+  std::vector<Program> Programs;
+  std::vector<std::string> Parsed; // Files[i] for Programs[i].
+  for (const std::string &File : Files) {
+    std::string Source;
+    Program P;
+    if (!readFile(File, Source) || !parseSource(Source, P)) {
+      std::fprintf(stderr, "%s: parse error\n", File.c_str());
+      Worst = std::max(Worst, static_cast<int>(ExitProgramError));
+      continue;
+    }
+    Programs.push_back(std::move(P));
+    Parsed.push_back(File);
+  }
+
+  AnalysisOptions AOpts = analysisOptions(Opts);
+  std::vector<AnalysisResult> Results =
+      runDeterminacyAnalysisBatch(Programs, AOpts, seedList(Opts), Opts.Jobs);
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const AnalysisResult &R = Results[I];
+    if (!R.Ok) {
+      std::fprintf(stderr, "%s: %s\n", Parsed[I].c_str(), R.Error.c_str());
+      Worst = std::max(Worst, exitCodeForTrap(R.Trap));
+      continue;
+    }
+    std::printf("%s: %zu facts (%zu determinate)\n", Parsed[I].c_str(),
+                R.Facts.size(), R.Facts.countDeterminate());
+    if (R.Degradation.degraded())
+      std::fprintf(stderr, "%s: %s", Parsed[I].c_str(),
+                   R.Degradation.str().c_str());
+    if (R.Trap != TrapKind::None)
+      Worst = std::max(Worst, static_cast<int>(ExitResourceTrip));
+  }
+  return Worst;
 }
 
 int cmdSpecialize(const std::string &Source, Options &Opts) {
@@ -353,6 +487,8 @@ int main(int Argc, char **Argv) {
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage();
+  if (!Opts.BatchDir.empty())
+    return cmdBatch(Opts);
   std::string Source;
   if (!readFile(Opts.File, Source))
     return 1;
