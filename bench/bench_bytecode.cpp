@@ -1,0 +1,317 @@
+//===- bench_bytecode.cpp - Tree-walk vs bytecode VM dispatch --------------==//
+///
+/// \file
+/// Times the two expression engines (`--engine tree` vs the default
+/// bytecode VM) over the interpreter-bound workloads: BranchHeavy and
+/// HeapChurn in both dispatch modes (concrete run, instrumented analysis)
+/// plus the Table 1 miniquery cells under the instrumented analysis. Before
+/// timing anything it verifies the engines are observationally identical on
+/// every workload — same output, same fact fingerprint, and the same merged
+/// facts across thread counts — so a reported speedup can never come from
+/// divergent semantics.
+///
+/// Emits BENCH_bytecode.json via --json (see run_benches.sh).
+///
+//===----------------------------------------------------------------------===//
+
+#include "determinacy/ParallelAnalysis.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace dda;
+
+namespace {
+
+/// Expression-level branching over variable and member traffic: ternary
+/// chains, short-circuit logicals, and a tail of indeterminate conditions
+/// so the instrumented mode also pays for counterfactual arm execution.
+const char *BranchHeavy = R"JS(
+var o = {a: 1, b: 2, c: 3, acc: 0};
+var s = 0;
+var t = 1;
+var u = 2;
+var c2 = 0;
+var c3 = 0;
+var c5 = 0;
+for (var i = 0; i < 30000; i++) {
+  c2 = c2 === 1 ? 0 : 1;
+  c3 = c3 === 2 ? 0 : c3 + 1;
+  c5 = c5 === 4 ? 0 : c5 + 1;
+  s = (c2 === 0 ? o.a + s : o.b - s) + (c3 === 0 ? o.c : t) +
+      (s > t ? 1 : 2);
+  t = (c5 === 0 && s > t) ? t + o.a : (t > u || s > u) ? t - o.b : t + 1;
+  o.acc = o.acc + (s > 0 ? u : t);
+  u = u + (s > t ? 1 : 0) - (u > 1000 ? 1000 : 0);
+  s = s + (c3 === 1 || c5 === 2 ? (t > s ? 1 : 2) : (u > t ? 3 : 4));
+  t = t + (c2 === 1 && c3 > 0 ? o.a : o.b) - (t > 5000 ? 5000 : 0);
+  s = s - (s > 100000 ? 100000 : 0);
+}
+var r = 0;
+for (var j = 0; j < 2000; j++) {
+  r = Math.random() < 2 ? r + (c2 === 0 ? 1 : 2) : -1;
+  r = Math.random() > 2 ? -r : r + (o.a > 0 ? 1 : 0);
+}
+)JS";
+
+/// Allocation churn with the arithmetic real code does around it: fresh
+/// object per iteration, property writes, reads through a rotating window.
+const char *HeapChurn = R"JS(
+var objs = [];
+var total = 0;
+var w = 0;
+var r = 0;
+for (var i = 0; i < 6000; i++) {
+  var o = {idx: i, a: i * 2, b: i + 1, sum: 0};
+  o.sum = o.a + o.b + (o.a > o.b ? o.a - o.b : o.b - o.a);
+  w = w === 31 ? 0 : w + 1;
+  r = r === 28 ? 0 : r + 3;
+  objs[w] = o;
+  var p = objs[r] || o;
+  total = total + p.sum - p.idx + (p.a > p.b ? 1 : 0) +
+          (p.sum > total ? p.a : p.b);
+  var q = objs[w === 0 ? 31 : w - 1] || p;
+  total = total + (q.a > p.a ? q.a - p.a : p.a - q.a) +
+          (q.sum > q.idx ? 1 : 2) + (q.b === p.b ? 1 : 0);
+  o.b = o.b + (q.b > o.b ? 1 : 0);
+  var m = p.sum > q.sum ? p : q;
+  total = total + m.a - (m.idx > i - 32 ? 1 : 0) +
+          (m.b > m.a ? m.b - m.a : 0);
+  total = total - (total > 1000000 ? 1000000 : 0);
+}
+)JS";
+
+Program parse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "workload parse error:\n%s", Diags.str().c_str());
+    std::exit(1);
+  }
+  return P;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double nsSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - T0).count();
+}
+
+/// Best-of-samples mean ns per run. The parse happens outside the timed
+/// region; interpreter construction and the run itself are inside (chunk
+/// compilation is part of the bytecode engine's cost).
+double timeConcrete(const std::string &Source, ExecEngine Engine,
+                    int Iters, int Samples) {
+  double Best = 1e100;
+  for (int S = 0; S < Samples; ++S) {
+    double Total = 0;
+    for (int I = 0; I < Iters; ++I) {
+      Program P = parse(Source);
+      InterpOptions Opts;
+      Opts.Engine = Engine;
+      auto T0 = Clock::now();
+      Interpreter Interp(P, Opts);
+      Interp.run();
+      Total += nsSince(T0);
+    }
+    Best = std::min(Best, Total / Iters);
+  }
+  return Best;
+}
+
+double timeInstrumented(const std::string &Source, ExecEngine Engine,
+                        int Iters, int Samples) {
+  double Best = 1e100;
+  for (int S = 0; S < Samples; ++S) {
+    double Total = 0;
+    for (int I = 0; I < Iters; ++I) {
+      Program P = parse(Source);
+      AnalysisOptions Opts;
+      Opts.Engine = Engine;
+      auto T0 = Clock::now();
+      AnalysisResult R = runDeterminacyAnalysis(P, Opts);
+      Total += nsSince(T0);
+      if (!R.Ok && !R.Error.empty()) {
+        std::fprintf(stderr, "analysis error: %s\n", R.Error.c_str());
+        std::exit(1);
+      }
+    }
+    Best = std::min(Best, Total / Iters);
+  }
+  return Best;
+}
+
+/// Matches the differential suite's fingerprint: everything observable
+/// about an instrumented run, rendered to one string.
+std::string fingerprint(AnalysisResult &R) {
+  std::ostringstream OS;
+  OS << "ok=" << R.Ok << " trap=" << static_cast<int>(R.Trap)
+     << " degraded=" << R.Degradation.degraded() << "\n"
+     << "error=" << R.Error << "\n"
+     << "steps=" << R.Stats.StepsUsed << " flushes=" << R.Stats.HeapFlushes
+     << " cf=" << R.Stats.Counterfactuals
+     << " journal=" << R.Stats.JournalEntries << "\n"
+     << R.Output << R.Facts.dump(R.Contexts);
+  return OS.str();
+}
+
+/// Engines must agree (full fact surface) and the parallel merge must be
+/// thread-count independent before any timing is worth reporting.
+bool verifyWorkload(const char *Name, const std::string &Source) {
+  AnalysisOptions TreeOpts;
+  TreeOpts.Engine = ExecEngine::TreeWalk;
+  TreeOpts.RecordAllExpressions = true;
+  Program PT = parse(Source);
+  AnalysisResult Tree = runDeterminacyAnalysis(PT, TreeOpts);
+
+  AnalysisOptions ByteOpts;
+  ByteOpts.Engine = ExecEngine::Bytecode;
+  ByteOpts.RecordAllExpressions = true;
+  Program PB = parse(Source);
+  AnalysisResult Byte = runDeterminacyAnalysis(PB, ByteOpts);
+
+  if (fingerprint(Tree) != fingerprint(Byte)) {
+    std::fprintf(stderr, "FAIL: %s: tree vs bytecode fingerprints differ\n",
+                 Name);
+    return false;
+  }
+
+  std::vector<uint64_t> Seeds = {1, 2, 3, 4};
+  Program P1 = parse(Source);
+  AnalysisResult Serial =
+      runDeterminacyAnalysisParallel(P1, ByteOpts, Seeds, 1);
+  Program P4 = parse(Source);
+  AnalysisResult Wide = runDeterminacyAnalysisParallel(P4, ByteOpts, Seeds, 4);
+  if (fingerprint(Serial) != fingerprint(Wide)) {
+    std::fprintf(stderr, "FAIL: %s: merged facts differ across jobs 1/4\n",
+                 Name);
+    return false;
+  }
+  return true;
+}
+
+struct Row {
+  std::string Name;
+  std::string Mode; // "concrete" | "instrumented"
+  double TreeNs = 0;
+  double ByteNs = 0;
+  double speedup() const { return TreeNs / ByteNs; }
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *JsonPath = nullptr;
+  int Iters = 3, Samples = 5;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--quick"))
+      Iters = 1, Samples = 2;
+  }
+
+  std::printf("Verifying engine identity (output + facts, jobs 1/4)...\n");
+  bool Verified = verifyWorkload("BranchHeavy", BranchHeavy) &&
+                  verifyWorkload("HeapChurn", HeapChurn);
+  for (int Minor = 0; Minor < 4 && Verified; ++Minor)
+    Verified = verifyWorkload(("miniquery1_" + std::to_string(Minor)).c_str(),
+                              workloads::miniquery(Minor));
+  if (!Verified)
+    return 1;
+  std::printf("ok: engines observationally identical on all workloads\n\n");
+
+  std::vector<Row> Rows;
+  auto BothModes = [&](const char *Name, const std::string &Source) {
+    Rows.push_back({Name, "concrete",
+                    timeConcrete(Source, ExecEngine::TreeWalk, Iters, Samples),
+                    timeConcrete(Source, ExecEngine::Bytecode, Iters,
+                                 Samples)});
+    Rows.push_back(
+        {Name, "instrumented",
+         timeInstrumented(Source, ExecEngine::TreeWalk, Iters, Samples),
+         timeInstrumented(Source, ExecEngine::Bytecode, Iters, Samples)});
+  };
+  BothModes("BranchHeavy", BranchHeavy);
+  BothModes("HeapChurn", HeapChurn);
+  for (int Minor = 0; Minor < 4; ++Minor)
+    Rows.push_back({"table1_miniquery1_" + std::to_string(Minor),
+                    "instrumented",
+                    timeInstrumented(workloads::miniquery(Minor),
+                                     ExecEngine::TreeWalk, Iters, Samples),
+                    timeInstrumented(workloads::miniquery(Minor),
+                                     ExecEngine::Bytecode, Iters, Samples)});
+
+  TextTable T({"bench", "mode", "tree ms", "bytecode ms", "speedup"});
+  double LogSum = 0, LogSumIB = 0;
+  int CountIB = 0;
+  for (const Row &R : Rows) {
+    char TreeBuf[32], ByteBuf[32], SpBuf[32];
+    std::snprintf(TreeBuf, sizeof(TreeBuf), "%.3f", R.TreeNs / 1e6);
+    std::snprintf(ByteBuf, sizeof(ByteBuf), "%.3f", R.ByteNs / 1e6);
+    std::snprintf(SpBuf, sizeof(SpBuf), "%.2fx", R.speedup());
+    T.addRow({R.Name, R.Mode, TreeBuf, ByteBuf, SpBuf});
+    LogSum += std::log(R.speedup());
+    // The synthetic workloads spend their time in expression dispatch; the
+    // table1 cells spend ~90% in shared analysis semantics (journal, fact
+    // recording, DOM natives, allocation) that both engines run through
+    // the same code, so they measure that machinery rather than the
+    // engines being compared. Aggregate the dispatch-bound rows separately
+    // so the engine comparison is visible next to the end-to-end one.
+    if (R.Name == "BranchHeavy" || R.Name == "HeapChurn") {
+      LogSumIB += std::log(R.speedup());
+      ++CountIB;
+    }
+  }
+  double Geomean = std::exp(LogSum / Rows.size());
+  double GeomeanIB = std::exp(LogSumIB / CountIB);
+  std::printf("%s\n", T.str().c_str());
+  std::printf("geomean speedup, interpreter-bound benches: %.2fx\n",
+              GeomeanIB);
+  std::printf("geomean speedup, all rows incl. analysis-bound table1: "
+              "%.2fx\n",
+              Geomean);
+
+  if (JsonPath) {
+    FILE *F = std::fopen(JsonPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath);
+      return 1;
+    }
+    std::fprintf(
+        F,
+        "{\n  \"bench\": \"bytecode_vs_tree\",\n"
+        "  \"verified\": {\"fact_fingerprints_identical\": true, "
+        "\"jobs_checked\": [1, 4]},\n  \"benches\": [\n");
+    for (size_t I = 0; I < Rows.size(); ++I)
+      std::fprintf(F,
+                   "    {\"name\": \"%s\", \"mode\": \"%s\", \"tree_ns\": "
+                   "%.1f, \"bytecode_ns\": %.1f, \"speedup\": %.3f}%s\n",
+                   Rows[I].Name.c_str(), Rows[I].Mode.c_str(), Rows[I].TreeNs,
+                   Rows[I].ByteNs, Rows[I].speedup(),
+                   I + 1 < Rows.size() ? "," : "");
+    std::fprintf(
+        F,
+        "  ],\n"
+        "  \"geomean_speedup_interpreter_bound\": %.3f,\n"
+        "  \"geomean_speedup_all_rows\": %.3f,\n"
+        "  \"note\": \"interpreter-bound geomean covers the "
+        "BranchHeavy/HeapChurn rows (both dispatch modes), which spend "
+        "their time in expression dispatch; the table1 cells spend ~90%% "
+        "of their time in analysis semantics shared verbatim by both "
+        "engines (journal, fact recording, DOM natives, allocation -- "
+        "vmRun is ~7%% of a cell) and so sit near 1.0 regardless of "
+        "dispatch speed\"\n}\n",
+        GeomeanIB, Geomean);
+    std::fclose(F);
+  }
+  return 0;
+}

@@ -52,6 +52,18 @@ for NAME in bench_multiseed bench_table1; do
   PARALLEL_FRAGS+=("$FRAG")
 done
 
+# Engine comparison: tree-walk vs bytecode VM over both dispatch modes.
+# Verifies observational identity (facts, output, thread-count-independent
+# merge) before timing, then writes its own report.
+BIN="$BUILD_DIR/bench/bench_bytecode"
+if [ -x "$BIN" ]; then
+  OUT="$OUT_DIR/BENCH_bytecode.json"
+  echo "== bench_bytecode -> $OUT"
+  "$BIN" --json "$OUT" >/dev/null
+else
+  echo "skip: bench_bytecode (not built)" >&2
+fi
+
 if [ "${#PARALLEL_FRAGS[@]}" -gt 0 ]; then
   OUT="$OUT_DIR/BENCH_parallel.json"
   echo "== parallel sweeps -> $OUT"

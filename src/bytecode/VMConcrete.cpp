@@ -1,0 +1,731 @@
+//===- VMConcrete.cpp - Concrete dispatch loop over MiniJS bytecode --------==//
+///
+/// \file
+/// The concrete engine's flat dispatch loop (member functions of
+/// Interpreter). Each opcode handler replicates the corresponding arm of
+/// the tree-walk evalExpr exactly — same governor tick points, same error
+/// message strings, same heap allocation order — so the two engines are
+/// observationally identical run-for-run. Deep semantics (property access,
+/// calls, eval, natives) are shared by calling the same private helpers the
+/// tree-walk uses.
+///
+/// Dispatch-level optimizations the tree-walk cannot express:
+///
+/// - *Inline caches.* Variable instructions cache the resolved Binding*
+///   keyed on (starting EnvRef, env-arena shape generation); static-key
+///   member instructions cache the own Slot* keyed on (ObjectRef, object
+///   shape generation). A generation mismatch falls back to the shared slow
+///   path and refills, so a hit is always equivalent to a full lookup.
+/// - *Branch flattening.* Taken branch ranges execute in the same dispatch
+///   loop via IP jumps and a LIFO join stack instead of recursive vmRun
+///   calls (the compiler lays ranges out contiguously: then-range, then
+///   else-range, then the continuation).
+/// - *Threaded dispatch.* On GCC/Clang each handler ends in its own
+///   indirect jump (computed goto) instead of looping back to one shared
+///   switch, so the branch predictor keeps per-opcode-pair history. The
+///   portable switch fallback compiles the same handler bodies via the
+///   VM_CASE/VM_NEXT macros.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AST.h"
+#include "bytecode/Bytecode.h"
+#include "interp/Interpreter.h"
+#include "interp/Ops.h"
+
+using namespace dda;
+using namespace dda::bc;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define DDA_THREADED_DISPATCH 1
+#else
+#define DDA_THREADED_DISPATCH 0
+#endif
+
+EvalResult Interpreter::vmEval(const Expr *E) {
+  const Chunk &Ch = BC->getOrCompile(E);
+  return vmRun(Ch, 0, static_cast<uint32_t>(Ch.Code.size()));
+}
+
+EvalResult Interpreter::vmRun(const Chunk &Ch, uint32_t From, uint32_t To) {
+  std::vector<Value> &S = VStack;
+  std::vector<std::pair<uint32_t, uint32_t>> &Joins = JStack;
+  const size_t Base = S.size();
+  const size_t JBase = Joins.size();
+  // One resize up front (MaxStack bounds any execution through the chunk);
+  // pushes and pops below are unchecked index writes. Top is the logical
+  // height; S.size() is trimmed back to it around re-entrant calls.
+  S.resize(Base + Ch.MaxStack);
+  size_t Top = Base;
+  const Instr *const Code = Ch.Code.data();
+  InlineCache *const ICs = Ch.IC.data();
+  auto Fail = [&](Completion C) {
+    S.resize(Base);
+    Joins.resize(JBase);
+    return EvalResult::abruptly(std::move(C));
+  };
+  auto RefError = [](StringId Name) {
+    return Completion::thrown(Value::string(
+        "ReferenceError: " + Interner::global().str(Name) +
+        " is not defined"));
+  };
+
+  // Branch joins: a taken then-range ends at AEnd but must resume past the
+  // untaken else-range at BEnd. Ranges nest strictly, so joins are LIFO;
+  // NextJoin mirrors the top of the stack to keep the per-instruction check
+  // to one compare. The stack itself is member scratch (re-entrant
+  // activations via Invoke push and fully pop above JBase).
+  uint32_t NextJoin = UINT32_MAX;
+  uint32_t IP = From;
+
+#if DDA_THREADED_DISPATCH
+  // Label table indexed by Opcode; order must match the enum exactly.
+  static const void *const Targets[] = {
+      &&L_Tick,        &&L_PushNum,     &&L_PushAtom,
+      &&L_PushBool,    &&L_PushNull,    &&L_PushUndef,
+      &&L_PushThis,    &&L_LoadVar,     &&L_TypeofVar,
+      &&L_DeleteFalse, &&L_UpdateVar,   &&L_UpdateInvalid,
+      &&L_MakeClosure, &&L_FatalExpr,   &&L_NewArray,
+      &&L_ArrayElem,   &&L_ArrayFinish, &&L_NewObject,
+      &&L_ObjProp,     &&L_ObjFinish,   &&L_ResolveKey,
+      &&L_GetMember,   &&L_GetCalleeMember, &&L_MemberOld,
+      &&L_SetMember,   &&L_SetMemberCompound, &&L_DeleteMember,
+      &&L_UpdateMember, &&L_LoadVarCompound, &&L_StoreVar,
+      &&L_StoreVarCompound, &&L_Unary,  &&L_Binary,
+      &&L_LogicalBranch, &&L_CondBranch, &&L_Invoke,
+      &&L_InvokeNew,
+  };
+  static_assert(sizeof(Targets) / sizeof(Targets[0]) ==
+                    static_cast<size_t>(Opcode::InvokeNew) + 1,
+                "dispatch table out of sync with Opcode");
+
+#define VM_DISPATCH()                                                          \
+  do {                                                                         \
+    while (IP == NextJoin) {                                                   \
+      IP = Joins.back().second;                                                \
+      Joins.pop_back();                                                        \
+      NextJoin = Joins.size() == JBase ? UINT32_MAX : Joins.back().first;      \
+    }                                                                          \
+    if (IP >= To)                                                              \
+      goto L_Done;                                                             \
+    goto *Targets[static_cast<size_t>(Code[IP].Op)];                           \
+  } while (0)
+#define VM_CASE(Name) L_##Name
+#define VM_NEXT()                                                              \
+  do {                                                                         \
+    ++IP;                                                                      \
+    VM_DISPATCH();                                                             \
+  } while (0)
+
+  VM_DISPATCH();
+#else
+#define VM_CASE(Name) case Opcode::Name
+#define VM_NEXT() goto L_Top
+L_Top:
+  while (IP == NextJoin) {
+    IP = Joins.back().second;
+    Joins.pop_back();
+    NextJoin = Joins.size() == JBase ? UINT32_MAX : Joins.back().first;
+  }
+  if (IP >= To)
+    goto L_Done;
+  switch (Code[IP].Op) {
+#endif
+
+  VM_CASE(Tick) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    VM_NEXT();
+  }
+  VM_CASE(PushNum) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    S[Top++] = (Value::number(Ch.Nums[Code[IP].C]));
+    VM_NEXT();
+  }
+  VM_CASE(PushAtom) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    S[Top++] = (Value::atom(StringId{Code[IP].C}));
+    VM_NEXT();
+  }
+  VM_CASE(PushBool) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    S[Top++] = (Value::boolean(Code[IP].C != 0));
+    VM_NEXT();
+  }
+  VM_CASE(PushNull) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    S[Top++] = (Value::null());
+    VM_NEXT();
+  }
+  VM_CASE(PushUndef) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    S[Top++] = (Value::undefined());
+    VM_NEXT();
+  }
+  VM_CASE(PushThis) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    S[Top++] = (CurrentThis);
+    VM_NEXT();
+  }
+  VM_CASE(LoadVar) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    const Instr &I = Code[IP];
+    InlineCache &C = ICs[IP];
+    Binding *B;
+    if (C.Key == CurrentEnv && C.Gen == Envs.shapeGen()) {
+      B = static_cast<Binding *>(C.Ptr);
+    } else {
+      B = Envs.lookup(CurrentEnv, StringId{I.C});
+      if (!B)
+        return Fail(RefError(StringId{I.C}));
+      C = {CurrentEnv, Envs.shapeGen(), B};
+    }
+    S[Top++] = (B->V);
+    VM_NEXT();
+  }
+  VM_CASE(TypeofVar) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    Binding *B = Envs.lookup(CurrentEnv, StringId{Code[IP].C});
+    if (!B)
+      S[Top++] = (Value::atom(atoms().Undefined));
+    else
+      S[Top++] = (Value::string(typeofString(B->V, TheHeap)));
+    VM_NEXT();
+  }
+  VM_CASE(DeleteFalse) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    S[Top++] = (Value::boolean(false));
+    VM_NEXT();
+  }
+  VM_CASE(UpdateVar) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    const Instr &I = Code[IP];
+    InlineCache &C = ICs[IP];
+    Binding *B;
+    if (C.Key == CurrentEnv && C.Gen == Envs.shapeGen()) {
+      B = static_cast<Binding *>(C.Ptr);
+    } else {
+      B = Envs.lookup(CurrentEnv, StringId{I.C});
+      if (!B)
+        return Fail(RefError(StringId{I.C}));
+      C = {CurrentEnv, Envs.shapeGen(), B};
+    }
+    double Delta = (I.Flags & kIncrement) ? 1 : -1;
+    double Old = toNumber(B->V);
+    B->V = Value::number(Old + Delta);
+    S[Top++] = (Value::number((I.Flags & kPrefix) ? Old + Delta : Old));
+    VM_NEXT();
+  }
+  VM_CASE(UpdateInvalid) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    return Fail(throwTypeError("invalid update target"));
+  }
+  VM_CASE(MakeClosure) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    const FunctionExpr *F = Ch.Fns[Code[IP].C];
+    ObjectRef FnObj = makeFunction(F, CurrentEnv);
+    if (!F->getName().empty()) {
+      EnvRef Wrapper = Envs.allocate(CurrentEnv);
+      Envs.get(Wrapper).Vars[F->getNameAtom()] =
+          Binding{Value::object(FnObj), Det::Determinate};
+      TheHeap.get(FnObj).Closure = Wrapper;
+    }
+    S[Top++] = (Value::object(FnObj));
+    VM_NEXT();
+  }
+  VM_CASE(FatalExpr) : {
+    Completion T;
+    for (uint32_t Pre = Code[IP].B + 1u; Pre; --Pre)
+      if (!tick(T))
+        return Fail(std::move(T));
+    return Fail(Completion::fatal("statement node in expression position"));
+  }
+  VM_CASE(NewArray) : {
+    if (uint32_t Pre = Code[IP].B) { // fused pre-ticks
+      Completion T;
+      do
+        if (!tick(T))
+          return Fail(std::move(T));
+      while (--Pre);
+    }
+    ObjectRef Arr = TheHeap.allocate(ObjectClass::Array, Code[IP].ID);
+    TheHeap.get(Arr).Proto = ArrayProto;
+    S[Top++] = (Value::object(Arr));
+    VM_NEXT();
+  }
+  VM_CASE(ArrayElem) : {
+    Value V = std::move(S[--Top]);
+    TheHeap.get(S[Top - 1].Obj)
+        .set(Interner::global().internIndex(Code[IP].C), Slot{std::move(V)});
+    VM_NEXT();
+  }
+  VM_CASE(ArrayFinish) : {
+    TheHeap.get(S[Top - 1].Obj)
+        .set(atoms().Length,
+             Slot{Value::number(static_cast<double>(Code[IP].C))});
+    VM_NEXT();
+  }
+  VM_CASE(NewObject) : {
+    if (uint32_t Pre = Code[IP].B) { // fused pre-ticks
+      Completion T;
+      do
+        if (!tick(T))
+          return Fail(std::move(T));
+      while (--Pre);
+    }
+    ObjectRef O = TheHeap.allocate(ObjectClass::Plain, Code[IP].ID);
+    TheHeap.get(O).Proto = ObjectProto;
+    S[Top++] = (Value::object(O));
+    VM_NEXT();
+  }
+  VM_CASE(ObjProp) : {
+    Value V = std::move(S[--Top]);
+    TheHeap.get(S[Top - 1].Obj).set(StringId{Code[IP].C}, Slot{std::move(V)});
+    VM_NEXT();
+  }
+  VM_CASE(ObjFinish) : {
+    // The object value is already on top.
+    VM_NEXT();
+  }
+  VM_CASE(ResolveKey) : {
+    Value Idx = std::move(S[--Top]);
+    S[Top++] = (Value::atom(propertyKey(Idx)));
+    VM_NEXT();
+  }
+  VM_CASE(GetMember) : {
+    const Instr &I = Code[IP];
+    StringId Key{I.C};
+    if (I.Flags & kComputed) {
+      Key = S[--Top].Str;
+    }
+    Value BaseV = std::move(S[--Top]);
+    InlineCache &C = ICs[IP];
+    if (!(I.Flags & kComputed) && BaseV.isObject() && C.Key == BaseV.Obj &&
+        C.Gen == TheHeap.get(BaseV.Obj).ShapeGen) {
+      S[Top++] = (static_cast<Slot *>(C.Ptr)->V);
+      VM_NEXT();
+    }
+    Slot *Own = nullptr;
+    EvalResult R = getProperty(BaseV, Key, &Own);
+    if (R.abrupt())
+      return Fail(std::move(R.C));
+    if (Own && !(I.Flags & kComputed))
+      C = {BaseV.Obj, TheHeap.get(BaseV.Obj).ShapeGen, Own};
+    S[Top++] = (std::move(R.V));
+    VM_NEXT();
+  }
+  VM_CASE(GetCalleeMember) : {
+    const Instr &I = Code[IP];
+    StringId Key{I.C};
+    if (I.Flags & kComputed) {
+      Key = S[--Top].Str;
+    }
+    const Value &BaseV = S[Top - 1];
+    InlineCache &C = ICs[IP];
+    if (!(I.Flags & kComputed) && BaseV.isObject() && C.Key == BaseV.Obj &&
+        C.Gen == TheHeap.get(BaseV.Obj).ShapeGen) {
+      Value Callee = static_cast<Slot *>(C.Ptr)->V;
+      S[Top++] = (std::move(Callee));
+      VM_NEXT();
+    }
+    ObjectRef BaseObj = BaseV.isObject() ? BaseV.Obj : 0;
+    Slot *Own = nullptr;
+    EvalResult R = getProperty(BaseV, Key, &Own);
+    if (R.abrupt())
+      return Fail(std::move(R.C));
+    if (Own && !(I.Flags & kComputed))
+      C = {BaseObj, TheHeap.get(BaseObj).ShapeGen, Own};
+    S[Top++] = (std::move(R.V));
+    VM_NEXT();
+  }
+  VM_CASE(MemberOld) : {
+    const Instr &I = Code[IP];
+    StringId Key{I.C};
+    const Value &BaseV = (I.Flags & kComputed) ? S[Top - 2] : S[Top - 1];
+    if (I.Flags & kComputed)
+      Key = S[Top - 1].Str;
+    InlineCache &C = ICs[IP];
+    if (!(I.Flags & kComputed) && BaseV.isObject() && C.Key == BaseV.Obj &&
+        C.Gen == TheHeap.get(BaseV.Obj).ShapeGen) {
+      Value Old = static_cast<Slot *>(C.Ptr)->V;
+      S[Top++] = (std::move(Old));
+      VM_NEXT();
+    }
+    ObjectRef BaseObj = BaseV.isObject() ? BaseV.Obj : 0;
+    Slot *Own = nullptr;
+    EvalResult R = getProperty(BaseV, Key, &Own);
+    if (R.abrupt())
+      return Fail(std::move(R.C));
+    if (Own && !(I.Flags & kComputed))
+      C = {BaseObj, TheHeap.get(BaseObj).ShapeGen, Own};
+    S[Top++] = (std::move(R.V));
+    VM_NEXT();
+  }
+  VM_CASE(SetMember) : {
+    const Instr &I = Code[IP];
+    Value V = std::move(S[--Top]);
+    StringId Key{I.C};
+    if (I.Flags & kComputed) {
+      Key = S[--Top].Str;
+    }
+    Value BaseV = std::move(S[--Top]);
+    InlineCache &C = ICs[IP];
+    if (!(I.Flags & kComputed) && BaseV.isObject() && C.Key == BaseV.Obj &&
+        C.Gen == TheHeap.get(BaseV.Obj).ShapeGen) {
+      // Cached overwrite of an existing non-array own property: identical
+      // to setProperty's overwrite branch.
+      *static_cast<Slot *>(C.Ptr) = Slot{V, Det::Determinate, 0};
+    } else {
+      Slot *Cache = nullptr;
+      Completion W =
+          setProperty(BaseV, Key, V, (I.Flags & kComputed) ? nullptr : &Cache);
+      if (W.isAbrupt())
+        return Fail(std::move(W));
+      if (Cache)
+        C = {BaseV.Obj, TheHeap.get(BaseV.Obj).ShapeGen, Cache};
+    }
+    S[Top++] = (std::move(V));
+    VM_NEXT();
+  }
+  VM_CASE(SetMemberCompound) : {
+    const Instr &I = Code[IP];
+    Value RHS = std::move(S[--Top]);
+    Value Old = std::move(S[--Top]);
+    StringId Key{I.C};
+    if (I.Flags & kComputed) {
+      Key = S[--Top].Str;
+    }
+    Value BaseV = std::move(S[--Top]);
+    Value NewV;
+    if (!applyBinaryOpFast(static_cast<BinaryOp>(I.B), Old, RHS, NewV))
+      NewV = applyBinaryOp(static_cast<BinaryOp>(I.B), Old, RHS, TheHeap);
+    InlineCache &C = ICs[IP];
+    if (!(I.Flags & kComputed) && BaseV.isObject() && C.Key == BaseV.Obj &&
+        C.Gen == TheHeap.get(BaseV.Obj).ShapeGen) {
+      *static_cast<Slot *>(C.Ptr) = Slot{NewV, Det::Determinate, 0};
+    } else {
+      Slot *Cache = nullptr;
+      Completion W = setProperty(BaseV, Key, NewV,
+                                 (I.Flags & kComputed) ? nullptr : &Cache);
+      if (W.isAbrupt())
+        return Fail(std::move(W));
+      if (Cache)
+        C = {BaseV.Obj, TheHeap.get(BaseV.Obj).ShapeGen, Cache};
+    }
+    S[Top++] = (std::move(NewV));
+    VM_NEXT();
+  }
+  VM_CASE(DeleteMember) : {
+    const Instr &I = Code[IP];
+    StringId Key{I.C};
+    if (I.Flags & kComputed) {
+      Key = S[--Top].Str;
+    }
+    Value BaseV = std::move(S[--Top]);
+    if (!BaseV.isObject())
+      S[Top++] = (Value::boolean(true));
+    else
+      S[Top++] = (Value::boolean(TheHeap.get(BaseV.Obj).erase(Key)));
+    VM_NEXT();
+  }
+  VM_CASE(UpdateMember) : {
+    const Instr &I = Code[IP];
+    StringId Key{I.C};
+    if (I.Flags & kComputed) {
+      Key = S[--Top].Str;
+    }
+    Value BaseV = std::move(S[--Top]);
+    const bool Static = !(I.Flags & kComputed);
+    InlineCache &C = ICs[IP];
+    if (Static && BaseV.isObject() && C.Key == BaseV.Obj &&
+        C.Gen == TheHeap.get(BaseV.Obj).ShapeGen) {
+      // Cached only when the read and the write hit the same existing
+      // non-array own slot, so a read-modify-write in place is identical
+      // to getProperty + setProperty.
+      Slot *Sl = static_cast<Slot *>(C.Ptr);
+      double Delta = (I.Flags & kIncrement) ? 1 : -1;
+      double Old = toNumber(Sl->V);
+      *Sl = Slot{Value::number(Old + Delta), Det::Determinate, 0};
+      S[Top++] = (Value::number((I.Flags & kPrefix) ? Old + Delta : Old));
+      VM_NEXT();
+    }
+    Slot *Own = nullptr;
+    EvalResult OldR = getProperty(BaseV, Key, Static ? &Own : nullptr);
+    if (OldR.abrupt())
+      return Fail(std::move(OldR.C));
+    double Delta = (I.Flags & kIncrement) ? 1 : -1;
+    double Old = toNumber(OldR.V);
+    Slot *Cache = nullptr;
+    Completion W = setProperty(BaseV, Key, Value::number(Old + Delta),
+                               Static ? &Cache : nullptr);
+    if (W.isAbrupt())
+      return Fail(std::move(W));
+    if (Cache && Cache == Own)
+      C = {BaseV.Obj, TheHeap.get(BaseV.Obj).ShapeGen, Cache};
+    S[Top++] = (Value::number((I.Flags & kPrefix) ? Old + Delta : Old));
+    VM_NEXT();
+  }
+  VM_CASE(LoadVarCompound) : {
+    const Instr &I = Code[IP];
+    if (uint32_t Pre = I.B) { // fused pre-ticks
+      Completion T;
+      do
+        if (!tick(T))
+          return Fail(std::move(T));
+      while (--Pre);
+    }
+    InlineCache &C = ICs[IP];
+    Binding *B;
+    if (C.Key == CurrentEnv && C.Gen == Envs.shapeGen()) {
+      B = static_cast<Binding *>(C.Ptr);
+    } else {
+      B = Envs.lookup(CurrentEnv, StringId{I.C});
+      if (!B)
+        return Fail(RefError(StringId{I.C}));
+      C = {CurrentEnv, Envs.shapeGen(), B};
+    }
+    S[Top++] = (B->V);
+    VM_NEXT();
+  }
+  VM_CASE(StoreVar) : {
+    const Instr &I = Code[IP];
+    Value NewV = std::move(S[--Top]);
+    InlineCache &C = ICs[IP];
+    if (C.Key == CurrentEnv && C.Gen == Envs.shapeGen()) {
+      static_cast<Binding *>(C.Ptr)->V = NewV;
+    } else if (Binding *B = Envs.lookup(CurrentEnv, StringId{I.C})) {
+      B->V = NewV;
+      C = {CurrentEnv, Envs.shapeGen(), B};
+    } else {
+      Envs.noteShapeChange(); // New binding in a pre-existing scope.
+      Envs.get(GlobalEnv).Vars[StringId{I.C}] =
+          Binding{NewV, Det::Determinate};
+    }
+    S[Top++] = (std::move(NewV));
+    VM_NEXT();
+  }
+  VM_CASE(StoreVarCompound) : {
+    const Instr &I = Code[IP];
+    Value RHS = std::move(S[--Top]);
+    Value Old = std::move(S[--Top]);
+    Value NewV;
+    if (!applyBinaryOpFast(static_cast<BinaryOp>(I.B), Old, RHS, NewV))
+      NewV = applyBinaryOp(static_cast<BinaryOp>(I.B), Old, RHS, TheHeap);
+    InlineCache &C = ICs[IP];
+    if (C.Key == CurrentEnv && C.Gen == Envs.shapeGen()) {
+      static_cast<Binding *>(C.Ptr)->V = NewV;
+    } else if (Binding *B = Envs.lookup(CurrentEnv, StringId{I.C})) {
+      B->V = NewV;
+      C = {CurrentEnv, Envs.shapeGen(), B};
+    } else {
+      Envs.noteShapeChange(); // New binding in a pre-existing scope.
+      Envs.get(GlobalEnv).Vars[StringId{I.C}] =
+          Binding{NewV, Det::Determinate};
+    }
+    S[Top++] = (std::move(NewV));
+    VM_NEXT();
+  }
+  VM_CASE(Unary) : {
+    Value V = std::move(S[--Top]);
+    switch (static_cast<UnaryOp>(Code[IP].B)) {
+    case UnaryOp::Not:
+      S[Top++] = (Value::boolean(!toBooleanFast(V)));
+      break;
+    case UnaryOp::Minus:
+      S[Top++] = (Value::number(-toNumber(V)));
+      break;
+    case UnaryOp::Plus:
+      S[Top++] = (Value::number(toNumber(V)));
+      break;
+    case UnaryOp::Typeof:
+      S[Top++] = (Value::string(typeofString(V, TheHeap)));
+      break;
+    case UnaryOp::Void:
+      S[Top++] = (Value::undefined());
+      break;
+    case UnaryOp::Delete:
+      S[Top++] = (Value::boolean(true));
+      break;
+    }
+    VM_NEXT();
+  }
+  VM_CASE(Binary) : {
+    Value RHS = std::move(S[--Top]);
+    Value LHS = std::move(S[--Top]);
+    BinaryOp Op = static_cast<BinaryOp>(Code[IP].B);
+    if (Op == BinaryOp::In) {
+      if (!RHS.isObject())
+        return Fail(throwTypeError("'in' requires an object"));
+      StringId Key = propertyKey(LHS);
+      bool Found = false;
+      for (ObjectRef O = RHS.Obj; O; O = TheHeap.get(O).Proto)
+        if (TheHeap.get(O).has(Key)) {
+          Found = true;
+          break;
+        }
+      S[Top++] = (Value::boolean(Found));
+      VM_NEXT();
+    }
+    if (Op == BinaryOp::Instanceof) {
+      if (!RHS.isObject())
+        return Fail(throwTypeError("'instanceof' requires a function"));
+      EvalResult Proto = getProperty(RHS, atoms().Prototype);
+      if (Proto.abrupt())
+        return Fail(std::move(Proto.C));
+      if (!LHS.isObject() || !Proto.V.isObject()) {
+        S[Top++] = (Value::boolean(false));
+        VM_NEXT();
+      }
+      bool Found = false;
+      for (ObjectRef O = TheHeap.get(LHS.Obj).Proto; O;
+           O = TheHeap.get(O).Proto)
+        if (O == Proto.V.Obj) {
+          Found = true;
+          break;
+        }
+      S[Top++] = (Value::boolean(Found));
+      VM_NEXT();
+    }
+    Value Fast;
+    if (applyBinaryOpFast(Op, LHS, RHS, Fast))
+      S[Top++] = std::move(Fast);
+    else
+      S[Top++] = applyBinaryOp(Op, LHS, RHS, TheHeap);
+    VM_NEXT();
+  }
+  VM_CASE(LogicalBranch) : {
+    const Instr &I = Code[IP];
+    Value LHS = std::move(S[--Top]);
+    const BranchInfo &Br = Ch.Branches[I.C];
+    bool Truthy = toBooleanFast(LHS);
+    if ((I.Flags & kIsAnd) ? !Truthy : Truthy) {
+      S[Top++] = (std::move(LHS)); // Short-circuit: the LHS is the value.
+      IP = Br.BEnd - 1;            // The increment skips the RHS range.
+    }
+    // Otherwise fall through into the RHS range; it ends at the
+    // continuation (AEnd == BEnd), so no join entry is needed.
+    VM_NEXT();
+  }
+  VM_CASE(CondBranch) : {
+    Value Cond = std::move(S[--Top]);
+    const BranchInfo &Br = Ch.Branches[Code[IP].C];
+    if (toBooleanFast(Cond)) {
+      // Fall into the then-range; rejoin past the else-range at its end.
+      Joins.emplace_back(Br.AEnd, Br.BEnd);
+      NextJoin = Br.AEnd;
+    } else {
+      IP = Br.BStart - 1; // The increment lands on the else-range.
+    }
+    VM_NEXT();
+  }
+  VM_CASE(Invoke) : {
+    const Instr &I = Code[IP];
+    size_t Argc = I.B;
+    std::vector<Value> Args(S.begin() + (Top - Argc), S.begin() + Top);
+    Top -= Argc;
+    Value Callee = std::move(S[--Top]);
+    Value ThisV = Value::undefined();
+    if (I.Flags & kMemberCall) {
+      ThisV = std::move(S[--Top]);
+    }
+    // eval is intercepted: it runs in the caller's scope.
+    EvalResult R = (Callee.isObject() && Callee.Obj == EvalFn)
+                       ? evalEval(Args)
+                       : callValue(Callee, ThisV, Args);
+    if (R.abrupt())
+      return Fail(std::move(R.C));
+    S[Top++] = (std::move(R.V));
+    VM_NEXT();
+  }
+  VM_CASE(InvokeNew) : {
+    const Instr &I = Code[IP];
+    size_t Argc = I.B;
+    std::vector<Value> Args(S.begin() + (Top - Argc), S.begin() + Top);
+    Top -= Argc;
+    Value Fn = std::move(S[--Top]);
+    if (!Fn.isObject())
+      return Fail(throwTypeError("not a constructor"));
+    ObjectClass Class = TheHeap.get(Fn.Obj).Class;
+    if (Class == ObjectClass::Native) {
+      // `new String(x)` etc. degrade to the plain call.
+      NativeFn N = TheHeap.get(Fn.Obj).Native;
+      std::vector<TaggedValue> TArgs;
+      for (const Value &V : Args)
+        TArgs.emplace_back(V);
+      NativeResult R =
+          callNative(*this, N, TaggedValue(Value::undefined()), TArgs);
+      if (R.Threw)
+        return Fail(Completion::thrown(R.Thrown));
+      S[Top++] = (R.Result.V);
+      VM_NEXT();
+    }
+    if (Class != ObjectClass::Function)
+      return Fail(throwTypeError("not a constructor"));
+    ObjectRef Fresh = TheHeap.allocate(ObjectClass::Plain, I.ID);
+    const Slot *ProtoSlot = TheHeap.get(Fn.Obj).get(atoms().Prototype);
+    TheHeap.get(Fresh).Proto = ProtoSlot && ProtoSlot->V.isObject()
+                                   ? ProtoSlot->V.Obj
+                                   : ObjectProto;
+    EvalResult R = callClosure(Fn.Obj, Value::object(Fresh), Args);
+    if (R.abrupt())
+      return Fail(std::move(R.C));
+    // If the constructor returned an object, that wins.
+    S[Top++] = (R.V.isObject() ? std::move(R.V) : Value::object(Fresh));
+    VM_NEXT();
+  }
+
+#if !DDA_THREADED_DISPATCH
+  }
+  goto L_Top; // Unreachable: every handler ends in VM_NEXT.
+#endif
+
+#undef VM_CASE
+#undef VM_NEXT
+#ifdef VM_DISPATCH
+#undef VM_DISPATCH
+#endif
+
+L_Done : {
+  Value V = std::move(S[--Top]);
+  S.resize(Base);
+  return EvalResult::value(std::move(V));
+}
+}

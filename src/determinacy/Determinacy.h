@@ -22,6 +22,7 @@
 #define DDA_DETERMINACY_DETERMINACY_H
 
 #include "ast/ASTContext.h"
+#include "bytecode/Bytecode.h"
 #include "determinacy/Context.h"
 #include "determinacy/Facts.h"
 #include "support/ResourceGovernor.h"
@@ -37,6 +38,9 @@ class FaultInjector;
 struct AnalysisOptions {
   uint64_t RandomSeed = 1; ///< Concrete seed for Math.random.
   uint64_t DomSeed = 1;    ///< Concrete seed for synthetic DOM content.
+  /// Expression execution engine; the bytecode VM is the default hot path,
+  /// the tree-walk is the reference semantics (`--engine=tree`).
+  ExecEngine Engine = defaultExecEngine();
   uint64_t MaxSteps = 50'000'000;
   uint64_t DeadlineMs = 0;   ///< Wall-clock budget for the run; 0 = none.
   uint64_t MaxHeapCells = 0; ///< Heap-cell budget; 0 = unlimited.

@@ -200,6 +200,8 @@ InstrumentedInterpreter::InstrumentedInterpreter(Program &P,
   installGlobals();
   // Builtin setup above is free; only program-driven allocations count.
   TheHeap.setGovernor(&Gov);
+  if (Opts.Engine == ExecEngine::Bytecode)
+    BC = std::make_unique<bc::Module>();
 }
 
 InstrumentedInterpreter::~InstrumentedInterpreter() = default;
@@ -430,9 +432,27 @@ void InstrumentedInterpreter::declareVar(EnvRef Env, StringId Name,
 
 void InstrumentedInterpreter::setVar(StringId Name, TaggedValue TV) {
   EnvRef E = Envs.lookupEnv(CurrentEnv, Name);
-  if (!E)
+  if (!E) {
     E = GlobalEnv; // Sloppy-mode global creation.
+    Envs.noteShapeChange(); // New binding in a pre-existing scope.
+  }
   declareVar(E, Name, std::move(TV));
+}
+
+void InstrumentedInterpreter::storeVarCached(EnvRef Env, Binding &B,
+                                             StringId Name, TaggedValue TV) {
+  // Overwrite of a binding already resolved (by a valid inline cache or a
+  // fresh lookup): journals and writes exactly like declareVar's
+  // existing-binding path, minus the re-find.
+  JournalEntry JE;
+  JE.K = JournalEntry::VarWrite;
+  JE.Env = Env;
+  JE.Name = Name;
+  JE.Existed = true;
+  JE.OldBinding = B;
+  J.push(std::move(JE));
+  ++Stats.JournalEntries;
+  B = Binding{std::move(TV.V), taintAdjust(TV.D)};
 }
 
 void InstrumentedInterpreter::weakenVar(EnvRef Env, StringId Name) {
@@ -622,10 +642,14 @@ void InstrumentedInterpreter::undoSince(Journal::Mark M) {
     switch (E.K) {
     case JournalEntry::VarWrite: {
       Environment &Env = Envs.get(E.Env);
-      if (E.Existed)
+      if (E.Existed) {
+        // In-place restore: the map node (and any cached Binding*) survives.
         Env.Vars[E.Name] = E.OldBinding;
-      else
+      } else {
+        // Erasing invalidates Binding pointers; revalidate variable caches.
+        Envs.noteShapeChange();
         Env.Vars.erase(E.Name);
+      }
       break;
     }
     case JournalEntry::PropWrite: {
@@ -837,14 +861,6 @@ void InstrumentedInterpreter::recordFactValue(FactKind Kind, NodeID Node,
   Facts.record({Node, currentCtx(), Kind, Index}, FV);
 }
 
-bool InstrumentedInterpreter::tick(IComp &C) {
-  if (!Gov.tickStep()) {
-    C = trapCompletion();
-    return false;
-  }
-  return true;
-}
-
 /// The step-limit message text is load-bearing: callers historically
 /// matched on "step limit".
 IComp InstrumentedInterpreter::trapCompletion() {
@@ -896,7 +912,8 @@ void InstrumentedInterpreter::hoistStmt(const Stmt *S, EnvRef Env) {
     return;
   }
   case NodeKind::BlockStmt:
-    hoist(cast<BlockStmt>(S)->getBody(), Env);
+    for (const Stmt *Inner : cast<BlockStmt>(S)->getBody())
+      hoistStmt(Inner, Env);
     return;
   case NodeKind::IfStmt:
     hoistStmt(cast<IfStmt>(S)->getThen(), Env);
@@ -932,7 +949,8 @@ void InstrumentedInterpreter::hoistStmt(const Stmt *S, EnvRef Env) {
   }
   case NodeKind::SwitchStmt:
     for (const auto &Clause : cast<SwitchStmt>(S)->getClauses())
-      hoist(Clause.Body, Env);
+      for (const Stmt *Inner : Clause.Body)
+        hoistStmt(Inner, Env);
     return;
   default:
     return;
@@ -940,7 +958,12 @@ void InstrumentedInterpreter::hoistStmt(const Stmt *S, EnvRef Env) {
 }
 
 void InstrumentedInterpreter::hoist(const std::vector<Stmt *> &Body,
-                                    EnvRef Env) {
+                                    EnvRef Env, bool FreshEnv) {
+  // Hoisting into a pre-existing scope (toplevel, eval) can add bindings
+  // that shadow outer ones along already-cached resolution chains; a fresh
+  // activation scope cannot, so it skips the cache-invalidating bump.
+  if (!FreshEnv)
+    Envs.noteShapeChange();
   for (const Stmt *S : Body)
     hoistStmt(S, Env);
 }
@@ -1447,7 +1470,9 @@ IComp InstrumentedInterpreter::execForIn(const ForInStmt *F) {
 //===----------------------------------------------------------------------===//
 
 IRes InstrumentedInterpreter::readProperty(const TaggedValue &Base,
-                                           StringId Name, Det NameDet) {
+                                           StringId Name, Det NameDet,
+                                           const Slot *OwnHint,
+                                           const Slot **OwnOut) {
   Det DIn = meet(Base.D, NameDet);
   switch (Base.V.Kind) {
   case ValueKind::Undefined:
@@ -1479,15 +1504,22 @@ IRes InstrumentedInterpreter::readProperty(const TaggedValue &Base,
   case ValueKind::Object: {
     ObjectRef O = Base.V.Obj;
     Det MissDet = Det::Determinate;
+    // A valid inline-cache hint skips the own-property hash probe only; all
+    // determinacy logic below (slot epoch, DOM rule) is re-evaluated.
+    const Slot *Hint = OwnHint;
     while (O) {
       const JSObject &Obj = TheHeap.get(O);
-      if (const Slot *S = Obj.get(Name)) {
+      const Slot *S = Hint ? Hint : Obj.get(Name);
+      Hint = nullptr;
+      if (S) {
         Det D = meet(DIn, meet(MissDet, slotDet(*S)));
         // Paper Section 4: any value read from a DOM data structure is
         // indeterminate (native members exempt so DOM *methods* resolve).
         if (Obj.Class == ObjectClass::Dom && !(S->V.isObject() &&
             TheHeap.get(S->V.Obj).Class == ObjectClass::Native))
           D = meet(D, domDet());
+        if (OwnOut && O == Base.V.Obj)
+          *OwnOut = S;
         return IRes::value(TaggedValue(S->V, D));
       }
       if (Obj.Class == ObjectClass::Dom && O == Base.V.Obj) {
@@ -1592,6 +1624,12 @@ IRes InstrumentedInterpreter::evalBranchExpr(const TaggedValue &CondV,
 }
 
 IRes InstrumentedInterpreter::evalExpr(const Expr *E) {
+  // Tiered: cold roots tree-walk (identical semantics), hot roots run their
+  // compiled chunk — one-shot code never pays compilation.
+  if (BC) {
+    if (const bc::Chunk *Ch = BC->lookupHot(E->getID(), E))
+      return vmRun(*Ch, 0, static_cast<uint32_t>(Ch->Code.size()));
+  }
   IComp Tick;
   if (!tick(Tick))
     return IRes::abruptly(Tick);
@@ -1986,7 +2024,7 @@ IRes InstrumentedInterpreter::evalCall(const CallExpr *E) {
     ExecutedCalls.insert(E->getID());
 
   if (Callee.V.isObject() && Callee.V.Obj == EvalFn)
-    return evalEval(E, Args, ChildCtx);
+    return evalEval(E->getID(), Args, ChildCtx);
 
   return callValueTagged(Callee, ThisV, Args, ChildCtx);
 }
@@ -2060,7 +2098,7 @@ IRes InstrumentedInterpreter::callClosure(ObjectRef FnObj, Det CalleeDet,
     declareVar(CallEnv, Params[I], std::move(V));
   }
   const auto *Body = cast<BlockStmt>(Fn->getBody());
-  hoist(Body->getBody(), CallEnv);
+  hoist(Body->getBody(), CallEnv, /*FreshEnv=*/true);
 
   EnvRef SavedEnv = CurrentEnv;
   CurrentEnv = CallEnv;
@@ -2165,11 +2203,11 @@ IRes InstrumentedInterpreter::evalNew(const NewExpr *E) {
                                  meet(Fn.V.D, Det::Determinate)));
 }
 
-IRes InstrumentedInterpreter::evalEval(const CallExpr *E,
+IRes InstrumentedInterpreter::evalEval(NodeID Site,
                                        const std::vector<TaggedValue> &Args,
                                        ContextID ChildCtx) {
   TaggedValue Arg = Args.empty() ? TaggedValue() : Args[0];
-  recordFactAt(FactKind::EvalArg, E->getID(), ChildCtx, Arg);
+  recordFactAt(FactKind::EvalArg, Site, ChildCtx, Arg);
   if (!Arg.V.isString())
     return IRes::value(Arg);
 
@@ -2189,7 +2227,7 @@ IRes InstrumentedInterpreter::evalEval(const CallExpr *E,
     C.IndetControl = Arg.D == Det::Indeterminate;
     return IRes::abruptly(C);
   }
-  hoist(Body, CurrentEnv);
+  hoist(Body, CurrentEnv, /*FreshEnv=*/false);
 
   TaggedValue Saved = LastStmtValue;
   LastStmtValue = TaggedValue();
@@ -2250,7 +2288,7 @@ bool InstrumentedInterpreter::run() {
   Gov.startClock();
   CurrentEnv = GlobalEnv;
   Frames.back().ThisV = TaggedValue(Value::object(WindowObj));
-  hoist(Prog.Body, GlobalEnv);
+  hoist(Prog.Body, GlobalEnv, /*FreshEnv=*/false);
   IComp C = execBlockBody(Prog.Body);
   Stats.StepsUsed = Gov.stepsUsed();
   if (C.K == IComp::Throw) {

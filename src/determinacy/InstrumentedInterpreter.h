@@ -32,6 +32,7 @@
 #include "interp/Heap.h"
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -151,6 +152,10 @@ private:
   // --- Journaled state mutation -------------------------------------------
   /// Resolves and writes a variable (creating a global when undeclared).
   void setVar(StringId Name, TaggedValue TV);
+  /// Overwrites a binding already resolved to (\p Env, \p B) — the bytecode
+  /// VM's variable-cache fast path. Journals like declareVar's
+  /// existing-binding case without re-finding the map node.
+  void storeVarCached(EnvRef Env, Binding &B, StringId Name, TaggedValue TV);
   /// Declares/overwrites a binding in a specific environment.
   void declareVar(EnvRef Env, StringId Name, TaggedValue TV);
   /// Marks an existing binding indeterminate (journaled).
@@ -217,7 +222,10 @@ private:
                  const Expr *Update, bool CondFirst);
   IComp execForIn(const ForInStmt *F);
   IComp execSwitch(const SwitchStmt *Sw);
-  void hoist(const std::vector<Stmt *> &Body, EnvRef Env);
+  /// \p FreshEnv: hoisting into an environment allocated for this activation
+  /// (call scope); pre-existing targets (toplevel, eval) bump the env arena's
+  /// shape generation so variable inline caches revalidate.
+  void hoist(const std::vector<Stmt *> &Body, EnvRef Env, bool FreshEnv);
   void hoistStmt(const Stmt *S, EnvRef Env);
 
   // --- Expressions -----------------------------------------------------------
@@ -227,8 +235,20 @@ private:
   IRes evalMember(const MemberExpr *E);
   IRes evalAssign(const AssignExpr *E);
   IRes evalUpdate(const UpdateExpr *E);
-  IRes evalEval(const CallExpr *E, const std::vector<TaggedValue> &Args,
+  IRes evalEval(NodeID Site, const std::vector<TaggedValue> &Args,
                 ContextID ChildCtx);
+
+  // Bytecode engine (VMInstrumented.cpp). evalExpr forwards to vmEval when
+  // the chunk cache is live; statements, counterfactual machinery, journal
+  // and fact recording stay shared with the tree-walk.
+  IRes vmEval(const Expr *E);
+  IRes vmRun(const bc::Chunk &Ch, uint32_t From, uint32_t To);
+  /// The VM's evalBranchExpr: the taken/untaken operands are code ranges of
+  /// \p Ch instead of subtrees; \p UntakenVd indexes Ch.VdLists.
+  IRes vmBranchExpr(const bc::Chunk &Ch, const TaggedValue &CondV,
+                    bool HasTaken, uint32_t TFrom, uint32_t TTo,
+                    bool HasUntaken, uint32_t UFrom, uint32_t UTo,
+                    uint32_t UntakenVd);
   /// Expression-level conditional branches (?:, &&, ||) follow the same
   /// indeterminate-condition discipline as if statements: with an
   /// indeterminate condition, the untaken side is counterfactually evaluated
@@ -238,8 +258,12 @@ private:
                       const Expr *Untaken);
 
   // --- Helpers ----------------------------------------------------------------
-  IRes readProperty(const TaggedValue &Base, StringId Name,
-                    Det NameDet);
+  /// \p OwnHint: a still-valid cached own slot of the base object (skips the
+  /// hash probe; every determinacy rule still runs). \p OwnOut receives the
+  /// own slot when the read resolved to one, for the VM to cache.
+  IRes readProperty(const TaggedValue &Base, StringId Name, Det NameDet,
+                    const Slot *OwnHint = nullptr,
+                    const Slot **OwnOut = nullptr);
   IComp setPropertyTagged(const TaggedValue &Base, StringId Name,
                           Det NameDet, TaggedValue V);
   IRes callValueTagged(const TaggedValue &Callee, const TaggedValue &ThisV,
@@ -259,7 +283,14 @@ private:
                     const TaggedValue &TV, uint16_t Index = 0);
   void recordFactValue(FactKind Kind, NodeID Node, FactValue FV,
                        uint16_t Index = 0);
-  bool tick(IComp &C);
+  /// Per-step governor checkpoint; defined inline because the dispatch
+  /// loops call it once per AST node / instruction.
+  bool tick(IComp &C) {
+    if (Gov.tickStep())
+      return true;
+    C = trapCompletion();
+    return false;
+  }
   /// Renders the governor's latched trip as a typed trap completion.
   IComp trapCompletion();
   /// Sound degradation after a resource trap unwound to the driver: flush
@@ -333,6 +364,20 @@ private:
   std::string Output;
   std::string Error;
   TaggedValue LastStmtValue;
+
+  /// Chunk cache; non-null iff Opts.Engine == ExecEngine::Bytecode.
+  std::unique_ptr<bc::Module> BC;
+  /// Operand stack shared by all (re-entrant) dispatch-loop activations;
+  /// each activation works relative to its entry height.
+  std::vector<TaggedValue> VStack;
+  /// Branch-join scratch for flattened determinate branches: when IP hits
+  /// Join, record the branch instruction's completing fact (top of stack is
+  /// the branch's value) and resume at Resume. Shared like VStack; strictly
+  /// LIFO within an activation.
+  struct VMJoin {
+    uint32_t Join, Resume, Instr;
+  };
+  std::vector<VMJoin> JStack;
 };
 
 /// Syntactic vd(s): names assigned anywhere in \p S, not descending into

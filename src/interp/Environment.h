@@ -63,16 +63,36 @@ public:
 
   /// Finds the binding for \p Name starting at \p Start, or null. One hash
   /// probe per environment on the chain (no lookupEnv + operator[] re-probe).
-  Binding *lookup(EnvRef Start, StringId Name) {
+  /// \p FoundIn (optional) receives the declaring environment on a hit.
+  Binding *lookup(EnvRef Start, StringId Name, EnvRef *FoundIn = nullptr) {
     for (EnvRef E = Start; E != 0; E = Envs[E].Parent) {
       auto It = Envs[E].Vars.find(Name);
-      if (It != Envs[E].Vars.end())
+      if (It != Envs[E].Vars.end()) {
+        if (FoundIn)
+          *FoundIn = E;
         return &It->second;
+      }
     }
     return nullptr;
   }
 
   size_t size() const { return Envs.size() - 1; }
+
+  /// Arena-wide binding-set generation; see noteShapeChange().
+  uint32_t shapeGen() const { return ShapeG; }
+
+  /// Records a change to some environment's binding *set* that could affect
+  /// name resolution through pre-existing scope chains: an insert into an
+  /// environment that already had lookups routed through it (sloppy-mode
+  /// global creation, eval hoisting into the caller's scope) or any binding
+  /// erase (counterfactual journal undo). The bytecode VMs' variable inline
+  /// caches key cached Binding pointers on (start EnvRef, shapeGen) and
+  /// refill on mismatch. Inserts into freshly allocated environments
+  /// (call/catch/function-wrapper scopes) need no bump: a fresh environment
+  /// cannot appear on any chain an existing cache entry resolved through, and
+  /// unordered_map node stability keeps Binding pointers valid across
+  /// unrelated inserts.
+  void noteShapeChange() { ++ShapeG; }
 
   /// Iterates every environment (conservative whole-environment taint).
   template <typename Fn> void forEach(Fn F) {
@@ -82,6 +102,7 @@ public:
 
 private:
   std::deque<Environment> Envs;
+  uint32_t ShapeG = 1;
 };
 
 } // namespace dda

@@ -114,6 +114,14 @@ public:
   void eraseMaybeAbsent(StringId Name) { sortedErase(MaybeAbsent, Name); }
   void eraseMaybePresent(StringId Name) { sortedErase(MaybePresent, Name); }
 
+  /// Bumped whenever the own-property *set* changes (insert or erase).
+  /// The bytecode VMs' inline caches key cached Slot pointers on
+  /// (ObjectRef, ShapeGen): value overwrites keep the generation because
+  /// unordered_map nodes are stable under everything but erase of the node
+  /// itself, so a matching generation proves the pointer is still live and
+  /// still the closest (own) slot for its name.
+  uint32_t ShapeGen = 0;
+
   bool has(StringId Name) const { return Props.count(Name) != 0; }
 
   /// Returns the slot for \p Name, or null if absent (prototype chain is the
@@ -129,12 +137,19 @@ public:
   }
 
   /// Creates or overwrites the slot for \p Name, maintaining insertion order.
-  void set(StringId Name, Slot S) {
+  /// Returns the stored slot (stable address until the property is erased);
+  /// \p Inserted reports whether the property was newly created.
+  Slot *set(StringId Name, Slot S, bool *InsertedOut = nullptr) {
     auto [It, Inserted] = Props.try_emplace(Name, S);
-    if (Inserted)
+    if (Inserted) {
       Order.push_back(Name);
-    else
+      ++ShapeGen;
+    } else {
       It->second = S;
+    }
+    if (InsertedOut)
+      *InsertedOut = Inserted;
+    return &It->second;
   }
 
   /// Removes a property; returns true if it existed. The insertion-order
@@ -146,6 +161,7 @@ public:
       return false;
     Props.erase(It);
     Order.erase(std::find(Order.begin(), Order.end(), Name));
+    ++ShapeGen;
     return true;
   }
 

@@ -20,6 +20,8 @@ Interpreter::Interpreter(Program &P, InterpOptions Options)
   installGlobals();
   // Builtin setup above is free; only program-driven allocations count.
   TheHeap.setGovernor(&Gov);
+  if (Opts.Engine == ExecEngine::Bytecode)
+    BC = std::make_unique<bc::Module>();
 }
 
 Interpreter::~Interpreter() = default;
@@ -233,7 +235,7 @@ bool Interpreter::run() {
   Gov.startClock();
   CurrentEnv = GlobalEnv;
   CurrentThis = Value::object(WindowObj);
-  hoist(Prog.Body, GlobalEnv);
+  hoist(Prog.Body, GlobalEnv, /*FreshEnv=*/false);
   Completion C = execBlockBody(Prog.Body);
   if (C.K == Completion::Throw) {
     Error = "uncaught exception: " + toStringValue(C.V, TheHeap);
@@ -315,14 +317,6 @@ Value Interpreter::property(const Value &Base, const std::string &Name) {
   return R.abrupt() ? Value::undefined() : R.V;
 }
 
-bool Interpreter::tick(Completion &C) {
-  if (!Gov.tickStep()) {
-    C = trapCompletion();
-    return false;
-  }
-  return true;
-}
-
 /// Renders the governor's latched trip as a typed trap completion. The
 /// step-limit message text is load-bearing: callers historically matched
 /// on "step limit".
@@ -377,7 +371,8 @@ void Interpreter::hoistStmt(const Stmt *S, EnvRef Env) {
     return;
   }
   case NodeKind::BlockStmt:
-    hoist(cast<BlockStmt>(S)->getBody(), Env);
+    for (const Stmt *Inner : cast<BlockStmt>(S)->getBody())
+      hoistStmt(Inner, Env);
     return;
   case NodeKind::IfStmt:
     hoistStmt(cast<IfStmt>(S)->getThen(), Env);
@@ -413,14 +408,21 @@ void Interpreter::hoistStmt(const Stmt *S, EnvRef Env) {
   }
   case NodeKind::SwitchStmt:
     for (const auto &Clause : cast<SwitchStmt>(S)->getClauses())
-      hoist(Clause.Body, Env);
+      for (const Stmt *Inner : Clause.Body)
+        hoistStmt(Inner, Env);
     return;
   default:
     return;
   }
 }
 
-void Interpreter::hoist(const std::vector<Stmt *> &Body, EnvRef Env) {
+void Interpreter::hoist(const std::vector<Stmt *> &Body, EnvRef Env,
+                        bool FreshEnv) {
+  // Hoisting into a pre-existing scope (toplevel, eval) can add bindings
+  // that shadow outer ones along already-cached resolution chains; a fresh
+  // activation scope cannot, so it skips the cache-invalidating bump.
+  if (!FreshEnv)
+    Envs.noteShapeChange();
   for (const Stmt *S : Body)
     hoistStmt(S, Env);
 }
@@ -462,8 +464,10 @@ Completion Interpreter::execStmt(const Stmt *S) {
       Binding *B = Envs.lookup(CurrentEnv, D.Atom);
       if (B)
         B->V = R.V;
-      else
+      else {
+        Envs.noteShapeChange(); // New binding in a pre-existing scope.
         Envs.get(GlobalEnv).Vars[D.Atom] = Binding{R.V, Det::Determinate};
+      }
     }
     return Completion::normal();
   }
@@ -564,9 +568,11 @@ Completion Interpreter::execStmt(const Stmt *S) {
       Binding *B = Envs.lookup(CurrentEnv, F->getVarAtom());
       if (B)
         B->V = Value::atom(Key);
-      else
+      else {
+        Envs.noteShapeChange(); // New binding in a pre-existing scope.
         Envs.get(GlobalEnv).Vars[F->getVarAtom()] =
             Binding{Value::atom(Key), Det::Determinate};
+      }
       Completion C = execStmt(F->getBody());
       if (C.K == Completion::Break)
         return Completion::normal();
@@ -665,7 +671,8 @@ StringId Interpreter::propertyKey(const Value &V) {
   return toStringAtom(V, TheHeap);
 }
 
-EvalResult Interpreter::getProperty(const Value &Base, StringId Name) {
+EvalResult Interpreter::getProperty(const Value &Base, StringId Name,
+                                    Slot **OwnOut) {
   switch (Base.Kind) {
   case ValueKind::Undefined:
   case ValueKind::Null:
@@ -691,9 +698,12 @@ EvalResult Interpreter::getProperty(const Value &Base, StringId Name) {
   case ValueKind::Object: {
     ObjectRef O = Base.Obj;
     while (O) {
-      const JSObject &Obj = TheHeap.get(O);
-      if (const Slot *S = Obj.get(Name))
+      JSObject &Obj = TheHeap.get(O);
+      if (Slot *S = Obj.get(Name)) {
+        if (OwnOut && O == Base.Obj)
+          *OwnOut = S;
         return EvalResult::value(S->V);
+      }
       if (Obj.Class == ObjectClass::Dom && O == Base.Obj) {
         // Unwritten DOM property: synthetic environment content.
         return EvalResult::value(
@@ -707,13 +717,19 @@ EvalResult Interpreter::getProperty(const Value &Base, StringId Name) {
   return EvalResult::value(Value::undefined());
 }
 
-Completion Interpreter::setProperty(const Value &Base, StringId Name,
-                                    Value V) {
+Completion Interpreter::setProperty(const Value &Base, StringId Name, Value V,
+                                    Slot **CacheOut) {
   if (!Base.isObject())
     return throwTypeError("cannot set property '" +
                           Interner::global().str(Name) + "' on a non-object");
   JSObject &O = TheHeap.get(Base.Obj);
-  O.set(Name, Slot{std::move(V), Det::Determinate, 0});
+  bool Inserted = false;
+  Slot *S = O.set(Name, Slot{std::move(V), Det::Determinate, 0}, &Inserted);
+  // Overwrites of existing non-array properties are pure slot stores — the
+  // cacheable case. Arrays are excluded because index writes also touch
+  // `length` below.
+  if (CacheOut && !Inserted && O.Class != ObjectClass::Array)
+    *CacheOut = S;
   // Keep array length in sync with index writes.
   if (O.Class == ObjectClass::Array) {
     uint32_t I = Interner::global().arrayIndex(Name);
@@ -728,6 +744,12 @@ Completion Interpreter::setProperty(const Value &Base, StringId Name,
 }
 
 EvalResult Interpreter::evalExpr(const Expr *E) {
+  // Tiered: cold roots tree-walk (identical semantics), hot roots run their
+  // compiled chunk — one-shot code never pays compilation.
+  if (BC) {
+    if (const bc::Chunk *Ch = BC->lookupHot(E->getID(), E))
+      return vmRun(*Ch, 0, static_cast<uint32_t>(Ch->Code.size()));
+  }
   Completion Tick;
   if (!tick(Tick))
     return EvalResult::abruptly(Tick);
@@ -976,11 +998,13 @@ EvalResult Interpreter::evalAssign(const AssignExpr *E) {
       return EvalResult::abruptly(C);
     // Assignment to an undeclared name creates a global (sloppy mode).
     B = Envs.lookup(CurrentEnv, Id->getAtom());
-    if (B)
+    if (B) {
       B->V = NewV;
-    else
+    } else {
+      Envs.noteShapeChange(); // New binding in a pre-existing scope.
       Envs.get(GlobalEnv).Vars[Id->getAtom()] =
           Binding{NewV, Det::Determinate};
+    }
     return EvalResult::value(NewV);
   }
 
@@ -1091,14 +1115,12 @@ EvalResult Interpreter::evalCall(const CallExpr *E) {
 
   // eval is intercepted: it runs in the caller's scope.
   if (Callee.isObject() && Callee.Obj == EvalFn)
-    return evalEval(E, Args);
+    return evalEval(Args);
 
   return callValue(Callee, ThisV, Args);
 }
 
-EvalResult Interpreter::evalEval(const CallExpr *E,
-                                 const std::vector<Value> &Args) {
-  (void)E;
+EvalResult Interpreter::evalEval(const std::vector<Value> &Args) {
   if (Args.empty() || !Args[0].isString())
     return EvalResult::value(Args.empty() ? Value::undefined() : Args[0]);
   if (!Gov.enterEval())
@@ -1111,7 +1133,7 @@ EvalResult Interpreter::evalEval(const CallExpr *E,
     return EvalResult::abruptly(Completion::thrown(
         Value::string("SyntaxError: " + Diags.diagnostics()[0].Message)));
   }
-  hoist(Body, CurrentEnv);
+  hoist(Body, CurrentEnv, /*FreshEnv=*/false);
   Value Saved = LastStmtValue;
   LastStmtValue = Value::undefined();
   Completion C = execBlockBody(Body);
@@ -1215,7 +1237,7 @@ EvalResult Interpreter::callClosure(ObjectRef FnObj, const Value &ThisV,
   }
 
   const auto *Body = cast<BlockStmt>(Fn->getBody());
-  hoist(Body->getBody(), CallEnv);
+  hoist(Body->getBody(), CallEnv, /*FreshEnv=*/true);
 
   EnvRef SavedEnv = CurrentEnv;
   Value SavedThis = CurrentThis;

@@ -7,9 +7,11 @@
 ///  * tasks are coarse (a whole instrumented run each), so a single shared
 ///    queue under a mutex is the right shape — contention is per-task, not
 ///    per-step;
-///  * `parallelFor` hands workers a shared atomic index cursor instead of
+///  * `parallelFor` hands workers a shared atomic chunk cursor instead of
 ///    pre-splitting ranges, so a runaway task (one seed hitting its budget
-///    and degrading) never stalls the other workers' progress;
+///    and degrading) never stalls the other workers' progress; the worker
+///    count is clamped to the hardware thread count, because CPU-bound
+///    oversubscription only buys scheduler churn;
 ///  * exceptions thrown by tasks are captured and the *first* one is
 ///    rethrown from wait()/parallelFor after every task has settled —
 ///    sibling tasks run to completion, matching the engine's "one runaway
@@ -57,11 +59,12 @@ public:
   /// first exception any task raised (if any).
   void wait();
 
-  /// Runs `Fn(0) .. Fn(N-1)` across \p Jobs workers (0 = hardwareWorkers())
-  /// and waits for completion. Workers claim indices from a shared cursor,
-  /// so long and short tasks load-balance naturally. Jobs <= 1 or N <= 1
-  /// executes inline on the calling thread. The first task exception is
-  /// rethrown after all claimed tasks settle.
+  /// Runs `Fn(0) .. Fn(N-1)` across \p Jobs workers (0 = hardwareWorkers();
+  /// clamped to the hardware thread count) and waits for completion.
+  /// Workers claim contiguous index chunks from a shared cursor, so long
+  /// and short tasks load-balance naturally. Jobs <= 1 or N <= 1 executes
+  /// inline on the calling thread. The first task exception is rethrown
+  /// after all claimed tasks settle.
   static void parallelFor(unsigned Jobs, size_t N,
                           const std::function<void(size_t)> &Fn);
 

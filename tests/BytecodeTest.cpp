@@ -1,0 +1,328 @@
+//===- BytecodeTest.cpp - Tree-walk vs bytecode differential suite ----------==//
+///
+/// The bytecode VM shares one compiler and two dispatch loops with the
+/// tree-walk evaluators; these tests hold the two engines to *observational
+/// identity*, not mere agreement: same output, same errors, same governor
+/// step counts (so injected faults trip at the same checkpoint), and — for
+/// the instrumented engine — byte-identical fact dumps, identical stats,
+/// and identical degradation under deterministic fault injection, across
+/// every workload family (paper figures, miniquery, the eval suite's
+/// runtime-compiled overlays, and generated fuzz programs) and across
+/// thread counts in the parallel engine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ast/AST.h"
+#include "bytecode/Bytecode.h"
+#include "determinacy/Determinacy.h"
+#include "determinacy/ParallelAnalysis.h"
+#include "interp/Interpreter.h"
+#include "parser/Parser.h"
+#include "support/FaultInjector.h"
+#include "workloads/ProgramGenerator.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace dda;
+
+namespace {
+
+Program parseOk(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return P;
+}
+
+/// Every corpus program the differential tests sweep: the paper figures,
+/// the four miniquery versions, the runnable eval-suite programs (runtime
+/// parsed overlay ASTs), and a band of generated fuzz programs.
+std::vector<std::pair<std::string, std::string>> corpus() {
+  std::vector<std::pair<std::string, std::string>> Out;
+  Out.emplace_back("figure1", workloads::figure1());
+  Out.emplace_back("figure2", workloads::figure2());
+  Out.emplace_back("figure3", workloads::figure3());
+  Out.emplace_back("figure4", workloads::figure4());
+  for (int Minor = 0; Minor < 4; ++Minor)
+    Out.emplace_back("miniquery1_" + std::to_string(Minor),
+                     workloads::miniquery(Minor));
+  for (const auto &B : workloads::evalSuite())
+    if (B.Runnable) {
+      std::string Name = std::string("eval_") + B.Name;
+      for (char &C : Name) // gtest param names must be [A-Za-z0-9_].
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      Out.emplace_back(Name, B.Source);
+    }
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed)
+    Out.emplace_back("fuzz" + std::to_string(Seed),
+                     workloads::generateProgram(Seed));
+  return Out;
+}
+
+/// Everything observable about an instrumented run, rendered to one string
+/// so differences show up as a readable diff.
+std::string analysisFingerprint(AnalysisResult &R) {
+  std::ostringstream OS;
+  OS << "ok=" << R.Ok << " trap=" << static_cast<int>(R.Trap)
+     << " degraded=" << R.Degradation.degraded() << "\n"
+     << "error=" << R.Error << "\n"
+     << "steps=" << R.Stats.StepsUsed << " flushes=" << R.Stats.HeapFlushes
+     << " cf=" << R.Stats.Counterfactuals
+     << " cfAborts=" << R.Stats.CounterfactualAborts
+     << " journal=" << R.Stats.JournalEntries << "\n"
+     << "executedCalls=" << R.ExecutedCalls.size()
+     << " executedStmts=" << R.ExecutedStmts.size() << "\n"
+     << "--- output ---\n"
+     << R.Output << "--- facts ---\n"
+     << R.Facts.dump(R.Contexts);
+  return OS.str();
+}
+
+AnalysisOptions engineOptions(ExecEngine Engine) {
+  AnalysisOptions Opts;
+  Opts.Engine = Engine;
+  Opts.RecordAllExpressions = true; // Max-coverage fact surface.
+  return Opts;
+}
+
+/// Pulls the root expression out of the first ExpressionStmt in a program.
+const Expr *firstExpr(const Program &P) {
+  for (const Stmt *S : P.Body)
+    if (const auto *ES = dyn_cast<ExpressionStmt>(S))
+      return ES->getExpr();
+  ADD_FAILURE() << "no expression statement in program";
+  return nullptr;
+}
+
+TEST(BytecodeCompiler, CachesChunksPerRoot) {
+  Program P = parseOk("1 + 2 * 3;");
+  const Expr *E = firstExpr(P);
+  ASSERT_NE(E, nullptr);
+  bc::Module M;
+  const bc::Chunk &First = M.getOrCompile(E);
+  const bc::Chunk &Again = M.getOrCompile(E);
+  EXPECT_EQ(&First, &Again) << "same root must hit the cache";
+  EXPECT_EQ(First.Root, E);
+  EXPECT_FALSE(First.Code.empty());
+}
+
+TEST(BytecodeCompiler, RunsEveryExpressionShape) {
+  // Exercise one of everything the compiler emits: literals, vars, members
+  // (static and computed), compound assignment, update, delete, typeof,
+  // logical/conditional branches, calls, new, eval.
+  const char *Source =
+      "var o = {a: 1, b: [1, 2, 3]};\n"
+      "function f(x) { return x ? o.a : o['b'][0]; }\n"
+      "o.a += f(2) && f(0) || 3;\n"
+      "function Ctor() { this.tag = 1; }\n"
+      "o.c = new Ctor();\n"
+      "delete o.a;\n"
+      "var t = typeof missing;\n"
+      "o.b[0]++;\n"
+      "print(eval('1 + 1'));\n";
+  // Run under the bytecode engine; every expression root gets compiled.
+  Program P = parseOk(Source);
+  InterpOptions Opts;
+  Opts.Engine = ExecEngine::Bytecode;
+  Interpreter I(P, Opts);
+  ASSERT_TRUE(I.run()) << I.errorMessage();
+  EXPECT_EQ(I.outputText(), "2\n");
+}
+
+class BytecodeDifferentialTest
+    : public ::testing::TestWithParam<std::pair<std::string, std::string>> {};
+
+/// Concrete engine: outputs, errors and governor step counts must match the
+/// tree-walk exactly (tick identity is what keeps injected-fault trips and
+/// step budgets engine-independent).
+TEST_P(BytecodeDifferentialTest, ConcreteEnginesAgree) {
+  const std::string &Source = GetParam().second;
+  Program PT = parseOk(Source);
+  InterpOptions TreeOpts;
+  TreeOpts.Engine = ExecEngine::TreeWalk;
+  Interpreter Tree(PT, TreeOpts);
+  bool TreeOk = Tree.run();
+
+  Program PB = parseOk(Source);
+  InterpOptions ByteOpts;
+  ByteOpts.Engine = ExecEngine::Bytecode;
+  Interpreter Byte(PB, ByteOpts);
+  bool ByteOk = Byte.run();
+
+  EXPECT_EQ(TreeOk, ByteOk);
+  EXPECT_EQ(Tree.outputText(), Byte.outputText());
+  EXPECT_EQ(Tree.errorMessage(), Byte.errorMessage());
+  EXPECT_EQ(Tree.stepsUsed(), Byte.stepsUsed());
+}
+
+/// Instrumented engine: the full observable surface — facts, stats,
+/// journal-entry counts, executed sets — must be byte-identical.
+TEST_P(BytecodeDifferentialTest, InstrumentedEnginesAgree) {
+  const std::string &Source = GetParam().second;
+  Program PT = parseOk(Source);
+  AnalysisResult Tree =
+      runDeterminacyAnalysis(PT, engineOptions(ExecEngine::TreeWalk));
+
+  Program PB = parseOk(Source);
+  AnalysisResult Byte =
+      runDeterminacyAnalysis(PB, engineOptions(ExecEngine::Bytecode));
+
+  EXPECT_EQ(analysisFingerprint(Tree), analysisFingerprint(Byte));
+}
+
+/// Multi-seed: different Math.random seeds exercise different paths
+/// (indeterminate branches, counterfactuals); engines must agree on all.
+TEST_P(BytecodeDifferentialTest, InstrumentedEnginesAgreeAcrossSeeds) {
+  const std::string &Source = GetParam().second;
+  for (uint64_t Seed : {7u, 99u}) {
+    AnalysisOptions TreeOpts = engineOptions(ExecEngine::TreeWalk);
+    TreeOpts.RandomSeed = Seed;
+    TreeOpts.DomSeed = Seed + 1;
+    Program PT = parseOk(Source);
+    AnalysisResult Tree = runDeterminacyAnalysis(PT, TreeOpts);
+
+    AnalysisOptions ByteOpts = engineOptions(ExecEngine::Bytecode);
+    ByteOpts.RandomSeed = Seed;
+    ByteOpts.DomSeed = Seed + 1;
+    Program PB = parseOk(Source);
+    AnalysisResult Byte = runDeterminacyAnalysis(PB, ByteOpts);
+
+    EXPECT_EQ(analysisFingerprint(Tree), analysisFingerprint(Byte))
+        << "seed=" << Seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, BytecodeDifferentialTest, ::testing::ValuesIn(corpus()),
+    [](const ::testing::TestParamInfo<std::pair<std::string, std::string>>
+           &Info) { return Info.param.first; });
+
+/// Injected faults must trip at the same checkpoint under either engine:
+/// the VM's explicit Tick instructions replicate the tree-walk's pre-order
+/// ticking exactly, so a "steps:N" fault lands on the same expression.
+TEST(BytecodeGovernor, InjectedFaultsTripIdentically) {
+  const std::string Source = workloads::miniquery(1);
+  for (const char *Spec : {"steps:50", "steps:500", "heap:10", "depth:2",
+                           "cf-fuel:1"}) {
+    std::string Error;
+    auto TreeInj = FaultInjector::parse(Spec, &Error);
+    ASSERT_TRUE(TreeInj) << Error;
+    AnalysisOptions TreeOpts = engineOptions(ExecEngine::TreeWalk);
+    TreeOpts.Injector = &*TreeInj;
+    Program PT = parseOk(Source);
+    AnalysisResult Tree = runDeterminacyAnalysis(PT, TreeOpts);
+
+    auto ByteInj = FaultInjector::parse(Spec, &Error);
+    ASSERT_TRUE(ByteInj) << Error;
+    AnalysisOptions ByteOpts = engineOptions(ExecEngine::Bytecode);
+    ByteOpts.Injector = &*ByteInj;
+    Program PB = parseOk(Source);
+    AnalysisResult Byte = runDeterminacyAnalysis(PB, ByteOpts);
+
+    EXPECT_EQ(analysisFingerprint(Tree), analysisFingerprint(Byte))
+        << "inject " << Spec;
+  }
+}
+
+/// Step budgets trip at identical counts in the concrete engine too.
+TEST(BytecodeGovernor, StepBudgetsMatchTreeWalk) {
+  const std::string Source = workloads::figure3();
+  for (uint64_t Budget : {25u, 150u, 1000u}) {
+    InterpOptions TreeOpts;
+    TreeOpts.Engine = ExecEngine::TreeWalk;
+    TreeOpts.MaxSteps = Budget;
+    Program PT = parseOk(Source);
+    Interpreter Tree(PT, TreeOpts);
+    bool TreeOk = Tree.run();
+
+    InterpOptions ByteOpts;
+    ByteOpts.Engine = ExecEngine::Bytecode;
+    ByteOpts.MaxSteps = Budget;
+    Program PB = parseOk(Source);
+    Interpreter Byte(PB, ByteOpts);
+    bool ByteOk = Byte.run();
+
+    EXPECT_EQ(TreeOk, ByteOk) << "budget " << Budget;
+    EXPECT_EQ(Tree.errorMessage(), Byte.errorMessage()) << "budget " << Budget;
+    EXPECT_EQ(Tree.stepsUsed(), Byte.stepsUsed()) << "budget " << Budget;
+    EXPECT_EQ(static_cast<int>(Tree.trapKind()),
+              static_cast<int>(Byte.trapKind()))
+        << "budget " << Budget;
+  }
+}
+
+/// The parallel engine's merged facts must be independent of thread count
+/// AND engine: tree jobs=1 == bytecode jobs=1 == bytecode jobs=8.
+TEST(BytecodeParallel, MergedFactsIndependentOfEngineAndJobs) {
+  const std::string Source = workloads::miniquery(3);
+  std::vector<uint64_t> Seeds = {1, 2, 3, 4, 5, 6};
+
+  auto Run = [&](ExecEngine Engine, unsigned Jobs) {
+    Program P = parseOk(Source);
+    AnalysisOptions Opts = engineOptions(Engine);
+    AnalysisResult R = runDeterminacyAnalysisParallel(P, Opts, Seeds, Jobs);
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return analysisFingerprint(R);
+  };
+
+  std::string TreeSerial = Run(ExecEngine::TreeWalk, 1);
+  std::string ByteSerial = Run(ExecEngine::Bytecode, 1);
+  std::string ByteWide = Run(ExecEngine::Bytecode, 8);
+  EXPECT_EQ(TreeSerial, ByteSerial);
+  EXPECT_EQ(ByteSerial, ByteWide);
+}
+
+/// Runtime-eval'd overlay ASTs get chunks from the same per-interpreter
+/// cache; deep eval nesting must behave identically under both engines.
+TEST(BytecodeEval, NestedEvalOverlaysAgree) {
+  const char *Source =
+      "var depth = 0;\n"
+      "function go(n) {\n"
+      "  if (n > 0) { depth = eval('go(' + (n - 1) + '); depth + 1'); }\n"
+      "  return depth;\n"
+      "}\n"
+      "print(go(5));\n"
+      "print(eval('eval(\"eval(\\'depth * 10\\')\")'));\n";
+  Program PT = parseOk(Source);
+  InterpOptions TreeOpts;
+  TreeOpts.Engine = ExecEngine::TreeWalk;
+  Interpreter Tree(PT, TreeOpts);
+  bool TreeOk = Tree.run();
+
+  Program PB = parseOk(Source);
+  InterpOptions ByteOpts;
+  ByteOpts.Engine = ExecEngine::Bytecode;
+  Interpreter Byte(PB, ByteOpts);
+  bool ByteOk = Byte.run();
+
+  EXPECT_EQ(TreeOk, ByteOk);
+  EXPECT_EQ(Tree.outputText(), Byte.outputText());
+  EXPECT_EQ(Tree.errorMessage(), Byte.errorMessage());
+  EXPECT_EQ(Tree.stepsUsed(), Byte.stepsUsed());
+}
+
+/// The disassembler renders every opcode the compiler can emit without
+/// tripping over operand encodings (atoms vs pool indices vs branches).
+TEST(BytecodeDisassembler, RendersRepresentativeChunk) {
+  Program P = parseOk(
+      "r = c ? a[k] && f(1, o.m) : -new C(b.n || 'lit', u++, delete o.p);");
+  const Expr *E = firstExpr(P);
+  ASSERT_NE(E, nullptr);
+  auto Ch = bc::compileExpr(E);
+  ASSERT_NE(Ch, nullptr);
+  std::string Listing = bc::disassemble(*Ch);
+  // One line per instruction, plus per-branch metadata is fine; at minimum
+  // every opcode family used above must appear by name.
+  for (const char *Mnemonic :
+       {"cond_branch", "logical_branch", "get_member", "resolve_key", "invoke",
+        "invoke_new", "update_var", "delete_member", "unary", "store_var"})
+    EXPECT_NE(Listing.find(Mnemonic), std::string::npos)
+        << "missing " << Mnemonic << " in:\n"
+        << Listing;
+}
+
+} // namespace

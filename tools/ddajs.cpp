@@ -81,6 +81,9 @@ int usage() {
       "                     identical for every N)\n"
       "  --batch DIR        analyze: process every DIR/*.js concurrently;\n"
       "                     exit code is the worst per-file code\n"
+      "  --engine E         expression engine: bytecode (default) or tree\n"
+      "                     (the tree-walk reference semantics; also via\n"
+      "                     DDA_ENGINE env)\n"
       "  --detdom           assume determinate DOM (unsound; paper 5.1)\n"
       "\n"
       "resource governor (degrade soundly instead of failing):\n"
@@ -108,6 +111,7 @@ struct Options {
   unsigned Seeds = 1;
   std::vector<uint64_t> SeedList; ///< --seeds a,b,c (overrides Seeds).
   unsigned Jobs = 1;              ///< --jobs: 0 = one per hardware thread.
+  ExecEngine Engine = defaultExecEngine();
   bool DetDom = false;
   uint64_t MaxSteps = 50'000'000;
   uint64_t DeadlineMs = 0;
@@ -187,6 +191,12 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.BatchDir = V;
+    } else if (Arg == "--engine") {
+      const char *V = Next();
+      if (!V || !parseExecEngine(V, Opts.Engine)) {
+        std::fprintf(stderr, "ddajs: --engine expects 'bytecode' or 'tree'\n");
+        return false;
+      }
     } else if (Arg == "--max-steps") {
       const char *V = Next();
       if (!V)
@@ -271,6 +281,7 @@ AnalysisOptions analysisOptions(Options &Opts) {
   AnalysisOptions AOpts;
   AOpts.RandomSeed = Opts.Seed;
   AOpts.DomSeed = Opts.DomSeed;
+  AOpts.Engine = Opts.Engine;
   AOpts.DeterminateDom = Opts.DetDom;
   AOpts.MaxSteps = Opts.MaxSteps;
   AOpts.DeadlineMs = Opts.DeadlineMs;
@@ -316,6 +327,7 @@ int cmdRun(const std::string &Source, Options &Opts) {
   InterpOptions IOpts;
   IOpts.RandomSeed = Opts.Seed;
   IOpts.DomSeed = Opts.DomSeed;
+  IOpts.Engine = Opts.Engine;
   IOpts.MaxSteps = Opts.MaxSteps;
   IOpts.DeadlineMs = Opts.DeadlineMs;
   IOpts.MaxHeapCells = Opts.MaxHeapCells;
