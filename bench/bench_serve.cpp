@@ -1,0 +1,250 @@
+//===- bench_serve.cpp - Analysis service throughput ------------------------==//
+///
+/// Measures `ddajs serve` end to end over real loopback sockets, in the
+/// shapes that matter for a long-lived multi-tenant service:
+///
+///   * cold requests/s at --jobs 1 and --jobs 8 (every request misses the
+///     response cache: parse + full multi-seed analysis per request),
+///   * cached requests/s (identical program+seeds: the LRU answers),
+///   * shed rate under overload (a tiny admission queue, many concurrent
+///     clients: how much offered load turns into typed `overloaded`
+///     responses instead of latency).
+///
+/// `--json OUT` writes BENCH_serve.json; run via bench/run_benches.sh.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/JSON.h"
+#include "serve/Server.h"
+#include "support/ThreadPool.h"
+#include "workloads/Workloads.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace dda;
+
+namespace {
+
+class Client {
+public:
+  explicit Client(uint16_t Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return;
+    sockaddr_in Addr = {};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(Port);
+    ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+    Connected =
+        ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0;
+  }
+  ~Client() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+  bool connected() const { return Connected; }
+
+  /// One request line in, one response line out; "" on transport failure.
+  std::string roundTrip(const std::string &Line) {
+    std::string Data = Line + "\n";
+    size_t Off = 0;
+    while (Off < Data.size()) {
+      ssize_t N =
+          ::send(Fd, Data.data() + Off, Data.size() - Off, MSG_NOSIGNAL);
+      if (N <= 0)
+        return "";
+      Off += static_cast<size_t>(N);
+    }
+    size_t NL;
+    while ((NL = Buf.find('\n')) == std::string::npos) {
+      char Tmp[8192];
+      ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+      if (N <= 0)
+        return "";
+      Buf.append(Tmp, static_cast<size_t>(N));
+    }
+    std::string Out = Buf.substr(0, NL);
+    Buf.erase(0, NL + 1);
+    return Out;
+  }
+
+private:
+  int Fd = -1;
+  bool Connected = false;
+  std::string Buf;
+};
+
+std::string analyzeRequest(const std::string &Source, uint64_t SeedBase,
+                           bool NoCache) {
+  std::string Req = "{\"cmd\":\"analyze\",\"source\":";
+  json::appendQuoted(Req, Source);
+  Req += ",\"seeds\":[" + std::to_string(SeedBase) + "," +
+         std::to_string(SeedBase + 1) + "]";
+  if (NoCache)
+    Req += ",\"no_cache\":true";
+  Req += "}";
+  return Req;
+}
+
+double nowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Row {
+  std::string Scenario;
+  unsigned Jobs;
+  unsigned Requests;
+  double WallMs;
+  double ReqPerS;
+};
+
+/// Runs \p Requests requests over one connection against a fresh server
+/// with \p Jobs workers; NoCache controls cold vs cached.
+Row throughput(const std::string &Scenario, unsigned Jobs, unsigned Requests,
+               bool NoCache) {
+  serve::ServeOptions Opts;
+  Opts.Port = 0;
+  Opts.Jobs = Jobs;
+  serve::Server Server(Opts);
+  std::string Error;
+  if (!Server.start(&Error)) {
+    std::fprintf(stderr, "bench_serve: %s\n", Error.c_str());
+    std::exit(1);
+  }
+  Client C(Server.port());
+  const char *Sources[] = {workloads::figure1(), workloads::figure2(),
+                           workloads::figure3(), workloads::figure4()};
+  // Warm one round (connection setup, first parse) outside the clock.
+  C.roundTrip(analyzeRequest(Sources[0], 1, NoCache));
+  double T0 = nowMs();
+  for (unsigned I = 0; I < Requests; ++I) {
+    // Cold mode cycles sources and seeds so nothing can hit the cache;
+    // cached mode repeats one request so everything does.
+    std::string Req =
+        NoCache ? analyzeRequest(Sources[I % 4], 1 + (I / 4) % 8, true)
+                : analyzeRequest(Sources[0], 1, false);
+    if (C.roundTrip(Req).empty()) {
+      std::fprintf(stderr, "bench_serve: transport failure\n");
+      std::exit(1);
+    }
+  }
+  double Wall = nowMs() - T0;
+  Server.stop();
+  return {Scenario, Jobs, Requests, Wall, 1000.0 * Requests / Wall};
+}
+
+struct ShedResult {
+  unsigned Offered;
+  unsigned Shed;
+  double ShedRate;
+};
+
+/// Floods a deliberately tiny admission queue from many concurrent
+/// clients and reports how much load was shed with typed `overloaded`.
+ShedResult overload(unsigned Clients, unsigned PerClient) {
+  serve::ServeOptions Opts;
+  Opts.Port = 0;
+  Opts.Jobs = 1;
+  Opts.QueueDepth = 2;
+  serve::Server Server(Opts);
+  std::string Error;
+  if (!Server.start(&Error)) {
+    std::fprintf(stderr, "bench_serve: %s\n", Error.c_str());
+    std::exit(1);
+  }
+  std::atomic<unsigned> Shed{0}, Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Clients; ++T) {
+    Threads.emplace_back([&, T] {
+      Client C(Server.port());
+      if (!C.connected()) {
+        Failures.fetch_add(PerClient);
+        return;
+      }
+      // Deadline-bounded spins hold an admission ticket for a fixed ~20ms,
+      // so offered concurrency (8 clients) genuinely exceeds the queue
+      // depth even on a single-CPU host.
+      std::string Spin = "{\"cmd\":\"analyze\",\"source\":"
+                         "\"while (true) { }\",\"deadline_ms\":20}";
+      for (unsigned I = 0; I < PerClient; ++I) {
+        std::string Resp = C.roundTrip(Spin);
+        if (Resp.empty())
+          Failures.fetch_add(1);
+        else if (Resp.find("\"error\":\"overloaded\"") != std::string::npos)
+          Shed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  Server.stop();
+  if (Failures.load())
+    std::fprintf(stderr, "bench_serve: %u transport failures under load\n",
+                 Failures.load());
+  unsigned Offered = Clients * PerClient;
+  return {Offered, Shed.load(), static_cast<double>(Shed.load()) / Offered};
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *JsonPath = nullptr;
+  for (int I = 1; I < Argc; ++I)
+    if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+
+  std::vector<Row> Rows;
+  Rows.push_back(throughput("cold", 1, 200, /*NoCache=*/true));
+  Rows.push_back(throughput("cold", 8, 200, /*NoCache=*/true));
+  Rows.push_back(throughput("cached", 1, 2000, /*NoCache=*/false));
+  Rows.push_back(throughput("cached", 8, 2000, /*NoCache=*/false));
+  ShedResult SR = overload(/*Clients=*/8, /*PerClient=*/25);
+
+  std::printf("%-8s %5s %9s %10s %10s\n", "scenario", "jobs", "requests",
+              "wall_ms", "req/s");
+  for (const Row &R : Rows)
+    std::printf("%-8s %5u %9u %10.1f %10.1f\n", R.Scenario.c_str(), R.Jobs,
+                R.Requests, R.WallMs, R.ReqPerS);
+  std::printf("overload: %u/%u shed (%.1f%%)\n", SR.Shed, SR.Offered,
+              100.0 * SR.ShedRate);
+
+  if (JsonPath) {
+    FILE *F = std::fopen(JsonPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath);
+      return 1;
+    }
+    std::fprintf(F,
+                 "{\n  \"bench\": \"serve\",\n  \"host_cpus\": %u,\n"
+                 "  \"runs\": [\n",
+                 ThreadPool::hardwareWorkers());
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(F,
+                   "    {\"scenario\": \"%s\", \"jobs\": %u, "
+                   "\"requests\": %u, \"wall_ms\": %.3f, "
+                   "\"req_per_s\": %.1f}%s\n",
+                   R.Scenario.c_str(), R.Jobs, R.Requests, R.WallMs,
+                   R.ReqPerS, I + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(F,
+                 "  ],\n  \"overload\": {\"offered\": %u, \"shed\": %u, "
+                 "\"shed_rate\": %.3f}\n}\n",
+                 SR.Offered, SR.Shed, SR.ShedRate);
+    std::fclose(F);
+  }
+  return 0;
+}

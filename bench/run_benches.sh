@@ -64,6 +64,17 @@ else
   echo "skip: bench_bytecode (not built)" >&2
 fi
 
+# Service throughput: req/s cold vs cached at jobs 1/8, shed rate under
+# overload. Real sockets on loopback.
+BIN="$BUILD_DIR/bench/bench_serve"
+if [ -x "$BIN" ]; then
+  OUT="$OUT_DIR/BENCH_serve.json"
+  echo "== bench_serve -> $OUT"
+  "$BIN" --json "$OUT" >/dev/null
+else
+  echo "skip: bench_serve (not built)" >&2
+fi
+
 if [ "${#PARALLEL_FRAGS[@]}" -gt 0 ]; then
   OUT="$OUT_DIR/BENCH_parallel.json"
   echo "== parallel sweeps -> $OUT"

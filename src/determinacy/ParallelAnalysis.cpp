@@ -114,6 +114,34 @@ dda::runDeterminacyAnalysisParallel(Program &P, const AnalysisOptions &Opts,
   return mergeInSeedOrder(Results);
 }
 
+AnalysisResult
+dda::runDeterminacyAnalysisOnPool(Program &P, const AnalysisOptions &Opts,
+                                  const std::vector<uint64_t> &Seeds,
+                                  ThreadPool &Pool) {
+  if (Seeds.empty())
+    return AnalysisResult();
+  NodeID EvalBase = P.Context->nextID();
+  std::vector<AnalysisResult> Results(Seeds.size());
+  if (Seeds.size() == 1 || Pool.workers() <= 1) {
+    // Inline fast path: one seed (the common service request) or a serial
+    // pool — same code path as the Jobs == 1 engine.
+    for (size_t I = 0; I < Seeds.size(); ++I)
+      Results[I] = runTask(P, Opts, Seeds[I], EvalBase);
+    return mergeInSeedOrder(Results);
+  }
+  TaskGroup Group(Pool);
+  for (size_t I = 0; I < Seeds.size(); ++I) {
+    bool Accepted = Group.submit(
+        [&, I] { Results[I] = runTask(P, Opts, Seeds[I], EvalBase); });
+    // A stopping pool rejects new tasks; run the seed inline so a request
+    // already past admission still completes during graceful drain.
+    if (!Accepted)
+      Results[I] = runTask(P, Opts, Seeds[I], EvalBase);
+  }
+  Group.wait();
+  return mergeInSeedOrder(Results);
+}
+
 std::vector<AnalysisResult>
 dda::runDeterminacyAnalysisBatch(std::vector<Program> &Programs,
                                  const AnalysisOptions &Opts,

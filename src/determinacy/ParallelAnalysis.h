@@ -55,6 +55,20 @@ AnalysisResult runDeterminacyAnalysisParallel(Program &P,
                                               const std::vector<uint64_t> &Seeds,
                                               unsigned Jobs);
 
+class ThreadPool;
+
+/// Request-scoped fan-out over a *shared* pool: fans \p Seeds across
+/// \p Pool's workers as one TaskGroup and merges in seed order, so a
+/// long-lived service can run many concurrent analyses on one fixed worker
+/// fleet without per-request pool construction. The merged result is
+/// byte-identical to runDeterminacyAnalysisParallel on the same seeds. A
+/// single seed — or a stopped/1-worker pool — runs inline on the calling
+/// thread.
+AnalysisResult runDeterminacyAnalysisOnPool(Program &P,
+                                            const AnalysisOptions &Opts,
+                                            const std::vector<uint64_t> &Seeds,
+                                            ThreadPool &Pool);
+
 /// Batch mode: analyzes every program under every seed, with all
 /// (program, seed) tasks sharing one pool so stragglers in one program
 /// overlap with work on the others. Result[i] is the seed-merged result for

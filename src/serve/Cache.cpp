@@ -1,0 +1,50 @@
+//===- Cache.cpp ----------------------------------------------------------==//
+
+#include "serve/Cache.h"
+
+using namespace dda;
+using namespace dda::serve;
+
+uint64_t dda::serve::hashBytes(std::string_view Bytes) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::shared_ptr<Program> AnalysisCache::lookupAst(uint64_t SourceHash) {
+  std::lock_guard<std::mutex> Lock(AstMu);
+  if (std::shared_ptr<Program> *P = Asts.touch(SourceHash)) {
+    AstHits.fetch_add(1, std::memory_order_relaxed);
+    return *P;
+  }
+  AstMisses.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void AnalysisCache::insertAst(uint64_t SourceHash, std::shared_ptr<Program> P) {
+  std::lock_guard<std::mutex> Lock(AstMu);
+  if (Asts.touch(SourceHash))
+    return; // First insert wins; racing parses produced equivalent ASTs.
+  Asts.insert(SourceHash, std::move(P), MaxAsts);
+}
+
+bool AnalysisCache::lookupResult(const std::string &Key,
+                                 std::string &PayloadOut) {
+  std::lock_guard<std::mutex> Lock(ResultMu);
+  if (std::string *Payload = Results.touch(Key)) {
+    ResultHits.fetch_add(1, std::memory_order_relaxed);
+    PayloadOut = *Payload;
+    return true;
+  }
+  ResultMisses.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void AnalysisCache::insertResult(const std::string &Key,
+                                 const std::string &Payload) {
+  std::lock_guard<std::mutex> Lock(ResultMu);
+  Results.insert(Key, Payload, MaxResults);
+}

@@ -1,0 +1,113 @@
+//===- Cache.h - Content-hash-keyed LRU caches for the serve layer -*-C++-*-==//
+///
+/// \file
+/// Two LRU caches make repeat traffic — the dominant production shape,
+/// same library + small edits — cheap:
+///
+///  * an **AST cache** keyed by the content hash of the source bytes. A
+///    parsed Program is immutable under analysis (runtime-eval'd nodes go
+///    into per-task overlay ASTContexts, never the shared arena — the PR-3
+///    invariant), so one parse can back any number of concurrent requests;
+///    entries are handed out as shared_ptr so eviction never frees a
+///    program mid-analysis.
+///  * a **result cache** keyed by (source hash, seed set, every
+///    result-relevant option). The value is the *serialized* response
+///    payload, so a cache hit is byte-identical to the cold run that
+///    populated it — asserted by tests. Wall-clock-dependent outcomes
+///    (deadline traps) are never inserted; everything else the analysis
+///    produces is a pure function of the key.
+///
+/// Both caches are a mutex'd list+map LRU: entries are small (a pointer or
+/// a string), hit paths are two map lookups, and the serve workload is
+/// analysis-bound — lock contention here is noise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SERVE_CACHE_H
+#define DDA_SERVE_CACHE_H
+
+#include "ast/ASTContext.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dda {
+namespace serve {
+
+/// 64-bit FNV-1a content hash, the cache key primitive.
+uint64_t hashBytes(std::string_view Bytes);
+
+/// Thread-safe LRU of parsed programs + serialized result payloads.
+class AnalysisCache {
+public:
+  /// \p MaxAsts / \p MaxResults bound each LRU's entry count; 0 disables
+  /// that cache entirely.
+  AnalysisCache(size_t MaxAsts, size_t MaxResults)
+      : MaxAsts(MaxAsts), MaxResults(MaxResults) {}
+
+  /// The parsed program for \p SourceHash, or nullptr on miss.
+  std::shared_ptr<Program> lookupAst(uint64_t SourceHash);
+
+  /// Caches a successfully parsed program. First insert wins on a race;
+  /// the caller keeps using its own copy either way.
+  void insertAst(uint64_t SourceHash, std::shared_ptr<Program> P);
+
+  /// The cached payload for \p Key, or false on miss.
+  bool lookupResult(const std::string &Key, std::string &PayloadOut);
+
+  void insertResult(const std::string &Key, const std::string &Payload);
+
+  // Monotonic counters, exported through serve stats.
+  uint64_t astHits() const { return AstHits.load(); }
+  uint64_t astMisses() const { return AstMisses.load(); }
+  uint64_t resultHits() const { return ResultHits.load(); }
+  uint64_t resultMisses() const { return ResultMisses.load(); }
+
+private:
+  // One LRU: recency list of (key, value), map from key to list position.
+  template <typename K, typename V> struct Lru {
+    std::list<std::pair<K, V>> Order; // Front = most recent.
+    std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> Pos;
+
+    V *touch(const K &Key) {
+      auto It = Pos.find(Key);
+      if (It == Pos.end())
+        return nullptr;
+      Order.splice(Order.begin(), Order, It->second);
+      return &Order.front().second;
+    }
+
+    void insert(const K &Key, V Value, size_t Max) {
+      if (Max == 0)
+        return;
+      if (V *Existing = touch(Key)) {
+        *Existing = std::move(Value);
+        return;
+      }
+      Order.emplace_front(Key, std::move(Value));
+      Pos[Key] = Order.begin();
+      while (Order.size() > Max) {
+        Pos.erase(Order.back().first);
+        Order.pop_back();
+      }
+    }
+  };
+
+  const size_t MaxAsts, MaxResults;
+  std::mutex AstMu, ResultMu;
+  Lru<uint64_t, std::shared_ptr<Program>> Asts;
+  Lru<std::string, std::string> Results;
+  std::atomic<uint64_t> AstHits{0}, AstMisses{0};
+  std::atomic<uint64_t> ResultHits{0}, ResultMisses{0};
+};
+
+} // namespace serve
+} // namespace dda
+
+#endif // DDA_SERVE_CACHE_H

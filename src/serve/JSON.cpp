@@ -1,0 +1,360 @@
+//===- JSON.cpp -----------------------------------------------------------==//
+
+#include "serve/JSON.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dda;
+using namespace dda::json;
+
+const Value *Value::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  auto It = Members.find(Key);
+  return It == Members.end() ? nullptr : &It->second;
+}
+
+bool Value::asU64(uint64_t &Out) const {
+  if (K != Kind::Number || std::isnan(Num) || std::isinf(Num) || Num < 0)
+    return false;
+  if (Num > 9007199254740992.0) // 2^53: past this doubles skip integers.
+    return false;
+  double Floor = std::floor(Num);
+  if (Floor != Num)
+    return false;
+  Out = static_cast<uint64_t>(Floor);
+  return true;
+}
+
+Value Value::boolean(bool V) {
+  Value Out;
+  Out.K = Kind::Bool;
+  Out.B = V;
+  return Out;
+}
+
+Value Value::number(double V) {
+  Value Out;
+  Out.K = Kind::Number;
+  Out.Num = V;
+  return Out;
+}
+
+Value Value::string(std::string V) {
+  Value Out;
+  Out.K = Kind::String;
+  Out.Str = std::move(V);
+  return Out;
+}
+
+namespace {
+
+/// Hand-rolled recursive-descent parser over a string_view. No exceptions;
+/// the first error wins and aborts the walk.
+class Parser {
+public:
+  Parser(std::string_view Text, unsigned MaxDepth)
+      : Text(Text), MaxDepth(MaxDepth) {}
+
+  ParseResult run() {
+    ParseResult R;
+    skipWs();
+    if (!parseValue(R.V, 0)) {
+      R.Error = Error;
+      R.ErrorAt = ErrorAt;
+      return R;
+    }
+    skipWs();
+    if (Pos != Text.size()) {
+      R.Error = "trailing bytes after JSON value";
+      R.ErrorAt = Pos;
+      return R;
+    }
+    R.Ok = true;
+    return R;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    if (Error.empty()) {
+      Error = Msg;
+      ErrorAt = Pos;
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(std::string_view Lit) {
+    if (Text.substr(Pos, Lit.size()) != Lit)
+      return fail("invalid literal");
+    Pos += Lit.size();
+    return true;
+  }
+
+  bool parseValue(Value &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case 'n':
+      return literal("null");
+    case 't':
+      Out = Value::boolean(true);
+      return literal("true");
+    case 'f':
+      Out = Value::boolean(false);
+      return literal("false");
+    case '"':
+      Out.K = Value::Kind::String;
+      return parseString(Out.Str);
+    case '[': {
+      ++Pos;
+      Out.K = Value::Kind::Array;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        Value Item;
+        skipWs();
+        if (!parseValue(Item, Depth + 1))
+          return false;
+        Out.Items.push_back(std::move(Item));
+        skipWs();
+        if (Pos >= Text.size())
+          return fail("unterminated array");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == ']') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    case '{': {
+      ++Pos;
+      Out.K = Value::Kind::Object;
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        if (Pos >= Text.size() || Text[Pos] != '"')
+          return fail("expected object key");
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        skipWs();
+        if (Pos >= Text.size() || Text[Pos] != ':')
+          return fail("expected ':'");
+        ++Pos;
+        skipWs();
+        Value Member;
+        if (!parseValue(Member, Depth + 1))
+          return false;
+        Out.Members[Key] = std::move(Member);
+        skipWs();
+        if (Pos >= Text.size())
+          return fail("unterminated object");
+        if (Text[Pos] == ',') {
+          ++Pos;
+          continue;
+        }
+        if (Text[Pos] == '}') {
+          ++Pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    default:
+      Out.K = Value::Kind::Number;
+      return parseNumber(Out.Num);
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // Opening quote.
+    while (Pos < Text.size()) {
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (Pos + 1 >= Text.size())
+          return fail("unterminated escape");
+        char E = Text[Pos + 1];
+        Pos += 2;
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return fail("truncated \\u escape");
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = Text[Pos + I];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= H - '0';
+            else if (H >= 'a' && H <= 'f')
+              Code |= H - 'a' + 10;
+            else if (H >= 'A' && H <= 'F')
+              Code |= H - 'A' + 10;
+            else
+              return fail("bad \\u escape");
+          }
+          Pos += 4;
+          // Encode as UTF-8. Surrogate pairs are passed through as two
+          // 3-byte sequences — good enough for a loopback protocol whose
+          // payloads are overwhelmingly ASCII.
+          if (Code < 0x80) {
+            Out += static_cast<char>(Code);
+          } else if (Code < 0x800) {
+            Out += static_cast<char>(0xC0 | (Code >> 6));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          } else {
+            Out += static_cast<char>(0xE0 | (Code >> 12));
+            Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+        }
+        continue;
+      }
+      if (C < 0x20)
+        return fail("raw control byte in string");
+      Out += static_cast<char>(C);
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(double &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected value");
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    Out = std::strtod(Num.c_str(), &End);
+    if (End != Num.c_str() + Num.size())
+      return fail("malformed number");
+    return true;
+  }
+
+  std::string_view Text;
+  unsigned MaxDepth;
+  size_t Pos = 0;
+  std::string Error;
+  size_t ErrorAt = 0;
+};
+
+} // namespace
+
+ParseResult dda::json::parse(std::string_view Text, unsigned MaxDepth) {
+  return Parser(Text, MaxDepth).run();
+}
+
+void dda::json::appendQuoted(std::string &Out, std::string_view S) {
+  Out += '"';
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  Out += '"';
+}
+
+void dda::json::appendNumber(std::string &Out, double V) {
+  if (std::isnan(V) || std::isinf(V)) {
+    Out += "null";
+    return;
+  }
+  double Floor = std::floor(V);
+  if (Floor == V && std::fabs(V) < 9007199254740992.0) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+    Out += Buf;
+    return;
+  }
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+}

@@ -1,0 +1,92 @@
+//===- JSON.h - Minimal JSON for the serve wire protocol ---------*- C++ -*-==//
+///
+/// \file
+/// A deliberately small JSON reader/writer for the line-delimited serve
+/// protocol. Tenant input is hostile by assumption, so the parser is
+/// defensive end to end: depth-limited recursion (a `[[[[...` bomb returns
+/// a typed error instead of blowing the stack), strict UTF-8-agnostic
+/// string scanning with bounded escapes, and no exceptions — every parse
+/// failure is a (position, message) result the caller turns into a
+/// `bad_request` response. The writer escapes everything JSON requires
+/// (quotes, backslashes, control bytes) so analysis output — arbitrary
+/// tenant-program print() bytes — round-trips safely inside a response
+/// line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SERVE_JSON_H
+#define DDA_SERVE_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dda {
+namespace json {
+
+/// A parsed JSON value. Objects keep their members in a sorted map —
+/// duplicate keys take the last value, matching common JSON semantics.
+class Value {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool boolean() const { return B; }
+  double number() const { return Num; }
+  const std::string &str() const { return Str; }
+  const std::vector<Value> &items() const { return Items; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value *get(const std::string &Key) const;
+
+  /// Number that is a non-negative integer representable in 64 bits;
+  /// false otherwise (NaN, negative, fractional, > 2^53 loses precision so
+  /// we reject > 2^53 as well: budgets and seeds never need more).
+  bool asU64(uint64_t &Out) const;
+
+  static Value null() { return Value(); }
+  static Value boolean(bool V);
+  static Value number(double V);
+  static Value string(std::string V);
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<Value> Items;
+  std::map<std::string, Value> Members;
+};
+
+/// Parse outcome: Ok, or a message with the byte offset it refers to.
+struct ParseResult {
+  bool Ok = false;
+  Value V;
+  std::string Error;
+  size_t ErrorAt = 0;
+};
+
+/// Parses exactly one JSON value spanning the whole input (trailing
+/// whitespace allowed). \p MaxDepth bounds nesting of arrays/objects.
+ParseResult parse(std::string_view Text, unsigned MaxDepth = 64);
+
+/// Appends \p S to \p Out as a quoted, escaped JSON string literal.
+void appendQuoted(std::string &Out, std::string_view S);
+
+/// Renders a double the way the protocol emits numbers: integral values
+/// without a fraction, everything else with enough digits to round-trip.
+void appendNumber(std::string &Out, double V);
+
+} // namespace json
+} // namespace dda
+
+#endif // DDA_SERVE_JSON_H

@@ -48,6 +48,28 @@ const char *trapKindName(TrapKind K) {
   return "?";
 }
 
+uint64_t composeBudget(uint64_t A, uint64_t B) {
+  if (A == 0)
+    return B;
+  if (B == 0)
+    return A;
+  return A < B ? A : B;
+}
+
+GovernorLimits composeLimits(const GovernorLimits &Request,
+                             const GovernorLimits &Ceiling) {
+  GovernorLimits L;
+  L.MaxSteps = composeBudget(Request.MaxSteps, Ceiling.MaxSteps);
+  L.DeadlineMs = composeBudget(Request.DeadlineMs, Ceiling.DeadlineMs);
+  L.MaxHeapCells = composeBudget(Request.MaxHeapCells, Ceiling.MaxHeapCells);
+  L.MaxCallDepth = static_cast<unsigned>(
+      composeBudget(Request.MaxCallDepth, Ceiling.MaxCallDepth));
+  L.CfFuel = composeBudget(Request.CfFuel, Ceiling.CfFuel);
+  L.MaxEvalDepth = static_cast<unsigned>(
+      composeBudget(Request.MaxEvalDepth, Ceiling.MaxEvalDepth));
+  return L;
+}
+
 TrapKind trapForBudget(Budget B) {
   switch (B) {
   case Budget::Steps:

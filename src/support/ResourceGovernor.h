@@ -92,6 +92,18 @@ struct GovernorLimits {
   unsigned MaxEvalDepth = 64; ///< Nested evals; 0 = unlimited.
 };
 
+/// Composes two budget values where 0 means "unlimited": the tighter
+/// (smaller nonzero) one wins. The serve layer uses this to fold the
+/// service-level watchdog ceiling into every request's own deadline.
+uint64_t composeBudget(uint64_t A, uint64_t B);
+
+/// Folds a service-level \p Ceiling into a \p Request's limits, field by
+/// field, via composeBudget: a tenant can tighten its own budgets but can
+/// never exceed the service ceiling. A zero ceiling field imposes no bound
+/// on that budget class.
+GovernorLimits composeLimits(const GovernorLimits &Request,
+                             const GovernorLimits &Ceiling);
+
 /// What tripped, with enough context to reproduce and report.
 struct TripInfo {
   Budget Which = Budget::Steps;

@@ -15,30 +15,50 @@ unsigned ThreadPool::hardwareWorkers() {
 ThreadPool::ThreadPool(unsigned Workers) {
   if (Workers == 0)
     Workers = hardwareWorkers();
+  this->Workers = Workers;
   Threads.reserve(Workers);
   for (unsigned I = 0; I < Workers; ++I)
     Threads.emplace_back([this] { workerLoop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(StopMode::Drain); }
+
+size_t ThreadPool::stop(StopMode Mode) {
+  size_t Discarded = 0;
   {
     std::unique_lock<std::mutex> Lock(Mu);
-    // Let queued work drain first so ~ThreadPool is a silent wait() (any
-    // unobserved exception is dropped — destructors must not throw).
-    Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+    Stopped = true; // Reject new submissions from here on.
+    if (Mode == StopMode::Cancel) {
+      Discarded = Queue.size();
+      Queue.clear();
+    } else {
+      // Let queued work drain first so stop(Drain) is a silent wait() (any
+      // unobserved exception is dropped — shutdown must not throw).
+      Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+    }
     Stopping = true;
   }
   HasWork.notify_all();
   for (std::thread &T : Threads)
     T.join();
+  Threads.clear();
+  return Discarded;
 }
 
-void ThreadPool::submit(std::function<void()> Task) {
+bool ThreadPool::stopped() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stopped;
+}
+
+bool ThreadPool::submit(std::function<void()> Task) {
   {
     std::lock_guard<std::mutex> Lock(Mu);
+    if (Stopped)
+      return false;
     Queue.push_back(std::move(Task));
   }
   HasWork.notify_one();
+  return true;
 }
 
 void ThreadPool::wait() {
@@ -51,12 +71,17 @@ void ThreadPool::wait() {
   }
 }
 
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Idle.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+}
+
 void ThreadPool::workerLoop() {
   std::unique_lock<std::mutex> Lock(Mu);
   while (true) {
     HasWork.wait(Lock, [this] { return Stopping || !Queue.empty(); });
     if (Queue.empty())
-      return; // Stopping and drained.
+      return; // Stopping and drained (or cancelled).
     std::function<void()> Task = std::move(Queue.front());
     Queue.pop_front();
     ++Running;
@@ -111,4 +136,50 @@ void ThreadPool::parallelFor(unsigned Jobs, size_t N,
       }
     });
   Pool.wait();
+}
+
+//===----------------------------------------------------------------------===//
+// TaskGroup
+//===----------------------------------------------------------------------===//
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Done.wait(Lock, [this] { return Pending == 0; });
+}
+
+bool TaskGroup::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Pending;
+  }
+  bool Accepted = Pool.submit([this, Task = std::move(Task)] {
+    std::exception_ptr Error;
+    try {
+      Task();
+    } catch (...) {
+      Error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Error && !FirstError)
+      FirstError = Error;
+    if (--Pending == 0)
+      Done.notify_all();
+  });
+  if (!Accepted) {
+    // Pool already stopped: nothing was enqueued, so nothing is pending.
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (--Pending == 0)
+      Done.notify_all();
+  }
+  return Accepted;
+}
+
+void TaskGroup::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Done.wait(Lock, [this] { return Pending == 0; });
+  if (FirstError) {
+    std::exception_ptr E = FirstError;
+    FirstError = nullptr;
+    std::rethrow_exception(E);
+  }
 }

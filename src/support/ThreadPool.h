@@ -18,7 +18,12 @@
 ///    seed degrades alone" policy;
 ///  * `parallelFor` with Jobs <= 1 (or a single task) runs inline on the
 ///    calling thread — no pool, no queue, no synchronization — so the
-///    single-threaded path is byte-for-byte the serial code path.
+///    single-threaded path is byte-for-byte the serial code path;
+///  * long-lived pools (the serve daemon) shut down through an explicit
+///    `stop(StopMode)` — Drain finishes queued work, Cancel discards tasks
+///    that have not started — and share the pool across concurrent
+///    requests via `TaskGroup`, which waits on (and propagates the first
+///    exception of) *its own* tasks only.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,24 +45,48 @@ namespace dda {
 /// propagation.
 class ThreadPool {
 public:
+  /// How stop() disposes of tasks that are still queued.
+  enum class StopMode : uint8_t {
+    Drain,  ///< Run every queued task to completion before joining.
+    Cancel, ///< Discard queued tasks that have not started; running ones
+            ///< finish.
+  };
+
   /// Spawns \p Workers threads; 0 means hardwareWorkers().
   explicit ThreadPool(unsigned Workers = 0);
 
-  /// Drains the queue, joins all workers. Pending task exceptions that
-  /// wait() never observed are dropped (destructors must not throw).
+  /// Equivalent to stop(StopMode::Drain): queued work runs, workers join.
+  /// Pending task exceptions that wait() never observed are dropped
+  /// (destructors must not throw).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  unsigned workers() const { return static_cast<unsigned>(Threads.size()); }
+  unsigned workers() const { return Workers; }
 
-  /// Enqueues one task for execution on some worker.
-  void submit(std::function<void()> Task);
+  /// Enqueues one task for execution on some worker. Returns false (and
+  /// drops the task) once the pool has been stopped.
+  bool submit(std::function<void()> Task);
 
   /// Blocks until every submitted task has finished, then rethrows the
   /// first exception any task raised (if any).
   void wait();
+
+  /// Blocks until the queue is empty and no task is running. Never throws:
+  /// shutdown paths use this where an in-flight failure must not escape.
+  /// The pool remains usable afterwards.
+  void drain();
+
+  /// Shuts the pool down and joins every worker. Drain runs all queued
+  /// tasks first; Cancel discards tasks that have not started (tasks
+  /// already running always finish). Returns the number of discarded
+  /// tasks. After stop() the pool accepts no new work (submit returns
+  /// false). Idempotent; later calls return 0.
+  size_t stop(StopMode Mode);
+
+  /// True once stop() has begun; submissions are rejected.
+  bool stopped() const;
 
   /// Runs `Fn(0) .. Fn(N-1)` across \p Jobs workers (0 = hardwareWorkers();
   /// clamped to the hardware thread count) and waits for completion.
@@ -72,16 +101,54 @@ public:
   static unsigned hardwareWorkers();
 
 private:
+  friend class TaskGroup;
   void workerLoop();
 
-  std::mutex Mu;
+  mutable std::mutex Mu;
   std::condition_variable HasWork; ///< Signaled on submit and shutdown.
   std::condition_variable Idle;    ///< Signaled when the pool drains.
   std::deque<std::function<void()>> Queue;
-  size_t Running = 0; ///< Tasks currently executing on a worker.
-  bool Stopping = false;
+  size_t Running = 0;   ///< Tasks currently executing on a worker.
+  bool Stopping = false; ///< Workers may exit once the queue is empty.
+  bool Stopped = false;  ///< submit() rejects new work.
   std::exception_ptr FirstError;
   std::vector<std::thread> Threads;
+  unsigned Workers = 0; ///< Stable after construction (Threads is cleared
+                        ///< by stop(), but the size is still meaningful).
+};
+
+/// A request-scoped slice of a shared ThreadPool: tasks submitted through a
+/// group run on the pool's workers interleaved with other groups' tasks,
+/// but `wait()` blocks only on — and rethrows the first exception of —
+/// *this* group's tasks. The serve daemon gives each analysis request one
+/// group over the service-wide pool, so one request's fan-out can neither
+/// observe nor stall another's.
+class TaskGroup {
+public:
+  explicit TaskGroup(ThreadPool &Pool) : Pool(Pool) {}
+
+  /// Blocks until the group's tasks settle; any unobserved exception is
+  /// dropped (destructors must not throw).
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup &) = delete;
+  TaskGroup &operator=(const TaskGroup &) = delete;
+
+  /// Submits one task attributed to this group. Returns false (task
+  /// dropped, nothing pending) if the pool has been stopped — callers that
+  /// must make progress anyway (shutdown races) run the task inline.
+  bool submit(std::function<void()> Task);
+
+  /// Blocks until every task submitted through this group has finished,
+  /// then rethrows the first exception any of them raised.
+  void wait();
+
+private:
+  ThreadPool &Pool;
+  std::mutex Mu;
+  std::condition_variable Done;
+  size_t Pending = 0;
+  std::exception_ptr FirstError;
 };
 
 } // namespace dda

@@ -477,4 +477,41 @@ TEST(GovernorAnalysis, InjectedFaultTripsEveryParallelTask) {
             Parallel.Facts.dump(Parallel.Contexts));
 }
 
+TEST(Governor, ComposeBudgetIsZeroAwareMin) {
+  // 0 means "unlimited", so composition is min over the *bounded* side(s).
+  EXPECT_EQ(composeBudget(0, 0), 0u);
+  EXPECT_EQ(composeBudget(0, 7), 7u);
+  EXPECT_EQ(composeBudget(7, 0), 7u);
+  EXPECT_EQ(composeBudget(3, 9), 3u);
+  EXPECT_EQ(composeBudget(9, 3), 3u);
+}
+
+TEST(Governor, ComposeLimitsTightensEveryFieldUnderTheCeiling) {
+  // The serve contract: a request can tighten the service ceiling but
+  // never exceed it.
+  GovernorLimits Request;
+  Request.MaxSteps = 1'000'000;  // Tighter than the ceiling: kept.
+  Request.DeadlineMs = 60'000;   // Looser than the ceiling: clamped.
+  Request.MaxHeapCells = 0;      // Unlimited: the ceiling wins.
+  Request.MaxCallDepth = 50;
+  Request.CfFuel = 10;
+  Request.MaxEvalDepth = 0;
+
+  GovernorLimits Ceiling;
+  Ceiling.MaxSteps = 5'000'000;
+  Ceiling.DeadlineMs = 10'000;
+  Ceiling.MaxHeapCells = 100'000;
+  Ceiling.MaxCallDepth = 600;
+  Ceiling.CfFuel = 0; // Unlimited ceiling: the request bound survives.
+  Ceiling.MaxEvalDepth = 64;
+
+  GovernorLimits L = composeLimits(Request, Ceiling);
+  EXPECT_EQ(L.MaxSteps, 1'000'000u);
+  EXPECT_EQ(L.DeadlineMs, 10'000u);
+  EXPECT_EQ(L.MaxHeapCells, 100'000u);
+  EXPECT_EQ(L.MaxCallDepth, 50u);
+  EXPECT_EQ(L.CfFuel, 10u);
+  EXPECT_EQ(L.MaxEvalDepth, 64u);
+}
+
 } // namespace

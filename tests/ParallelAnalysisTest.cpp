@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -223,6 +224,126 @@ TEST(ThreadPool, WaitRethrowsFirstError) {
   Pool.submit([&] { Ran = true; });
   Pool.wait();
   EXPECT_TRUE(Ran.load());
+}
+
+TEST(ThreadPool, StopDrainCompletesQueuedTasks) {
+  ThreadPool Pool(1);
+  std::atomic<int> Ran{0};
+  Pool.submit([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  for (int I = 0; I < 10; ++I)
+    Pool.submit([&] { Ran.fetch_add(1); });
+  EXPECT_EQ(Pool.stop(ThreadPool::StopMode::Drain), 0u);
+  EXPECT_EQ(Ran.load(), 10);
+}
+
+TEST(ThreadPool, StopCancelDiscardsQueuedTasks) {
+  // One worker, pinned on a task that only finishes once stop() has begun;
+  // the ten queued tasks behind it must be discarded, not run.
+  ThreadPool Pool(1);
+  std::atomic<int> Ran{0};
+  std::atomic<bool> Pinned{false};
+  Pool.submit([&] {
+    Pinned = true;
+    while (!Pool.stopped())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  // The pin must be *running* (not queued) before work piles up behind it,
+  // or Cancel would discard it too.
+  while (!Pinned.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  for (int I = 0; I < 10; ++I)
+    Pool.submit([&] { Ran.fetch_add(1); });
+  EXPECT_EQ(Pool.stop(ThreadPool::StopMode::Cancel), 10u);
+  EXPECT_EQ(Ran.load(), 0);
+  // Idempotent: a second stop has nothing left to discard.
+  EXPECT_EQ(Pool.stop(ThreadPool::StopMode::Drain), 0u);
+}
+
+TEST(ThreadPool, SubmitAfterStopIsRejected) {
+  ThreadPool Pool(2);
+  EXPECT_FALSE(Pool.stopped());
+  EXPECT_EQ(Pool.stop(ThreadPool::StopMode::Drain), 0u);
+  EXPECT_TRUE(Pool.stopped());
+  std::atomic<bool> Ran{false};
+  EXPECT_FALSE(Pool.submit([&] { Ran = true; }));
+  EXPECT_FALSE(Ran.load());
+}
+
+TEST(ThreadPool, DrainIsNonThrowingAndLeavesPoolUsable) {
+  ThreadPool Pool(2);
+  Pool.submit([] { throw std::runtime_error("dropped by drain"); });
+  Pool.drain(); // Shutdown path: must not throw.
+  std::atomic<bool> Ran{false};
+  Pool.submit([&] { Ran = true; });
+  Pool.drain();
+  EXPECT_TRUE(Ran.load());
+}
+
+TEST(TaskGroup, WaitCoversOwnTasksOnly) {
+  ThreadPool Pool(4);
+  std::atomic<int> A{0}, B{0};
+  std::atomic<bool> Release{false};
+  TaskGroup GA(Pool), GB(Pool);
+  GB.submit([&] {
+    while (!Release.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    B = 1;
+  });
+  for (int I = 0; I < 8; ++I)
+    GA.submit([&] { A.fetch_add(1); });
+  GA.wait(); // Returns although GB's task is still blocked.
+  EXPECT_EQ(A.load(), 8);
+  EXPECT_EQ(B.load(), 0);
+  Release = true;
+  GB.wait();
+  EXPECT_EQ(B.load(), 1);
+}
+
+TEST(TaskGroup, ExceptionsStayWithinTheirGroup) {
+  ThreadPool Pool(2);
+  TaskGroup Bad(Pool), Good(Pool);
+  Bad.submit([] { throw std::runtime_error("tenant bug"); });
+  std::atomic<bool> Ran{false};
+  Good.submit([&] { Ran = true; });
+  Good.wait(); // A neighbor's failure is invisible here.
+  EXPECT_TRUE(Ran.load());
+  EXPECT_THROW(Bad.wait(), std::runtime_error);
+  // And the shared pool is not poisoned for later groups.
+  std::atomic<bool> Again{false};
+  TaskGroup Next(Pool);
+  Next.submit([&] { Again = true; });
+  Next.wait();
+  EXPECT_TRUE(Again.load());
+}
+
+TEST(TaskGroup, SubmitToStoppedPoolReturnsFalseWithoutPending) {
+  ThreadPool Pool(2);
+  Pool.stop(ThreadPool::StopMode::Drain);
+  TaskGroup G(Pool);
+  EXPECT_FALSE(G.submit([] {}));
+  G.wait(); // Nothing pending: must return immediately, not hang.
+}
+
+TEST(ParallelAnalysis, OnPoolMatchesParallelEntryPoint) {
+  // The serve daemon's entry point: same merged result as the jobs=N CLI
+  // path, and the pool is reusable across fan-outs.
+  const char *Source = workloads::figure2();
+  std::vector<uint64_t> Seeds = {1, 2, 3, 4, 5};
+  DiagnosticEngine D1, D2, D3;
+  Program PA = parseProgram(Source, D1);
+  Program PB = parseProgram(Source, D2);
+  Program PC = parseProgram(Source, D3);
+  ThreadPool Pool(4);
+  AnalysisResult A =
+      runDeterminacyAnalysisOnPool(PA, AnalysisOptions(), Seeds, Pool);
+  AnalysisResult B =
+      runDeterminacyAnalysisParallel(PB, AnalysisOptions(), Seeds, 4);
+  EXPECT_EQ(fingerprint(A), fingerprint(B));
+  AnalysisResult C =
+      runDeterminacyAnalysisOnPool(PC, AnalysisOptions(), Seeds, Pool);
+  EXPECT_EQ(fingerprint(A), fingerprint(C));
 }
 
 } // namespace

@@ -11,6 +11,11 @@
 ///   ddajs deadcode <file> [--detdom]               report dead branches
 ///   ddajs evalelim <file> [--detdom]               eval-elimination report
 ///   ddajs pointsto <file>                          call-graph summary
+///   ddajs serve --port N --jobs N                  long-lived analysis daemon
+///
+/// `--batch` and `serve` share one JSON response schema (serve/Protocol.h),
+/// so a served answer can be diffed field-by-field — fingerprint included —
+/// against a single-shot CLI run.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,11 +27,15 @@
 #include "interp/Interpreter.h"
 #include "parser/Parser.h"
 #include "pointsto/PointsTo.h"
+#include "serve/JSON.h"
+#include "serve/Protocol.h"
+#include "serve/Server.h"
 #include "specialize/Specializer.h"
 #include "support/FaultInjector.h"
 #include "support/ResourceGovernor.h"
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +45,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace dda;
 
@@ -70,6 +81,8 @@ int usage() {
       "  deadcode    report branches no execution can take\n"
       "  evalelim    classify and eliminate eval call sites\n"
       "  pointsto    static call-graph summary\n"
+      "  serve       long-lived multi-tenant analysis daemon (JSON lines\n"
+      "              over TCP; see --port/--host and the service options)\n"
       "\n"
       "options:\n"
       "  --seed N           Math.random seed (default 1)\n"
@@ -97,6 +110,18 @@ int usage() {
       "                     (classes: steps deadline heap depth cf-fuel\n"
       "                     eval-depth; also via DDA_INJECT_FAULT env)\n"
       "\n"
+      "serve options (budget flags above become the service ceiling):\n"
+      "  --port N               TCP port (0 = ephemeral, printed at start)\n"
+      "  --host H               bind address (default 127.0.0.1)\n"
+      "  --queue-depth N        admission tickets before shedding\n"
+      "                         (default 4 x jobs)\n"
+      "  --max-connections N    concurrent connections (default 64)\n"
+      "  --max-request-bytes N  per-request byte cap (default 1048576)\n"
+      "  --cache-asts N         parsed-AST LRU entries (default 64)\n"
+      "  --cache-results N      result LRU entries (default 256)\n"
+      "  --service-deadline-ms N  per-request wall-clock ceiling\n"
+      "                         (default 10000; 0 = none)\n"
+      "\n"
       "exit codes: 0 ok, 1 program error, 2 usage, 3 budget trip (partial\n"
       "but sound results), 4 internal error\n");
   return ExitUsage;
@@ -120,6 +145,16 @@ struct Options {
   unsigned MaxEvalDepth = 64;
   uint64_t CfFuel = 0;
   std::optional<FaultInjector> Injector;
+
+  // serve-only options.
+  std::string Host = "127.0.0.1";
+  unsigned Port = 0;
+  size_t QueueDepth = 0;
+  size_t MaxConnections = 64;
+  size_t MaxRequestBytes = 1 << 20;
+  size_t CacheAsts = 64;
+  size_t CacheResults = 256;
+  uint64_t ServiceDeadlineMs = 10'000;
 };
 
 /// Parses `a,b,c` into seed values; returns false on malformed lists.
@@ -145,7 +180,7 @@ bool parseSeedList(const char *Spec, std::vector<uint64_t> &Out) {
 }
 
 bool parseArgs(int Argc, char **Argv, Options &Opts) {
-  if (Argc < 3)
+  if (Argc < 2)
     return false;
   Opts.Command = Argv[1];
   for (int I = 2; I < Argc; ++I) {
@@ -227,6 +262,48 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.CfFuel = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--port") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Port = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+      if (Opts.Port > 65535)
+        return false;
+    } else if (Arg == "--host") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Host = V;
+    } else if (Arg == "--queue-depth") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.QueueDepth = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--max-connections") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MaxConnections = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--max-request-bytes") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.MaxRequestBytes = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--cache-asts") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CacheAsts = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--cache-results") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CacheResults = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--service-deadline-ms") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.ServiceDeadlineMs = std::strtoull(V, nullptr, 10);
     } else if (Arg == "--inject-fault") {
       const char *V = Next();
       if (!V)
@@ -244,10 +321,14 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
   }
   if (!Opts.Injector)
     Opts.Injector = FaultInjector::fromEnvironment();
-  // Batch mode supplies its own file list; every other invocation needs a
-  // single input file.
-  if (Opts.BatchDir.empty() == Opts.File.empty())
+  // serve takes no input file; batch mode supplies its own file list;
+  // every other invocation needs a single input file.
+  if (Opts.Command == "serve") {
+    if (!Opts.File.empty() || !Opts.BatchDir.empty())
+      return false;
+  } else if (Opts.BatchDir.empty() == Opts.File.empty()) {
     return false;
+  }
   if (!Opts.BatchDir.empty() && Opts.Command != "analyze") {
     std::fprintf(stderr, "ddajs: --batch only supports the analyze command\n");
     return false;
@@ -363,9 +444,22 @@ int cmdAnalyze(const std::string &Source, Options &Opts) {
   return finishAnalysis(R);
 }
 
+/// Prefixes the canonical analysis payload with the file path, producing a
+/// `--batch` summary line: the same JSON object a serve response carries in
+/// `result`, plus a leading `path` member.
+std::string batchLine(const std::string &Path, const std::string &Payload) {
+  std::string Line = "{\"path\":";
+  json::appendQuoted(Line, Path);
+  Line += ',';
+  Line.append(Payload, 1, std::string::npos); // Merge into the payload object.
+  return Line;
+}
+
 /// --batch DIR: analyzes every DIR/*.js (sorted by name) with all
-/// (program, seed) tasks sharing one worker pool. Prints one summary line
-/// per file and returns the worst per-file exit code.
+/// (program, seed) tasks sharing one worker pool. Prints one JSON summary
+/// line per file (shared schema with serve; path, exit code, trap kind,
+/// degradation flags, fact fingerprint) and returns the worst per-file
+/// exit code.
 int cmdBatch(Options &Opts) {
   namespace fs = std::filesystem;
   std::error_code EC;
@@ -390,9 +484,20 @@ int cmdBatch(Options &Opts) {
   std::vector<std::string> Parsed; // Files[i] for Programs[i].
   for (const std::string &File : Files) {
     std::string Source;
-    Program P;
-    if (!readFile(File, Source) || !parseSource(Source, P)) {
-      std::fprintf(stderr, "%s: parse error\n", File.c_str());
+    if (!readFile(File, Source)) {
+      std::puts(batchLine(File, serve::errorPayloadJson(
+                                    serve::ErrorKind::BadRequest,
+                                    "cannot open file"))
+                    .c_str());
+      Worst = std::max(Worst, static_cast<int>(ExitProgramError));
+      continue;
+    }
+    DiagnosticEngine Diags;
+    Program P = parseProgram(Source, Diags);
+    if (Diags.hasErrors()) {
+      std::puts(batchLine(File, serve::errorPayloadJson(
+                                    serve::ErrorKind::ParseError, Diags.str()))
+                    .c_str());
       Worst = std::max(Worst, static_cast<int>(ExitProgramError));
       continue;
     }
@@ -401,24 +506,86 @@ int cmdBatch(Options &Opts) {
   }
 
   AnalysisOptions AOpts = analysisOptions(Opts);
+  std::vector<uint64_t> Seeds = seedList(Opts);
   std::vector<AnalysisResult> Results =
-      runDeterminacyAnalysisBatch(Programs, AOpts, seedList(Opts), Opts.Jobs);
+      runDeterminacyAnalysisBatch(Programs, AOpts, Seeds, Opts.Jobs);
   for (size_t I = 0; I < Results.size(); ++I) {
     const AnalysisResult &R = Results[I];
-    if (!R.Ok) {
-      std::fprintf(stderr, "%s: %s\n", Parsed[I].c_str(), R.Error.c_str());
-      Worst = std::max(Worst, exitCodeForTrap(R.Trap));
-      continue;
-    }
-    std::printf("%s: %zu facts (%zu determinate)\n", Parsed[I].c_str(),
-                R.Facts.size(), R.Facts.countDeterminate());
-    if (R.Degradation.degraded())
-      std::fprintf(stderr, "%s: %s", Parsed[I].c_str(),
-                   R.Degradation.str().c_str());
-    if (R.Trap != TrapKind::None)
-      Worst = std::max(Worst, static_cast<int>(ExitResourceTrip));
+    std::puts(
+        batchLine(Parsed[I], serve::analysisPayloadJson(R, Opts.Engine, Seeds))
+            .c_str());
+    Worst = std::max(Worst, serve::analysisExitCode(R));
   }
   return Worst;
+}
+
+// Signal → drain: handlers may only poke the server's wake pipe (the write
+// is async-signal-safe; everything else happens on the acceptor thread).
+int GServeWakeFd = -1;
+void serveSignalHandler(int) {
+  if (GServeWakeFd >= 0) {
+    char B = 'x';
+    [[maybe_unused]] ssize_t N = write(GServeWakeFd, &B, 1);
+  }
+}
+
+int cmdServe(Options &Opts) {
+  serve::ServeOptions SOpts;
+  SOpts.Host = Opts.Host;
+  SOpts.Port = static_cast<uint16_t>(Opts.Port);
+  SOpts.Jobs = Opts.Jobs;
+  SOpts.QueueDepth = Opts.QueueDepth;
+  SOpts.MaxConnections = Opts.MaxConnections;
+  SOpts.MaxRequestBytes = Opts.MaxRequestBytes;
+  SOpts.CacheAsts = Opts.CacheAsts;
+  SOpts.CacheResults = Opts.CacheResults;
+  SOpts.Engine = Opts.Engine;
+  SOpts.DetDom = Opts.DetDom;
+  SOpts.DomSeed = Opts.DomSeed;
+  SOpts.Injector = Opts.Injector;
+
+  // The CLI budget flags become the service ceiling; requests can only
+  // tighten them. --deadline-ms, when given, wins over the serve-specific
+  // --service-deadline-ms default.
+  GovernorLimits Ceiling;
+  Ceiling.MaxSteps = Opts.MaxSteps;
+  Ceiling.DeadlineMs =
+      Opts.DeadlineMs ? Opts.DeadlineMs : Opts.ServiceDeadlineMs;
+  Ceiling.MaxHeapCells = Opts.MaxHeapCells;
+  Ceiling.MaxCallDepth = Opts.MaxCallDepth;
+  Ceiling.MaxEvalDepth = Opts.MaxEvalDepth;
+  Ceiling.CfFuel = Opts.CfFuel;
+  SOpts.Ceiling = Ceiling;
+
+  serve::Server Server(SOpts);
+  std::string Error;
+  if (!Server.start(&Error)) {
+    std::fprintf(stderr, "ddajs serve: %s\n", Error.c_str());
+    return ExitProgramError;
+  }
+
+  GServeWakeFd = Server.wakeFd();
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = serveSignalHandler;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // One parseable line so wrappers can discover the bound (ephemeral) port.
+  std::string Listening = "{\"event\":\"listening\",\"host\":";
+  json::appendQuoted(Listening, Opts.Host);
+  Listening += ",\"port\":" + std::to_string(Server.port()) + "}";
+  std::puts(Listening.c_str());
+  std::fflush(stdout);
+
+  Server.wait(); // Blocks until SIGTERM/SIGINT completes the drain.
+  std::printf("{\"event\":\"stats\",\"stats\":%s}\n",
+              Server.statsJson().c_str());
+  std::fflush(stdout);
+  GServeWakeFd = -1;
+  return ExitOk;
 }
 
 int cmdSpecialize(const std::string &Source, Options &Opts) {
@@ -499,6 +666,8 @@ int main(int Argc, char **Argv) {
   Options Opts;
   if (!parseArgs(Argc, Argv, Opts))
     return usage();
+  if (Opts.Command == "serve")
+    return cmdServe(Opts);
   if (!Opts.BatchDir.empty())
     return cmdBatch(Opts);
   std::string Source;
