@@ -189,6 +189,27 @@ private:
     }
   }
 
+  /// Reads exactly four hex digits at Pos into \p Code.
+  bool parseHex4(unsigned &Code) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      char H = Text[Pos + I];
+      Code <<= 4;
+      if (H >= '0' && H <= '9')
+        Code |= H - '0';
+      else if (H >= 'a' && H <= 'f')
+        Code |= H - 'a' + 10;
+      else if (H >= 'A' && H <= 'F')
+        Code |= H - 'A' + 10;
+      else
+        return fail("bad \\u escape");
+    }
+    Pos += 4;
+    return true;
+  }
+
   bool parseString(std::string &Out) {
     ++Pos; // Opening quote.
     while (Pos < Text.size()) {
@@ -228,34 +249,43 @@ private:
           Out += '\t';
           break;
         case 'u': {
-          if (Pos + 4 > Text.size())
-            return fail("truncated \\u escape");
           unsigned Code = 0;
-          for (int I = 0; I < 4; ++I) {
-            char H = Text[Pos + I];
-            Code <<= 4;
-            if (H >= '0' && H <= '9')
-              Code |= H - '0';
-            else if (H >= 'a' && H <= 'f')
-              Code |= H - 'a' + 10;
-            else if (H >= 'A' && H <= 'F')
-              Code |= H - 'A' + 10;
-            else
-              return fail("bad \\u escape");
+          if (!parseHex4(Code))
+            return false;
+          // UTF-16 surrogate halves never stand alone: a high surrogate
+          // must be immediately followed by an escaped low surrogate, and
+          // the pair becomes one 4-byte UTF-8 code point. Encoding halves
+          // individually (CESU-8) would hand clients invalid UTF-8 when
+          // the string is echoed back.
+          uint32_t CP = Code;
+          if (Code >= 0xDC00 && Code <= 0xDFFF)
+            return fail("lone low surrogate in \\u escape");
+          if (Code >= 0xD800 && Code <= 0xDBFF) {
+            if (Pos + 2 > Text.size() || Text[Pos] != '\\' ||
+                Text[Pos + 1] != 'u')
+              return fail("lone high surrogate in \\u escape");
+            Pos += 2;
+            unsigned Low = 0;
+            if (!parseHex4(Low))
+              return false;
+            if (Low < 0xDC00 || Low > 0xDFFF)
+              return fail("high surrogate not followed by low surrogate");
+            CP = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
           }
-          Pos += 4;
-          // Encode as UTF-8. Surrogate pairs are passed through as two
-          // 3-byte sequences — good enough for a loopback protocol whose
-          // payloads are overwhelmingly ASCII.
-          if (Code < 0x80) {
-            Out += static_cast<char>(Code);
-          } else if (Code < 0x800) {
-            Out += static_cast<char>(0xC0 | (Code >> 6));
-            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          if (CP < 0x80) {
+            Out += static_cast<char>(CP);
+          } else if (CP < 0x800) {
+            Out += static_cast<char>(0xC0 | (CP >> 6));
+            Out += static_cast<char>(0x80 | (CP & 0x3F));
+          } else if (CP < 0x10000) {
+            Out += static_cast<char>(0xE0 | (CP >> 12));
+            Out += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (CP & 0x3F));
           } else {
-            Out += static_cast<char>(0xE0 | (Code >> 12));
-            Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
-            Out += static_cast<char>(0x80 | (Code & 0x3F));
+            Out += static_cast<char>(0xF0 | (CP >> 18));
+            Out += static_cast<char>(0x80 | ((CP >> 12) & 0x3F));
+            Out += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (CP & 0x3F));
           }
           break;
         }

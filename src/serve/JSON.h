@@ -4,8 +4,10 @@
 /// A deliberately small JSON reader/writer for the line-delimited serve
 /// protocol. Tenant input is hostile by assumption, so the parser is
 /// defensive end to end: depth-limited recursion (a `[[[[...` bomb returns
-/// a typed error instead of blowing the stack), strict UTF-8-agnostic
-/// string scanning with bounded escapes, and no exceptions — every parse
+/// a typed error instead of blowing the stack), strict string scanning
+/// with bounded escapes (surrogate-pair `\uXXXX` escapes are combined
+/// into one real UTF-8 code point and lone halves rejected, so decoded
+/// strings are never CESU-8), and no exceptions — every parse
 /// failure is a (position, message) result the caller turns into a
 /// `bad_request` response. The writer escapes everything JSON requires
 /// (quotes, backslashes, control bytes) so analysis output — arbitrary

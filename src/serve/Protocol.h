@@ -62,7 +62,9 @@ struct Request {
   std::string IdJson = "null";
 
   std::string Source; ///< Inline program text (exclusive with Path).
-  std::string Path;   ///< Server-side file to analyze (exclusive with Source).
+  std::string Path;   ///< Server-side file to analyze (exclusive with
+                      ///< Source; only honored when the daemon was started
+                      ///< with --root, and confined to that directory).
 
   std::vector<uint64_t> Seeds; ///< Validated, non-empty (defaults to {1}).
 

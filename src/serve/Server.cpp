@@ -11,13 +11,14 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
+#include <filesystem>
 
 using namespace dda;
 using namespace dda::serve;
@@ -38,73 +39,90 @@ public:
   }
 
 private:
+  /// Outcome of one poll+recv+respond round.
+  enum class Step : uint8_t { Progress, Idle, Closed };
+
   void run() {
     std::string Buf;
-    char Tmp[64 * 1024];
     while (true) {
-      struct pollfd P = {Fd, POLLIN, 0};
-      int N = ::poll(&P, 1, 200);
-      if (N < 0) {
-        if (errno == EINTR)
-          continue;
+      Step St = step(Buf, /*TimeoutMs=*/200);
+      if (St == Step::Closed)
         break;
-      }
-      if (N == 0) {
-        // Idle. During a drain, idle connections close themselves so
-        // wait() converges without forcing sockets shut under a writer.
-        if (S.Draining.load(std::memory_order_acquire))
-          break;
-        continue;
-      }
-      ssize_t Got = ::recv(Fd, Tmp, sizeof(Tmp), 0);
-      if (Got <= 0)
-        break; // EOF or error: client went away.
-      Buf.append(Tmp, static_cast<size_t>(Got));
-      size_t NL;
-      while ((NL = Buf.find('\n')) != std::string::npos) {
-        std::string Line = Buf.substr(0, NL);
-        Buf.erase(0, NL + 1);
-        if (!Line.empty() && Line.back() == '\r')
-          Line.pop_back();
-        if (Line.empty())
-          continue;
-        std::string Resp;
-        if (Line.size() > S.Opts.MaxRequestBytes) {
-          S.Stats.RequestsReceived.fetch_add(1, std::memory_order_relaxed);
-          S.Stats.ResponsesError.fetch_add(1, std::memory_order_relaxed);
-          Resp = responseLine(
-              "null", false, 0,
-              errorPayloadJson(ErrorKind::TooLarge,
-                               "request line exceeds " +
-                                   std::to_string(S.Opts.MaxRequestBytes) +
-                                   " bytes"));
-        } else {
-          Resp = S.handleLine(Line);
+      if (S.Draining.load(std::memory_order_acquire)) {
+        // Drain: requests already on the wire still get their answers
+        // (handleLine turns new analysis work into shutting_down), but
+        // only for a bounded grace window — a client that keeps the
+        // socket hot must not be able to postpone the close, or wait()
+        // and the SIGTERM drain never converge.
+        auto Grace = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(200);
+        while (std::chrono::steady_clock::now() < Grace &&
+               step(Buf, /*TimeoutMs=*/20) == Step::Progress) {
         }
-        Resp += '\n';
-        if (!writeAll(Resp))
-          goto out;
-      }
-      if (Buf.size() > S.Opts.MaxRequestBytes) {
-        // A partial line already over budget: answer with the typed error
-        // and drop the connection — buffering further would hand the
-        // sender unbounded memory.
-        S.Stats.RequestsReceived.fetch_add(1, std::memory_order_relaxed);
-        S.Stats.ResponsesError.fetch_add(1, std::memory_order_relaxed);
-        writeAll(responseLine(
-                     "null", false, 0,
-                     errorPayloadJson(ErrorKind::TooLarge,
-                                      "request line exceeds " +
-                                          std::to_string(
-                                              S.Opts.MaxRequestBytes) +
-                                          " bytes")) +
-                 "\n");
         break;
       }
     }
-  out:
     ::close(Fd);
     Done.store(true, std::memory_order_release);
+  }
+
+  /// One round: wait up to \p TimeoutMs for bytes, answer every complete
+  /// line received. Returns Idle on timeout, Closed when the peer is gone
+  /// or the connection must drop, Progress otherwise.
+  Step step(std::string &Buf, int TimeoutMs) {
+    struct pollfd P = {Fd, POLLIN, 0};
+    int N = ::poll(&P, 1, TimeoutMs);
+    if (N < 0)
+      return errno == EINTR ? Step::Idle : Step::Closed;
+    if (N == 0)
+      return Step::Idle;
+    char Tmp[64 * 1024];
+    ssize_t Got = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+    if (Got <= 0)
+      return Step::Closed; // EOF or error: client went away.
+    Buf.append(Tmp, static_cast<size_t>(Got));
+    size_t NL;
+    while ((NL = Buf.find('\n')) != std::string::npos) {
+      std::string Line = Buf.substr(0, NL);
+      Buf.erase(0, NL + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (Line.empty())
+        continue;
+      std::string Resp;
+      if (Line.size() > S.Opts.MaxRequestBytes) {
+        S.Stats.RequestsReceived.fetch_add(1, std::memory_order_relaxed);
+        S.Stats.ResponsesError.fetch_add(1, std::memory_order_relaxed);
+        Resp = responseLine(
+            "null", false, 0,
+            errorPayloadJson(ErrorKind::TooLarge,
+                             "request line exceeds " +
+                                 std::to_string(S.Opts.MaxRequestBytes) +
+                                 " bytes"));
+      } else {
+        Resp = S.handleLine(Line);
+      }
+      Resp += '\n';
+      if (!writeAll(Resp))
+        return Step::Closed;
+    }
+    if (Buf.size() > S.Opts.MaxRequestBytes) {
+      // A partial line already over budget: answer with the typed error
+      // and drop the connection — buffering further would hand the
+      // sender unbounded memory.
+      S.Stats.RequestsReceived.fetch_add(1, std::memory_order_relaxed);
+      S.Stats.ResponsesError.fetch_add(1, std::memory_order_relaxed);
+      writeAll(responseLine(
+                   "null", false, 0,
+                   errorPayloadJson(ErrorKind::TooLarge,
+                                    "request line exceeds " +
+                                        std::to_string(
+                                            S.Opts.MaxRequestBytes) +
+                                        " bytes")) +
+               "\n");
+      return Step::Closed;
+    }
+    return Step::Progress;
   }
 
   bool writeAll(const std::string &Data) {
@@ -156,6 +174,22 @@ bool Server::start(std::string *Error) {
     }
     return false;
   };
+
+  if (!Opts.Root.empty()) {
+    // Resolve the served root once, up front: every path request is
+    // checked against this canonical prefix, so a bad root must be a
+    // startup error, not a per-request surprise.
+    std::error_code EC;
+    std::filesystem::path Canon = std::filesystem::canonical(Opts.Root, EC);
+    if (!EC && !std::filesystem::is_directory(Canon, EC))
+      EC = std::make_error_code(std::errc::not_a_directory);
+    if (EC) {
+      if (Error)
+        *Error = "--root " + Opts.Root + ": " + EC.message();
+      return false;
+    }
+    RootCanon = Canon.string();
+  }
 
   if (::pipe(WakePipe) != 0)
     return Fail("pipe");
@@ -431,22 +465,78 @@ std::string Server::handleLine(const std::string &Line) {
   return responseLine(Req.IdJson, Cached, elapsedMsSince(T0), Payload);
 }
 
+bool Server::readConfinedFile(const std::string &Path, std::string &Source,
+                              std::string &ErrorPayload) {
+  auto Reject = [&](ErrorKind K, const std::string &Msg) {
+    ErrorPayload = errorPayloadJson(K, Msg);
+    return false;
+  };
+  if (RootCanon.empty())
+    return Reject(ErrorKind::BadRequest,
+                  "path requests are disabled (serve started without --root)");
+
+  // Canonicalize (symlinks resolved) and require the result to stay under
+  // the served root: a tenant must not be able to read arbitrary
+  // server-side files through the daemon.
+  std::error_code EC;
+  std::filesystem::path Canon =
+      std::filesystem::weakly_canonical(std::filesystem::path(Path), EC);
+  if (EC)
+    return Reject(ErrorKind::BadRequest, "cannot resolve " + Path);
+  std::string CanonStr = Canon.string();
+  bool Inside = RootCanon == "/" || CanonStr == RootCanon ||
+                (CanonStr.size() > RootCanon.size() &&
+                 CanonStr.compare(0, RootCanon.size(), RootCanon) == 0 &&
+                 CanonStr[RootCanon.size()] == '/');
+  if (!Inside)
+    return Reject(ErrorKind::BadRequest,
+                  Path + " is outside the served --root");
+
+  // O_NONBLOCK so opening a FIFO cannot park this connection thread (and
+  // its admission ticket) forever; regular-file reads never short-read
+  // because of it.
+  int Fd = ::open(CanonStr.c_str(), O_RDONLY | O_NONBLOCK | O_CLOEXEC);
+  if (Fd < 0)
+    return Reject(ErrorKind::BadRequest, "cannot open " + Path);
+  struct stat St;
+  if (::fstat(Fd, &St) != 0 || !S_ISREG(St.st_mode)) {
+    ::close(Fd);
+    return Reject(ErrorKind::BadRequest, Path + " is not a regular file");
+  }
+
+  // Read at most MaxRequestBytes + 1: one extra byte distinguishes "fits"
+  // from "too large" without ever buffering an unbounded stream (a
+  // /dev/zero-shaped file must cost the daemon one buffer, not its RSS).
+  Source.clear();
+  char Tmp[64 * 1024];
+  while (Source.size() <= Opts.MaxRequestBytes) {
+    size_t Want = std::min(sizeof(Tmp), Opts.MaxRequestBytes + 1 - Source.size());
+    ssize_t N = ::read(Fd, Tmp, Want);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      return Reject(ErrorKind::BadRequest, "cannot read " + Path);
+    }
+    if (N == 0)
+      break;
+    Source.append(Tmp, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  if (Source.size() > Opts.MaxRequestBytes)
+    return Reject(ErrorKind::TooLarge,
+                  Path + " exceeds " + std::to_string(Opts.MaxRequestBytes) +
+                      " bytes");
+  return true;
+}
+
 std::string Server::handleAnalyze(const Request &Req, bool &Cached) {
   // Resolve the program text.
   std::string Source;
   if (!Req.Path.empty()) {
-    std::ifstream In(Req.Path, std::ios::binary);
-    if (!In)
-      return errorPayloadJson(ErrorKind::BadRequest,
-                              "cannot open " + Req.Path);
-    std::ostringstream SS;
-    SS << In.rdbuf();
-    Source = SS.str();
-    if (Source.size() > Opts.MaxRequestBytes)
-      return errorPayloadJson(ErrorKind::TooLarge,
-                              Req.Path + " exceeds " +
-                                  std::to_string(Opts.MaxRequestBytes) +
-                                  " bytes");
+    std::string Err;
+    if (!readConfinedFile(Req.Path, Source, Err))
+      return Err; // Already a typed error payload.
   } else {
     Source = Req.Source;
   }

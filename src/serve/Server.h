@@ -18,6 +18,12 @@
 ///    hostile program cannot hold a worker forever. A watchdog thread
 ///    additionally observes requests running past their composed deadline
 ///    (a governor bug would show up here) and counts them in stats.
+///  * **Filesystem confinement.** `path` requests are disabled unless the
+///    operator opts in with `--root DIR`; when enabled, the canonicalized
+///    path must stay inside the root, name a regular file (no FIFOs or
+///    device files that block or never end), and reads stop at
+///    MaxRequestBytes — tenant input can neither disclose server-side
+///    files nor grow the daemon's memory without bound.
 ///  * **Crash isolation.** Request handling is wrapped so every parser
 ///    blowup, trap, or injected fault becomes a typed error or degraded-ok
 ///    response. The daemon never exits on tenant input.
@@ -67,6 +73,14 @@ struct ServeOptions {
   size_t MaxRequestBytes = 1 << 20; ///< Per-line (and per-file) byte cap.
   size_t CacheAsts = 64;      ///< AST LRU entries; 0 disables.
   size_t CacheResults = 256;  ///< Result LRU entries; 0 disables.
+
+  /// Directory that `path` requests are confined to (`--root`). Empty —
+  /// the default — disables the `path` member entirely: a multi-tenant
+  /// daemon must never let tenants read arbitrary server-side files.
+  /// When set, requested paths are canonicalized (symlinks resolved) and
+  /// must stay inside this directory, name a regular file, and fit the
+  /// MaxRequestBytes budget.
+  std::string Root;
 
   /// Service-level budget ceiling, composed into every request. The
   /// deadline here is the fleet-protection watchdog: requests can only
@@ -157,11 +171,21 @@ private:
   std::string handleLine(const std::string &Line);
   std::string handleAnalyze(const Request &Req, bool &Cached);
 
+  /// Loads a `path` request's file under the --root confinement rules:
+  /// root configured, canonical path inside it, regular file, at most
+  /// MaxRequestBytes read. On failure returns false with \p ErrorPayload
+  /// set to the typed error payload.
+  bool readConfinedFile(const std::string &Path, std::string &Source,
+                        std::string &ErrorPayload);
+
   ServeOptions Opts;
   ServeStats Stats;
   AnalysisCache Cache;
   ThreadPool Pool;
   size_t QueueDepth; ///< Resolved admission capacity.
+
+  /// Canonicalized Opts.Root (set by start(); empty = path requests off).
+  std::string RootCanon;
 
   int ListenFd = -1;
   int WakePipe[2] = {-1, -1};

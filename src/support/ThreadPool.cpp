@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 
 using namespace dda;
 
@@ -25,11 +26,15 @@ ThreadPool::~ThreadPool() { stop(StopMode::Drain); }
 
 size_t ThreadPool::stop(StopMode Mode) {
   size_t Discarded = 0;
+  std::vector<std::function<void()>> DiscardHooks;
   {
     std::unique_lock<std::mutex> Lock(Mu);
     Stopped = true; // Reject new submissions from here on.
     if (Mode == StopMode::Cancel) {
       Discarded = Queue.size();
+      for (QueuedTask &T : Queue)
+        if (T.OnDiscard)
+          DiscardHooks.push_back(std::move(T.OnDiscard));
       Queue.clear();
     } else {
       // Let queued work drain first so stop(Drain) is a silent wait() (any
@@ -38,6 +43,10 @@ size_t ThreadPool::stop(StopMode Mode) {
     }
     Stopping = true;
   }
+  // Outside the pool lock: hooks take their own locks (TaskGroup::Mu) and
+  // must be able to wake waiters without re-entering this pool.
+  for (const std::function<void()> &Hook : DiscardHooks)
+    Hook();
   HasWork.notify_all();
   for (std::thread &T : Threads)
     T.join();
@@ -50,12 +59,13 @@ bool ThreadPool::stopped() const {
   return Stopped;
 }
 
-bool ThreadPool::submit(std::function<void()> Task) {
+bool ThreadPool::submit(std::function<void()> Task,
+                        std::function<void()> OnDiscard) {
   {
     std::lock_guard<std::mutex> Lock(Mu);
     if (Stopped)
       return false;
-    Queue.push_back(std::move(Task));
+    Queue.push_back({std::move(Task), std::move(OnDiscard)});
   }
   HasWork.notify_one();
   return true;
@@ -82,7 +92,7 @@ void ThreadPool::workerLoop() {
     HasWork.wait(Lock, [this] { return Stopping || !Queue.empty(); });
     if (Queue.empty())
       return; // Stopping and drained (or cancelled).
-    std::function<void()> Task = std::move(Queue.front());
+    std::function<void()> Task = std::move(Queue.front().Run);
     Queue.pop_front();
     ++Running;
     Lock.unlock();
@@ -152,19 +162,31 @@ bool TaskGroup::submit(std::function<void()> Task) {
     std::lock_guard<std::mutex> Lock(Mu);
     ++Pending;
   }
-  bool Accepted = Pool.submit([this, Task = std::move(Task)] {
-    std::exception_ptr Error;
-    try {
-      Task();
-    } catch (...) {
-      Error = std::current_exception();
-    }
-    std::lock_guard<std::mutex> Lock(Mu);
-    if (Error && !FirstError)
-      FirstError = Error;
-    if (--Pending == 0)
-      Done.notify_all();
-  });
+  bool Accepted = Pool.submit(
+      [this, Task = std::move(Task)] {
+        std::exception_ptr Error;
+        try {
+          Task();
+        } catch (...) {
+          Error = std::current_exception();
+        }
+        std::lock_guard<std::mutex> Lock(Mu);
+        if (Error && !FirstError)
+          FirstError = Error;
+        if (--Pending == 0)
+          Done.notify_all();
+      },
+      // stop(Cancel) throws the wrapper away without running it; settle
+      // the group's count (or wait() blocks forever) and surface the
+      // cancellation as this group's error.
+      [this] {
+        std::lock_guard<std::mutex> Lock(Mu);
+        if (!FirstError)
+          FirstError = std::make_exception_ptr(std::runtime_error(
+              "task cancelled by ThreadPool::stop(Cancel)"));
+        if (--Pending == 0)
+          Done.notify_all();
+      });
   if (!Accepted) {
     // Pool already stopped: nothing was enqueued, so nothing is pending.
     std::lock_guard<std::mutex> Lock(Mu);

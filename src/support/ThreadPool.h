@@ -66,8 +66,13 @@ public:
   unsigned workers() const { return Workers; }
 
   /// Enqueues one task for execution on some worker. Returns false (and
-  /// drops the task) once the pool has been stopped.
-  bool submit(std::function<void()> Task);
+  /// drops the task) once the pool has been stopped. \p OnDiscard, when
+  /// given, is invoked (outside the pool lock) if the task is thrown away
+  /// by stop(Cancel) before it ever ran — wrappers that keep external
+  /// bookkeeping (TaskGroup's pending count) use it to settle instead of
+  /// deadlocking their waiters.
+  bool submit(std::function<void()> Task,
+              std::function<void()> OnDiscard = nullptr);
 
   /// Blocks until every submitted task has finished, then rethrows the
   /// first exception any task raised (if any).
@@ -80,9 +85,11 @@ public:
 
   /// Shuts the pool down and joins every worker. Drain runs all queued
   /// tasks first; Cancel discards tasks that have not started (tasks
-  /// already running always finish). Returns the number of discarded
-  /// tasks. After stop() the pool accepts no new work (submit returns
-  /// false). Idempotent; later calls return 0.
+  /// already running always finish) and invokes each discarded task's
+  /// OnDiscard hook, so TaskGroup bookkeeping settles instead of leaving
+  /// wait() blocked forever. Returns the number of discarded tasks. After
+  /// stop() the pool accepts no new work (submit returns false).
+  /// Idempotent; later calls return 0.
   size_t stop(StopMode Mode);
 
   /// True once stop() has begun; submissions are rejected.
@@ -104,10 +111,16 @@ private:
   friend class TaskGroup;
   void workerLoop();
 
+  /// A queued task plus its cancellation hook (null for plain tasks).
+  struct QueuedTask {
+    std::function<void()> Run;
+    std::function<void()> OnDiscard;
+  };
+
   mutable std::mutex Mu;
   std::condition_variable HasWork; ///< Signaled on submit and shutdown.
   std::condition_variable Idle;    ///< Signaled when the pool drains.
-  std::deque<std::function<void()>> Queue;
+  std::deque<QueuedTask> Queue;
   size_t Running = 0;   ///< Tasks currently executing on a worker.
   bool Stopping = false; ///< Workers may exit once the queue is empty.
   bool Stopped = false;  ///< submit() rejects new work.
@@ -137,6 +150,9 @@ public:
   /// Submits one task attributed to this group. Returns false (task
   /// dropped, nothing pending) if the pool has been stopped — callers that
   /// must make progress anyway (shutdown races) run the task inline.
+  /// If the pool later discards the task via stop(Cancel), the group
+  /// records a "task cancelled" error and settles its pending count, so
+  /// wait() throws instead of deadlocking.
   bool submit(std::function<void()> Task);
 
   /// Blocks until every task submitted through this group has finished,

@@ -261,6 +261,31 @@ TEST(ThreadPool, StopCancelDiscardsQueuedTasks) {
   EXPECT_EQ(Pool.stop(ThreadPool::StopMode::Drain), 0u);
 }
 
+TEST(TaskGroup, StopCancelSettlesGroupBookkeeping) {
+  // Queued TaskGroup wrappers discarded by stop(Cancel) must still settle
+  // the group's pending count — wait() reports the cancellation instead of
+  // blocking forever on tasks that will never run.
+  ThreadPool Pool(1);
+  std::atomic<bool> Pinned{false};
+  Pool.submit([&] {
+    Pinned = true;
+    while (!Pool.stopped())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  while (!Pinned.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  TaskGroup Group(Pool);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 3; ++I)
+    Group.submit([&] { Ran.fetch_add(1); });
+  EXPECT_EQ(Pool.stop(ThreadPool::StopMode::Cancel), 3u);
+  EXPECT_THROW(Group.wait(), std::runtime_error);
+  EXPECT_EQ(Ran.load(), 0);
+  // A second wait() (and the destructor) see the settled count too.
+  Group.wait();
+}
+
 TEST(ThreadPool, SubmitAfterStopIsRejected) {
   ThreadPool Pool(2);
   EXPECT_FALSE(Pool.stopped());

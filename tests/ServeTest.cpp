@@ -33,6 +33,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -295,6 +296,8 @@ TEST(Serve, MalformedRequestsGetTypedErrorsAndServerSurvives) {
       {"{\"cmd\":\"analyze\",\"source\":\"print(1);\","
        "\"inject_fault\":\"bogus\"}", "bad_request"}, // Bad injector spec.
       {"{\"id\":{},\"cmd\":\"ping\"}", "bad_request"}, // Non-scalar id.
+      {"{\"id\":\"\\ud800\",\"cmd\":\"ping\"}",
+       "bad_request"},                           // Lone UTF-16 surrogate.
   };
   for (const Case &TC : Cases) {
     std::string Resp = C.roundTrip(TC.Line);
@@ -342,31 +345,100 @@ TEST(Serve, ParseAndProgramErrorsAreTyped) {
   Resp = C.roundTrip(analyzeRequest("missingFunction();", {1}));
   EXPECT_TRUE(hasErrorKind(Resp, "program_error")) << Resp;
 
-  // Server-side file that does not exist.
+  // Without --root, every path request is refused outright — even one
+  // naming a file that does not exist.
   Resp = C.roundTrip("{\"cmd\":\"analyze\",\"path\":\"/nonexistent.js\"}");
   EXPECT_TRUE(hasErrorKind(Resp, "bad_request")) << Resp;
 }
 
+std::string pathRequest(const std::string &Path,
+                        const std::string &Extra = "") {
+  std::string Req = "{\"cmd\":\"analyze\",\"path\":";
+  json::appendQuoted(Req, Path);
+  Req += Extra;
+  Req += '}';
+  return Req;
+}
+
 TEST(Serve, PathRequestMatchesInlineSource) {
-  RunningServer R(testOptions());
+  std::string Root = ::testing::TempDir() + "serve_path_root";
+  ::mkdir(Root.c_str(), 0755);
+  serve::ServeOptions Opts = testOptions();
+  Opts.Root = Root;
+  RunningServer R(Opts);
   ASSERT_TRUE(R.ok());
   Client C(R.port());
   ASSERT_TRUE(C.connected());
 
-  std::string Path = ::testing::TempDir() + "serve_path_test.js";
+  std::string Path = Root + "/serve_path_test.js";
   std::string Source = workloads::figure1();
   {
     std::ofstream Out(Path, std::ios::binary);
     Out << Source;
   }
-  std::string Req = "{\"cmd\":\"analyze\",\"path\":";
-  json::appendQuoted(Req, Path);
-  Req += ",\"seeds\":[1,2]}";
-  std::string ByPath = C.roundTrip(Req);
+  std::string ByPath = C.roundTrip(pathRequest(Path, ",\"seeds\":[1,2]"));
   std::string Inline = C.roundTrip(analyzeRequest(Source, {1, 2}));
   ASSERT_FALSE(ByPath.empty());
   EXPECT_EQ(resultOf(ByPath), resultOf(Inline));
   std::remove(Path.c_str());
+}
+
+TEST(Serve, PathRequestsAreConfinedToRootAndBounded) {
+  std::string Root = ::testing::TempDir() + "serve_confine_root";
+  ::mkdir(Root.c_str(), 0755);
+  std::string Ok = Root + "/ok.js";
+  std::string Big = Root + "/big.js";
+  std::string Fifo = Root + "/pipe.js";
+  std::string Outside = ::testing::TempDir() + "serve_confine_outside.js";
+  {
+    std::ofstream(Ok, std::ios::binary) << "print(1);";
+    std::ofstream(Big, std::ios::binary) << std::string(5000, ' ');
+    std::ofstream(Outside, std::ios::binary) << "print(2);";
+  }
+  ASSERT_EQ(::mkfifo(Fifo.c_str(), 0600), 0);
+
+  serve::ServeOptions Opts = testOptions();
+  Opts.Root = Root;
+  Opts.MaxRequestBytes = 4096;
+  RunningServer R(Opts);
+  ASSERT_TRUE(R.ok());
+  Client C(R.port());
+  ASSERT_TRUE(C.connected());
+
+  // Inside the root: served normally.
+  std::string Good = C.roundTrip(pathRequest(Ok));
+  EXPECT_EQ(resultOf(Good),
+            expectedPayload("print(1);", {1}, defaultExecEngine()));
+
+  // `..` escapes resolve outside the canonical root and are refused; the
+  // file's contents are never reflected back.
+  std::string Escape =
+      C.roundTrip(pathRequest(Root + "/../serve_confine_outside.js"));
+  EXPECT_TRUE(hasErrorKind(Escape, "bad_request")) << Escape;
+  EXPECT_EQ(Escape.find("print(2)"), std::string::npos);
+
+  // Absolute paths outside the root (including unbounded device files
+  // like /dev/zero, which must never be drained into memory).
+  EXPECT_TRUE(hasErrorKind(C.roundTrip(pathRequest("/etc/hostname")),
+                           "bad_request"));
+  EXPECT_TRUE(hasErrorKind(C.roundTrip(pathRequest("/dev/zero")),
+                           "bad_request"));
+
+  // A FIFO inside the root answers promptly (the open must not block the
+  // connection thread) with a typed refusal.
+  EXPECT_TRUE(hasErrorKind(C.roundTrip(pathRequest(Fifo)), "bad_request"));
+
+  // A regular file over the byte budget is too_large, not an OOM.
+  EXPECT_TRUE(hasErrorKind(C.roundTrip(pathRequest(Big)), "too_large"));
+
+  // The daemon survived the whole hostile tour.
+  EXPECT_EQ(resultOf(C.roundTrip(pathRequest(Ok))),
+            expectedPayload("print(1);", {1}, defaultExecEngine()));
+
+  std::remove(Ok.c_str());
+  std::remove(Big.c_str());
+  std::remove(Fifo.c_str());
+  std::remove(Outside.c_str());
 }
 
 TEST(Serve, EightConcurrentClientsGetSingleShotResults) {
@@ -521,6 +593,61 @@ TEST(Serve, GracefulDrainFinishesInFlightWork) {
   // The listen socket is gone: new connections are refused.
   Client After(R.port());
   EXPECT_FALSE(After.connected());
+}
+
+TEST(Serve, DrainConvergesUnderSustainedTraffic) {
+  RunningServer R(testOptions());
+  ASSERT_TRUE(R.ok());
+
+  // A client that never goes idle: each response immediately triggers the
+  // next request, so the connection's poll always has data waiting. The
+  // drain must still close the connection (after answering what was
+  // buffered) instead of waiting for an idle timeout that never comes.
+  std::thread Busy([&] {
+    Client C(R.port());
+    if (!C.connected())
+      return;
+    while (!C.roundTrip("{\"cmd\":\"ping\"}").empty()) {
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto T0 = std::chrono::steady_clock::now();
+  R.server().requestShutdown();
+  R.server().wait(); // Hangs forever if a busy client can stall the drain.
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  Busy.join();
+  EXPECT_LT(ElapsedMs, 5000) << "drain took " << ElapsedMs << "ms";
+}
+
+TEST(ServeJson, SurrogatePairsDecodeToUtf8) {
+  // \ud83d\ude00 is U+1F600: one 4-byte UTF-8 code point, not two 3-byte
+  // CESU-8 halves.
+  json::ParseResult R = json::parse("\"\\ud83d\\ude00\"", 8);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.V.Str, "\xF0\x9F\x98\x80");
+
+  // Round-tripping the decoded string (as response echoing does with the
+  // id member) emits the same valid UTF-8 bytes.
+  std::string Echo;
+  json::appendQuoted(Echo, R.V.Str);
+  EXPECT_EQ(Echo, "\"\xF0\x9F\x98\x80\"");
+
+  // Basic-plane escapes are unaffected.
+  json::ParseResult Bmp = json::parse("\"\\u00e9\"", 8);
+  ASSERT_TRUE(Bmp.Ok);
+  EXPECT_EQ(Bmp.V.Str, "\xC3\xA9");
+}
+
+TEST(ServeJson, LoneSurrogatesAreRejected) {
+  EXPECT_FALSE(json::parse("\"\\ud83d\"", 8).Ok);        // Lone high.
+  EXPECT_FALSE(json::parse("\"\\ude00\"", 8).Ok);        // Lone low.
+  EXPECT_FALSE(json::parse("\"\\ud83dxx\"", 8).Ok);      // High + raw text.
+  EXPECT_FALSE(json::parse("\"\\ud83d\\n\"", 8).Ok);     // High + escape.
+  EXPECT_FALSE(json::parse("\"\\ud83d\\u0041\"", 8).Ok); // High + non-low.
+  EXPECT_FALSE(json::parse("\"\\ud83d\\ud83d\"", 8).Ok); // High + high.
 }
 
 TEST(Serve, PingAndStats) {

@@ -113,6 +113,8 @@ int usage() {
       "serve options (budget flags above become the service ceiling):\n"
       "  --port N               TCP port (0 = ephemeral, printed at start)\n"
       "  --host H               bind address (default 127.0.0.1)\n"
+      "  --root DIR             allow `path` requests, confined to DIR\n"
+      "                         (default: path requests disabled)\n"
       "  --queue-depth N        admission tickets before shedding\n"
       "                         (default 4 x jobs)\n"
       "  --max-connections N    concurrent connections (default 64)\n"
@@ -148,6 +150,7 @@ struct Options {
 
   // serve-only options.
   std::string Host = "127.0.0.1";
+  std::string Root; ///< --root: serve `path` requests confined here.
   unsigned Port = 0;
   size_t QueueDepth = 0;
   size_t MaxConnections = 64;
@@ -274,6 +277,11 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       if (!V)
         return false;
       Opts.Host = V;
+    } else if (Arg == "--root") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Root = V;
     } else if (Arg == "--queue-depth") {
       const char *V = Next();
       if (!V)
@@ -532,6 +540,7 @@ void serveSignalHandler(int) {
 int cmdServe(Options &Opts) {
   serve::ServeOptions SOpts;
   SOpts.Host = Opts.Host;
+  SOpts.Root = Opts.Root;
   SOpts.Port = static_cast<uint16_t>(Opts.Port);
   SOpts.Jobs = Opts.Jobs;
   SOpts.QueueDepth = Opts.QueueDepth;
