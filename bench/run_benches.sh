@@ -64,6 +64,19 @@ else
   echo "skip: bench_bytecode (not built)" >&2
 fi
 
+# Undo-engine comparison: COW snapshot vs journal branch undo. Verifies
+# byte-identity first, then reports isolated undo cost (flat and deeply
+# nested write-sets) and end-to-end analyses incl. intra-run parallel
+# branches; records host_cpus.
+BIN="$BUILD_DIR/bench/bench_snapshot"
+if [ -x "$BIN" ]; then
+  OUT="$OUT_DIR/BENCH_snapshot.json"
+  echo "== bench_snapshot -> $OUT"
+  "$BIN" --json "$OUT" >/dev/null
+else
+  echo "skip: bench_snapshot (not built)" >&2
+fi
+
 # Service throughput: req/s cold vs cached at jobs 1/8, shed rate under
 # overload. Real sockets on loopback.
 BIN="$BUILD_DIR/bench/bench_serve"

@@ -306,6 +306,7 @@ public:
       Br.AEnd = Br.BStart = Br.BEnd = pc();
       Br.VdA = vd(L->getRHS());
       Br.VdB = 0;
+      Br.NodeA = L->getRHS();
       Ch.Code[BranchIP].C = addBranch(Br);
       return;
     }
@@ -323,6 +324,8 @@ public:
       Br.BEnd = pc();
       Br.VdA = vd(C->getThen());
       Br.VdB = vd(C->getElse());
+      Br.NodeA = C->getThen();
+      Br.NodeB = C->getElse();
       Ch.Code[BranchIP].C = addBranch(Br);
       return;
     }

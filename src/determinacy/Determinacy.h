@@ -33,6 +33,22 @@
 namespace dda {
 
 class FaultInjector;
+class ThreadPool;
+
+/// How the instrumented interpreter undoes the writes of a counterfactual
+/// branch (paper rule ĈNTR).
+enum class UndoEngine : uint8_t {
+  /// Copy-on-write arena snapshots: O(1) fork, first write of each touched
+  /// object/environment copies its pre-image, undo restores the copies.
+  /// Undo cost is O(locations touched), independent of write count. The
+  /// write journal still runs (it is the vd/pd marking log) but skips
+  /// capturing pre-images.
+  Snapshot,
+  /// Reference engine: the journal captures pre-images and undo is a
+  /// reverse replay, O(writes in branch). Kept selectable (`--undo
+  /// journal`) as the differential oracle for the snapshot path.
+  Journal,
+};
 
 /// Configuration of an instrumented run.
 struct AnalysisOptions {
@@ -93,6 +109,23 @@ struct AnalysisOptions {
   /// used by tests and the quickstart example).
   bool RecordAllExpressions = false;
 
+  /// Branch-undo machinery; Snapshot is the default hot path, Journal the
+  /// reference oracle. Facts, coverage, and every fingerprinted statistic
+  /// are byte-identical between the two.
+  UndoEngine Undo = UndoEngine::Snapshot;
+
+  /// Run the taken and counterfactual sides of eligible indeterminate
+  /// branches concurrently (requires BranchPool and the Snapshot undo
+  /// engine). The fold is deterministic: merged facts are byte-identical
+  /// to the sequential execution at any thread count.
+  bool ParallelBranches = false;
+
+  /// Worker pool for intra-run branch parallelism (not owned; may be
+  /// null, which disables ParallelBranches). Kept separate from the
+  /// seed-level pool so branch tasks can never deadlock behind whole-run
+  /// tasks occupying every worker.
+  ThreadPool *BranchPool = nullptr;
+
   GovernorLimits governorLimits() const {
     GovernorLimits L;
     L.MaxSteps = MaxSteps;
@@ -112,6 +145,14 @@ struct AnalysisStats {
   uint64_t CounterfactualAborts = 0;  ///< ĈNTRABORT activations.
   uint64_t JournalEntries = 0;
   uint64_t StepsUsed = 0;
+  // Snapshot-engine observability. These describe *how* undo was done, not
+  // *what* the analysis concluded, so they are excluded from the
+  // fact-fingerprint parity contract (they legitimately differ between
+  // undo engines and with/without branch parallelism).
+  uint64_t SnapshotForks = 0;         ///< COW snapshot frames opened.
+  uint64_t CowCopies = 0;             ///< Object/environment pre-images saved.
+  uint64_t ParallelBranchTasks = 0;   ///< Counterfactuals dispatched to the pool.
+  uint64_t ParallelBranchCommits = 0; ///< Dispatched branches folded without rerun.
   bool FlushLimitHit = false;
 };
 

@@ -16,6 +16,16 @@
 /// suffix and re-journal the weakening they apply, so an outer undo still
 /// restores the exact outer pre-state.
 ///
+/// Under the snapshot undo engine (UndoEngine::Snapshot, the default) the
+/// journal is still written at every site with the *same entry count* — it
+/// remains the vd/pd marking log that markIndetSince and the ĈNTR weaken
+/// loop walk — but entries are *slim*: the pre-write state (OldBinding /
+/// OldSlot / OldOpen) is left default-constructed because undo is done by
+/// restoring copy-on-write arena snapshots instead of reverse replay. Only
+/// the fields marking reads (K, Env, Obj, Name, Existed) are meaningful.
+/// The nesting contract above holds identically: each branch opens its own
+/// snapshot frame, and frames compose like journal marks.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DDA_DETERMINACY_JOURNAL_H

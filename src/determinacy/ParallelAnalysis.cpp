@@ -40,6 +40,10 @@ void dda::mergeAnalysisResults(AnalysisResult &Merged, AnalysisResult &&R) {
   Merged.Stats.CounterfactualAborts += R.Stats.CounterfactualAborts;
   Merged.Stats.JournalEntries += R.Stats.JournalEntries;
   Merged.Stats.StepsUsed += R.Stats.StepsUsed;
+  Merged.Stats.SnapshotForks += R.Stats.SnapshotForks;
+  Merged.Stats.CowCopies += R.Stats.CowCopies;
+  Merged.Stats.ParallelBranchTasks += R.Stats.ParallelBranchTasks;
+  Merged.Stats.ParallelBranchCommits += R.Stats.ParallelBranchCommits;
   Merged.Stats.FlushLimitHit |= R.Stats.FlushLimitHit;
   // Degradation merges pessimistically: remember the first trap, fold in
   // every run's weakening events.

@@ -13,10 +13,13 @@
 #define DDA_INTERP_ENVIRONMENT_H
 
 #include "interp/Value.h"
+#include "support/ResourceGovernor.h"
 
 #include <cassert>
 #include <deque>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace dda {
 
@@ -34,6 +37,9 @@ struct Binding {
 struct Environment {
   EnvRef Parent = 0;
   std::unordered_map<StringId, Binding> Vars;
+  /// Copy-on-write stamp; see EnvArena::ensureSaved (mirrors
+  /// JSObject::SaveGen).
+  uint32_t SaveGen = 0;
 };
 
 /// Arena of environments. Reference 0 is invalid; reference 1 is created by
@@ -100,9 +106,76 @@ public:
       F(static_cast<EnvRef>(I), Envs[I]);
   }
 
+  /// Attaches a budget governor (not owned; may be null) so charged
+  /// snapshot frames can bill pre-image copies, mirroring Heap.
+  void setGovernor(ResourceGovernor *G) { Gov = G; }
+
+  // --- Copy-on-write snapshots (see Heap for the full contract) ----------
+
+  void beginSnapshot(bool Charged) {
+    Snapshots.push_back(SnapshotFrame{++SnapGen, Charged, {}});
+  }
+
+  void ensureSaved(EnvRef Ref) {
+    if (Snapshots.empty())
+      return;
+    SnapshotFrame &F = Snapshots.back();
+    Environment &E = Envs[Ref];
+    if (E.SaveGen == F.Gen)
+      return;
+    F.Saved.emplace_back(Ref, E);
+    E.SaveGen = F.Gen;
+    ++CowSaveCount;
+    if (F.Charged && Gov)
+      Gov->noteCowSave();
+  }
+
+  /// Restores pre-images in reverse save order. Any restore replaces a
+  /// binding map wholesale (erases included), so the arena-wide shape
+  /// generation is bumped once when anything was restored — the same
+  /// invalidation a journal undo's erases would have produced.
+  void restoreSnapshot() {
+    assert(!Snapshots.empty() && "no snapshot frame to restore");
+    SnapshotFrame &F = Snapshots.back();
+    bool Any = !F.Saved.empty();
+    for (auto It = F.Saved.rbegin(); It != F.Saved.rend(); ++It)
+      Envs[It->first] = std::move(It->second);
+    Snapshots.pop_back();
+    if (Any)
+      noteShapeChange();
+  }
+
+  void commitSnapshot() {
+    assert(!Snapshots.empty() && "no snapshot frame to commit");
+    SnapshotFrame F = std::move(Snapshots.back());
+    Snapshots.pop_back();
+    if (!Snapshots.empty()) {
+      SnapshotFrame &P = Snapshots.back();
+      for (auto &E : F.Saved)
+        P.Saved.push_back(std::move(E));
+    }
+  }
+
+  void dropSnapshotsForFork() { Snapshots.clear(); }
+
+  void truncateTo(size_t N) { Envs.resize(N + 1); }
+
+  size_t snapshotDepth() const { return Snapshots.size(); }
+  uint64_t cowSaves() const { return CowSaveCount; }
+
 private:
+  struct SnapshotFrame {
+    uint32_t Gen;
+    bool Charged;
+    std::vector<std::pair<EnvRef, Environment>> Saved;
+  };
+
   std::deque<Environment> Envs;
   uint32_t ShapeG = 1;
+  ResourceGovernor *Gov = nullptr;
+  std::vector<SnapshotFrame> Snapshots;
+  uint32_t SnapGen = 0;
+  uint64_t CowSaveCount = 0;
 };
 
 } // namespace dda

@@ -122,6 +122,11 @@ public:
   /// still the closest (own) slot for its name.
   uint32_t ShapeGen = 0;
 
+  /// Generation of the innermost snapshot frame that already holds a
+  /// pre-image of this object (copy-on-write stamp); 0 = never saved. See
+  /// Heap::ensureSaved.
+  uint32_t SaveGen = 0;
+
   bool has(StringId Name) const { return Props.count(Name) != 0; }
 
   /// Returns the slot for \p Name, or null if absent (prototype chain is the
@@ -239,11 +244,108 @@ public:
       F(static_cast<ObjectRef>(I), Objects[I]);
   }
 
+  // --- Copy-on-write snapshots -------------------------------------------
+  //
+  // A snapshot frame is an O(1) fork point: beginSnapshot() records nothing
+  // but a fresh generation number. The first mutation of each object after
+  // the fork (the interpreter's write barrier calls ensureSaved) copies that
+  // object's pre-image into the frame and stamps the live object with the
+  // frame's generation so later writes are free. restoreSnapshot() assigns
+  // the pre-images back in reverse save order — undo cost is O(objects
+  // *touched* in the branch), independent of how many writes each received.
+  // Frames nest: an inner frame's pre-image copy carries the object's outer
+  // SaveGen stamp, so restoring the inner frame re-establishes the outer
+  // frame's saved-status exactly.
+
+  /// Opens a snapshot frame. \p Charged frames bill each pre-image copy to
+  /// the governor's heap-cell budget (counterfactual branches; see
+  /// ResourceGovernor::noteCowSave); uncharged frames (the base frame and
+  /// speculation frames) do not.
+  void beginSnapshot(bool Charged) {
+    Snapshots.push_back(SnapshotFrame{++SnapGen, Charged, {}});
+  }
+
+  /// Write barrier: copies \p Ref's pre-image into the innermost snapshot
+  /// frame unless it is already saved there. No-op when no frame is open.
+  void ensureSaved(ObjectRef Ref) {
+    if (Snapshots.empty())
+      return;
+    SnapshotFrame &F = Snapshots.back();
+    JSObject &O = Objects[Ref];
+    if (O.SaveGen == F.Gen)
+      return;
+    F.Saved.emplace_back(Ref, O);
+    O.SaveGen = F.Gen;
+    ++CowSaveCount;
+    if (F.Charged && Gov)
+      Gov->noteCowSave();
+  }
+
+  /// Undoes every write made since the innermost frame opened by assigning
+  /// the pre-images back in reverse save order (an outer frame may hold two
+  /// copies of one object around a committed inner frame; the older one,
+  /// applied last, wins). Each restored object gets a ShapeGen strictly
+  /// above its live value: assignment replaces the property map wholesale,
+  /// so any inline-cache pointer into the old nodes must be invalidated.
+  void restoreSnapshot() {
+    assert(!Snapshots.empty() && "no snapshot frame to restore");
+    SnapshotFrame &F = Snapshots.back();
+    for (auto It = F.Saved.rbegin(); It != F.Saved.rend(); ++It) {
+      JSObject &Live = Objects[It->first];
+      uint32_t FreshShape = Live.ShapeGen + 1;
+      Live = std::move(It->second);
+      Live.ShapeGen = FreshShape;
+    }
+    Snapshots.pop_back();
+  }
+
+  /// Closes the innermost frame keeping its writes. Its pre-images are
+  /// *merged* into the enclosing frame (appended, so reverse-order restore
+  /// still applies the enclosing frame's own, older copies last): an object
+  /// first written inside the committed frame has its only pre-image there,
+  /// and the enclosing frame must still be able to undo past the commit.
+  /// With no enclosing frame the pre-images are dropped. Live objects keep
+  /// the dead frame's stamp, which no future frame generation can equal, so
+  /// the enclosing frame re-saves them on their next write (a harmless
+  /// duplicate copy).
+  void commitSnapshot() {
+    assert(!Snapshots.empty() && "no snapshot frame to commit");
+    SnapshotFrame F = std::move(Snapshots.back());
+    Snapshots.pop_back();
+    if (!Snapshots.empty()) {
+      SnapshotFrame &P = Snapshots.back();
+      for (auto &E : F.Saved)
+        P.Saved.push_back(std::move(E));
+    }
+  }
+
+  /// For a deep-copied (forked) heap: drops the frames copied from the
+  /// parent — they guard the *parent's* journal marks — while keeping the
+  /// generation counter monotonic so stale SaveGen stamps never collide
+  /// with a new frame.
+  void dropSnapshotsForFork() { Snapshots.clear(); }
+
+  /// Shrinks the arena back to \p N objects (speculation rollback; \p N was
+  /// captured via size() at the fork point).
+  void truncateTo(size_t N) { Objects.resize(N + 1); }
+
+  size_t snapshotDepth() const { return Snapshots.size(); }
+  uint64_t cowSaves() const { return CowSaveCount; }
+
 private:
+  struct SnapshotFrame {
+    uint32_t Gen;
+    bool Charged;
+    std::vector<std::pair<ObjectRef, JSObject>> Saved;
+  };
+
   // Deque: object references handed out as JSObject& stay valid across
   // later allocations.
   std::deque<JSObject> Objects;
   ResourceGovernor *Gov = nullptr;
+  std::vector<SnapshotFrame> Snapshots;
+  uint32_t SnapGen = 0;
+  uint64_t CowSaveCount = 0;
 };
 
 } // namespace dda

@@ -668,6 +668,13 @@ std::string Server::handleAnalyze(const Request &Req, bool &Cached) {
     if (R.Degradation.Trip.Injected)
       Stats.InjectedTrips.fetch_add(1, std::memory_order_relaxed);
   }
+  Stats.SnapshotForks.fetch_add(R.Stats.SnapshotForks,
+                                std::memory_order_relaxed);
+  Stats.CowCopies.fetch_add(R.Stats.CowCopies, std::memory_order_relaxed);
+  Stats.ParallelBranchTasks.fetch_add(R.Stats.ParallelBranchTasks,
+                                      std::memory_order_relaxed);
+  Stats.ParallelBranchCommits.fetch_add(R.Stats.ParallelBranchCommits,
+                                        std::memory_order_relaxed);
 
   Payload = analysisPayloadJson(R, Engine, Req.Seeds);
   // Deadline traps depend on wall-clock scheduling, not on the key — the
@@ -702,6 +709,10 @@ std::string Server::statsJson() const {
   Add("active_requests", Stats.ActiveRequests.load());
   Add("max_active_requests", Stats.MaxActiveRequests.load());
   Add("overdue_observed", Stats.OverdueObserved.load());
+  Add("snapshot_forks", Stats.SnapshotForks.load());
+  Add("cow_copies", Stats.CowCopies.load());
+  Add("parallel_branch_tasks", Stats.ParallelBranchTasks.load());
+  Add("parallel_branch_commits", Stats.ParallelBranchCommits.load());
   Add("cache_hits", Cache.resultHits());
   Add("cache_misses", Cache.resultMisses());
   Add("ast_hits", Cache.astHits());

@@ -116,6 +116,12 @@ struct ServeStats {
   std::atomic<uint64_t> ActiveRequests{0};
   std::atomic<uint64_t> MaxActiveRequests{0};
   std::atomic<uint64_t> OverdueObserved{0}; ///< Watchdog sightings.
+  // Snapshot undo-engine observability, summed over every analysis the
+  // service ran (all seeds of all requests).
+  std::atomic<uint64_t> SnapshotForks{0};  ///< COW snapshot frames opened.
+  std::atomic<uint64_t> CowCopies{0};      ///< Pre-images saved by COW writes.
+  std::atomic<uint64_t> ParallelBranchTasks{0};   ///< Branches sent to a pool.
+  std::atomic<uint64_t> ParallelBranchCommits{0}; ///< Folded without rerun.
 };
 
 class Server {

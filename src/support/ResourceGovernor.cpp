@@ -172,6 +172,17 @@ bool ResourceGovernor::noteHeapCell() {
   return true;
 }
 
+bool ResourceGovernor::noteCowSave() {
+  ++HeapCells;
+  if (Limits.MaxHeapCells != 0 && HeapCells > Limits.MaxHeapCells) {
+    HeapTripLatched = true;
+    HeapTripInjected = false;
+    Armed = true;
+    return false;
+  }
+  return true;
+}
+
 ResourceGovernor::CallGate ResourceGovernor::enterCall() {
   ++CallsEntered;
   if (Injector && Injector->shouldTrip(Budget::CallDepth)) {

@@ -191,6 +191,14 @@ public:
   /// budget is (now) tripped, for callers that can check.
   bool noteHeapCell();
 
+  /// Per-COW-copy checkpoint: a snapshot frame saving a private copy of an
+  /// object or environment charges the same heap-cell budget as an
+  /// allocation, so snapshots cannot bypass the memory ceiling a
+  /// journal-based run respected. Unlike noteHeapCell this is *not* an
+  /// injector checkpoint: `--inject-fault heap:N` keeps meaning "the Nth
+  /// allocation" regardless of undo engine.
+  bool noteCowSave();
+
   /// Result of a call-depth checkpoint.
   enum class CallGate : uint8_t {
     Ok,       ///< Proceed with the call.
@@ -225,9 +233,81 @@ public:
   uint64_t stepsUsed() const { return Steps; }
   uint64_t heapCellsUsed() const { return HeapCells; }
   uint64_t cfFuelUsed() const { return CfFuelUsed; }
+  uint64_t evalsEntered() const { return EvalsEntered; }
+  uint64_t callsEntered() const { return CallsEntered; }
   unsigned callDepth() const { return CallDepth; }
   unsigned evalDepth() const { return EvalDepth; }
   const GovernorLimits &limits() const { return Limits; }
+
+  /// Full mutable budget state, for speculative execution: the parallel
+  /// branch engine checkpoints the governor before running the taken side
+  /// speculatively and restores it when the speculation is rolled back.
+  /// The injector pointer and limits are not part of the checkpoint (they
+  /// are stable for a run); injector-internal counters are the injector's
+  /// own business and speculation is disabled when one is attached.
+  struct Checkpoint {
+    uint64_t Steps = 0;
+    uint64_t HeapCells = 0;
+    uint64_t CfFuelUsed = 0;
+    uint64_t EvalsEntered = 0;
+    uint64_t CallsEntered = 0;
+    unsigned CallDepth = 0;
+    unsigned EvalDepth = 0;
+    bool Armed = false;
+    bool HeapTripLatched = false;
+    bool HeapTripInjected = false;
+    bool Tripped = false;
+    TripInfo Trip;
+    Clock::time_point Start;
+  };
+
+  Checkpoint checkpoint() const {
+    Checkpoint C;
+    C.Steps = Steps;
+    C.HeapCells = HeapCells;
+    C.CfFuelUsed = CfFuelUsed;
+    C.EvalsEntered = EvalsEntered;
+    C.CallsEntered = CallsEntered;
+    C.CallDepth = CallDepth;
+    C.EvalDepth = EvalDepth;
+    C.Armed = Armed;
+    C.HeapTripLatched = HeapTripLatched;
+    C.HeapTripInjected = HeapTripInjected;
+    C.Tripped = Tripped;
+    C.Trip = Trip;
+    C.Start = Start;
+    return C;
+  }
+
+  void restore(const Checkpoint &C) {
+    Steps = C.Steps;
+    HeapCells = C.HeapCells;
+    CfFuelUsed = C.CfFuelUsed;
+    EvalsEntered = C.EvalsEntered;
+    CallsEntered = C.CallsEntered;
+    CallDepth = C.CallDepth;
+    EvalDepth = C.EvalDepth;
+    Armed = C.Armed;
+    HeapTripLatched = C.HeapTripLatched;
+    HeapTripInjected = C.HeapTripInjected;
+    Tripped = C.Tripped;
+    Trip = C.Trip;
+    Start = C.Start;
+  }
+
+  /// Folds spend observed elsewhere (a committed parallel counterfactual,
+  /// metered by its own governor) into this governor's counters, so totals
+  /// match what the sequential execution would have consumed. The caller
+  /// has already validated that the combined totals stay within every
+  /// configured limit; this never trips.
+  void applyExternalSpend(uint64_t DSteps, uint64_t DHeapCells,
+                          uint64_t DCfFuel, uint64_t DEvals, uint64_t DCalls) {
+    Steps += DSteps;
+    HeapCells += DHeapCells;
+    CfFuelUsed += DCfFuel;
+    EvalsEntered += DEvals;
+    CallsEntered += DCalls;
+  }
 
   /// Milliseconds elapsed since startClock().
   uint64_t elapsedMs() const {

@@ -33,8 +33,10 @@
 #include "specialize/Specializer.h"
 #include "support/FaultInjector.h"
 #include "support/ResourceGovernor.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <memory>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -97,6 +99,14 @@ int usage() {
       "  --engine E         expression engine: bytecode (default) or tree\n"
       "                     (the tree-walk reference semantics; also via\n"
       "                     DDA_ENGINE env)\n"
+      "  --undo E           counterfactual undo engine: snapshot (default;\n"
+      "                     copy-on-write arena snapshots, O(1) fork) or\n"
+      "                     journal (reverse-replay reference oracle);\n"
+      "                     facts and fingerprints are identical for both\n"
+      "  --parallel-branches  analyze: explore the taken and counterfactual\n"
+      "                     sides of eligible indeterminate branches\n"
+      "                     concurrently (snapshot undo engine only;\n"
+      "                     merged facts stay byte-identical)\n"
       "  --detdom           assume determinate DOM (unsound; paper 5.1)\n"
       "\n"
       "resource governor (degrade soundly instead of failing):\n"
@@ -139,6 +149,11 @@ struct Options {
   std::vector<uint64_t> SeedList; ///< --seeds a,b,c (overrides Seeds).
   unsigned Jobs = 1;              ///< --jobs: 0 = one per hardware thread.
   ExecEngine Engine = defaultExecEngine();
+  UndoEngine Undo = UndoEngine::Snapshot;
+  bool ParallelBranches = false;
+  /// Dedicated pool for intra-run branch parallelism (never the seed-level
+  /// pool; see AnalysisOptions::BranchPool). Created lazily on first use.
+  std::unique_ptr<ThreadPool> BranchPool;
   bool DetDom = false;
   uint64_t MaxSteps = 50'000'000;
   uint64_t DeadlineMs = 0;
@@ -235,6 +250,20 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
         std::fprintf(stderr, "ddajs: --engine expects 'bytecode' or 'tree'\n");
         return false;
       }
+    } else if (Arg == "--undo") {
+      const char *V = Next();
+      if (!V) {
+        return false;
+      } else if (!std::strcmp(V, "snapshot")) {
+        Opts.Undo = UndoEngine::Snapshot;
+      } else if (!std::strcmp(V, "journal")) {
+        Opts.Undo = UndoEngine::Journal;
+      } else {
+        std::fprintf(stderr, "ddajs: --undo expects 'snapshot' or 'journal'\n");
+        return false;
+      }
+    } else if (Arg == "--parallel-branches") {
+      Opts.ParallelBranches = true;
     } else if (Arg == "--max-steps") {
       const char *V = Next();
       if (!V)
@@ -379,6 +408,13 @@ AnalysisOptions analysisOptions(Options &Opts) {
   AOpts.MaxEvalDepth = Opts.MaxEvalDepth;
   AOpts.CounterfactualFuel = Opts.CfFuel;
   AOpts.Injector = Opts.Injector ? &*Opts.Injector : nullptr;
+  AOpts.Undo = Opts.Undo;
+  if (Opts.ParallelBranches && Opts.Undo == UndoEngine::Snapshot) {
+    if (!Opts.BranchPool)
+      Opts.BranchPool = std::make_unique<ThreadPool>(0);
+    AOpts.ParallelBranches = true;
+    AOpts.BranchPool = Opts.BranchPool.get();
+  }
   return AOpts;
 }
 
