@@ -77,6 +77,18 @@ else
   echo "skip: bench_snapshot (not built)" >&2
 fi
 
+# Incremental re-analysis: cold capture vs warm replay vs a one-statement
+# edit against the persistent fact store. Verifies off/cold/warm/edit
+# byte-identity and the >= 50% edit-replay bar before timing.
+BIN="$BUILD_DIR/bench/bench_incremental"
+if [ -x "$BIN" ]; then
+  OUT="$OUT_DIR/BENCH_incremental.json"
+  echo "== bench_incremental -> $OUT"
+  "$BIN" --json "$OUT" >/dev/null
+else
+  echo "skip: bench_incremental (not built)" >&2
+fi
+
 # Service throughput: req/s cold vs cached at jobs 1/8, shed rate under
 # overload. Real sockets on loopback.
 BIN="$BUILD_DIR/bench/bench_serve"

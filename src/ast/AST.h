@@ -85,6 +85,15 @@ public:
 
   void setRange(SourceRange R) { Range = R; }
 
+  /// Memoized structural Merkle hash (see ast/StructuralHash.h); 0 means
+  /// "not yet computed" — subtreeHash() fills it lazily. The hash covers
+  /// kinds, atoms, literals, and children only — never NodeIDs or source
+  /// positions — so byte-identical subtrees at different positions (or in
+  /// different programs) hash equal. Mutable because hashing is a pure
+  /// derived attribute over an otherwise-immutable tree.
+  uint64_t structuralHashMemo() const { return StructHash; }
+  void setStructuralHashMemo(uint64_t H) const { StructHash = H; }
+
 protected:
   Node(NodeKind Kind, NodeID ID, SourceRange Range)
       : Kind(Kind), ID(ID), Range(Range) {}
@@ -94,6 +103,7 @@ private:
   NodeKind Kind;
   NodeID ID;
   SourceRange Range;
+  mutable uint64_t StructHash = 0;
 };
 
 //===----------------------------------------------------------------------===//

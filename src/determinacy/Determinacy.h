@@ -28,12 +28,25 @@
 #include "support/ResourceGovernor.h"
 
 #include <string>
+#include <string_view>
 #include <unordered_set>
 
 namespace dda {
 
+class FactStore;
 class FaultInjector;
 class ThreadPool;
+
+/// Whether (and how) the interpreter reuses persisted region summaries.
+enum class IncrementalMode : uint8_t {
+  Off, ///< Execute everything; neither read nor write the store.
+  On,  ///< Replay matching regions from the store, capture the rest.
+  /// Belt-and-braces validation: on a store hit, execute the region anyway
+  /// and assert the captured effect is byte-identical to the stored one.
+  /// A mismatch (a hash collision, a corrupted-but-checksum-valid record,
+  /// or a nondeterminism bug) is an internal error — exit code 4.
+  Strict,
+};
 
 /// How the instrumented interpreter undoes the writes of a counterfactual
 /// branch (paper rule ĈNTR).
@@ -126,6 +139,19 @@ struct AnalysisOptions {
   /// tasks occupying every worker.
   ThreadPool *BranchPool = nullptr;
 
+  /// Incremental re-analysis (`--incremental`): replay top-level regions
+  /// whose (statement key, reaching-state fingerprint, option fingerprint)
+  /// match a summary in Store, and capture fresh summaries for the rest.
+  /// Requires Store; ignored (fully off) when Store is null or a fault
+  /// injector is attached (replay would shift the injector's deterministic
+  /// checkpoint ordinals).
+  IncrementalMode Incremental = IncrementalMode::Off;
+
+  /// Persistent region-summary store (not owned; may be null). Shared by
+  /// every seed task and serve request — FactStore is internally
+  /// thread-safe.
+  FactStore *Store = nullptr;
+
   GovernorLimits governorLimits() const {
     GovernorLimits L;
     L.MaxSteps = MaxSteps;
@@ -153,6 +179,14 @@ struct AnalysisStats {
   uint64_t CowCopies = 0;             ///< Object/environment pre-images saved.
   uint64_t ParallelBranchTasks = 0;   ///< Counterfactuals dispatched to the pool.
   uint64_t ParallelBranchCommits = 0; ///< Dispatched branches folded without rerun.
+  // Incremental-replay observability. Same contract as the snapshot
+  // counters: mechanism, not conclusions — excluded from fact fingerprints
+  // (a warm run replays instead of executing, but produces byte-identical
+  // facts, output, and governor totals).
+  uint64_t IncrementalRegions = 0; ///< Top-level regions considered.
+  uint64_t IncrementalReplays = 0; ///< Regions warm-started from the store.
+  uint64_t ReplayedFacts = 0;      ///< Facts re-recorded from summaries.
+  uint64_t SummariesStored = 0;    ///< Fresh summaries captured this run.
   bool FlushLimitHit = false;
 };
 
@@ -186,6 +220,16 @@ struct AnalysisResult {
   /// Statements that actually executed (non-counterfactually).
   std::unordered_set<NodeID> ExecutedStmts;
 };
+
+/// Fingerprint of every analysis option that can change what a run
+/// concludes — the one definition of "same options" shared by the serve
+/// result cache, the batch driver, and FactStore summary keys. RandomSeed
+/// is deliberately excluded (callers fold the seed per run or per seed
+/// list); IncrementalMode and the Store pointer are excluded because
+/// replay-vs-execute must not change results. InjectorSpec is the textual
+/// form of the fault injector ("" = none).
+uint64_t optionVectorFingerprint(const AnalysisOptions &Opts,
+                                 std::string_view InjectorSpec = {});
 
 /// Runs the program once under the instrumented semantics.
 AnalysisResult runDeterminacyAnalysis(Program &P,

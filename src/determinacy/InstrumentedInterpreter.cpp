@@ -1128,15 +1128,27 @@ void InstrumentedInterpreter::foldShadow(InstrumentedInterpreter &Sh,
   // irrelevant (the per-key merge in record() is commutative and
   // associative), and the shadow has already merged same-key observations
   // in its own execution order.
-  for (const auto &[K, V] : Sh.Facts.all())
+  for (const auto &[K, V] : Sh.Facts.all()) {
     Facts.record(K, V);
-  for (const auto &[K, V] : SpecFacts)
+    if (IncCapturing)
+      IncFacts.emplace_back(K, V);
+  }
+  for (const auto &[K, V] : SpecFacts) {
     Facts.record(K, V);
+    if (IncCapturing)
+      IncFacts.emplace_back(K, V);
+  }
   SpecFacts.clear();
-  for (NodeID N : SpecStmts)
+  for (NodeID N : SpecStmts) {
     ExecutedStmts.insert(N);
-  for (NodeID N : SpecCalls)
+    if (IncCapturing)
+      IncStmts.push_back(N);
+  }
+  for (NodeID N : SpecCalls) {
     ExecutedCalls.insert(N);
+    if (IncCapturing)
+      IncCalls.push_back(N);
+  }
   SpecStmts.clear();
   SpecCalls.clear();
 
@@ -1254,10 +1266,13 @@ void InstrumentedInterpreter::noteBranchCfSteps(NodeID Site,
 
 void InstrumentedInterpreter::commitFactRecord(const FactKey &K,
                                                const FactValue &FV) {
-  if (SpecActive)
+  if (SpecActive) {
     SpecFacts.emplace_back(K, FV);
-  else
+  } else {
     Facts.record(K, FV);
+    if (IncCapturing)
+      IncFacts.emplace_back(K, FV);
+  }
 }
 
 void InstrumentedInterpreter::recordFact(FactKind Kind, NodeID Node,
@@ -2761,7 +2776,7 @@ bool InstrumentedInterpreter::run() {
   CurrentEnv = GlobalEnv;
   Frames.back().ThisV = TaggedValue(Value::object(WindowObj));
   hoist(Prog.Body, GlobalEnv, /*FreshEnv=*/false);
-  IComp C = execBlockBody(Prog.Body);
+  IComp C = incrementalActive() ? execProgramBody() : execBlockBody(Prog.Body);
   Stats.StepsUsed = Gov.stepsUsed();
   if (C.K == IComp::Throw) {
     Error = "uncaught exception: " + toStringValue(C.V.V, TheHeap);

@@ -310,6 +310,35 @@ private:
   /// tryParallelBranch. No-op unless parallel branches are enabled.
   void noteBranchCfSteps(NodeID Site, uint64_t StepsBefore);
 
+  // --- Incremental region replay (IncrementalRegions.cpp) ------------------
+  /// True when this run consults/feeds the persistent fact store.
+  bool incrementalActive() const;
+  /// Drives Prog.Body with per-statement ("region") replay/capture; the
+  /// semantics are exactly execStmtsFrom(Prog.Body, 0) — abrupt completions
+  /// take the identical counterfactual-suffix path — but each region whose
+  /// key hits the store is warm-started from its stored effect delta
+  /// instead of executing.
+  IComp execProgramBody();
+  /// The interpreter is at the base toplevel state from which a region's
+  /// effect delta is meaningful: no branch/speculation in flight, no
+  /// pending cross-world control transfer, base frames only.
+  bool regionBoundaryClean() const;
+  /// Mirrors hoist(Prog.Body)'s recursion over declarations (names and the
+  /// full content+position identity of hoisted functions), so the chain
+  /// fingerprint covers everything installGlobals+hoist put in scope.
+  uint64_t hoistFingerprint() const;
+  /// (subtree hash, position hash, NodeID) of one top-level statement.
+  uint64_t stmtKeyFor(const Stmt *S) const;
+  /// Serializes the region's net effect since the capture began into
+  /// Delta. Returns false when the effect is not replayable (a function
+  /// value escaped whose FunctionExpr is not a program node, eval parsed
+  /// new code, ...).
+  bool buildRegionDelta(const struct RegionCaptureState &RC,
+                        std::string &Delta);
+  /// Validates Delta against the live pre-state and applies it. Returns
+  /// false — before mutating anything — when validation fails.
+  bool applyRegionDelta(const std::string &Delta);
+
   // --- Statements ----------------------------------------------------------
   IComp execStmt(const Stmt *S);
   IComp execBlockBody(const std::vector<Stmt *> &Body);
@@ -391,18 +420,26 @@ private:
   /// The FactValue is materialized at call time either way — it may read
   /// heap state that later mutates.
   void commitFactRecord(const FactKey &K, const FactValue &FV);
-  /// Coverage sinks with the same speculation-buffering discipline.
+  /// Coverage sinks with the same speculation-buffering discipline. The
+  /// IncCapturing mirror feeds the incremental region delta (speculative
+  /// entries are mirrored on fold, where they actually commit).
   void noteExecutedStmt(NodeID N) {
-    if (SpecActive)
+    if (SpecActive) {
       SpecStmts.push_back(N);
-    else
+    } else {
       ExecutedStmts.insert(N);
+      if (IncCapturing)
+        IncStmts.push_back(N);
+    }
   }
   void noteExecutedCall(NodeID N) {
-    if (SpecActive)
+    if (SpecActive) {
       SpecCalls.push_back(N);
-    else
+    } else {
       ExecutedCalls.insert(N);
+      if (IncCapturing)
+        IncCalls.push_back(N);
+    }
   }
   /// Per-step governor checkpoint; defined inline because the dispatch
   /// loops call it once per AST node / instruction.
@@ -514,6 +551,30 @@ private:
   /// unknown sites dispatch once optimistically to seed the profile. All
   /// inputs are deterministic, so gating never perturbs merged facts.
   std::unordered_map<NodeID, uint64_t> BranchCfSteps;
+
+  // --- Incremental-replay state --------------------------------------------
+  /// A region capture is in flight: the fact/coverage sinks mirror their
+  /// commits into IncFacts/IncStmts/IncCalls so the delta can spell them
+  /// out (the FactDB itself has no per-region provenance).
+  bool IncCapturing = false;
+  /// Sticky off-switch: once any region ends abrupt, dirty, or
+  /// non-replayable, later regions are neither replayed nor captured (their
+  /// reaching state is no longer certified by the chain fingerprint alone).
+  bool IncStop = false;
+  /// Set by buildRegionDelta when the effect references something summaries
+  /// cannot carry across processes.
+  bool IncUnserializable = false;
+  uint64_t IncChainFp = 0; ///< Chained fingerprint of the replayed history.
+  uint64_t IncOptFp = 0;   ///< optionVectorFingerprint + RandomSeed.
+  std::vector<std::pair<FactKey, FactValue>> IncFacts;
+  std::vector<NodeID> IncStmts, IncCalls;
+  /// Program FunctionExprs by NodeID, for serializing escaped function
+  /// values as stable IDs (and refusing anything else).
+  std::unordered_map<NodeID, const FunctionExpr *> IncFnIndex;
+  /// DomElements keys present when the capture began (additions diff base).
+  std::vector<StringId> IncPreDomKeys;
+  /// Top-frame SiteCounts when the capture began (changed-entry diff base).
+  std::unordered_map<NodeID, uint32_t> IncPreSiteCounts;
 
   /// Chunk cache; non-null iff Opts.Engine == ExecEngine::Bytecode.
   std::unique_ptr<bc::Module> BC;

@@ -44,6 +44,10 @@ void dda::mergeAnalysisResults(AnalysisResult &Merged, AnalysisResult &&R) {
   Merged.Stats.CowCopies += R.Stats.CowCopies;
   Merged.Stats.ParallelBranchTasks += R.Stats.ParallelBranchTasks;
   Merged.Stats.ParallelBranchCommits += R.Stats.ParallelBranchCommits;
+  Merged.Stats.IncrementalRegions += R.Stats.IncrementalRegions;
+  Merged.Stats.IncrementalReplays += R.Stats.IncrementalReplays;
+  Merged.Stats.ReplayedFacts += R.Stats.ReplayedFacts;
+  Merged.Stats.SummariesStored += R.Stats.SummariesStored;
   Merged.Stats.FlushLimitHit |= R.Stats.FlushLimitHit;
   // Degradation merges pessimistically: remember the first trap, fold in
   // every run's weakening events.

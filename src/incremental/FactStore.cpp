@@ -1,0 +1,223 @@
+//===- FactStore.cpp - Persistent append-only region-summary store --------===//
+
+#include "incremental/FactStore.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include <unistd.h>
+
+using namespace dda;
+
+namespace fs = std::filesystem;
+
+constexpr char FactStore::Magic[9];
+
+static uint64_t fnv64(const void *Data, size_t Len, uint64_t H) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+size_t FactStore::KeyHash::operator()(const Key &K) const {
+  uint64_t H = 0xcbf29ce484222325ull;
+  H = fnv64(&K.StmtKey, sizeof(K.StmtKey), H);
+  H = fnv64(&K.PreFp, sizeof(K.PreFp), H);
+  H = fnv64(&K.OptFp, sizeof(K.OptFp), H);
+  return static_cast<size_t>(H);
+}
+
+bool FactStore::open(const std::string &Dir, std::string &Error) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC) {
+    Error = "fact-store: cannot create '" + Dir + "': " + EC.message();
+    return false;
+  }
+  if (!fs::is_directory(Dir, EC) || EC) {
+    Error = "fact-store: '" + Dir + "' is not a directory";
+    return false;
+  }
+  Directory = Dir;
+
+  // Deterministic load order (lookup results don't depend on it — first
+  // writer wins and duplicate keys carry equal payloads — but determinism
+  // keeps the skip/drop counters reproducible).
+  std::vector<std::string> Segments;
+  for (const auto &Entry : fs::directory_iterator(Dir, EC)) {
+    if (EC)
+      break;
+    const fs::path &P = Entry.path();
+    if (P.extension() == ".facts" &&
+        P.filename().string().rfind("seg-", 0) == 0)
+      Segments.push_back(P.string());
+  }
+  std::sort(Segments.begin(), Segments.end());
+  for (const std::string &Path : Segments) {
+    if (loadSegment(Path))
+      ++SegmentsLoaded;
+    else
+      ++SegmentsSkipped;
+  }
+  return true;
+}
+
+bool FactStore::loadSegment(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  if (Bytes.size() < 12 || std::memcmp(Bytes.data(), Magic, 8) != 0)
+    return false;
+  uint32_t Version;
+  std::memcpy(&Version, Bytes.data() + 8, 4);
+  if (Version != FormatVersion)
+    return false;
+
+  size_t Pos = 12;
+  while (Pos < Bytes.size()) {
+    if (Bytes.size() - Pos < 12) { // truncated frame header
+      ++RecordsDropped;
+      break;
+    }
+    uint32_t Len;
+    uint64_t Sum;
+    std::memcpy(&Len, Bytes.data() + Pos, 4);
+    std::memcpy(&Sum, Bytes.data() + Pos + 4, 8);
+    Pos += 12;
+    if (Len < 40 || Len > Bytes.size() - Pos) { // truncated/garbage payload
+      ++RecordsDropped;
+      break;
+    }
+    const char *Payload = Bytes.data() + Pos;
+    if (fnv64(Payload, Len, 0xcbf29ce484222325ull) != Sum) { // bit flip
+      ++RecordsDropped;
+      break;
+    }
+    ByteReader R(std::string_view(Payload, Len));
+    RegionSummary S;
+    S.StmtKey = R.u64();
+    S.PreFp = R.u64();
+    S.OptFp = R.u64();
+    S.PostFp = R.u64();
+    S.Delta = R.str();
+    if (!R.ok() || !R.atEnd()) {
+      ++RecordsDropped;
+      break;
+    }
+    insertLocked(std::move(S), /*Pending=*/false);
+    Pos += Len;
+  }
+  return true;
+}
+
+bool FactStore::insertLocked(RegionSummary S, bool Pending) {
+  Key K{S.StmtKey, S.PreFp, S.OptFp};
+  auto [It, Inserted] =
+      Summaries.try_emplace(K, nullptr);
+  if (!Inserted)
+    return false;
+  It->second = std::make_unique<RegionSummary>(std::move(S));
+  if (Pending)
+    PendingWrite.push_back(It->second.get());
+  return true;
+}
+
+const RegionSummary *FactStore::lookup(uint64_t StmtKey, uint64_t PreFp,
+                                       uint64_t OptFp) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Summaries.find(Key{StmtKey, PreFp, OptFp});
+  return It == Summaries.end() ? nullptr : It->second.get();
+}
+
+void FactStore::insert(RegionSummary S) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  insertLocked(std::move(S), /*Pending=*/true);
+}
+
+bool FactStore::commit(std::string &Error) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (PendingWrite.empty())
+    return true;
+  if (Directory.empty()) {
+    Error = "fact-store: not opened";
+    return false;
+  }
+
+  std::string Bytes;
+  Bytes.append(Magic, 8);
+  uint32_t Version = FormatVersion;
+  Bytes.append(reinterpret_cast<const char *>(&Version), 4);
+  for (const RegionSummary *S : PendingWrite) {
+    ByteWriter W;
+    W.u64(S->StmtKey);
+    W.u64(S->PreFp);
+    W.u64(S->OptFp);
+    W.u64(S->PostFp);
+    W.str(S->Delta);
+    uint32_t Len = static_cast<uint32_t>(W.size());
+    uint64_t Sum = fnv64(W.bytes().data(), W.size(), 0xcbf29ce484222325ull);
+    Bytes.append(reinterpret_cast<const char *>(&Len), 4);
+    Bytes.append(reinterpret_cast<const char *>(&Sum), 8);
+    Bytes.append(W.bytes());
+  }
+
+  char Name[64];
+  std::snprintf(Name, sizeof(Name), "seg-%016llx.facts",
+                static_cast<unsigned long long>(
+                    fnv64(Bytes.data(), Bytes.size(), 0xcbf29ce484222325ull)));
+  fs::path Final = fs::path(Directory) / Name;
+  char TmpName[96];
+  std::snprintf(TmpName, sizeof(TmpName), "tmp-%ld-%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(++CommitSeq));
+  fs::path Tmp = fs::path(Directory) / TmpName;
+
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      Error = "fact-store: cannot write '" + Tmp.string() + "'";
+      return false;
+    }
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    Out.flush();
+    if (!Out) {
+      Error = "fact-store: short write to '" + Tmp.string() + "'";
+      std::error_code EC;
+      fs::remove(Tmp, EC);
+      return false;
+    }
+  }
+  // Content-hash names make the rename idempotent: a concurrent process
+  // committing the same summaries produces byte-identical content, and
+  // rename over an existing file is atomic on POSIX.
+  std::error_code EC;
+  fs::rename(Tmp, Final, EC);
+  if (EC) {
+    Error = "fact-store: rename failed: " + EC.message();
+    fs::remove(Tmp, EC);
+    return false;
+  }
+  PendingWrite.clear();
+  return true;
+}
+
+size_t FactStore::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Summaries.size();
+}
+
+size_t FactStore::pendingCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return PendingWrite.size();
+}

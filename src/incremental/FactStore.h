@@ -1,0 +1,106 @@
+//===- FactStore.h - Persistent append-only region-summary store -*- C++ -*-==//
+///
+/// \file
+/// On-disk store for RegionSummaries (`--fact-store DIR`). The directory
+/// holds content-addressed segment files:
+///
+///   DIR/seg-<16 hex chars>.facts
+///
+/// Each segment is a versioned header ("DDAFACTS" magic + u32 format
+/// version) followed by length- and checksum-framed records. Loading is
+/// deliberately forgiving: a segment with a bad header is skipped whole,
+/// and a record with a bad length or checksum stops the scan of that
+/// segment — everything read up to that point stays usable, so a
+/// truncated or bit-flipped store degrades to (partial) cold start, never
+/// to an error or a wrong replay (record payloads are re-validated against
+/// live pre-state at replay time on top of the checksum).
+///
+/// Writes never touch existing segments: new summaries accumulate in
+/// memory and commit() streams them into a fresh segment via
+/// write-temp-then-rename, so a crash mid-commit leaves only an ignorable
+/// tmp- file. The file name is the content hash of the segment bytes,
+/// which makes commits of identical content idempotent across processes.
+///
+/// All public methods are thread-safe; lookup() returns pointers that stay
+/// valid for the store's lifetime (summaries are never evicted in-process).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_INCREMENTAL_FACTSTORE_H
+#define DDA_INCREMENTAL_FACTSTORE_H
+
+#include "incremental/SubtreeSummary.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dda {
+
+class FactStore {
+public:
+  FactStore() = default;
+  FactStore(const FactStore &) = delete;
+  FactStore &operator=(const FactStore &) = delete;
+
+  /// Binds the store to DIR (created if absent) and loads every readable
+  /// segment. Returns false only when the directory cannot be created or
+  /// opened; unreadable/corrupt segments are tolerated and counted.
+  bool open(const std::string &Dir, std::string &Error);
+
+  /// Finds the summary for (StmtKey, PreFp, OptFp), or null. The returned
+  /// pointer is valid until the store is destroyed.
+  const RegionSummary *lookup(uint64_t StmtKey, uint64_t PreFp,
+                              uint64_t OptFp) const;
+
+  /// Adds a freshly captured summary (first writer wins; a duplicate key
+  /// is dropped — under the chain-fingerprint scheme equal keys imply
+  /// equal payloads). It is immediately visible to lookup() and queued
+  /// for the next commit().
+  void insert(RegionSummary S);
+
+  /// Persists queued summaries into one new segment file. No-op when
+  /// nothing is pending. Returns false on I/O failure (pending summaries
+  /// are kept and retried on the next commit).
+  bool commit(std::string &Error);
+
+  size_t size() const;
+  size_t pendingCount() const;
+  uint64_t segmentsLoaded() const { return SegmentsLoaded; }
+  uint64_t segmentsSkipped() const { return SegmentsSkipped; }
+  uint64_t recordsDropped() const { return RecordsDropped; }
+  const std::string &directory() const { return Directory; }
+
+  static constexpr char Magic[9] = "DDAFACTS"; // 8 bytes on disk
+  static constexpr uint32_t FormatVersion = 1;
+
+private:
+  struct Key {
+    uint64_t StmtKey, PreFp, OptFp;
+    bool operator==(const Key &O) const {
+      return StmtKey == O.StmtKey && PreFp == O.PreFp && OptFp == O.OptFp;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+
+  bool loadSegment(const std::string &Path);
+  bool insertLocked(RegionSummary S, bool Pending);
+
+  mutable std::mutex Mu;
+  std::string Directory;
+  std::unordered_map<Key, std::unique_ptr<RegionSummary>, KeyHash> Summaries;
+  std::vector<const RegionSummary *> PendingWrite;
+  uint64_t SegmentsLoaded = 0;
+  uint64_t SegmentsSkipped = 0;
+  uint64_t RecordsDropped = 0;
+  uint64_t CommitSeq = 0;
+};
+
+} // namespace dda
+
+#endif // DDA_INCREMENTAL_FACTSTORE_H

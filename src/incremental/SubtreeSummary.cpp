@@ -1,0 +1,25 @@
+//===- SubtreeSummary.cpp - Region summaries for incremental replay -------===//
+
+#include "incremental/SubtreeSummary.h"
+
+using namespace dda;
+
+uint64_t dda::summaryChecksum(std::string_view Bytes) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+uint64_t dda::chainFingerprint(uint64_t PrevFp, uint64_t StmtKey,
+                               uint64_t DeltaHash) {
+  auto Mix = [](uint64_t A, uint64_t B) {
+    uint64_t H =
+        A + 0x9e3779b97f4a7c15ull + (B ^ (B >> 30)) * 0xbf58476d1ce4e5b9ull;
+    H = (H ^ (H >> 27)) * 0x94d049bb133111ebull;
+    return H ^ (H >> 31);
+  };
+  return Mix(Mix(PrevFp, StmtKey), DeltaHash);
+}

@@ -1,0 +1,140 @@
+//===- SubtreeSummary.h - Region summaries for incremental replay -*- C++ -*-=//
+///
+/// \file
+/// The value type the incremental layer persists: one RegionSummary per
+/// analyzed top-level statement ("region"), keyed by
+///
+///   (StmtKey, PreFp, OptFp)
+///
+/// where StmtKey identifies the statement's code *and* its program points
+/// (structural hash x position hash x NodeID), PreFp is the chained
+/// execution fingerprint certifying the entire history that produced the
+/// reaching state (options, hoisted declarations, and every prior region's
+/// key + effect), and OptFp is the option-vector fingerprint including the
+/// seed. The summary's payload is an opaque byte-encoded effect delta
+/// (facts, heap/env post-images, governor spend, RNG tapes, ...) produced
+/// and consumed by the determinacy layer; this module only defines the
+/// container and the byte-level reader/writer both sides share.
+///
+/// Everything written through ByteWriter spells strings out as bytes —
+/// never interner StringIds — so summaries are valid across processes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_INCREMENTAL_SUBTREESUMMARY_H
+#define DDA_INCREMENTAL_SUBTREESUMMARY_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dda {
+
+/// 64-bit FNV-1a; the checksum/content-hash primitive of the store layer.
+uint64_t summaryChecksum(std::string_view Bytes);
+
+/// Advances a chained execution fingerprint past one region: the new
+/// fingerprint certifies "the old history, then this statement, with this
+/// effect". Order-dependent by construction.
+uint64_t chainFingerprint(uint64_t PrevFp, uint64_t StmtKey,
+                          uint64_t DeltaHash);
+
+/// One stored region effect. Key fields + opaque delta payload.
+struct RegionSummary {
+  uint64_t StmtKey = 0; ///< subtree hash x position hash x NodeID
+  uint64_t PreFp = 0;   ///< chained fingerprint of the reaching state
+  uint64_t OptFp = 0;   ///< option-vector fingerprint (seed included)
+  uint64_t PostFp = 0;  ///< PreFp advanced past this region's effect
+  std::string Delta;    ///< byte-encoded effect (determinacy layer schema)
+};
+
+/// Little-endian append-only byte encoder. All multi-byte integers are
+/// memcpy'd (the store is host-endian; segment files are per-machine cache
+/// artifacts, not interchange files — the versioned header guards misuse).
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
+  void u16(uint16_t V) { raw(&V, sizeof(V)); }
+  void u32(uint32_t V) { raw(&V, sizeof(V)); }
+  void u64(uint64_t V) { raw(&V, sizeof(V)); }
+  void f64(double V) { raw(&V, sizeof(V)); }
+  void str(std::string_view S) {
+    u32(static_cast<uint32_t>(S.size()));
+    raw(S.data(), S.size());
+  }
+  void raw(const void *Data, size_t Len) {
+    Buf.append(static_cast<const char *>(Data), Len);
+  }
+  const std::string &bytes() const { return Buf; }
+  std::string take() { return std::move(Buf); }
+  size_t size() const { return Buf.size(); }
+
+private:
+  std::string Buf;
+};
+
+/// Bounds-checked decoder over a byte buffer. Any out-of-bounds read sets a
+/// sticky failure flag and yields zeros/empties; callers check ok() once at
+/// the end (or at validation points) instead of after every field.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Data) : Data(Data) {}
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    read(&V, sizeof(V));
+    return V;
+  }
+  uint16_t u16() {
+    uint16_t V = 0;
+    read(&V, sizeof(V));
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    read(&V, sizeof(V));
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    read(&V, sizeof(V));
+    return V;
+  }
+  double f64() {
+    double V = 0;
+    read(&V, sizeof(V));
+    return V;
+  }
+  std::string str() {
+    uint32_t Len = u32();
+    if (Len > Data.size() - Pos) {
+      Failed = true;
+      return {};
+    }
+    std::string S(Data.substr(Pos, Len));
+    Pos += Len;
+    return S;
+  }
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return Pos == Data.size(); }
+  size_t remaining() const { return Data.size() - Pos; }
+
+private:
+  void read(void *Out, size_t Len) {
+    if (Failed || Len > Data.size() - Pos) {
+      Failed = true;
+      return;
+    }
+    std::memcpy(Out, Data.data() + Pos, Len);
+    Pos += Len;
+  }
+
+  std::string_view Data;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace dda
+
+#endif // DDA_INCREMENTAL_SUBTREESUMMARY_H

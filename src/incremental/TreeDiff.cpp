@@ -1,0 +1,78 @@
+//===- TreeDiff.cpp - Clean/dirty classification between programs ---------===//
+
+#include "incremental/TreeDiff.h"
+
+#include "ast/ASTWalk.h"
+#include "ast/StructuralHash.h"
+
+#include <algorithm>
+
+using namespace dda;
+
+size_t dda::subtreeNodeCount(const Node *N) {
+  size_t Count = 0;
+  walkPreOrder(N, [&](const Node *) {
+    ++Count;
+    return true;
+  });
+  return Count;
+}
+
+TreeDiffResult dda::diffTopLevel(const std::vector<uint64_t> &OldHashes,
+                                 const Program &New) {
+  std::vector<uint64_t> NewHashes = topLevelHashes(New);
+  size_t N = NewHashes.size(), M = OldHashes.size();
+  TreeDiffResult R;
+  R.OldMatch.assign(N, -1);
+
+  // Common prefix/suffix fast path: a single edit leaves both huge.
+  size_t Pre = 0;
+  while (Pre < N && Pre < M && NewHashes[Pre] == OldHashes[Pre]) {
+    R.OldMatch[Pre] = static_cast<int64_t>(Pre);
+    ++Pre;
+  }
+  size_t Suf = 0;
+  while (Suf < N - Pre && Suf < M - Pre &&
+         NewHashes[N - 1 - Suf] == OldHashes[M - 1 - Suf]) {
+    R.OldMatch[N - 1 - Suf] = static_cast<int64_t>(M - 1 - Suf);
+    ++Suf;
+  }
+
+  // LCS over the middle. The middle is small after a typical edit; cap the
+  // quadratic table for adversarial inputs (beyond the cap the unmatched
+  // middle just counts as dirty, which only under-reports reuse).
+  size_t An = N - Pre - Suf, Bm = M - Pre - Suf;
+  if (An > 0 && Bm > 0 && An * Bm <= size_t(4) * 1024 * 1024) {
+    const uint64_t *A = NewHashes.data() + Pre;
+    const uint64_t *B = OldHashes.data() + Pre;
+    std::vector<uint32_t> T((An + 1) * (Bm + 1), 0);
+    auto At = [&](size_t I, size_t J) -> uint32_t & {
+      return T[I * (Bm + 1) + J];
+    };
+    for (size_t I = An; I-- > 0;)
+      for (size_t J = Bm; J-- > 0;)
+        At(I, J) = A[I] == B[J] ? At(I + 1, J + 1) + 1
+                                : std::max(At(I + 1, J), At(I, J + 1));
+    size_t I = 0, J = 0;
+    while (I < An && J < Bm) {
+      if (A[I] == B[J]) {
+        R.OldMatch[Pre + I] = static_cast<int64_t>(Pre + J);
+        ++I, ++J;
+      } else if (At(I + 1, J) >= At(I, J + 1)) {
+        ++I;
+      } else {
+        ++J;
+      }
+    }
+  }
+
+  for (size_t I = 0; I < N; ++I) {
+    if (R.OldMatch[I] >= 0) {
+      ++R.CleanStmts;
+    } else {
+      ++R.DirtyStmts;
+      R.DirtyNodes += subtreeNodeCount(New.Body[I]);
+    }
+  }
+  return R;
+}

@@ -2,6 +2,8 @@
 
 #include "parser/Parser.h"
 
+#include "ast/StructuralHash.h"
+
 using namespace dda;
 
 Parser::Parser(const std::string &Source, ASTContext &Context,
@@ -787,6 +789,10 @@ Program dda::parseProgram(const std::string &Source, DiagnosticEngine &Diags) {
   Program P;
   Parser TheParser(Source, *P.Context, Diags);
   P.Body = TheParser.parseTopLevel();
+  // Fill every subtree-hash memo now, while the tree is still single-owner:
+  // parallel seed tasks and serve worker threads may later read the memos
+  // concurrently, and warming here keeps those reads write-free.
+  warmStructuralHashes(P);
   return P;
 }
 

@@ -2,7 +2,9 @@
 
 #include "serve/Server.h"
 
+#include "ast/StructuralHash.h"
 #include "determinacy/ParallelAnalysis.h"
+#include "incremental/TreeDiff.h"
 #include "parser/Parser.h"
 #include "serve/JSON.h"
 
@@ -189,6 +191,18 @@ bool Server::start(std::string *Error) {
       return false;
     }
     RootCanon = Canon.string();
+  }
+
+  if (!Opts.FactStoreDir.empty()) {
+    // An unusable store directory is an operator error, not a per-request
+    // surprise; corrupt *contents* are tolerated (forgiving segment load).
+    std::string StoreErr;
+    if (!Store.open(Opts.FactStoreDir, StoreErr)) {
+      if (Error)
+        *Error = "--fact-store " + Opts.FactStoreDir + ": " + StoreErr;
+      return false;
+    }
+    StoreOpen = true;
   }
 
   if (::pipe(WakePipe) != 0)
@@ -576,33 +590,41 @@ std::string Server::handleAnalyze(const Request &Req, bool &Cached) {
   if (HasInjector)
     LocalInjector.reset();
 
+  AOpts.DomSeed = Opts.DomSeed;
+  AOpts.Engine = Engine;
+  AOpts.DeterminateDom = DetDom;
+  AOpts.MaxSteps = Limits.MaxSteps;
+  AOpts.DeadlineMs = Limits.DeadlineMs;
+  AOpts.MaxHeapCells = Limits.MaxHeapCells;
+  AOpts.MaxCallDepth = Limits.MaxCallDepth;
+  AOpts.MaxEvalDepth = Limits.MaxEvalDepth;
+  AOpts.CounterfactualFuel = Limits.CfFuel;
+  AOpts.Injector = HasInjector ? &LocalInjector : nullptr;
+  // The incremental layer never changes what a request answers — replayed
+  // regions are byte-identical to executed ones — so it is deliberately
+  // absent from the result-cache key (and from optionVectorFingerprint).
+  if (StoreOpen) {
+    AOpts.Incremental = Opts.Incremental;
+    AOpts.Store = &Store;
+  }
+
   uint64_t SourceHash = hashBytes(Source);
   std::string Key;
   {
-    // Everything that can change the result participates in the key.
-    char Buf[64];
-    std::snprintf(Buf, sizeof(Buf), "%016llx",
-                  (unsigned long long)SourceHash);
+    // Everything that can change the result participates: the program
+    // bytes, and the one shared definition of "same options"
+    // (optionVectorFingerprint, which covers engine, DOM mode and seed,
+    // every composed budget, and the injector spec) folded with the
+    // request's seed list.
+    uint64_t OptFold = optionVectorFingerprint(
+        AOpts, HasInjector ? LocalInjector.str() : std::string());
+    for (uint64_t S : Req.Seeds)
+      OptFold = mixHash(OptFold, S);
+    char Buf[40];
+    std::snprintf(Buf, sizeof(Buf), "%016llx:%016llx",
+                  (unsigned long long)SourceHash,
+                  (unsigned long long)OptFold);
     Key = Buf;
-    Key += "|s:";
-    for (uint64_t S : Req.Seeds) {
-      Key += std::to_string(S);
-      Key += ',';
-    }
-    Key += "|e:";
-    Key += execEngineName(Engine);
-    Key += DetDom ? "|dd1" : "|dd0";
-    std::snprintf(Buf, sizeof(Buf), "|%llu/%llu/%llu/%u/%llu/%u",
-                  (unsigned long long)Limits.MaxSteps,
-                  (unsigned long long)Limits.DeadlineMs,
-                  (unsigned long long)Limits.MaxHeapCells, Limits.MaxCallDepth,
-                  (unsigned long long)Limits.CfFuel, Limits.MaxEvalDepth);
-    Key += Buf;
-    Key += "|i:";
-    if (HasInjector)
-      Key += LocalInjector.str();
-    Key += "|d:";
-    Key += std::to_string(Opts.DomSeed);
   }
 
   std::string Payload;
@@ -630,17 +652,45 @@ std::string Server::handleAnalyze(const Request &Req, bool &Cached) {
       Cache.insertAst(SourceHash, P);
   }
 
+  // Diff-aware accounting: classify this program's top-level statements
+  // against the closest previously seen program (the registered hash
+  // sequence sharing the most subtree hashes) and count the AST nodes
+  // inside dirty statements. Advisory observability — the chained
+  // fingerprints decide what actually replays.
+  {
+    std::vector<uint64_t> Hashes = topLevelHashes(*P);
+    std::lock_guard<std::mutex> Lock(SeenMu);
+    const SeenProgram *Closest = nullptr;
+    size_t BestShared = 0;
+    bool SeenBefore = false;
+    for (const SeenProgram &Prev : SeenPrograms) {
+      if (Prev.SourceHash == SourceHash) {
+        SeenBefore = true;
+        Closest = &Prev;
+        break;
+      }
+      std::vector<uint64_t> A = Prev.TopHashes, B = Hashes;
+      std::sort(A.begin(), A.end());
+      std::sort(B.begin(), B.end());
+      std::vector<uint64_t> Shared;
+      std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                            std::back_inserter(Shared));
+      if (!Closest || Shared.size() > BestShared) {
+        Closest = &Prev;
+        BestShared = Shared.size();
+      }
+    }
+    TreeDiffResult Diff = diffTopLevel(
+        Closest ? Closest->TopHashes : std::vector<uint64_t>(), *P);
+    Stats.DirtyNodes.fetch_add(Diff.DirtyNodes, std::memory_order_relaxed);
+    if (!SeenBefore) {
+      SeenPrograms.push_back({SourceHash, std::move(Hashes)});
+      if (SeenPrograms.size() > MaxSeenPrograms)
+        SeenPrograms.pop_front();
+    }
+  }
+
   AOpts.RandomSeed = Req.Seeds.front();
-  AOpts.DomSeed = Opts.DomSeed;
-  AOpts.Engine = Engine;
-  AOpts.DeterminateDom = DetDom;
-  AOpts.MaxSteps = Limits.MaxSteps;
-  AOpts.DeadlineMs = Limits.DeadlineMs;
-  AOpts.MaxHeapCells = Limits.MaxHeapCells;
-  AOpts.MaxCallDepth = Limits.MaxCallDepth;
-  AOpts.MaxEvalDepth = Limits.MaxEvalDepth;
-  AOpts.CounterfactualFuel = Limits.CfFuel;
-  AOpts.Injector = HasInjector ? &LocalInjector : nullptr;
 
   // Register with the watchdog for the duration of the run.
   uint64_t InflightId;
@@ -675,6 +725,20 @@ std::string Server::handleAnalyze(const Request &Req, bool &Cached) {
                                       std::memory_order_relaxed);
   Stats.ParallelBranchCommits.fetch_add(R.Stats.ParallelBranchCommits,
                                         std::memory_order_relaxed);
+  Stats.IncrementalHits.fetch_add(R.Stats.IncrementalReplays,
+                                  std::memory_order_relaxed);
+  Stats.ReplayedFacts.fetch_add(R.Stats.ReplayedFacts,
+                                std::memory_order_relaxed);
+  Stats.SummariesStored.fetch_add(R.Stats.SummariesStored,
+                                  std::memory_order_relaxed);
+  if (StoreOpen && R.Stats.SummariesStored) {
+    // Persist what this request captured right away: a crash loses at most
+    // the current request's summaries, and commits of identical content
+    // are idempotent. I/O failure is non-fatal — pending summaries stay
+    // queued and retry on the next request's commit.
+    std::string CommitErr;
+    (void)Store.commit(CommitErr);
+  }
 
   Payload = analysisPayloadJson(R, Engine, Req.Seeds);
   // Deadline traps depend on wall-clock scheduling, not on the key — the
@@ -713,6 +777,13 @@ std::string Server::statsJson() const {
   Add("cow_copies", Stats.CowCopies.load());
   Add("parallel_branch_tasks", Stats.ParallelBranchTasks.load());
   Add("parallel_branch_commits", Stats.ParallelBranchCommits.load());
+  Add("incremental_hits", Stats.IncrementalHits.load());
+  Add("dirty_nodes", Stats.DirtyNodes.load());
+  Add("replayed_facts", Stats.ReplayedFacts.load());
+  Add("summaries_stored", Stats.SummariesStored.load());
+  Add("store_summaries", StoreOpen ? Store.size() : 0);
+  Add("store_segments_skipped", StoreOpen ? Store.segmentsSkipped() : 0);
+  Add("store_records_dropped", StoreOpen ? Store.recordsDropped() : 0);
   Add("cache_hits", Cache.resultHits());
   Add("cache_misses", Cache.resultMisses());
   Add("ast_hits", Cache.astHits());

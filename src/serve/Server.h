@@ -45,10 +45,14 @@
 #ifndef DDA_SERVE_SERVER_H
 #define DDA_SERVE_SERVER_H
 
+#include "determinacy/Determinacy.h"
+#include "incremental/FactStore.h"
 #include "serve/Cache.h"
 #include "serve/Protocol.h"
 #include "support/ResourceGovernor.h"
 #include "support/ThreadPool.h"
+
+#include <deque>
 
 #include <atomic>
 #include <chrono>
@@ -96,6 +100,18 @@ struct ServeOptions {
   /// own Nth checkpoint — the end-to-end soundness-under-faults drill.
   std::optional<FaultInjector> Injector;
 
+  /// Region-summary store directory (`--fact-store`). Empty disables the
+  /// incremental layer regardless of Incremental. The store is shared by
+  /// every request and seed task (FactStore is thread-safe), so one
+  /// tenant's cold run warms every later byte-identical region — across
+  /// requests, connections, and daemon restarts.
+  std::string FactStoreDir;
+
+  /// Service-level incremental mode (`--incremental`), applied to every
+  /// request. Replay-vs-execute never changes a response payload, so the
+  /// result cache and cross-mode diffs stay byte-identical.
+  IncrementalMode Incremental = IncrementalMode::Off;
+
   /// Watchdog scan interval.
   uint64_t WatchdogIntervalMs = 200;
 };
@@ -122,6 +138,15 @@ struct ServeStats {
   std::atomic<uint64_t> CowCopies{0};      ///< Pre-images saved by COW writes.
   std::atomic<uint64_t> ParallelBranchTasks{0};   ///< Branches sent to a pool.
   std::atomic<uint64_t> ParallelBranchCommits{0}; ///< Folded without rerun.
+  // Incremental-replay observability (same mechanism-not-conclusions
+  // contract): regions warm-started from the fact store, facts replayed
+  // from summaries, fresh summaries captured, and — from the tree-diff of
+  // each program against the closest previously seen one — how many AST
+  // nodes of offered work were genuinely new code.
+  std::atomic<uint64_t> IncrementalHits{0};
+  std::atomic<uint64_t> ReplayedFacts{0};
+  std::atomic<uint64_t> SummariesStored{0};
+  std::atomic<uint64_t> DirtyNodes{0};
 };
 
 class Server {
@@ -189,6 +214,23 @@ private:
   AnalysisCache Cache;
   ThreadPool Pool;
   size_t QueueDepth; ///< Resolved admission capacity.
+
+  /// Shared region-summary store; open iff Opts.FactStoreDir was set and
+  /// open() succeeded at start().
+  FactStore Store;
+  bool StoreOpen = false;
+
+  /// Bounded registry of (source hash → top-level subtree hashes) for the
+  /// diff-aware path: each incoming program is diffed against the closest
+  /// previously seen one (most shared top-level hashes) to account dirty
+  /// vs clean offered work. FIFO-bounded observability state, not a cache.
+  struct SeenProgram {
+    uint64_t SourceHash;
+    std::vector<uint64_t> TopHashes;
+  };
+  std::mutex SeenMu;
+  std::deque<SeenProgram> SeenPrograms;
+  static constexpr size_t MaxSeenPrograms = 64;
 
   /// Canonicalized Opts.Root (set by start(); empty = path requests off).
   std::string RootCanon;

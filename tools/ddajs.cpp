@@ -20,9 +20,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "ast/ASTPrinter.h"
+#include "ast/StructuralHash.h"
 #include "deadcode/DeadCode.h"
 #include "determinacy/Determinacy.h"
 #include "determinacy/ParallelAnalysis.h"
+#include "incremental/FactStore.h"
 #include "evalelim/EvalElim.h"
 #include "interp/Interpreter.h"
 #include "parser/Parser.h"
@@ -109,6 +111,16 @@ int usage() {
       "                     merged facts stay byte-identical)\n"
       "  --detdom           assume determinate DOM (unsound; paper 5.1)\n"
       "\n"
+      "incremental re-analysis (analyze/specialize/deadcode and serve):\n"
+      "  --fact-store DIR   persistent region-summary store; regions whose\n"
+      "                     subtree hash and reaching fingerprint match a\n"
+      "                     stored summary are replayed instead of executed\n"
+      "                     (facts and exit codes stay byte-identical);\n"
+      "                     implies --incremental on unless overridden\n"
+      "  --incremental M    off | on | strict; strict re-executes store\n"
+      "                     hits and exits 4 if a stored summary diverges\n"
+      "                     from re-execution (requires --fact-store)\n"
+      "\n"
       "resource governor (degrade soundly instead of failing):\n"
       "  --max-steps N      interpreter step budget (default 50000000)\n"
       "  --deadline-ms N    wall-clock budget in milliseconds (0 = none)\n"
@@ -162,6 +174,12 @@ struct Options {
   unsigned MaxEvalDepth = 64;
   uint64_t CfFuel = 0;
   std::optional<FaultInjector> Injector;
+
+  // Incremental re-analysis (--fact-store / --incremental).
+  std::string FactStoreDir;
+  IncrementalMode Incremental = IncrementalMode::Off;
+  bool IncrementalSet = false; ///< --incremental given explicitly.
+  std::unique_ptr<FactStore> Store; ///< Opened in main when FactStoreDir set.
 
   // serve-only options.
   std::string Host = "127.0.0.1";
@@ -264,6 +282,27 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
       }
     } else if (Arg == "--parallel-branches") {
       Opts.ParallelBranches = true;
+    } else if (Arg == "--fact-store") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.FactStoreDir = V;
+    } else if (Arg == "--incremental") {
+      const char *V = Next();
+      if (!V) {
+        return false;
+      } else if (!std::strcmp(V, "off")) {
+        Opts.Incremental = IncrementalMode::Off;
+      } else if (!std::strcmp(V, "on")) {
+        Opts.Incremental = IncrementalMode::On;
+      } else if (!std::strcmp(V, "strict")) {
+        Opts.Incremental = IncrementalMode::Strict;
+      } else {
+        std::fprintf(stderr,
+                     "ddajs: --incremental expects 'off', 'on', or 'strict'\n");
+        return false;
+      }
+      Opts.IncrementalSet = true;
     } else if (Arg == "--max-steps") {
       const char *V = Next();
       if (!V)
@@ -370,6 +409,14 @@ bool parseArgs(int Argc, char **Argv, Options &Opts) {
     std::fprintf(stderr, "ddajs: --batch only supports the analyze command\n");
     return false;
   }
+  if (Opts.FactStoreDir.empty()) {
+    if (Opts.Incremental != IncrementalMode::Off) {
+      std::fprintf(stderr, "ddajs: --incremental requires --fact-store DIR\n");
+      return false;
+    }
+  } else if (!Opts.IncrementalSet) {
+    Opts.Incremental = IncrementalMode::On; // --fact-store alone means "on".
+  }
   return true;
 }
 
@@ -414,6 +461,10 @@ AnalysisOptions analysisOptions(Options &Opts) {
       Opts.BranchPool = std::make_unique<ThreadPool>(0);
     AOpts.ParallelBranches = true;
     AOpts.BranchPool = Opts.BranchPool.get();
+  }
+  if (Opts.Store) {
+    AOpts.Incremental = Opts.Incremental;
+    AOpts.Store = Opts.Store.get();
   }
   return AOpts;
 }
@@ -525,7 +576,12 @@ int cmdBatch(Options &Opts) {
 
   int Worst = ExitOk;
   std::vector<Program> Programs;
-  std::vector<std::string> Parsed; // Files[i] for Programs[i].
+  std::vector<std::string> Sources; // Content of Programs[i], for dedupe.
+  // Byte-identical files parse and analyze once: each file maps to the
+  // Programs index that carries its content, and duplicates just re-emit
+  // that program's summary line under their own path.
+  std::vector<std::pair<std::string, size_t>> Emit; // (path, program index)
+  std::unordered_map<uint64_t, std::vector<size_t>> ByContentHash;
   for (const std::string &File : Files) {
     std::string Source;
     if (!readFile(File, Source)) {
@@ -534,6 +590,18 @@ int cmdBatch(Options &Opts) {
                                     "cannot open file"))
                     .c_str());
       Worst = std::max(Worst, static_cast<int>(ExitProgramError));
+      continue;
+    }
+    uint64_t ContentHash = hashBytesFnv(Source.data(), Source.size(), 0);
+    auto &Bucket = ByContentHash[ContentHash];
+    size_t Existing = Programs.size();
+    for (size_t Idx : Bucket)
+      if (Sources[Idx] == Source) { // Hash-collision paranoia.
+        Existing = Idx;
+        break;
+      }
+    if (Existing != Programs.size()) {
+      Emit.emplace_back(File, Existing);
       continue;
     }
     DiagnosticEngine Diags;
@@ -545,18 +613,20 @@ int cmdBatch(Options &Opts) {
       Worst = std::max(Worst, static_cast<int>(ExitProgramError));
       continue;
     }
+    Bucket.push_back(Programs.size());
+    Emit.emplace_back(File, Programs.size());
     Programs.push_back(std::move(P));
-    Parsed.push_back(File);
+    Sources.push_back(std::move(Source));
   }
 
   AnalysisOptions AOpts = analysisOptions(Opts);
   std::vector<uint64_t> Seeds = seedList(Opts);
   std::vector<AnalysisResult> Results =
       runDeterminacyAnalysisBatch(Programs, AOpts, Seeds, Opts.Jobs);
-  for (size_t I = 0; I < Results.size(); ++I) {
-    const AnalysisResult &R = Results[I];
+  for (const auto &[File, Idx] : Emit) {
+    const AnalysisResult &R = Results[Idx];
     std::puts(
-        batchLine(Parsed[I], serve::analysisPayloadJson(R, Opts.Engine, Seeds))
+        batchLine(File, serve::analysisPayloadJson(R, Opts.Engine, Seeds))
             .c_str());
     Worst = std::max(Worst, serve::analysisExitCode(R));
   }
@@ -588,6 +658,8 @@ int cmdServe(Options &Opts) {
   SOpts.DetDom = Opts.DetDom;
   SOpts.DomSeed = Opts.DomSeed;
   SOpts.Injector = Opts.Injector;
+  SOpts.FactStoreDir = Opts.FactStoreDir;
+  SOpts.Incremental = Opts.Incremental;
 
   // The CLI budget flags become the service ceiling; requests can only
   // tighten them. --deadline-ms, when given, wins over the serve-specific
@@ -707,12 +779,35 @@ int cmdPointsTo(const std::string &Source) {
 
 } // namespace
 
-int main(int Argc, char **Argv) {
-  Options Opts;
-  if (!parseArgs(Argc, Argv, Opts))
-    return usage();
-  if (Opts.Command == "serve")
-    return cmdServe(Opts);
+/// Opens the CLI-side fact store (serve opens its own inside Server). A
+/// directory that cannot be created/opened is an operator error; corrupt
+/// contents degrade to (partial) cold start inside FactStore.
+bool openFactStore(Options &Opts) {
+  if (Opts.FactStoreDir.empty())
+    return true;
+  Opts.Store = std::make_unique<FactStore>();
+  std::string Error;
+  if (!Opts.Store->open(Opts.FactStoreDir, Error)) {
+    std::fprintf(stderr, "ddajs: --fact-store %s: %s\n",
+                 Opts.FactStoreDir.c_str(), Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Persists summaries captured during this invocation. I/O failure is a
+/// warning, not an error: the analysis results already printed are
+/// complete, only warm-start state for future runs is lost.
+void commitFactStore(Options &Opts) {
+  if (!Opts.Store)
+    return;
+  std::string Error;
+  if (!Opts.Store->commit(Error))
+    std::fprintf(stderr, "ddajs: fact-store commit failed: %s\n",
+                 Error.c_str());
+}
+
+int dispatch(Options &Opts) {
   if (!Opts.BatchDir.empty())
     return cmdBatch(Opts);
   std::string Source;
@@ -732,4 +827,17 @@ int main(int Argc, char **Argv) {
   if (Opts.Command == "pointsto")
     return cmdPointsTo(Source);
   return usage();
+}
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    return usage();
+  if (Opts.Command == "serve")
+    return cmdServe(Opts); // serve owns its store; see Server::start.
+  if (!openFactStore(Opts))
+    return ExitProgramError;
+  int Code = dispatch(Opts);
+  commitFactStore(Opts);
+  return Code;
 }
