@@ -1,0 +1,33 @@
+//===- BenchSupport.h - Shared helpers for the bench mains -------*- C++ -*-==//
+///
+/// \file
+/// Memory observability for the JSON reports: every bench that writes a
+/// BENCH_*.json records the process peak RSS alongside its timings, so
+/// layout changes (arena-backed heap, slim journal, flat maps) show up as
+/// measured bytes, not just nanoseconds. getrusage's ru_maxrss is reported
+/// by Linux in kilobytes and is a high-water mark for the whole process —
+/// per-workload numbers therefore need one process per workload (see
+/// bench_core --rss-only and the run_benches.sh wrapper for the
+/// google-benchmark binaries).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_BENCH_BENCHSUPPORT_H
+#define DDA_BENCH_BENCHSUPPORT_H
+
+#include <sys/resource.h>
+
+namespace dda {
+namespace bench {
+
+/// Peak resident set size of this process, in kilobytes.
+inline long peakRssKb() {
+  struct rusage RU;
+  getrusage(RUSAGE_SELF, &RU);
+  return static_cast<long>(RU.ru_maxrss);
+}
+
+} // namespace bench
+} // namespace dda
+
+#endif // DDA_BENCH_BENCHSUPPORT_H

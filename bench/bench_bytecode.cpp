@@ -20,6 +20,8 @@
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
+#include "BenchSupport.h"
+
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -301,6 +303,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(
         F,
         "  ],\n"
+        "  \"peak_rss_kb\": %ld,\n"
         "  \"geomean_speedup_interpreter_bound\": %.3f,\n"
         "  \"geomean_speedup_all_rows\": %.3f,\n"
         "  \"note\": \"interpreter-bound geomean covers the "
@@ -310,7 +313,7 @@ int main(int Argc, char **Argv) {
         "engines (journal, fact recording, DOM natives, allocation -- "
         "vmRun is ~7%% of a cell) and so sit near 1.0 regardless of "
         "dispatch speed\"\n}\n",
-        GeomeanIB, Geomean);
+        bench::peakRssKb(), GeomeanIB, Geomean);
     std::fclose(F);
   }
   return 0;

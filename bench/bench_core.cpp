@@ -1,0 +1,598 @@
+//===- bench_core.cpp - Hot-path memory layout: dense vs node-based --------==//
+///
+/// \file
+/// Measures what the hot-path flattening PR changed, in isolation and end
+/// to end:
+///
+///  1. Isolated microbenches, each pitting the live dense structure against
+///     an in-binary replica of the layout it replaced (same compiler, same
+///     flags, no cross-binary noise):
+///       * fact recording     — FlatMap + splitmix64 FactKeyHash vs the
+///                              seed's std::unordered_map + `A*1000003+B`;
+///       * journal mark-walk  — 12-byte slim entries + SoA pre-image side
+///                              arrays vs the seed's ~sizeof(Binding)+
+///                              sizeof(Slot) fat record vector;
+///       * heap churn         — pooled ChunkedArena<JSObject> push/truncate
+///                              vs the seed's std::deque emplace/resize;
+///       * executed-stmt set  — NodeBitSet insert + ordered iteration vs
+///                              std::unordered_set + copy-and-sort.
+///
+///  2. End-to-end: full instrumented analyses of the four Table 1 miniquery
+///     versions (the cells the dense layouts serve), with snapshot/journal
+///     fingerprints verified byte-identical before timing, and an FNV-1a
+///     hash of each cell's fact dump emitted so reports from different
+///     builds can be diffed for identity.
+///
+///  3. Memory: --rss-only NAME runs just one workload's analyses and prints
+///     the process peak RSS + governor heap-cell count, so run_benches.sh
+///     can collect one clean high-water mark per workload per process.
+///
+/// An optional --baseline FILE (lines: `<name> <value>`) carries numbers
+/// measured from a seed-commit build on the same host; matching end-to-end
+/// rows then gain seed_ns/speedup_vs_seed fields and RSS rows gain
+/// seed_peak_rss_kb. Emits BENCH_core.json via --json (run_benches.sh).
+///
+//===----------------------------------------------------------------------===//
+
+#include "determinacy/InstrumentedInterpreter.h"
+#include "determinacy/Journal.h"
+#include "parser/Parser.h"
+#include "support/Arena.h"
+#include "support/BitSet.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include "BenchSupport.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace dda;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double nsSince(Clock::time_point T0) {
+  return std::chrono::duration<double, std::nano>(Clock::now() - T0).count();
+}
+
+Program parse(const std::string &Source) {
+  DiagnosticEngine Diags;
+  Program P = parseProgram(Source, Diags);
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "parse error:\n%s", Diags.str().c_str());
+    std::exit(1);
+  }
+  return P;
+}
+
+/// Best-of-samples wrapper: runs \p Fn under the clock \p Samples times and
+/// keeps the minimum (rejects scheduler noise on the shared 1-CPU host).
+template <typename FnT> double bestOf(int Samples, FnT Fn) {
+  double Best = 1e100;
+  for (int S = 0; S < Samples; ++S) {
+    auto T0 = Clock::now();
+    Fn();
+    Best = std::min(Best, nsSince(T0));
+  }
+  return Best;
+}
+
+// --- 1a. Fact recording: dense FlatMap vs the seed's node-based map -------
+
+/// The seed's FactKeyHash, verbatim: multiplicative mix whose low bits are
+/// dominated by Kind/Index (std::hash<uint64_t> is the identity on
+/// libstdc++). Kept here as the baseline replica; the regression test for
+/// the live hash's distribution is FlatMapHash.FactKeyDistribution.
+struct SeedFactKeyHash {
+  size_t operator()(const FactKey &K) const {
+    uint64_t A = (static_cast<uint64_t>(K.Node) << 32) | K.Ctx;
+    uint64_t B = (static_cast<uint64_t>(K.Index) << 8) |
+                 static_cast<uint64_t>(K.Kind);
+    return std::hash<uint64_t>()(A * 1000003 + B);
+  }
+};
+
+/// The recording workload: every key observed three times (first insert,
+/// then two merge probes) — the real analysis re-observes each (point,
+/// context) once per loop iteration, so lookups dominate inserts.
+std::vector<FactKey> factKeyStream() {
+  std::vector<FactKey> Keys;
+  for (uint32_t Node = 0; Node < 4096; ++Node)
+    for (uint32_t Ctx = 0; Ctx < 2; ++Ctx) {
+      Keys.push_back({Node, Ctx, FactKind::Condition, 0});
+      Keys.push_back({Node, Ctx, FactKind::Callee, 0});
+      Keys.push_back({Node, Ctx, FactKind::CallArg, 1});
+    }
+  return Keys;
+}
+
+template <typename MapT>
+uint64_t recordStream(MapT &M, const std::vector<FactKey> &Keys, int Rounds) {
+  FactValue V;
+  V.K = FactValue::Number;
+  for (int R = 0; R < Rounds; ++R)
+    for (const FactKey &K : Keys) {
+      V.Num = K.Node & 7; // Same value each visit: the merge keeps it.
+      auto It = M.find(K);
+      if (It == M.end())
+        M.emplace(K, V);
+      else if (!It->second.sameAs(V))
+        It->second = FactValue::indet();
+    }
+  return M.size();
+}
+
+// --- 1b. Journal append + mark-walk: slim SoA vs the seed's fat record ----
+
+/// The seed's JournalEntry, verbatim layout: pre-images inline in every
+/// entry whether or not the undo engine will read them.
+struct FatJournalEntry {
+  JournalEntry::Kind K = JournalEntry::VarWrite;
+  EnvRef Env = 0;
+  Binding OldBinding;
+  ObjectRef Obj = 0;
+  Slot OldSlot;
+  bool OldOpen = false;
+  StringId Name;
+  bool Existed = false;
+};
+
+/// Appends \p N entries then does \p Walks vd/pd marking walks over them —
+/// the read pattern markIndetSince streams (K, Env/Obj, Name; never the
+/// pre-images). Returns a checksum so the walk cannot be optimized out.
+uint64_t slimJournalRun(size_t N, int Walks) {
+  Journal J; // Capture off: snapshot engine's configuration.
+  uint64_t Sum = 0;
+  for (size_t I = 0; I < N; ++I) {
+    JournalEntry E;
+    E.K = (I & 1) ? JournalEntry::PropWrite : JournalEntry::VarWrite;
+    E.Name = StringId(static_cast<uint32_t>(I & 255));
+    E.Env = static_cast<uint32_t>(I);
+    J.push(E);
+  }
+  for (int W = 0; W < Walks; ++W)
+    for (size_t I = 0; I < J.size(); ++I) {
+      const JournalEntry &E = J[I];
+      Sum += E.K + E.Env + E.Name.Raw;
+    }
+  return Sum;
+}
+
+uint64_t fatJournalRun(size_t N, int Walks) {
+  std::vector<FatJournalEntry> J;
+  uint64_t Sum = 0;
+  for (size_t I = 0; I < N; ++I) {
+    FatJournalEntry E;
+    E.K = (I & 1) ? JournalEntry::PropWrite : JournalEntry::VarWrite;
+    E.Name = StringId(static_cast<uint32_t>(I & 255));
+    E.Env = static_cast<uint32_t>(I);
+    J.push_back(E);
+  }
+  for (int W = 0; W < Walks; ++W)
+    for (const FatJournalEntry &E : J)
+      Sum += E.K + E.Env + E.Name.Raw;
+  return Sum;
+}
+
+// --- 1c. Heap churn: pooled arena vs the seed's deque ---------------------
+
+/// One branch-shaped churn round: allocate \p Cells objects past a stable
+/// base, then truncate back — the allocate/undo pattern counterfactual
+/// branches execute. The arena parks and reuses the cells (reset());
+/// the deque destroys and reconstructs them, re-allocating each JSObject's
+/// Props map nodes every round.
+uint64_t arenaChurn(size_t Cells, int Rounds) {
+  ChunkedArena<JSObject> A;
+  A.push(); // Stable base, as Heap reserves ref 0.
+  size_t Base = A.size();
+  uint64_t Sum = 0;
+  for (int R = 0; R < Rounds; ++R) {
+    for (size_t I = 0; I < Cells; ++I) {
+      JSObject &O = A.push();
+      O.Class = ObjectClass::Plain;
+      O.AllocSite = static_cast<uint32_t>(I);
+      O.MaybeAbsent.push_back(StringId(static_cast<uint32_t>(I & 63)));
+    }
+    Sum += A.size();
+    A.truncateTo(Base);
+  }
+  return Sum;
+}
+
+uint64_t dequeChurn(size_t Cells, int Rounds) {
+  std::deque<JSObject> D;
+  D.emplace_back();
+  size_t Base = D.size();
+  uint64_t Sum = 0;
+  for (int R = 0; R < Rounds; ++R) {
+    for (size_t I = 0; I < Cells; ++I) {
+      D.emplace_back();
+      JSObject &O = D.back();
+      O.Class = ObjectClass::Plain;
+      O.AllocSite = static_cast<uint32_t>(I);
+      O.MaybeAbsent.push_back(StringId(static_cast<uint32_t>(I & 63)));
+    }
+    Sum += D.size();
+    D.resize(Base);
+  }
+  return Sum;
+}
+
+// --- 1d. Executed-statement set: bitset vs hash-set + sort ----------------
+
+/// The executed-stmt pattern: each of \p Stmts ids inserted \p Revisits
+/// times (loops re-execute their body statements), then one sorted
+/// enumeration (the dump/digest path).
+uint64_t bitsetExecuted(uint32_t Stmts, int Revisits) {
+  NodeBitSet S;
+  for (int R = 0; R < Revisits; ++R)
+    for (uint32_t Id = 0; Id < Stmts; ++Id)
+      S.insert(Id * 3); // Sparse-ish ids, like real NodeIDs.
+  uint64_t Sum = 0;
+  for (uint32_t Id : S)
+    Sum += Id;
+  return Sum;
+}
+
+uint64_t hashsetExecuted(uint32_t Stmts, int Revisits) {
+  std::unordered_set<uint32_t> S;
+  for (int R = 0; R < Revisits; ++R)
+    for (uint32_t Id = 0; Id < Stmts; ++Id)
+      S.insert(Id * 3);
+  std::vector<uint32_t> Sorted(S.begin(), S.end());
+  std::sort(Sorted.begin(), Sorted.end());
+  uint64_t Sum = 0;
+  for (uint32_t Id : Sorted)
+    Sum += Id;
+  return Sum;
+}
+
+// --- 2. End-to-end table cells --------------------------------------------
+
+/// The differential suite's fingerprint (undo-engine counters excluded).
+std::string fingerprint(const AnalysisResult &R) {
+  std::ostringstream OS;
+  OS << "ok=" << R.Ok << " trap=" << static_cast<int>(R.Trap)
+     << " degraded=" << R.Degradation.degraded() << "\n"
+     << "steps=" << R.Stats.StepsUsed << " flushes=" << R.Stats.HeapFlushes
+     << " cf=" << R.Stats.Counterfactuals
+     << " journal=" << R.Stats.JournalEntries << "\n"
+     << R.Output << R.Facts.dump(R.Contexts);
+  return OS.str();
+}
+
+uint64_t fnv1a(const std::string &S) {
+  uint64_t H = 1469598103934665603ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+struct E2ECell {
+  std::string Name;
+  double Ns = 0;
+  uint64_t HeapCells = 0;
+  uint64_t FingerprintHash = 0;
+};
+
+AnalysisResult analyzeMiniquery(int Minor, UndoEngine Undo) {
+  Program P = parse(workloads::miniquery(Minor));
+  AnalysisOptions Opts;
+  Opts.Undo = Undo;
+  AnalysisResult R = runDeterminacyAnalysis(P, Opts);
+  if (!R.Ok) {
+    std::fprintf(stderr, "analysis error: %s\n", R.Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+E2ECell timeCell(int Minor, int Iters, int Samples) {
+  E2ECell C;
+  C.Name = "table1_miniquery1_" + std::to_string(Minor);
+  AnalysisResult First = analyzeMiniquery(Minor, UndoEngine::Snapshot);
+  C.HeapCells = First.Degradation.HeapCellsUsed;
+  C.FingerprintHash = fnv1a(fingerprint(First));
+  double Best = 1e100;
+  for (int S = 0; S < Samples; ++S) {
+    double Total = 0;
+    for (int I = 0; I < Iters; ++I) {
+      Program P = parse(workloads::miniquery(Minor));
+      AnalysisOptions Opts;
+      auto T0 = Clock::now();
+      AnalysisResult R = runDeterminacyAnalysis(P, Opts);
+      Total += nsSince(T0);
+      if (!R.Ok)
+        std::exit(1);
+    }
+    Best = std::min(Best, Total / Iters);
+  }
+  C.Ns = Best;
+  return C;
+}
+
+// --- 3. Per-workload peak RSS ---------------------------------------------
+
+const char *HeapChurnJs = R"JS(
+var objs = [];
+for (var i = 0; i < 400; i++) {
+  var o = {idx: i, name: "o" + i};
+  o.double = i * 2;
+  objs[i] = o;
+}
+var total = 0;
+for (var j = 0; j < 400; j++) {
+  total += objs[j].double;
+}
+)JS";
+
+const char *BranchHeavyJs = R"JS(
+var hits = 0;
+for (var i = 0; i < 800; i++) {
+  if (Math.random() < 2) { hits++; }     // indeterminate, always true
+  if (Math.random() > 2) { hits = -1; }  // indeterminate, always false
+}
+)JS";
+
+std::string rssWorkloadSource(const std::string &Name) {
+  if (Name == "HeapChurn")
+    return HeapChurnJs;
+  if (Name == "BranchHeavy")
+    return BranchHeavyJs;
+  if (Name == "Miniquery10")
+    return workloads::miniquery(0);
+  std::fprintf(stderr, "unknown --rss-only workload: %s\n", Name.c_str());
+  std::exit(1);
+}
+
+/// Runs one workload's instrumented analysis repeatedly in this (otherwise
+/// fresh) process and prints `<name> <peak_rss_kb> <heap_cells>`. One
+/// workload per process keeps ru_maxrss a per-workload high-water mark.
+int rssOnly(const std::string &Name, int Reps) {
+  std::string Source = rssWorkloadSource(Name);
+  uint64_t HeapCells = 0;
+  for (int R = 0; R < Reps; ++R) {
+    Program P = parse(Source);
+    AnalysisResult A = runDeterminacyAnalysis(P, AnalysisOptions());
+    if (!A.Ok)
+      return 1;
+    HeapCells = A.Degradation.HeapCellsUsed;
+  }
+  std::printf("%s %ld %llu\n", Name.c_str(), bench::peakRssKb(),
+              static_cast<unsigned long long>(HeapCells));
+  return 0;
+}
+
+// --- Baseline file: `<name> <value>` per line -----------------------------
+
+std::map<std::string, double> loadBaseline(const char *Path) {
+  std::map<std::string, double> B;
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cannot read baseline %s\n", Path);
+    std::exit(1);
+  }
+  std::string Name;
+  double V;
+  while (In >> Name >> V)
+    B[Name] = V;
+  return B;
+}
+
+struct MicroRow {
+  std::string Name;
+  double BaselineNs;
+  double DenseNs;
+  double ratio() const { return BaselineNs / DenseNs; }
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *JsonPath = nullptr;
+  const char *BaselinePath = nullptr;
+  std::string RssOnly;
+  int Samples = 7, E2EIters = 3, E2ESamples = 5, RssReps = 20;
+  int MicroScale = 1;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--baseline") && I + 1 < Argc)
+      BaselinePath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--rss-only") && I + 1 < Argc)
+      RssOnly = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--quick")) {
+      Samples = 2;
+      E2EIters = 1;
+      E2ESamples = 2;
+      RssReps = 3;
+      MicroScale = 4; // Divide micro workload sizes.
+    }
+  }
+  if (!RssOnly.empty())
+    return rssOnly(RssOnly, RssReps);
+
+  std::map<std::string, double> Baseline;
+  if (BaselinePath)
+    Baseline = loadBaseline(BaselinePath);
+
+  // --- End-to-end identity gate (before any timing) -----------------------
+  std::printf("Verifying table-cell identity across undo engines...\n");
+  for (int Minor = 0; Minor < 4; ++Minor) {
+    AnalysisResult Snap = analyzeMiniquery(Minor, UndoEngine::Snapshot);
+    AnalysisResult Jour = analyzeMiniquery(Minor, UndoEngine::Journal);
+    if (fingerprint(Snap) != fingerprint(Jour)) {
+      std::fprintf(stderr, "FAIL: miniquery1_%d fingerprints diverge\n", Minor);
+      return 1;
+    }
+  }
+  std::printf("ok: snapshot and journal cells byte-identical\n\n");
+
+  // --- Isolated microbenches ----------------------------------------------
+  std::vector<MicroRow> Micro;
+  {
+    std::vector<FactKey> Keys = factKeyStream();
+    int Rounds = 8 / MicroScale + 1;
+    uint64_t SinkA = 0, SinkB = 0;
+    double Dense = bestOf(Samples, [&] {
+      FactDB::Map M;
+      SinkA += recordStream(M, Keys, Rounds);
+    });
+    double Fat = bestOf(Samples, [&] {
+      std::unordered_map<FactKey, FactValue, SeedFactKeyHash> M;
+      SinkB += recordStream(M, Keys, Rounds);
+    });
+    if (SinkA != SinkB) {
+      std::fprintf(stderr, "FAIL: fact maps disagree on size\n");
+      return 1;
+    }
+    Micro.push_back({"fact_record", Fat, Dense});
+  }
+  {
+    size_t N = 400000 / MicroScale;
+    int Walks = 8;
+    uint64_t SinkA = 0, SinkB = 0;
+    double Slim =
+        bestOf(Samples, [&] { SinkA += slimJournalRun(N, Walks); });
+    double Fat = bestOf(Samples, [&] { SinkB += fatJournalRun(N, Walks); });
+    if (SinkA != SinkB) {
+      std::fprintf(stderr, "FAIL: journal walks disagree\n");
+      return 1;
+    }
+    Micro.push_back({"journal_mark_walk", Fat, Slim});
+  }
+  {
+    size_t Cells = 512;
+    int Rounds = 2000 / MicroScale;
+    uint64_t SinkA = 0, SinkB = 0;
+    double Arena =
+        bestOf(Samples, [&] { SinkA += arenaChurn(Cells, Rounds); });
+    double Deque =
+        bestOf(Samples, [&] { SinkB += dequeChurn(Cells, Rounds); });
+    if (SinkA != SinkB) {
+      std::fprintf(stderr, "FAIL: churn counts disagree\n");
+      return 1;
+    }
+    Micro.push_back({"heap_churn", Deque, Arena});
+  }
+  {
+    uint32_t Stmts = 4096;
+    int Revisits = 64 / MicroScale;
+    uint64_t SinkA = 0, SinkB = 0;
+    double Bits =
+        bestOf(Samples, [&] { SinkA += bitsetExecuted(Stmts, Revisits); });
+    double Hash =
+        bestOf(Samples, [&] { SinkB += hashsetExecuted(Stmts, Revisits); });
+    if (SinkA != SinkB) {
+      std::fprintf(stderr, "FAIL: executed sets disagree\n");
+      return 1;
+    }
+    Micro.push_back({"executed_set", Hash, Bits});
+  }
+
+  TextTable MT({"micro", "node-based us", "dense us", "speedup"});
+  for (const MicroRow &R : Micro) {
+    char B[32], D[32], X[32];
+    std::snprintf(B, sizeof(B), "%.1f", R.BaselineNs / 1e3);
+    std::snprintf(D, sizeof(D), "%.1f", R.DenseNs / 1e3);
+    std::snprintf(X, sizeof(X), "%.2fx", R.ratio());
+    MT.addRow({R.Name, B, D, X});
+  }
+  std::printf("Isolated hot-path structures (in-binary seed-layout "
+              "replicas as baseline):\n%s\n",
+              MT.str().c_str());
+
+  // --- End-to-end cells ---------------------------------------------------
+  std::vector<E2ECell> Cells;
+  for (int Minor = 0; Minor < 4; ++Minor)
+    Cells.push_back(timeCell(Minor, E2EIters, E2ESamples));
+
+  TextTable ET({"cell", "ms", "heap cells", "vs seed"});
+  for (const E2ECell &C : Cells) {
+    char MsBuf[32], X[32] = "-";
+    std::snprintf(MsBuf, sizeof(MsBuf), "%.3f", C.Ns / 1e6);
+    auto It = Baseline.find(C.Name);
+    if (It != Baseline.end())
+      std::snprintf(X, sizeof(X), "%.2fx", It->second / C.Ns);
+    ET.addRow({C.Name, MsBuf, std::to_string(C.HeapCells), X});
+  }
+  std::printf("End-to-end Table 1 analysis cells (snapshot engine):\n%s\n",
+              ET.str().c_str());
+
+  // --- JSON report --------------------------------------------------------
+  if (JsonPath) {
+    FILE *F = std::fopen(JsonPath, "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", JsonPath);
+      return 1;
+    }
+    std::fprintf(F,
+                 "{\n  \"bench\": \"core_hot_path_layout\",\n"
+                 "  \"verified\": {\"snapshot_journal_cells_identical\": "
+                 "true},\n"
+                 "  \"micro\": [\n");
+    for (size_t I = 0; I < Micro.size(); ++I)
+      std::fprintf(F,
+                   "    {\"name\": \"%s\", \"node_based_ns\": %.1f, "
+                   "\"dense_ns\": %.1f, \"speedup\": %.2f}%s\n",
+                   Micro[I].Name.c_str(), Micro[I].BaselineNs,
+                   Micro[I].DenseNs, Micro[I].ratio(),
+                   I + 1 < Micro.size() ? "," : "");
+    std::fprintf(F, "  ],\n  \"end_to_end\": [\n");
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      const E2ECell &C = Cells[I];
+      std::fprintf(F,
+                   "    {\"name\": \"%s\", \"ns\": %.1f, \"heap_cells\": "
+                   "%llu, \"fingerprint_fnv1a\": \"%016llx\"",
+                   C.Name.c_str(), C.Ns,
+                   static_cast<unsigned long long>(C.HeapCells),
+                   static_cast<unsigned long long>(C.FingerprintHash));
+      auto It = Baseline.find(C.Name);
+      if (It != Baseline.end())
+        std::fprintf(F, ", \"seed_ns\": %.1f, \"speedup_vs_seed\": %.3f",
+                     It->second, It->second / C.Ns);
+      std::fprintf(F, "}%s\n", I + 1 < Cells.size() ? "," : "");
+    }
+    std::fprintf(F, "  ],\n  \"peak_rss_kb\": %ld", bench::peakRssKb());
+    for (const char *W : {"HeapChurn", "BranchHeavy", "Miniquery10"}) {
+      auto It = Baseline.find(std::string("rss:") + W);
+      if (It != Baseline.end())
+        std::fprintf(F, ",\n  \"seed_peak_rss_kb_%s\": %.0f", W, It->second);
+    }
+    std::fprintf(
+        F,
+        ",\n  \"notes\": [\n"
+        "    \"micro rows compare the live dense structure against an "
+        "in-binary replica of the seed's layout (same build flags, no "
+        "cross-binary effects); see bench_core.cpp for the replicas\",\n"
+        "    \"fact_record scans the key stream in a fixed order each "
+        "round, which is the node-based baseline's best case (its nodes "
+        "are allocated in exactly that order, so the walk streams "
+        "sequentially); the open-addressing table pays hash-scattered "
+        "access and lands near parity here — the end_to_end cells and "
+        "the FactKeyDistribution test carry the case for the rekey\",\n"
+        "    \"end_to_end fingerprint_fnv1a hashes the cell's full "
+        "fingerprint (output + sorted fact dump + governor totals): equal "
+        "hashes across builds mean byte-identical analysis results\",\n"
+        "    \"per-workload peak RSS comes from bench_core --rss-only "
+        "(one process per workload; ru_maxrss is a process-wide "
+        "high-water mark) — see run_benches.sh\"\n"
+        "  ]\n}\n");
+    std::fclose(F);
+  }
+  return 0;
+}

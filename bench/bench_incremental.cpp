@@ -30,6 +30,8 @@
 #include "serve/Protocol.h"
 #include "support/Table.h"
 
+#include "BenchSupport.h"
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -279,7 +281,8 @@ int main(int Argc, char **Argv) {
         "program output, and exit codes are byte-identical across "
         "off/cold/warm/edit, and strict mode re-validates the store "
         "against re-execution\"\n"
-        "  ]\n}\n");
+        "  ],\n  \"peak_rss_kb\": %ld\n}\n",
+        bench::peakRssKb());
     std::fclose(F);
   }
   return 0;

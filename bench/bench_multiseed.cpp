@@ -15,6 +15,8 @@
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 
+#include "BenchSupport.h"
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -99,8 +101,8 @@ std::string fingerprint(const AnalysisResult &R) {
 
 /// --jobs-sweep: times the 32-seed heavy workload at jobs 1/2/4/8 and
 /// optionally records the sweep as a JSON fragment for BENCH_parallel.json.
-int runJobsSweep(const char *JsonPath) {
-  constexpr unsigned NumSeeds = 32;
+int runJobsSweep(const char *JsonPath, bool Quick) {
+  const unsigned NumSeeds = Quick ? 8 : 32;
   std::vector<uint64_t> Seeds;
   for (unsigned I = 1; I <= NumSeeds; ++I)
     Seeds.push_back(I * 7919);
@@ -177,7 +179,7 @@ int runJobsSweep(const char *JsonPath) {
                    R.Jobs, R.WallMs, R.Speedup, R.Facts, R.Determinate,
                    R.Stmts, I + 1 < Rows.size() ? "," : "");
     }
-    std::fprintf(F, "  ]\n}\n");
+    std::fprintf(F, "  ],\n  \"peak_rss_kb\": %ld\n}\n", bench::peakRssKb());
     std::fclose(F);
   }
   return AllIdentical ? 0 : 1;
@@ -188,14 +190,17 @@ int runJobsSweep(const char *JsonPath) {
 int main(int Argc, char **Argv) {
   const char *JsonPath = nullptr;
   bool JobsSweep = false;
+  bool Quick = false;
   for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--jobs-sweep"))
       JobsSweep = true;
     else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
       JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--quick"))
+      Quick = true;
   }
   if (JobsSweep)
-    return runJobsSweep(JsonPath);
+    return runJobsSweep(JsonPath, Quick);
 
   std::printf("Multi-seed fact accumulation (paper Section 7)\n\n");
 

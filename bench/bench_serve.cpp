@@ -19,6 +19,8 @@
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
+#include "BenchSupport.h"
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -202,16 +204,22 @@ ShedResult overload(unsigned Clients, unsigned PerClient) {
 
 int main(int Argc, char **Argv) {
   const char *JsonPath = nullptr;
-  for (int I = 1; I < Argc; ++I)
+  bool Quick = false;
+  for (int I = 1; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
       JsonPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--quick"))
+      Quick = true;
+  }
+  unsigned Cold = Quick ? 40 : 200, Cached = Quick ? 200 : 2000;
 
   std::vector<Row> Rows;
-  Rows.push_back(throughput("cold", 1, 200, /*NoCache=*/true));
-  Rows.push_back(throughput("cold", 8, 200, /*NoCache=*/true));
-  Rows.push_back(throughput("cached", 1, 2000, /*NoCache=*/false));
-  Rows.push_back(throughput("cached", 8, 2000, /*NoCache=*/false));
-  ShedResult SR = overload(/*Clients=*/8, /*PerClient=*/25);
+  Rows.push_back(throughput("cold", 1, Cold, /*NoCache=*/true));
+  Rows.push_back(throughput("cold", 8, Cold, /*NoCache=*/true));
+  Rows.push_back(throughput("cached", 1, Cached, /*NoCache=*/false));
+  Rows.push_back(throughput("cached", 8, Cached, /*NoCache=*/false));
+  ShedResult SR = Quick ? overload(/*Clients=*/4, /*PerClient=*/10)
+                        : overload(/*Clients=*/8, /*PerClient=*/25);
 
   std::printf("%-8s %5s %9s %10s %10s\n", "scenario", "jobs", "requests",
               "wall_ms", "req/s");
@@ -242,8 +250,8 @@ int main(int Argc, char **Argv) {
     }
     std::fprintf(F,
                  "  ],\n  \"overload\": {\"offered\": %u, \"shed\": %u, "
-                 "\"shed_rate\": %.3f}\n}\n",
-                 SR.Offered, SR.Shed, SR.ShedRate);
+                 "\"shed_rate\": %.3f},\n  \"peak_rss_kb\": %ld\n}\n",
+                 SR.Offered, SR.Shed, SR.ShedRate, bench::peakRssKb());
     std::fclose(F);
   }
   return 0;

@@ -34,6 +34,8 @@
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
+#include "BenchSupport.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -320,9 +322,10 @@ int main(int Argc, char **Argv) {
     std::fprintf(F,
                  "{\n  \"bench\": \"snapshot_vs_journal_undo\",\n"
                  "  \"host_cpus\": %u,\n"
+                 "  \"peak_rss_kb\": %ld,\n"
                  "  \"verified\": {\"fact_fingerprints_identical\": true},\n"
                  "  \"undo_cost\": [\n",
-                 HostCpus);
+                 HostCpus, bench::peakRssKb());
     for (size_t I = 0; I < UndoRows.size(); ++I)
       std::fprintf(F,
                    "    {\"workload\": \"%s\", \"writes\": %u, "

@@ -20,6 +20,8 @@
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
+#include "BenchSupport.h"
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +40,7 @@ struct Cell {
   uint64_t Flushes = 0;
   bool FlushLimitHit = false;
   uint64_t Steps = 0;
+  uint64_t HeapCells = 0;
   double Millis = 0;
 
   std::string str(bool WithFlushes) const {
@@ -78,6 +81,7 @@ Cell runConfig(const std::string &Source, bool Specialize, bool DetDom) {
     AnalysisResult A = runDeterminacyAnalysis(P, AOpts);
     C.Flushes = A.Stats.HeapFlushes;
     C.FlushLimitHit = A.Stats.FlushLimitHit;
+    C.HeapCells = A.Degradation.HeapCellsUsed;
     SpecializeResult S = specializeProgram(P, A);
     PointsToResult R = runPointsToAnalysis(S.Residual, PTOpts);
     C.Completed = R.Completed;
@@ -117,9 +121,13 @@ int runJobsSweep(const char *JsonPath) {
     double Speedup;
   };
   std::vector<Row> Rows;
+  uint64_t HeapCellsTotal = 0;
   for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
     auto Start = std::chrono::steady_clock::now();
-    runAllCells(Jobs);
+    std::vector<Cell> Cells = runAllCells(Jobs);
+    HeapCellsTotal = 0;
+    for (const Cell &C : Cells)
+      HeapCellsTotal += C.HeapCells;
     double Ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - Start)
                     .count();
@@ -149,7 +157,11 @@ int runJobsSweep(const char *JsonPath) {
                    "%.3f}%s\n",
                    Rows[I].Jobs, Rows[I].WallMs, Rows[I].Speedup,
                    I + 1 < Rows.size() ? "," : "");
-    std::fprintf(F, "  ]\n}\n");
+    std::fprintf(F,
+                 "  ],\n  \"heap_cells_total\": %llu,\n"
+                 "  \"peak_rss_kb\": %ld\n}\n",
+                 static_cast<unsigned long long>(HeapCellsTotal),
+                 bench::peakRssKb());
     std::fclose(F);
   }
   return 0;

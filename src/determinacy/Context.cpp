@@ -9,13 +9,13 @@ using namespace dda;
 
 ContextID ContextTable::intern(ContextID Parent, NodeID Site,
                                uint32_t Occurrence, uint32_t Line) {
-  auto Key = std::make_tuple(Parent, Site, Occurrence);
-  auto It = Interned.find(Key);
+  Key K{Parent, Site, Occurrence};
+  auto It = Interned.find(K);
   if (It != Interned.end())
     return It->second;
   ContextID ID = static_cast<ContextID>(Entries.size());
   Entries.push_back({Parent, Site, Occurrence, Line});
-  Interned.emplace(Key, ID);
+  Interned.emplace(K, ID);
   return ID;
 }
 

@@ -18,10 +18,10 @@
 #define DDA_DETERMINACY_CONTEXT_H
 
 #include "ast/AST.h"
+#include "support/FlatMap.h"
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace dda {
@@ -66,19 +66,28 @@ public:
   size_t size() const { return Entries.size(); }
 
 private:
+  /// POD key for the hash-consing table (a std::tuple is not guaranteed
+  /// trivially copyable, which the flat table requires).
+  struct Key {
+    ContextID Parent;
+    NodeID Site;
+    uint32_t Occurrence;
+    bool operator==(const Key &O) const {
+      return Parent == O.Parent && Site == O.Site && Occurrence == O.Occurrence;
+    }
+  };
   struct KeyHash {
-    size_t operator()(const std::tuple<ContextID, NodeID, uint32_t> &K) const {
-      auto [P, S, O] = K;
-      size_t H = std::hash<uint64_t>()(
-          (static_cast<uint64_t>(P) << 32) | S);
-      return H * 31 + O;
+    uint64_t operator()(const Key &K) const {
+      uint64_t A = (static_cast<uint64_t>(K.Parent) << 32) | K.Site;
+      return splitmix64(A * 0x9E3779B97F4A7C15ull ^ K.Occurrence);
     }
   };
 
   std::vector<ContextEntry> Entries; ///< Index 0 unused (root).
-  std::unordered_map<std::tuple<ContextID, NodeID, uint32_t>, ContextID,
-                     KeyHash>
-      Interned;
+  /// Context interning runs once per call-site execution — flat probing keeps
+  /// it off the allocator. ContextIDs come from Entries' append order, so
+  /// table layout cannot affect interned ids.
+  FlatMap<Key, ContextID, KeyHash> Interned;
 
 public:
   ContextTable() { Entries.emplace_back(); }

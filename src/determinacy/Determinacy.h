@@ -25,11 +25,11 @@
 #include "bytecode/Bytecode.h"
 #include "determinacy/Context.h"
 #include "determinacy/Facts.h"
+#include "support/BitSet.h"
 #include "support/ResourceGovernor.h"
 
 #include <string>
 #include <string_view>
-#include <unordered_set>
 
 namespace dda {
 
@@ -216,9 +216,10 @@ struct AnalysisResult {
 
   /// Call expressions that actually executed (non-counterfactually) — used
   /// by the eval-elimination client to classify "not covered" sites.
-  std::unordered_set<NodeID> ExecutedCalls;
+  /// Dense bitset; iteration is in ascending NodeID order.
+  NodeBitSet ExecutedCalls;
   /// Statements that actually executed (non-counterfactually).
-  std::unordered_set<NodeID> ExecutedStmts;
+  NodeBitSet ExecutedStmts;
 };
 
 /// Fingerprint of every analysis option that can change what a run

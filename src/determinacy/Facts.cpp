@@ -128,12 +128,10 @@ std::string FactValue::str() const {
 }
 
 void FactDB::record(const FactKey &Key, const FactValue &Value) {
-  auto It = Facts.find(Key);
-  if (It == Facts.end()) {
-    Facts.emplace(Key, Value);
-    return;
-  }
-  if (!It->second.sameAs(Value))
+  // Single probe: try_emplace finds-or-inserts in one pass (the hottest
+  // map operation on the per-step path).
+  auto [It, Inserted] = Facts.try_emplace(Key, Value);
+  if (!Inserted && !It->second.sameAs(Value))
     It->second = FactValue::indet();
 }
 
@@ -179,7 +177,7 @@ size_t FactDB::countOfKind(FactKind Kind) const {
 
 std::string FactDB::dump(const ContextTable &Contexts) const {
   // Sort for stable output.
-  std::vector<const std::pair<const FactKey, FactValue> *> Sorted;
+  std::vector<const Map::Entry *> Sorted;
   Sorted.reserve(Facts.size());
   for (const auto &Entry : Facts)
     Sorted.push_back(&Entry);

@@ -27,10 +27,10 @@
 #include "interp/Builtins.h"
 #include "interp/Heap.h"
 #include "interp/Value.h"
+#include "support/FlatMap.h"
 
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace dda {
@@ -102,18 +102,31 @@ struct FactKey {
   }
 };
 
+/// Hashes the packed key through a splitmix64 finalizer. The packed word
+/// alone is NOT a usable hash: `std::hash<uint64_t>` is the identity on
+/// libstdc++, and a power-of-two table masks to the low bits — which for the
+/// old `A * 1000003 + B` scheme were dominated by Kind/Index, clustering
+/// every (node, ctx) pair for a hot fact kind into a handful of buckets.
+/// See the FactKeyHashDistribution regression test.
 struct FactKeyHash {
   size_t operator()(const FactKey &K) const {
     uint64_t A = (static_cast<uint64_t>(K.Node) << 32) | K.Ctx;
     uint64_t B = (static_cast<uint64_t>(K.Index) << 8) |
                  static_cast<uint64_t>(K.Kind);
-    return std::hash<uint64_t>()(A * 1000003 + B);
+    return static_cast<size_t>(splitmix64(A * 0x9E3779B97F4A7C15ull ^ B));
   }
 };
 
 /// The database of merged facts from one (or more) instrumented runs.
 class FactDB {
 public:
+  /// Open-addressing table: fact recording is the single hottest map
+  /// operation on the per-step path (every condition, callee, and argument
+  /// observation probes it). Iteration order is arbitrary; `dump()` sorts,
+  /// and all iterating clients (merge, uniform, counts, the specializer's
+  /// scans) are order-insensitive — see the FactDBDeterminism test.
+  using Map = FlatMap<FactKey, FactValue, FactKeyHash>;
+
   /// Records an observation; merges with any prior fact at the same key.
   void record(const FactKey &Key, const FactValue &Value);
 
@@ -164,15 +177,13 @@ public:
   size_t countOfKind(FactKind Kind) const;
 
   /// All facts, for iteration/dumping.
-  const std::unordered_map<FactKey, FactValue, FactKeyHash> &all() const {
-    return Facts;
-  }
+  const Map &all() const { return Facts; }
 
   /// Human-readable dump: one `⟦node@line⟧ ctx = value` per line.
   std::string dump(const ContextTable &Contexts) const;
 
 private:
-  std::unordered_map<FactKey, FactValue, FactKeyHash> Facts;
+  Map Facts;
 };
 
 } // namespace dda

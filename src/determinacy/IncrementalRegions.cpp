@@ -187,7 +187,7 @@ FactValue readFactValue(ByteReader &R) {
 /// deterministic across processes; Props ride in insertion (enumeration)
 /// order, which execution determines deterministically.
 bool writeObject(ByteWriter &W, const JSObject &O,
-                 const std::unordered_map<NodeID, const FunctionExpr *> &Fns) {
+                 const FlatMap<NodeID, const FunctionExpr *> &Fns) {
   W.u8(static_cast<uint8_t>(O.Class));
   W.u32(O.Proto);
   if (O.Fn) {
@@ -205,8 +205,8 @@ bool writeObject(ByteWriter &W, const JSObject &O,
   W.u32(O.AllocSite);
   W.u32(O.ClosedEpoch);
   W.u8(O.ExplicitlyOpen);
-  for (const std::vector<StringId> *Set : {&O.MaybeAbsent, &O.MaybePresent}) {
-    std::vector<StringId> ByText = *Set;
+  for (const auto *Set : {&O.MaybeAbsent, &O.MaybePresent}) {
+    std::vector<StringId> ByText(Set->begin(), Set->end());
     std::sort(ByText.begin(), ByText.end(), textLess);
     W.u32(static_cast<uint32_t>(ByText.size()));
     for (StringId Id : ByText)
@@ -267,7 +267,7 @@ bool readObject(ByteReader &R, ObjImage &Im) {
 }
 
 void buildObject(const ObjImage &Im,
-                 const std::unordered_map<NodeID, const FunctionExpr *> &Fns,
+                 const FlatMap<NodeID, const FunctionExpr *> &Fns,
                  JSObject &O) {
   O.Class = static_cast<ObjectClass>(Im.Class);
   O.Proto = Im.Proto;

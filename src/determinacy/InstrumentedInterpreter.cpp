@@ -199,6 +199,10 @@ InstrumentedInterpreter::InstrumentedInterpreter(Program &P,
       RandomRng(Opts.RandomSeed), DomRng(Opts.DomSeed) {
   Gov.setInjector(Opts.Injector);
   SnapMode = this->Opts.Undo == UndoEngine::Snapshot;
+  // Journal engine: undo is a reverse replay, so the journal stores Binding
+  // and Slot pre-images out-of-line. Snapshot engine: entries only (the
+  // vd/pd marking log); undo restores COW frames.
+  J.setCapture(!SnapMode);
   Frames.push_back(Frame());
   installGlobals();
   // Builtin setup above is free; only program-driven allocations count.
@@ -436,9 +440,10 @@ void InstrumentedInterpreter::declareVar(EnvRef Env, StringId Name,
   JE.Name = Name;
   auto It = E.Vars.find(Name);
   JE.Existed = It != E.Vars.end();
-  if (JE.Existed && !SnapMode)
-    JE.OldBinding = It->second;
-  J.push(std::move(JE));
+  if (JE.Existed)
+    J.push(JE, It->second);
+  else
+    J.push(JE);
   ++Stats.JournalEntries;
   E.Vars[Name] = Binding{std::move(TV.V), taintAdjust(TV.D)};
 }
@@ -463,9 +468,7 @@ void InstrumentedInterpreter::storeVarCached(EnvRef Env, Binding &B,
   JE.Env = Env;
   JE.Name = Name;
   JE.Existed = true;
-  if (!SnapMode)
-    JE.OldBinding = B;
-  J.push(std::move(JE));
+  J.push(JE, B);
   ++Stats.JournalEntries;
   B = Binding{std::move(TV.V), taintAdjust(TV.D)};
 }
@@ -481,9 +484,7 @@ void InstrumentedInterpreter::weakenVar(EnvRef Env, StringId Name) {
   JE.Env = Env;
   JE.Name = Name;
   JE.Existed = true;
-  if (!SnapMode)
-    JE.OldBinding = It->second;
-  J.push(std::move(JE));
+  J.push(JE, It->second);
   ++Stats.JournalEntries;
   It->second.D = Det::Indeterminate;
 }
@@ -504,10 +505,10 @@ void InstrumentedInterpreter::writeProp(ObjectRef Obj, StringId Name,
   JE.Name = Name;
   if (const Slot *S = O.get(Name)) {
     JE.Existed = true;
-    if (!SnapMode)
-      JE.OldSlot = *S;
+    J.push(JE, *S);
+  } else {
+    J.push(JE);
   }
-  J.push(std::move(JE));
   ++Stats.JournalEntries;
 
   Det D = taintAdjust(meet(TV.D, NameDet));
@@ -527,10 +528,10 @@ void InstrumentedInterpreter::writeProp(ObjectRef Obj, StringId Name,
       LE.Name = atoms().Length;
       if (Len) {
         LE.Existed = true;
-        if (!SnapMode)
-          LE.OldSlot = *Len;
+        J.push(LE, *Len);
+      } else {
+        J.push(LE);
       }
-      J.push(std::move(LE));
       ++Stats.JournalEntries;
       O.set(atoms().Length,
             Slot{Value::number(Idx + 1.0), taintAdjust(meet(LenDet, NameDet)),
@@ -552,10 +553,10 @@ bool InstrumentedInterpreter::eraseProp(ObjectRef Obj, StringId Name) {
   JE.Name = Name;
   if (S) {
     JE.Existed = true;
-    if (!SnapMode)
-      JE.OldSlot = *S;
+    J.push(JE, *S);
+  } else {
+    J.push(JE);
   }
-  J.push(std::move(JE));
   ++Stats.JournalEntries;
   return O.erase(Name);
 }
@@ -587,9 +588,7 @@ void InstrumentedInterpreter::openRecord(ObjectRef Obj) {
     JE.Obj = Obj;
     JE.Name = Name;
     JE.Existed = true;
-    if (!SnapMode)
-      JE.OldSlot = *S;
-    J.push(std::move(JE));
+    J.push(JE, *S);
     ++Stats.JournalEntries;
     S->D = Det::Indeterminate;
   }
@@ -694,6 +693,10 @@ void InstrumentedInterpreter::undoSince(Journal::Mark M) {
     J.truncate(M);
     return;
   }
+  // Reverse replay: the pre-image side arrays are parallel to the Existed
+  // VarWrite/PropWrite subsequence of the journal, so walking entries
+  // backwards consumes each array from its tail.
+  size_t BI = J.bindingPreCount(), SI = J.slotPreCount();
   for (size_t I = J.size(); I > M; --I) {
     const JournalEntry &E = J[I - 1];
     switch (E.K) {
@@ -701,7 +704,7 @@ void InstrumentedInterpreter::undoSince(Journal::Mark M) {
       Environment &Env = Envs.get(E.Env);
       if (E.Existed) {
         // In-place restore: the map node (and any cached Binding*) survives.
-        Env.Vars[E.Name] = E.OldBinding;
+        Env.Vars[E.Name] = J.bindingPre(--BI);
       } else {
         // Erasing invalidates Binding pointers; revalidate variable caches.
         Envs.noteShapeChange();
@@ -712,7 +715,7 @@ void InstrumentedInterpreter::undoSince(Journal::Mark M) {
     case JournalEntry::PropWrite: {
       JSObject &O = TheHeap.get(E.Obj);
       if (E.Existed)
-        O.set(E.Name, E.OldSlot);
+        O.set(E.Name, J.slotPre(--SI));
       else
         O.erase(E.Name);
       break;
@@ -851,9 +854,7 @@ IComp InstrumentedInterpreter::counterfactualBranch(
         JE.Obj = E.Obj;
         JE.Name = E.Name;
         JE.Existed = true;
-        if (!SnapMode)
-          JE.OldSlot = *S;
-        J.push(std::move(JE));
+        J.push(JE, *S);
         ++Stats.JournalEntries;
         S->D = Det::Indeterminate;
       } else if (!S) {

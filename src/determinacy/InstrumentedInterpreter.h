@@ -30,12 +30,13 @@
 #include "interp/Builtins.h"
 #include "interp/Environment.h"
 #include "interp/Heap.h"
+#include "support/BitSet.h"
+#include "support/FlatMap.h"
 
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace dda {
@@ -105,12 +106,8 @@ public:
   }
   const std::string &outputText() const { return Output; }
   const std::string &errorMessage() const { return Error; }
-  const std::unordered_set<NodeID> &executedCalls() const {
-    return ExecutedCalls;
-  }
-  const std::unordered_set<NodeID> &executedStmts() const {
-    return ExecutedStmts;
-  }
+  const NodeBitSet &executedCalls() const { return ExecutedCalls; }
+  const NodeBitSet &executedStmts() const { return ExecutedStmts; }
 
   /// Reads a global variable with its determinacy flag (test hook).
   TaggedValue globalVariable(const std::string &Name);
@@ -238,9 +235,14 @@ private:
       TheHeap.ensureSaved(Obj);
   }
 
+  /// Per-activation call-site occurrence counters. Most activations execute
+  /// a handful of distinct sites, so eight inline slots keep frame setup off
+  /// the allocator.
+  using SiteCountMap = FlatMap<NodeID, uint32_t, FlatHash<NodeID>, 8>;
+
   struct Frame {
     ContextID Ctx = ContextTable::Root;
-    std::unordered_map<NodeID, uint32_t> SiteCounts;
+    SiteCountMap SiteCounts;
     TaggedValue ThisV;
     /// Set when a counterfactually explored `return` escaped a branch in
     /// this activation: other executions may leave the function early, so
@@ -271,7 +273,7 @@ private:
     uint64_t RandomState = 0, DomState = 0;
     uint32_t Epoch = 0;
     size_t OutputLen = 0, HandlersLen = 0;
-    std::unordered_map<StringId, ObjectRef> DomElements;
+    FlatMap<StringId, ObjectRef> DomElements;
     TaggedValue LastStmt;
     Frame TopFrame;
     size_t FrameDepth = 0;
@@ -483,8 +485,11 @@ private:
   FactDB Facts;
   ContextTable Contexts;
   AnalysisStats Stats;
-  std::unordered_set<NodeID> ExecutedCalls;
-  std::unordered_set<NodeID> ExecutedStmts;
+  /// Dense bitsets: NodeIDs are allocated sequentially per ASTContext, so a
+  /// coverage probe per executed statement is a bit test, and iteration is
+  /// naturally in the sorted order the serve digest and parallel fold want.
+  NodeBitSet ExecutedCalls;
+  NodeBitSet ExecutedStmts;
 
   EnvRef GlobalEnv = 0;
   EnvRef CurrentEnv = 0;
@@ -512,7 +517,7 @@ private:
   ObjectRef WindowObj = 0;
   ObjectRef DocumentObj = 0;
 
-  std::unordered_map<StringId, ObjectRef> DomElements;
+  FlatMap<StringId, ObjectRef> DomElements;
   std::vector<std::pair<StringId, Value>> EventHandlers;
 
   std::string Output;
@@ -550,7 +555,7 @@ private:
   /// only worth dispatching when its counterfactual amortizes that copy;
   /// unknown sites dispatch once optimistically to seed the profile. All
   /// inputs are deterministic, so gating never perturbs merged facts.
-  std::unordered_map<NodeID, uint64_t> BranchCfSteps;
+  FlatMap<NodeID, uint64_t> BranchCfSteps;
 
   // --- Incremental-replay state --------------------------------------------
   /// A region capture is in flight: the fact/coverage sinks mirror their
@@ -570,11 +575,11 @@ private:
   std::vector<NodeID> IncStmts, IncCalls;
   /// Program FunctionExprs by NodeID, for serializing escaped function
   /// values as stable IDs (and refusing anything else).
-  std::unordered_map<NodeID, const FunctionExpr *> IncFnIndex;
+  FlatMap<NodeID, const FunctionExpr *> IncFnIndex;
   /// DomElements keys present when the capture began (additions diff base).
   std::vector<StringId> IncPreDomKeys;
   /// Top-frame SiteCounts when the capture began (changed-entry diff base).
-  std::unordered_map<NodeID, uint32_t> IncPreSiteCounts;
+  SiteCountMap IncPreSiteCounts;
 
   /// Chunk cache; non-null iff Opts.Engine == ExecEngine::Bytecode.
   std::unique_ptr<bc::Module> BC;

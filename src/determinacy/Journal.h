@@ -11,20 +11,29 @@
 ///    every write and mark the locations indeterminate
 ///    (`ρ̂′[vd(t̂) := ρ̂?]`, `ĥ′[pd(t̂) := ĥ?]`).
 ///
-/// The journal stores the pre-write state of each location, so undo is a
-/// reverse replay. Nested branches compose: inner undos truncate their own
-/// suffix and re-journal the weakening they apply, so an outer undo still
-/// restores the exact outer pre-state.
+/// Layout: the entry the vd/pd marking walk streams over is a slim 12-byte
+/// tagged record (kind, flags, name atom, env-or-object ref). Pre-write
+/// state — the `Binding` / `Slot` a reverse replay restores — lives in
+/// side arrays (`OldBindings` / `OldSlots`), appended in lockstep with the
+/// entries that own them and *only* when the journal is in capture mode
+/// (UndoEngine::Journal). A marking walk therefore touches a dense stream
+/// of small PODs instead of striding over ~80-byte records whose pre-image
+/// payload it never reads.
 ///
 /// Under the snapshot undo engine (UndoEngine::Snapshot, the default) the
 /// journal is still written at every site with the *same entry count* — it
 /// remains the vd/pd marking log that markIndetSince and the ĈNTR weaken
-/// loop walk — but entries are *slim*: the pre-write state (OldBinding /
-/// OldSlot / OldOpen) is left default-constructed because undo is done by
-/// restoring copy-on-write arena snapshots instead of reverse replay. Only
-/// the fields marking reads (K, Env, Obj, Name, Existed) are meaningful.
-/// The nesting contract above holds identically: each branch opens its own
-/// snapshot frame, and frames compose like journal marks.
+/// loop walk — but capture mode is off, so the side arrays stay empty:
+/// undo restores copy-on-write arena snapshots instead of reverse replay.
+/// The nesting contract holds identically in both engines: each branch
+/// opens its own snapshot frame or journal mark, and frames compose.
+///
+/// Pre-image invariant: entry I carries a pre-image iff the journal was in
+/// capture mode when it was pushed, `existed()` is set, and its kind is
+/// VarWrite (a Binding) or PropWrite (a Slot). Reverse walks consume the
+/// side arrays from the tail with their own cursors (`bindingPreCount()` /
+/// `slotPreCount()`); `truncate` re-derives the same counts from the
+/// removed entries so the arrays shrink in lockstep.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,35 +43,48 @@
 #include "interp/Environment.h"
 #include "interp/Heap.h"
 
+#include <cassert>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace dda {
 
-/// One logged mutation.
+/// One logged mutation — slim: refs and flags only, pre-images in the
+/// journal's side arrays.
 struct JournalEntry {
   enum Kind : uint8_t {
-    VarWrite,       ///< Environment binding created or overwritten.
-    PropWrite,      ///< Object property created, overwritten, or deleted.
-    RecordOpen,     ///< Record's ExplicitlyOpen flag raised.
+    VarWrite,        ///< Environment binding created or overwritten.
+    PropWrite,       ///< Object property created, overwritten, or deleted.
+    RecordOpen,      ///< Record's ExplicitlyOpen flag raised.
     MaybeAbsentAdd,  ///< Name added to a record's MaybeAbsent set.
     MaybePresentAdd, ///< Name added to a record's MaybePresent set.
-  } K;
+  } K = VarWrite;
 
-  // VarWrite.
-  EnvRef Env = 0;
-  Binding OldBinding;
-
-  // PropWrite / RecordOpen.
-  ObjectRef Obj = 0;
-  Slot OldSlot;
+  /// VarWrite/PropWrite: the location already held a value (so a pre-image
+  /// exists under capture mode).
+  bool Existed = false;
+  /// RecordOpen: the record's ExplicitlyOpen flag before the write.
   bool OldOpen = false;
 
   StringId Name; ///< Variable or property name (interned atom).
-  bool Existed = false;
+
+  // The written location's arena handle. Exactly one is meaningful per
+  // kind (VarWrite -> Env; everything else -> Obj); they share storage so
+  // the entry stays one word of payload.
+  union {
+    EnvRef Env = 0; ///< VarWrite.
+    ObjectRef Obj;  ///< PropWrite / RecordOpen / Maybe*Add.
+  };
 };
 
-/// Append-only journal with position marks.
+static_assert(sizeof(JournalEntry) <= 16,
+              "journal entries must stay slim: the vd/pd marking walk "
+              "streams over them");
+static_assert(std::is_trivially_copyable_v<JournalEntry>,
+              "journal entries are memcpy-able PODs");
+
+/// Append-only journal with position marks and out-of-line pre-images.
 class Journal {
 public:
   using Mark = size_t;
@@ -71,16 +93,75 @@ public:
   size_t size() const { return Entries.size(); }
   bool empty() const { return Entries.empty(); }
 
-  void push(JournalEntry E) { Entries.push_back(std::move(E)); }
+  /// Capture mode: store pre-images for reverse replay (UndoEngine::Journal).
+  /// Off by default — the snapshot engine logs the same entries but undoes
+  /// via COW snapshots, so pre-images would be dead weight.
+  void setCapture(bool On) { Capture = On; }
+  bool capturing() const { return Capture; }
+
+  /// Pushes an entry with no pre-image (location did not exist, or a kind
+  /// that never carries one).
+  void push(JournalEntry E) {
+    assert(!(Capture && E.Existed &&
+             (E.K == JournalEntry::VarWrite || E.K == JournalEntry::PropWrite)) &&
+           "existing-location write needs its pre-image under capture mode");
+    Entries.push_back(E);
+  }
+
+  /// Pushes a VarWrite over an existing binding; \p Old is stored only in
+  /// capture mode (reading the reference costs nothing otherwise).
+  void push(JournalEntry E, const Binding &Old) {
+    assert(E.K == JournalEntry::VarWrite && E.Existed);
+    if (Capture)
+      OldBindings.push_back(Old);
+    Entries.push_back(E);
+  }
+
+  /// Pushes a PropWrite over an existing slot; \p Old is stored only in
+  /// capture mode.
+  void push(JournalEntry E, const Slot &Old) {
+    assert(E.K == JournalEntry::PropWrite && E.Existed);
+    if (Capture)
+      OldSlots.push_back(Old);
+    Entries.push_back(E);
+  }
 
   const JournalEntry &operator[](size_t I) const { return Entries[I]; }
 
+  // Reverse-walk cursors: a journal-engine undo starts at the counts and
+  // decrements past each Existed VarWrite/PropWrite it revisits.
+  size_t bindingPreCount() const { return OldBindings.size(); }
+  size_t slotPreCount() const { return OldSlots.size(); }
+  const Binding &bindingPre(size_t I) const { return OldBindings[I]; }
+  const Slot &slotPre(size_t I) const { return OldSlots[I]; }
+
   /// Drops entries at and after \p M (caller must have already applied them
-  /// in reverse).
-  void truncate(Mark M) { Entries.resize(M); }
+  /// in reverse) along with their pre-images.
+  void truncate(Mark M) {
+    if (Capture) {
+      size_t B = OldBindings.size(), S = OldSlots.size();
+      for (size_t I = Entries.size(); I > M; --I) {
+        const JournalEntry &E = Entries[I - 1];
+        if (E.Existed) {
+          if (E.K == JournalEntry::VarWrite)
+            --B;
+          else if (E.K == JournalEntry::PropWrite)
+            --S;
+        }
+      }
+      OldBindings.resize(B);
+      OldSlots.resize(S);
+    }
+    Entries.resize(M);
+  }
 
 private:
   std::vector<JournalEntry> Entries;
+  // Pre-image side arrays (SoA): parallel to the Existed VarWrite/PropWrite
+  // subsequence of Entries, populated only in capture mode.
+  std::vector<Binding> OldBindings;
+  std::vector<Slot> OldSlots;
+  bool Capture = false;
 };
 
 } // namespace dda

@@ -33,8 +33,8 @@ void dda::mergeAnalysisResults(AnalysisResult &Merged, AnalysisResult &&R) {
     Remapped.Ctx = remapContext(R.Contexts, Key.Ctx, Merged.Contexts);
     Merged.Facts.record(Remapped, Value);
   }
-  Merged.ExecutedCalls.insert(R.ExecutedCalls.begin(), R.ExecutedCalls.end());
-  Merged.ExecutedStmts.insert(R.ExecutedStmts.begin(), R.ExecutedStmts.end());
+  Merged.ExecutedCalls.insertAll(R.ExecutedCalls);
+  Merged.ExecutedStmts.insertAll(R.ExecutedStmts);
   Merged.Stats.HeapFlushes += R.Stats.HeapFlushes;
   Merged.Stats.Counterfactuals += R.Stats.Counterfactuals;
   Merged.Stats.CounterfactualAborts += R.Stats.CounterfactualAborts;

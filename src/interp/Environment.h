@@ -13,10 +13,10 @@
 #define DDA_INTERP_ENVIRONMENT_H
 
 #include "interp/Value.h"
+#include "support/Arena.h"
 #include "support/ResourceGovernor.h"
 
 #include <cassert>
-#include <deque>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -40,17 +40,24 @@ struct Environment {
   /// Copy-on-write stamp; see EnvArena::ensureSaved (mirrors
   /// JSObject::SaveGen).
   uint32_t SaveGen = 0;
+
+  /// Freshly-constructed state in place (ChunkedArena pool reuse); the
+  /// binding map keeps its buckets. Mirrors JSObject::reset.
+  void reset() {
+    Parent = 0;
+    Vars.clear();
+    SaveGen = 0;
+  }
 };
 
 /// Arena of environments. Reference 0 is invalid; reference 1 is created by
 /// the interpreter as the global scope.
 class EnvArena {
 public:
-  EnvArena() { Envs.emplace_back(); } // Index 0 invalid.
+  EnvArena() { Envs.push(); } // Index 0 invalid.
 
   EnvRef allocate(EnvRef Parent) {
-    Envs.emplace_back();
-    Envs.back().Parent = Parent;
+    Envs.push().Parent = Parent;
     return static_cast<EnvRef>(Envs.size() - 1);
   }
 
@@ -158,7 +165,8 @@ public:
 
   void dropSnapshotsForFork() { Snapshots.clear(); }
 
-  void truncateTo(size_t N) { Envs.resize(N + 1); }
+  /// Parks the truncated environments for pooled reuse (mirrors Heap).
+  void truncateTo(size_t N) { Envs.truncateTo(N + 1); }
 
   size_t snapshotDepth() const { return Snapshots.size(); }
   uint64_t cowSaves() const { return CowSaveCount; }
@@ -170,7 +178,9 @@ private:
     std::vector<std::pair<EnvRef, Environment>> Saved;
   };
 
-  std::deque<Environment> Envs;
+  // Chunked arena (was std::deque): same reference stability, chunk size
+  // tuned to the element, pooled reuse across speculation rollbacks.
+  ChunkedArena<Environment> Envs;
   uint32_t ShapeG = 1;
   ResourceGovernor *Gov = nullptr;
   std::vector<SnapshotFrame> Snapshots;

@@ -23,11 +23,11 @@
 
 #include "ast/AST.h"
 #include "interp/Value.h"
+#include "support/Arena.h"
 #include "support/ResourceGovernor.h"
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -87,12 +87,14 @@ public:
   /// (counterfactually created then undone). The paper models records as
   /// total functions, so a single absent property can be `undefined?` while
   /// the rest of the record stays determinate. Sorted, duplicate-free.
-  std::vector<StringId> MaybeAbsent;
+  /// Small-vector: almost every record has zero-to-few entries, so they
+  /// live inline in the object instead of in the global allocator.
+  SmallVec<StringId, 4> MaybeAbsent;
   /// Properties present here but possibly absent in other executions
   /// (created inside a branch with an indeterminate condition). They make
   /// the record's property *set* indeterminate even though each value's
   /// determinacy is tracked per slot. Sorted, duplicate-free.
-  std::vector<StringId> MaybePresent;
+  SmallVec<StringId, 4> MaybePresent;
 
   bool isMaybeAbsent(StringId Name) const {
     return std::binary_search(MaybeAbsent.begin(), MaybeAbsent.end(), Name);
@@ -183,8 +185,30 @@ public:
   const std::unordered_map<StringId, Slot> &slots() const { return Props; }
   std::unordered_map<StringId, Slot> &slots() { return Props; }
 
+  /// Restores the freshly-constructed state in place (ChunkedArena pool
+  /// reuse after a speculation rollback). Observable state must be
+  /// byte-equivalent to destroy+reconstruct — ShapeGen/SaveGen return to
+  /// zero exactly as a new object's would — while the containers keep
+  /// their allocated capacity.
+  void reset() {
+    Class = ObjectClass::Plain;
+    Proto = 0;
+    Fn = nullptr;
+    Closure = 0;
+    Native = NativeFn{};
+    AllocSite = 0;
+    ClosedEpoch = 0;
+    ExplicitlyOpen = false;
+    MaybeAbsent.clear();
+    MaybePresent.clear();
+    ShapeGen = 0;
+    SaveGen = 0;
+    Props.clear();
+    Order.clear();
+  }
+
 private:
-  static bool sortedInsert(std::vector<StringId> &Set, StringId Name) {
+  static bool sortedInsert(SmallVec<StringId, 4> &Set, StringId Name) {
     auto It = std::lower_bound(Set.begin(), Set.end(), Name);
     if (It != Set.end() && *It == Name)
       return false;
@@ -192,7 +216,7 @@ private:
     return true;
   }
 
-  static void sortedErase(std::vector<StringId> &Set, StringId Name) {
+  static void sortedErase(SmallVec<StringId, 4> &Set, StringId Name) {
     auto It = std::lower_bound(Set.begin(), Set.end(), Name);
     if (It != Set.end() && *It == Name)
       Set.erase(It);
@@ -206,7 +230,7 @@ private:
 /// matching the paper's focus on initialization phases).
 class Heap {
 public:
-  Heap() { Objects.emplace_back(); } // Index 0 is the invalid object.
+  Heap() { Objects.push(); } // Index 0 is the invalid object.
 
   /// Attaches a budget governor (not owned; may be null). Interpreters set
   /// this *after* installing builtins so that only program-driven
@@ -218,8 +242,9 @@ public:
   ObjectRef allocate(ObjectClass Class, NodeID AllocSite = 0) {
     if (Gov)
       Gov->noteHeapCell();
-    Objects.emplace_back();
-    JSObject &O = Objects.back();
+    // push() either constructs a fresh object or resets a parked one
+    // (speculation-rollback pool reuse); both start byte-identical.
+    JSObject &O = Objects.push();
     O.Class = Class;
     O.AllocSite = AllocSite;
     return static_cast<ObjectRef>(Objects.size() - 1);
@@ -326,8 +351,9 @@ public:
   void dropSnapshotsForFork() { Snapshots.clear(); }
 
   /// Shrinks the arena back to \p N objects (speculation rollback; \p N was
-  /// captured via size() at the fork point).
-  void truncateTo(size_t N) { Objects.resize(N + 1); }
+  /// captured via size() at the fork point). The removed objects are parked
+  /// for pooled reuse, not destroyed.
+  void truncateTo(size_t N) { Objects.truncateTo(N + 1); }
 
   size_t snapshotDepth() const { return Snapshots.size(); }
   uint64_t cowSaves() const { return CowSaveCount; }
@@ -339,9 +365,11 @@ private:
     std::vector<std::pair<ObjectRef, JSObject>> Saved;
   };
 
-  // Deque: object references handed out as JSObject& stay valid across
-  // later allocations.
-  std::deque<JSObject> Objects;
+  // Chunked arena: object references handed out as JSObject& stay valid
+  // across later allocations (chunks never move), chunks are sized in
+  // objects rather than libstdc++'s 512-byte deque blocks, and truncated
+  // objects are pooled for reuse across counterfactual churn.
+  ChunkedArena<JSObject> Objects;
   ResourceGovernor *Gov = nullptr;
   std::vector<SnapshotFrame> Snapshots;
   uint32_t SnapGen = 0;

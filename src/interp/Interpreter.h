@@ -20,6 +20,7 @@
 #include "interp/Heap.h"
 #include "interp/Value.h"
 #include "support/Diagnostics.h"
+#include "support/FlatMap.h"
 #include "support/RNG.h"
 #include "support/ResourceGovernor.h"
 
@@ -221,7 +222,7 @@ private:
   ObjectRef WindowObj = 0;
   ObjectRef DocumentObj = 0;
 
-  std::unordered_map<StringId, ObjectRef> DomElements;
+  FlatMap<StringId, ObjectRef> DomElements;
   std::vector<std::pair<StringId, Value>> EventHandlers;
 
   std::string Output;

@@ -203,10 +203,10 @@ bool dda::serve::parseRequest(const std::string &Line, Request &Out,
 
 namespace {
 
-void appendSortedIds(std::string &Out, const std::unordered_set<NodeID> &S) {
-  std::vector<NodeID> V(S.begin(), S.end());
-  std::sort(V.begin(), V.end());
-  for (NodeID Id : V) {
+void appendSortedIds(std::string &Out, const NodeBitSet &S) {
+  // NodeBitSet iterates in ascending id order — already the sorted order
+  // this digest has always rendered.
+  for (NodeID Id : S) {
     Out += std::to_string(Id);
     Out += ',';
   }

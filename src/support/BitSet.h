@@ -1,0 +1,175 @@
+//===- BitSet.h - Dense auto-growing bitset over 32-bit ids ------*- C++ -*-==//
+///
+/// \file
+/// NodeIDs (and the other dense 32-bit handles: ContextID, StringId raws)
+/// are allocated sequentially per ASTContext, so "the set of executed
+/// statements" is a dense subset of [0, maxNode). A hash-set probe per
+/// executed statement — two dependent loads plus a malloc per first-time
+/// insert — becomes a single bit test/set in one contiguous word array.
+///
+/// Iteration is in ascending id order (word-by-word, counting trailing
+/// zeros), which is exactly the sorted order every fingerprint-visible
+/// consumer (serve's executed-id digest, the parallel fold, test dumps)
+/// previously produced by copy-and-sort; see DESIGN.md "Hot-path memory
+/// layout".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SUPPORT_BITSET_H
+#define DDA_SUPPORT_BITSET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+namespace dda {
+
+class NodeBitSet {
+  std::vector<uint64_t> Words;
+  size_t Live = 0;
+
+  static unsigned popcount64(uint64_t X) {
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<unsigned>(__builtin_popcountll(X));
+#else
+    unsigned C = 0;
+    while (X) {
+      X &= X - 1;
+      ++C;
+    }
+    return C;
+#endif
+  }
+
+  static unsigned ctz64(uint64_t X) {
+#if defined(__GNUC__) || defined(__clang__)
+    return static_cast<unsigned>(__builtin_ctzll(X));
+#else
+    unsigned C = 0;
+    while (!(X & 1)) {
+      X >>= 1;
+      ++C;
+    }
+    return C;
+#endif
+  }
+
+public:
+  using value_type = uint32_t;
+
+  NodeBitSet() = default;
+
+  /// Inserts \p Id; returns true if it was newly added (std::set-style).
+  bool insert(uint32_t Id) {
+    size_t W = Id >> 6;
+    if (W >= Words.size())
+      Words.resize(W + 1, 0);
+    uint64_t Bit = 1ull << (Id & 63);
+    if (Words[W] & Bit)
+      return false;
+    Words[W] |= Bit;
+    ++Live;
+    return true;
+  }
+
+  bool contains(uint32_t Id) const {
+    size_t W = Id >> 6;
+    return W < Words.size() && ((Words[W] >> (Id & 63)) & 1);
+  }
+
+  size_t count(uint32_t Id) const { return contains(Id) ? 1 : 0; }
+  size_t size() const { return Live; }
+  bool empty() const { return Live == 0; }
+
+  void clear() {
+    Words.clear();
+    Live = 0;
+  }
+
+  /// Unions \p O into this set (the parallel fold's merge step).
+  void insertAll(const NodeBitSet &O) {
+    if (O.Words.size() > Words.size())
+      Words.resize(O.Words.size(), 0);
+    for (size_t I = 0; I < O.Words.size(); ++I) {
+      uint64_t New = O.Words[I] & ~Words[I];
+      Live += popcount64(New);
+      Words[I] |= O.Words[I];
+    }
+  }
+
+  bool operator==(const NodeBitSet &O) const {
+    const NodeBitSet &A = Words.size() <= O.Words.size() ? *this : O;
+    const NodeBitSet &B = Words.size() <= O.Words.size() ? O : *this;
+    for (size_t I = 0; I < A.Words.size(); ++I)
+      if (A.Words[I] != B.Words[I])
+        return false;
+    for (size_t I = A.Words.size(); I < B.Words.size(); ++I)
+      if (B.Words[I] != 0)
+        return false;
+    return true;
+  }
+  bool operator!=(const NodeBitSet &O) const { return !(*this == O); }
+
+  /// Ascending-order iteration.
+  class const_iterator {
+    const std::vector<uint64_t> *W = nullptr;
+    size_t WI = 0;
+    uint64_t Rest = 0; ///< Unvisited bits of word WI.
+
+    void advanceWord() {
+      while (Rest == 0 && W && WI + 1 < W->size())
+        Rest = (*W)[++WI];
+      if (Rest == 0) {
+        // Exhausted: normalize to end().
+        W = nullptr;
+        WI = 0;
+      }
+    }
+
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = uint32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const uint32_t *;
+    using reference = uint32_t;
+
+    const_iterator() = default;
+    explicit const_iterator(const std::vector<uint64_t> *Words) : W(Words) {
+      if (W && !W->empty())
+        Rest = (*W)[0];
+      advanceWord();
+    }
+
+    uint32_t operator*() const {
+      return static_cast<uint32_t>(WI * 64 + ctz64(Rest));
+    }
+    const_iterator &operator++() {
+      Rest &= Rest - 1; // Clear lowest set bit.
+      advanceWord();
+      return *this;
+    }
+    bool operator==(const const_iterator &O) const {
+      return W == O.W && WI == O.WI && Rest == O.Rest;
+    }
+    bool operator!=(const const_iterator &O) const { return !(*this == O); }
+  };
+
+  const_iterator begin() const {
+    return Live ? const_iterator(&Words) : end();
+  }
+  const_iterator end() const { return const_iterator(); }
+
+  /// All ids in ascending order (natural iteration order is already sorted).
+  std::vector<uint32_t> toSortedVector() const {
+    std::vector<uint32_t> Out;
+    Out.reserve(Live);
+    for (uint32_t Id : *this)
+      Out.push_back(Id);
+    return Out;
+  }
+};
+
+} // namespace dda
+
+#endif // DDA_SUPPORT_BITSET_H

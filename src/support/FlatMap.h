@@ -1,0 +1,521 @@
+//===- FlatMap.h - Open-addressing flat hash map/set -------------*- C++ -*-==//
+///
+/// \file
+/// Cache-dense hash containers for the analysis hot path. `std::unordered_map`
+/// is a node-based chain-bucket table: every probe is at least two dependent
+/// loads (bucket head, then node), every insert is a malloc, and iteration
+/// chases pointers. The per-step path of the instrumented interpreter probes
+/// such tables several times per executed operation (fact record, site
+/// counts, context interning), so PR 10 replaces them with an open-addressing
+/// table whose entries live in one flat array:
+///
+///  * power-of-two capacity, linear probing, splitmix64-finalized hashes
+///    (a weak hash in a power-of-two table collides in the low bits — see
+///    the FactKeyHash regression test);
+///  * byte-sized control codes (empty / full / tombstone) in a separate
+///    array, so the probe loop touches one cache line of metadata before it
+///    ever looks at an entry;
+///  * erase writes a tombstone; tombstones are reclaimed by the next rehash
+///    and reused by inserts, so delete-then-reinsert churn cannot grow the
+///    table unboundedly (mirrors the Interner regression);
+///  * optional inline small-size storage (`InlineCap` slots embedded in the
+///    object) so short-lived tables — per-call-frame site counts — never
+///    allocate.
+///
+/// Keys and values must be trivially copyable and trivially destructible:
+/// every client keys on interned atoms, node IDs, or POD fact keys, and that
+/// restriction is what makes rehash a straight memcpy-class loop. Iteration
+/// order is arbitrary (as with unordered_map); every fingerprint-visible
+/// consumer sorts before rendering — see DESIGN.md "Hot-path memory layout"
+/// for the byte-identity obligations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DDA_SUPPORT_FLATMAP_H
+#define DDA_SUPPORT_FLATMAP_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <iterator>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dda {
+
+/// Fast 64-bit bit-mixing finalizer (splitmix64). Distributes entropy from
+/// every input bit into every output bit, so taking the low bits (power-of-
+/// two table masks) is safe even for sequential or packed keys.
+inline uint64_t splitmix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+/// Default hasher: splitmix64 over the key's integral value. Specialized for
+/// integral/enum keys and pointers here; domain key types (StringId, FactKey,
+/// ContextKey) provide their own hashers or specializations at their
+/// definition site.
+template <typename K, typename Enable = void> struct FlatHash;
+
+template <typename K>
+struct FlatHash<K, std::enable_if_t<std::is_integral_v<K> || std::is_enum_v<K>>> {
+  uint64_t operator()(K Key) const {
+    return splitmix64(static_cast<uint64_t>(Key));
+  }
+};
+
+template <typename T> struct FlatHash<T *> {
+  uint64_t operator()(T *Key) const {
+    return splitmix64(reinterpret_cast<uintptr_t>(Key));
+  }
+};
+
+/// Open-addressing hash map. See the file comment for the design;
+/// the API mirrors the subset of std::unordered_map the analysis uses
+/// (find/end/count/at/operator[]/try_emplace/insert/erase/clear/iteration).
+template <typename K, typename V, typename Hasher = FlatHash<K>,
+          unsigned InlineCap = 0>
+class FlatMap {
+  static_assert(std::is_trivially_copyable_v<K> &&
+                    std::is_trivially_destructible_v<K>,
+                "FlatMap keys must be POD-like");
+  static_assert(std::is_trivially_copyable_v<V> &&
+                    std::is_trivially_destructible_v<V>,
+                "FlatMap values must be POD-like");
+  static_assert((InlineCap & (InlineCap - 1)) == 0,
+                "InlineCap must be zero or a power of two");
+
+public:
+  struct Entry {
+    K first;
+    V second;
+  };
+  using value_type = Entry;
+
+private:
+  /// Control bytes: Empty/Tomb, or (high bit | 7-bit hash fragment) for a
+  /// full slot. A probe compares the fragment before ever touching the
+  /// 40-odd-byte Entry, so mismatched cluster neighbors cost one metadata
+  /// byte instead of an Entry cache line (1/128 false-positive rate).
+  /// The slot index uses only the hash's low bits, so the fragment does not
+  /// affect placement — layouts (and iteration order) are identical to a
+  /// plain Full/Empty/Tomb encoding.
+  enum : uint8_t { Empty = 0, Tomb = 1 };
+  static bool isFull(uint8_t C) { return C & 0x80; }
+  static uint8_t fullCtrl(uint64_t H) {
+    return static_cast<uint8_t>(0x80 | (H >> 57));
+  }
+
+  Entry *Slots = nullptr;
+  uint8_t *Ctrl = nullptr;
+  size_t Cap = 0;  ///< Power of two (or 0 before first insert when no inline).
+  size_t Sz = 0;   ///< Live entries.
+  size_t Tombs = 0;
+  char *HeapBlock = nullptr; ///< Owned allocation (null while inline).
+
+  alignas(alignof(Entry)) unsigned char
+      InlineRaw[InlineCap ? sizeof(Entry) * InlineCap : 1];
+  uint8_t InlineCtrl[InlineCap ? InlineCap : 1];
+
+  static size_t ceilPow2(size_t N) {
+    size_t C = 1;
+    while (C < N)
+      C <<= 1;
+    return C;
+  }
+
+  void initInline() {
+    if constexpr (InlineCap > 0) {
+      Slots = reinterpret_cast<Entry *>(InlineRaw);
+      Ctrl = InlineCtrl;
+      Cap = InlineCap;
+      std::memset(Ctrl, Empty, InlineCap);
+    }
+  }
+
+  /// Allocates a fresh block of capacity \p NewCap and re-inserts every live
+  /// entry (dropping tombstones).
+  void rehash(size_t NewCap) {
+    assert((NewCap & (NewCap - 1)) == 0 && NewCap >= Sz * 2);
+    Entry *OldSlots = Slots;
+    uint8_t *OldCtrl = Ctrl;
+    size_t OldCap = Cap;
+    char *OldBlock = HeapBlock;
+
+    size_t Bytes = sizeof(Entry) * NewCap + NewCap;
+    char *Block = static_cast<char *>(
+        ::operator new(Bytes, std::align_val_t(alignof(Entry))));
+    Slots = reinterpret_cast<Entry *>(Block);
+    Ctrl = reinterpret_cast<uint8_t *>(Block + sizeof(Entry) * NewCap);
+    Cap = NewCap;
+    HeapBlock = Block;
+    std::memset(Ctrl, Empty, NewCap);
+    Tombs = 0;
+
+    size_t Mask = NewCap - 1;
+    for (size_t I = 0; I < OldCap; ++I) {
+      if (!isFull(OldCtrl[I]))
+        continue;
+      uint64_t H = Hasher{}(OldSlots[I].first);
+      size_t J = static_cast<size_t>(H) & Mask;
+      while (isFull(Ctrl[J]))
+        J = (J + 1) & Mask;
+      new (&Slots[J]) Entry(OldSlots[I]);
+      Ctrl[J] = fullCtrl(H);
+    }
+    if (OldBlock)
+      ::operator delete(OldBlock, std::align_val_t(alignof(Entry)));
+  }
+
+  void growIfNeeded() {
+    if (Cap == 0) {
+      if constexpr (InlineCap > 0)
+        initInline();
+      else
+        rehash(16);
+      return;
+    }
+    // Grow at 7/8 occupancy counting tombstones; size so live load <= 1/2.
+    if ((Sz + Tombs + 1) * 8 > Cap * 7)
+      rehash(ceilPow2((Sz + 1) * 2 < 16 ? 16 : (Sz + 1) * 2));
+  }
+
+  /// Probe for \p Key. Returns the slot index holding it, or ~size_t(0).
+  size_t findIndex(const K &Key) const {
+    if (Sz == 0)
+      return ~size_t(0);
+    uint64_t H = Hasher{}(Key);
+    uint8_t H2 = fullCtrl(H);
+    size_t Mask = Cap - 1;
+    size_t I = static_cast<size_t>(H) & Mask;
+    while (true) {
+      uint8_t C = Ctrl[I];
+      if (C == H2 && Slots[I].first == Key)
+        return I;
+      if (C == Empty)
+        return ~size_t(0);
+      I = (I + 1) & Mask;
+    }
+  }
+
+  /// Probe for insert: existing slot, else first tombstone on the probe
+  /// path, else the terminating empty slot. \p Found reports a hit;
+  /// \p NewCtrl is the control byte a fresh insert at the returned slot
+  /// must store.
+  size_t findInsertIndex(const K &Key, bool &Found, uint8_t &NewCtrl) {
+    uint64_t H = Hasher{}(Key);
+    uint8_t H2 = fullCtrl(H);
+    NewCtrl = H2;
+    size_t Mask = Cap - 1;
+    size_t I = static_cast<size_t>(H) & Mask;
+    size_t FirstTomb = ~size_t(0);
+    while (true) {
+      uint8_t C = Ctrl[I];
+      if (C == H2 && Slots[I].first == Key) {
+        Found = true;
+        return I;
+      }
+      if (C == Empty) {
+        Found = false;
+        if (FirstTomb != ~size_t(0))
+          return FirstTomb;
+        return I;
+      }
+      if (C == Tomb && FirstTomb == ~size_t(0))
+        FirstTomb = I;
+      I = (I + 1) & Mask;
+    }
+  }
+
+  void copyFrom(const FlatMap &O) {
+    Sz = O.Sz;
+    Tombs = O.Tombs;
+    if (O.HeapBlock) {
+      size_t Bytes = sizeof(Entry) * O.Cap + O.Cap;
+      HeapBlock = static_cast<char *>(
+          ::operator new(Bytes, std::align_val_t(alignof(Entry))));
+      std::memcpy(HeapBlock, O.HeapBlock, Bytes);
+      Slots = reinterpret_cast<Entry *>(HeapBlock);
+      Ctrl = reinterpret_cast<uint8_t *>(HeapBlock + sizeof(Entry) * O.Cap);
+      Cap = O.Cap;
+    } else if (O.Cap > 0) {
+      // Source lives in its inline buffer; copy into ours.
+      initInline();
+      std::memcpy(InlineRaw, O.InlineRaw, sizeof(Entry) * InlineCap);
+      std::memcpy(InlineCtrl, O.InlineCtrl, InlineCap);
+    }
+  }
+
+  void releaseHeap() {
+    if (HeapBlock) {
+      ::operator delete(HeapBlock, std::align_val_t(alignof(Entry)));
+      HeapBlock = nullptr;
+    }
+  }
+
+  void resetToEmpty() {
+    Slots = nullptr;
+    Ctrl = nullptr;
+    Cap = 0;
+    Sz = 0;
+    Tombs = 0;
+    HeapBlock = nullptr;
+    if constexpr (InlineCap > 0)
+      initInline();
+  }
+
+public:
+  FlatMap() {
+    if constexpr (InlineCap > 0)
+      initInline();
+  }
+  ~FlatMap() { releaseHeap(); }
+
+  FlatMap(const FlatMap &O) { copyFrom(O); }
+  FlatMap &operator=(const FlatMap &O) {
+    if (this == &O)
+      return *this;
+    releaseHeap();
+    resetToEmpty();
+    copyFrom(O);
+    return *this;
+  }
+
+  FlatMap(FlatMap &&O) noexcept {
+    if (O.HeapBlock) {
+      Slots = O.Slots;
+      Ctrl = O.Ctrl;
+      Cap = O.Cap;
+      Sz = O.Sz;
+      Tombs = O.Tombs;
+      HeapBlock = O.HeapBlock;
+      O.HeapBlock = nullptr;
+      O.resetToEmpty();
+    } else {
+      copyFrom(O);
+      O.clear();
+    }
+  }
+  FlatMap &operator=(FlatMap &&O) noexcept {
+    if (this == &O)
+      return *this;
+    releaseHeap();
+    resetToEmpty();
+    if (O.HeapBlock) {
+      Slots = O.Slots;
+      Ctrl = O.Ctrl;
+      Cap = O.Cap;
+      Sz = O.Sz;
+      Tombs = O.Tombs;
+      HeapBlock = O.HeapBlock;
+      O.HeapBlock = nullptr;
+      O.resetToEmpty();
+    } else {
+      copyFrom(O);
+      O.clear();
+    }
+    return *this;
+  }
+
+  // --- Iteration ---------------------------------------------------------
+
+  template <bool IsConst> class Iter {
+    using MapT = std::conditional_t<IsConst, const FlatMap, FlatMap>;
+    using EntryT = std::conditional_t<IsConst, const Entry, Entry>;
+    MapT *M = nullptr;
+    size_t I = 0;
+
+    void skipDead() {
+      while (I < M->Cap && !FlatMap::isFull(M->Ctrl[I]))
+        ++I;
+    }
+
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Entry;
+    using difference_type = std::ptrdiff_t;
+    using pointer = EntryT *;
+    using reference = EntryT &;
+
+    Iter() = default;
+    Iter(MapT *Map, size_t Idx) : M(Map), I(Idx) {
+      if (M)
+        skipDead();
+    }
+    /// const_iterator from iterator.
+    template <bool C = IsConst, typename = std::enable_if_t<C>>
+    Iter(const Iter<false> &O) : M(O.map()), I(O.index()) {}
+
+    EntryT &operator*() const { return M->Slots[I]; }
+    EntryT *operator->() const { return &M->Slots[I]; }
+    Iter &operator++() {
+      ++I;
+      skipDead();
+      return *this;
+    }
+    bool operator==(const Iter &O) const { return I == O.I; }
+    bool operator!=(const Iter &O) const { return I != O.I; }
+
+    MapT *map() const { return M; }
+    size_t index() const { return I; }
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, Cap); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, Cap); }
+
+  // --- Lookup ------------------------------------------------------------
+
+  size_t size() const { return Sz; }
+  bool empty() const { return Sz == 0; }
+  size_t capacity() const { return Cap; }
+  size_t tombstones() const { return Tombs; }
+
+  iterator find(const K &Key) {
+    size_t I = findIndex(Key);
+    return I == ~size_t(0) ? end() : iterator(this, I);
+  }
+  const_iterator find(const K &Key) const {
+    size_t I = findIndex(Key);
+    return I == ~size_t(0) ? end() : const_iterator(this, I);
+  }
+
+  size_t count(const K &Key) const {
+    return findIndex(Key) == ~size_t(0) ? 0 : 1;
+  }
+  bool contains(const K &Key) const { return findIndex(Key) != ~size_t(0); }
+
+  V &at(const K &Key) {
+    size_t I = findIndex(Key);
+    assert(I != ~size_t(0) && "FlatMap::at: key not present");
+    return Slots[I].second;
+  }
+  const V &at(const K &Key) const {
+    size_t I = findIndex(Key);
+    assert(I != ~size_t(0) && "FlatMap::at: key not present");
+    return Slots[I].second;
+  }
+
+  // --- Mutation ----------------------------------------------------------
+
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const K &Key, Args &&...A) {
+    growIfNeeded();
+    bool Found;
+    uint8_t NewCtrl;
+    size_t I = findInsertIndex(Key, Found, NewCtrl);
+    if (!Found) {
+      if (Ctrl[I] == Tomb)
+        --Tombs;
+      new (&Slots[I]) Entry{Key, V(std::forward<Args>(A)...)};
+      Ctrl[I] = NewCtrl;
+      ++Sz;
+    }
+    return {iterator(this, I), !Found};
+  }
+
+  std::pair<iterator, bool> insert(const std::pair<K, V> &KV) {
+    return try_emplace(KV.first, KV.second);
+  }
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const K &Key, Args &&...A) {
+    return try_emplace(Key, std::forward<Args>(A)...);
+  }
+
+  V &operator[](const K &Key) { return try_emplace(Key).first->second; }
+
+  size_t erase(const K &Key) {
+    size_t I = findIndex(Key);
+    if (I == ~size_t(0))
+      return 0;
+    Ctrl[I] = Tomb;
+    ++Tombs;
+    --Sz;
+    return 1;
+  }
+
+  iterator erase(iterator It) {
+    assert(It.map() == this && isFull(Ctrl[It.index()]));
+    Ctrl[It.index()] = Tomb;
+    ++Tombs;
+    --Sz;
+    ++It;
+    return It;
+  }
+
+  void clear() {
+    if (Cap)
+      std::memset(Ctrl, Empty, Cap);
+    Sz = 0;
+    Tombs = 0;
+  }
+
+  void reserve(size_t N) {
+    size_t Want = ceilPow2(N * 2 < 16 ? 16 : N * 2);
+    if (Want > Cap)
+      rehash(Want);
+  }
+};
+
+/// Open-addressing hash set: a FlatMap with empty payloads; iteration yields
+/// the keys.
+template <typename K, typename Hasher = FlatHash<K>, unsigned InlineCap = 0>
+class FlatSet {
+  struct Unit {};
+  using MapT = FlatMap<K, Unit, Hasher, InlineCap>;
+  MapT M;
+
+public:
+  template <bool IsConst> class Iter {
+    using Inner = typename MapT::const_iterator;
+    Inner It;
+
+  public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = K;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const K *;
+    using reference = const K &;
+
+    Iter() = default;
+    explicit Iter(Inner I) : It(I) {}
+    const K &operator*() const { return It->first; }
+    const K *operator->() const { return &It->first; }
+    Iter &operator++() {
+      ++It;
+      return *this;
+    }
+    bool operator==(const Iter &O) const { return It == O.It; }
+    bool operator!=(const Iter &O) const { return It != O.It; }
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  const_iterator begin() const { return const_iterator(M.begin()); }
+  const_iterator end() const { return const_iterator(M.end()); }
+
+  size_t size() const { return M.size(); }
+  bool empty() const { return M.empty(); }
+  size_t capacity() const { return M.capacity(); }
+  size_t tombstones() const { return M.tombstones(); }
+
+  bool insert(const K &Key) { return M.try_emplace(Key).second; }
+  size_t count(const K &Key) const { return M.count(Key); }
+  bool contains(const K &Key) const { return M.contains(Key); }
+  size_t erase(const K &Key) { return M.erase(Key); }
+  void clear() { M.clear(); }
+  void reserve(size_t N) { M.reserve(N); }
+};
+
+} // namespace dda
+
+#endif // DDA_SUPPORT_FLATMAP_H

@@ -71,6 +71,20 @@ struct StringId {
   }
 };
 
+// Forward declaration of the flat-table hasher primary template (FlatMap.h);
+// specialized here so any client keying a FlatMap on atoms gets mixed ids.
+template <typename K, typename Enable> struct FlatHash;
+template <> struct FlatHash<StringId, void> {
+  uint64_t operator()(StringId Id) const {
+    // splitmix64 finalizer, inlined to keep this header independent of
+    // FlatMap.h (kept in sync with dda::splitmix64).
+    uint64_t X = Id.Raw + 0x9E3779B97F4A7C15ull;
+    X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+    X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+    return X ^ (X >> 31);
+  }
+};
+
 /// The atom table.
 class Interner {
 public:

@@ -29,11 +29,10 @@ using namespace dda;
 
 namespace {
 
-std::string sortedIds(const std::unordered_set<NodeID> &S) {
-  std::vector<NodeID> V(S.begin(), S.end());
-  std::sort(V.begin(), V.end());
+std::string sortedIds(const NodeBitSet &S) {
+  // Bitset iteration is already ascending NodeID order.
   std::string Out;
-  for (NodeID Id : V)
+  for (NodeID Id : S)
     Out += std::to_string(Id) + ",";
   return Out;
 }
